@@ -1,0 +1,45 @@
+//! # gtw-apps — the application projects of the Gigabit Testbed West
+//!
+//! Working miniatures of every application the paper's Section 3 lists,
+//! each generating the communication pattern the paper attributes to it:
+//!
+//! * [`groundwater`] — "Transport of solutants in ground water": a Darcy
+//!   flow solver (TRACE) coupled to a particle tracker (PARTRACE); the
+//!   3-D water-flow field crosses the testbed every timestep (up to
+//!   30 MByte/s),
+//! * [`climate`] — "Distributed computation of climate models": an
+//!   ocean model and an atmosphere model on different grids, coupled via
+//!   a flux coupler that regrids 2-D surface fields every timestep
+//!   (≤1 MByte bursts),
+//! * [`meg`] — "Analysis of magnetoencephalography data": the MUSIC
+//!   algorithm localizing current dipoles from synthetic MEG sensor data
+//!   (low-volume, latency-sensitive traffic; mixed MPP/vector workload),
+//! * [`video`] — "Multimedia in a Gigabit WAN": uncompressed D1
+//!   studio-quality video (270 Mbit/s CCIR-601),
+//! * [`traffic`] — each application's traffic profile and its
+//!   feasibility against B-WiN / OC-12 / OC-48 capacities (the X1
+//!   experiment),
+//!
+//! plus the Section-5 extension projects on the new Cologne/Bonn links:
+//!
+//! * [`traffic_sim`] — distributed road-traffic simulation
+//!   (Nagel–Schreckenberg cellular automaton with WAN segment coupling),
+//! * [`moldyn`] — multiscale molecular dynamics (multiple-timestep
+//!   Lennard-Jones with a fine-region/bath machine split),
+//! * [`lithosphere`] — lithospheric fluids: porous-medium thermal
+//!   convection (Horton–Rogers–Lapwood) with an exactly-equivalent
+//!   lateral domain decomposition,
+//! * [`tv_production`] — distributed virtual TV production: multi-source
+//!   D1 compositing with genlock buffering over heterogeneous paths.
+
+pub mod climate;
+pub mod groundwater;
+pub mod lithosphere;
+pub mod meg;
+pub mod moldyn;
+pub mod traffic;
+pub mod traffic_sim;
+pub mod tv_production;
+pub mod video;
+
+pub use traffic::{AppProfile, Feasibility, TrafficPattern};

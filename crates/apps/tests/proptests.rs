@@ -1,0 +1,121 @@
+//! Property-based tests for the application workloads.
+
+use gtw_apps::climate::Field2d;
+use gtw_apps::groundwater::{Grid, Partrace, Trace};
+use gtw_apps::lithosphere::PorousConvection;
+use gtw_apps::moldyn::{MdConfig, System};
+use gtw_apps::traffic_sim::Road;
+use gtw_desim::StreamRng;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// NaSch conserves cars and keeps velocities within bounds for any
+    /// density and dawdle probability.
+    #[test]
+    fn nasch_invariants(cars_frac in 0.01f64..0.95, p in 0.0f64..0.9, seed in 0u64..500) {
+        let len = 120;
+        let cars = ((cars_frac * len as f64) as usize).clamp(1, len);
+        let mut road = Road::ring(len, cars, p, seed);
+        let mut rng = StreamRng::new(seed, "pt");
+        for _ in 0..60 {
+            road.step(&mut rng);
+            prop_assert_eq!(road.car_count(), cars);
+            for v in road.cells.iter().flatten() {
+                prop_assert!((*v as usize) <= gtw_apps::traffic_sim::V_MAX);
+            }
+        }
+    }
+
+    /// Darcy pressure stays within the boundary values (maximum
+    /// principle) for any heterogeneous conductivity field.
+    #[test]
+    fn pressure_maximum_principle(seed in 0u64..500) {
+        let grid = Grid { nx: 16, ny: 8, nz: 4 };
+        let mut t = Trace::heterogeneous(grid, seed);
+        t.solve(100);
+        for &p in &t.pressure {
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&p), "pressure {p}");
+        }
+    }
+
+    /// Particles never leave the domain laterally and never move
+    /// upstream in a homogeneous field.
+    #[test]
+    fn particles_stay_in_domain(seed in 0u64..200, dt in 0.5f64..4.0) {
+        let grid = Grid { nx: 20, ny: 10, nz: 5 };
+        let mut t = Trace::homogeneous(grid);
+        t.solve(150);
+        let field = t.velocity_field();
+        let mut p = Partrace::release_plane(grid, 50, seed);
+        let mut last_mean = p.mean_x();
+        for _ in 0..30 {
+            p.step(&field, dt);
+            for part in &p.particles {
+                prop_assert!(part[1] >= 0.0 && part[1] <= (grid.ny - 1) as f64);
+                prop_assert!(part[2] >= 0.0 && part[2] <= (grid.nz - 1) as f64);
+                prop_assert!(part[0] <= (grid.nx - 1) as f64 + 1e-9);
+            }
+            let mean = p.mean_x();
+            prop_assert!(mean >= last_mean - 1e-9, "plume moved upstream");
+            last_mean = mean;
+        }
+    }
+
+    /// Bilinear regrid of a constant field is exactly constant, at any
+    /// resolutions.
+    #[test]
+    fn regrid_constant_exact(v in -100.0f64..100.0,
+                             nx in 4usize..40, ny in 4usize..40,
+                             mx in 4usize..40, my in 4usize..40) {
+        let f = Field2d::filled(nx, ny, v);
+        let g = f.regrid(mx, my);
+        for &x in &g.data {
+            prop_assert!((x - v).abs() < 1e-9);
+        }
+    }
+
+    /// Regrid output is bounded by the input range (bilinear is a convex
+    /// combination).
+    #[test]
+    fn regrid_bounded(seed in 0u64..200, mx in 4usize..30, my in 4usize..30) {
+        let mut rng = StreamRng::new(seed, "field");
+        let mut f = Field2d::filled(12, 9, 0.0);
+        for v in &mut f.data {
+            *v = rng.uniform_in(-5.0, 5.0);
+        }
+        let (lo, hi) = f.data.iter().fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+        let g = f.regrid(mx, my);
+        for &x in &g.data {
+            prop_assert!(x >= lo - 1e-9 && x <= hi + 1e-9);
+        }
+    }
+
+    /// LJ dynamics conserves momentum for any initial temperature.
+    #[test]
+    fn md_momentum_conserved(temp in 0.01f64..0.5, seed in 0u64..200) {
+        let mut s = System::lattice(MdConfig::default_box(10.0), 5, temp, seed);
+        for _ in 0..50 {
+            s.verlet_step(0.004);
+        }
+        let p = s.momentum();
+        prop_assert!(p[0].abs() < 1e-6 && p[1].abs() < 1e-6, "{p:?}");
+    }
+
+    /// Porous convection keeps temperature (weakly) bounded and walls
+    /// pinned for sub- and super-critical Rayleigh numbers.
+    #[test]
+    fn convection_bounded(ra in 5.0f64..200.0) {
+        let mut c = PorousConvection::new(16, 9, ra);
+        let dt = c.stable_dt();
+        c.run(300, 6, dt);
+        for &t in &c.temp {
+            prop_assert!((-0.1..=1.1).contains(&t), "T {t} at Ra {ra}");
+        }
+        for x in 0..16 {
+            prop_assert_eq!(c.temp[x], 1.0);
+            prop_assert_eq!(c.temp[x + 16 * 8], 0.0);
+        }
+    }
+}

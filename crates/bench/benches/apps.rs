@@ -1,0 +1,88 @@
+//! Criterion microbenchmarks of the application kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gtw_apps::groundwater::{Partrace, Trace};
+use gtw_apps::lithosphere::PorousConvection;
+use gtw_apps::meg::{head_grid, music_scan, signal_subspace, synthesize, Dipole, SensorArray};
+use gtw_apps::moldyn::{MdConfig, System};
+use gtw_apps::traffic_sim::Road;
+use gtw_desim::StreamRng;
+use std::hint::black_box;
+
+fn bench_groundwater(c: &mut Criterion) {
+    let grid = gtw_apps::groundwater::Grid { nx: 32, ny: 16, nz: 8 };
+    c.bench_function("trace_solve_30_sweeps", |b| {
+        b.iter(|| {
+            let mut t = Trace::heterogeneous(grid, 1);
+            t.solve(30);
+            black_box(t.velocity_field())
+        })
+    });
+    let mut t = Trace::heterogeneous(grid, 1);
+    t.solve(100);
+    let field = t.velocity_field();
+    c.bench_function("partrace_step_1000_particles", |b| {
+        let mut p = Partrace::release_plane(grid, 1000, 2);
+        b.iter(|| {
+            p.step(&field, 1.0);
+            black_box(p.mean_x())
+        })
+    });
+}
+
+fn bench_traffic(c: &mut Criterion) {
+    c.bench_function("nasch_step_10k_cells", |b| {
+        let mut road = Road::ring(10_000, 3_000, 0.25, 3);
+        let mut rng = StreamRng::new(3, "bench");
+        b.iter(|| black_box(road.step(&mut rng)))
+    });
+}
+
+fn bench_moldyn(c: &mut Criterion) {
+    c.bench_function("lj_verlet_step_100_particles", |b| {
+        let mut s = System::lattice(MdConfig::default_box(16.0), 10, 0.2, 4);
+        b.iter(|| {
+            s.verlet_step(0.004);
+            black_box(s.kinetic())
+        })
+    });
+}
+
+fn bench_lithosphere(c: &mut Criterion) {
+    c.bench_function("porous_convection_step_64x33", |b| {
+        let mut cell = PorousConvection::new(64, 33, 100.0);
+        let dt = cell.stable_dt();
+        b.iter(|| {
+            cell.psi_sweep();
+            cell.temp_step(dt);
+            black_box(cell.nusselt())
+        })
+    });
+}
+
+fn bench_music(c: &mut Criterion) {
+    let array = SensorArray::helmet(5, 12);
+    let dipoles =
+        vec![Dipole { position: [0.3, 0.1, 0.4], moment: [0.0, 1.0, 0.2], frequency: 0.05 }];
+    let x = synthesize(&array, &dipoles, 150, 0.05, 5);
+    let basis = signal_subspace(&x, 1);
+    let mut group = c.benchmark_group("music");
+    group.sample_size(20);
+    group.bench_function("scan_11x11x11_grid", |b| {
+        b.iter(|| black_box(music_scan(&array, &basis, head_grid(11))))
+    });
+    group.bench_function("covariance_eigen_60ch", |b| {
+        b.iter(|| black_box(signal_subspace(&x, 1)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_groundwater,
+    bench_traffic,
+    bench_moldyn,
+    bench_lithosphere,
+    bench_music
+);
+criterion_main!(benches);

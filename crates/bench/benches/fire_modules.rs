@@ -1,0 +1,100 @@
+//! Criterion microbenchmarks of the FIRE processing modules at the
+//! paper's 64×64×16 image size — the per-module columns of Table 1 on
+//! host hardware.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gtw_fire::analysis::CorrelationState;
+use gtw_fire::detrend::DetrendBasis;
+use gtw_fire::filters::{average_filter, median_filter};
+use gtw_fire::motion::MotionCorrector;
+use gtw_fire::rvo::{optimize, RvoBounds, RvoMethod};
+use gtw_scan::acquire::{Scanner, ScannerConfig};
+use gtw_scan::hrf::ReferenceVector;
+use gtw_scan::motion::RigidTransform;
+use gtw_scan::phantom::Phantom;
+use gtw_scan::volume::Dims;
+use std::hint::black_box;
+
+fn bench_filters(c: &mut Criterion) {
+    let scanner = Scanner::new(ScannerConfig::paper_default(4, 1), Phantom::standard());
+    let vol = scanner.acquire(1);
+    c.bench_function("median_filter_64x64x16", |b| {
+        b.iter(|| black_box(median_filter(black_box(&vol))))
+    });
+    c.bench_function("average_filter_64x64x16", |b| {
+        b.iter(|| black_box(average_filter(black_box(&vol))))
+    });
+}
+
+fn bench_motion(c: &mut Criterion) {
+    let refv = Phantom::standard().anatomy(Dims::EPI);
+    let moved = RigidTransform::translation(0.5, -0.3, 0.2).resample(&refv);
+    let corrector = MotionCorrector::new(refv, 2, 50.0);
+    c.bench_function("motion_estimate_64x64x16", |b| {
+        b.iter(|| black_box(corrector.estimate(black_box(&moved))))
+    });
+}
+
+fn bench_correlation(c: &mut Criterion) {
+    let scanner = Scanner::new(ScannerConfig::paper_default(16, 2), Phantom::standard());
+    let series: Vec<_> = scanner.series();
+    let rv = ReferenceVector::canonical(&scanner.config().stimulus);
+    c.bench_function("incremental_correlation_16_scans", |b| {
+        b.iter(|| {
+            let mut st = CorrelationState::new(Dims::EPI, &rv);
+            for v in &series {
+                st.push(v);
+            }
+            black_box(st.correlation_map())
+        })
+    });
+}
+
+fn bench_detrend(c: &mut Criterion) {
+    let basis = DetrendBasis::with_cosines(64, 3);
+    let series: Vec<f32> = (0..64).map(|t| 100.0 + 0.3 * t as f32 + (t as f32).sin()).collect();
+    c.bench_function("detrend_voxel_64_scans", |b| {
+        b.iter(|| {
+            let mut s = series.clone();
+            basis.detrend(&mut s);
+            black_box(s)
+        })
+    });
+}
+
+fn bench_rvo(c: &mut Criterion) {
+    let mut cfg = ScannerConfig::paper_default(24, 3);
+    cfg.dims = Dims::new(16, 16, 4);
+    let scanner = Scanner::new(cfg, Phantom::standard());
+    let series: Vec<_> = scanner.series();
+    let stim = scanner.config().stimulus.clone();
+    let mut group = c.benchmark_group("rvo_16x16x4");
+    group.sample_size(10);
+    group.bench_function("full_grid", |b| {
+        b.iter(|| {
+            black_box(optimize(
+                &series,
+                &stim,
+                RvoBounds::default(),
+                RvoMethod::FullGrid { delay_steps: 7, dispersion_steps: 4 },
+                None,
+            ))
+        })
+    });
+    group.bench_function("coarse_refine", |b| {
+        b.iter(|| {
+            black_box(optimize(&series, &stim, RvoBounds::default(), RvoMethod::paper_refined(), None))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_filters,
+    bench_motion,
+    bench_correlation,
+    bench_detrend,
+    bench_rvo
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion microbenchmarks of the in-repo linear-algebra kit (the
+//! substrate under RVO refinement, detrending and MUSIC).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gtw_fire::linalg::{conjugate_gradient, jacobi_eigen, lstsq, solve, Matrix};
+use std::hint::black_box;
+
+fn symmetric(n: usize, seed: u64) -> Matrix {
+    let mut m = Matrix::zeros(n, n);
+    let mut state = seed;
+    for i in 0..n {
+        for j in i..n {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let v = ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5;
+            m[(i, j)] = v;
+            m[(j, i)] = v;
+        }
+        m[(i, i)] += n as f64; // diagonally dominant -> SPD
+    }
+    m
+}
+
+fn bench_eigen(c: &mut Criterion) {
+    for n in [8usize, 30, 60] {
+        let m = symmetric(n, 42);
+        c.bench_function(&format!("jacobi_eigen_{n}x{n}"), |b| {
+            b.iter(|| black_box(jacobi_eigen(black_box(&m), 100)))
+        });
+    }
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let a = symmetric(30, 7);
+    let rhs: Vec<f64> = (0..30).map(|i| i as f64).collect();
+    c.bench_function("gauss_solve_30", |b| {
+        b.iter(|| black_box(solve(black_box(&a), black_box(&rhs)).unwrap()))
+    });
+    c.bench_function("cg_solve_30", |b| {
+        b.iter(|| black_box(conjugate_gradient(black_box(&a), black_box(&rhs), 1e-10, 200)))
+    });
+    // Least squares: 64 x 5 design (detrending-sized).
+    let design = Matrix::from_rows(
+        &(0..64)
+            .map(|t| {
+                let tf = t as f64 / 63.0;
+                vec![1.0, tf, tf * tf, (3.0 * tf).sin(), (5.0 * tf).cos()]
+            })
+            .collect::<Vec<_>>(),
+    );
+    let y: Vec<f64> = (0..64).map(|t| (t as f64 * 0.1).sin() + 0.01 * t as f64).collect();
+    c.bench_function("lstsq_64x5", |b| {
+        b.iter(|| black_box(lstsq(black_box(&design), black_box(&y)).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_eigen, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Experiment **X1**: the Section-3 application list as a feasibility
+//! matrix — every project's traffic against B-WiN / OC-12 / OC-48
+//! capacities ("communication requirements that cannot be matched by the
+//! 155 Mbit/s available in the B-WiN").
+//!
+//! ```text
+//! cargo run --release -p gtw-bench --bin apps_matrix
+//! ```
+
+use gtw_apps::traffic::{effective_payload, AppProfile};
+use gtw_net::units::Bandwidth;
+
+fn main() {
+    let links = [
+        ("B-WiN 155", effective_payload(Bandwidth::BWIN_ACCESS), 15e-3),
+        ("OC-12 testbed", effective_payload(Bandwidth::OC12), 1e-3),
+        ("OC-48 testbed", effective_payload(Bandwidth::OC48), 1e-3),
+    ];
+    println!("== X1: application traffic vs link feasibility ==");
+    print!("{:<32}", "application");
+    for (name, ..) in &links {
+        print!(" | {name:>16}");
+    }
+    println!();
+    gtw_bench::rule(32 + links.len() * 19);
+    for app in AppProfile::paper_apps() {
+        print!("{:<32}", app.name);
+        for &(_, bw, lat) in &links {
+            let f = app.feasible_on(bw, lat);
+            print!(
+                " | {:>10} {:>4.0}%",
+                if f.ok { "fits" } else { "EXCEEDS" },
+                f.utilization * 100.0
+            );
+        }
+        println!();
+    }
+    println!("\n(utilization >100% = requirement exceeds the link; latency-bound rows");
+    println!(" show latency budget consumption. The B-WiN column is the paper's");
+    println!(" motivation; OC-48 is the year-2000 upgrade target.)");
+}

@@ -1,0 +1,79 @@
+//! Regenerate **Figure 1**'s quantitative content: the testbed
+//! configuration's throughput matrix, the MTU sweep behind the
+//! "64 KByte MTU" argument, the HiPPI block-size curve, and the
+//! gateway-mode ablation.
+//!
+//! ```text
+//! cargo run --release -p gtw-bench --bin fig1_network
+//! ```
+
+use gtw_core::testbed::{GigabitTestbedWest, LinkEra};
+use gtw_net::gateway::{ForwardingMode, Gateway};
+use gtw_net::hippi::HippiChannel;
+use gtw_net::ip::IpConfig;
+use gtw_net::transfer::{BulkTransfer, Protocol};
+use gtw_net::units::DataSize;
+
+fn main() {
+    let tb = GigabitTestbedWest::build(LinkEra::Oc48Upgrade);
+    let bytes = 32 * 1024 * 1024;
+
+    println!("== Figure 1: measured TCP throughput over the testbed (32 MiB transfers) ==");
+    println!(
+        "{:<24} {:<24} {:>7} {:>12} {:>12} {:>7}",
+        "from", "to", "MTU", "measured", "model", "rexmit"
+    );
+    gtw_bench::rule(92);
+    for m in tb.figure1_matrix(bytes) {
+        println!(
+            "{:<24} {:<24} {:>7} {:>7.1} Mb/s {:>7.1} Mb/s {:>7}",
+            m.from,
+            m.to,
+            m.mtu,
+            m.report.goodput.mbps(),
+            m.predicted_mbps,
+            m.report.retransmits
+        );
+    }
+    println!("paper anchors: >430 Mbit/s local HiPPI TCP @64 KB MTU; >260 Mbit/s T3E->SP2");
+
+    println!("\n== The MTU argument (T3E-600 -> SUN E5000) ==");
+    let (path, _, _) = tb.topology.path(tb.t3e_600, tb.e5000).expect("path");
+    println!("{:>8} {:>14}", "MTU", "goodput");
+    for mtu in [1500u64, 4352, 9180, 17914, 65535] {
+        let hops = tb.topology.path_hops(&path, mtu);
+        let xfer = BulkTransfer {
+            hops,
+            ip: IpConfig { mtu },
+            bytes,
+            protocol: Protocol::Tcp { window_bytes: 4 * 1024 * 1024 },
+        };
+        println!("{:>8} {:>9.1} Mb/s", mtu, xfer.run().goodput.mbps());
+    }
+
+    println!("\n== HiPPI low-level protocol: block size vs throughput ==");
+    let ch = HippiChannel::default();
+    println!("{:>10} {:>14}", "block", "throughput");
+    for kib in [4u64, 16, 64, 256, 1024, 4096] {
+        let tp = ch.throughput(DataSize::from_mib(64), DataSize::from_kib(kib));
+        println!("{:>7} KiB {:>9.1} Mb/s", kib, tp.mbps());
+    }
+    println!("paper: \"peak performance of 800 Mbit/s when ... large transfer blocks (1 MByte or more) are used\"");
+
+    println!("\n== Gateway ablation: store-and-forward vs cut-through (T3E -> E5000) ==");
+    for mode in [ForwardingMode::StoreAndForward, ForwardingMode::CutThrough] {
+        let mut gw = Gateway::sgi_o200_to_atm();
+        gw.mode = mode;
+        let (path, mtu, _) = tb.topology.path(tb.t3e_600, tb.e5000).unwrap();
+        let mut hops = tb.topology.path_hops(&path, mtu);
+        // Swap in the ablated gateway hop (index 1 on this path).
+        hops[1] = gw.hop_for_mtu(hops[1].propagation, mtu);
+        let xfer = BulkTransfer {
+            hops,
+            ip: IpConfig { mtu },
+            bytes,
+            protocol: Protocol::Tcp { window_bytes: 4 * 1024 * 1024 },
+        };
+        println!("  {:?}: {:.1} Mbit/s", mode, xfer.run().goodput.mbps());
+    }
+}

@@ -1,0 +1,128 @@
+//! Regenerate **Table 1**: "Time spent for processing a 64x64x16 image
+//! on the Cray T3E for various number of PEs."
+//!
+//! Prints the calibrated machine-model table next to the paper's
+//! measured values, and with `--real` additionally measures *actual*
+//! wall-clock scaling of the real FIRE modules on host threads (rayon
+//! pools of 1..N threads) — absolute numbers differ from a 1999 T3E, the
+//! speedup shape is the comparable quantity.
+//!
+//! ```text
+//! cargo run --release -p gtw-bench --bin table1 [-- --real]
+//! ```
+
+use std::time::Instant;
+
+use gtw_bench::rel_pct;
+use gtw_fire::decomp::with_pe_count;
+use gtw_fire::filters::median_filter;
+use gtw_fire::motion::MotionCorrector;
+use gtw_fire::rvo::{self, RvoBounds, RvoMethod};
+use gtw_fire::t3e::{T3eModel, PAPER_TABLE1};
+use gtw_scan::acquire::{Scanner, ScannerConfig};
+use gtw_scan::motion::RigidTransform;
+use gtw_scan::phantom::Phantom;
+use gtw_scan::volume::Dims;
+
+fn model_table() {
+    let model = T3eModel::t3e_600();
+    println!("== Table 1 (T3E-600 model, 64x64x16 image) vs paper ==");
+    println!(
+        "{:>5} | {:>7} {:>7} {:>8} {:>8} {:>8} | {:>8} {:>8} | {:>7}",
+        "PEs", "filter", "motion", "RVO", "total", "speedup", "paper-t", "paper-s", "dev%"
+    );
+    gtw_bench::rule(88);
+    for (row, &(pes, _, _, _, p_total, p_speed)) in
+        model.table1().iter().zip(PAPER_TABLE1.iter())
+    {
+        println!(
+            "{:>5} | {:>7.2} {:>7.2} {:>8.2} {:>8.2} {:>8.1} | {:>8.2} {:>8.1} | {:>6.1}%",
+            row.pes,
+            row.filter_s,
+            row.motion_s,
+            row.rvo_s,
+            row.total_s,
+            row.speedup,
+            p_total,
+            p_speed,
+            rel_pct(row.total_s, p_total)
+        );
+        assert_eq!(row.pes, pes);
+    }
+    println!("\n\"Larger images take more time, but achieve better speedups\":");
+    for dims in [Dims::EPI, Dims::new(128, 128, 32), Dims::new(256, 256, 64)] {
+        let r = model.row(256, dims);
+        println!(
+            "  {:>3}x{:>3}x{:>3} @256 PEs: total {:>8.2} s, speedup {:>6.1}",
+            dims.nx, dims.ny, dims.nz, r.total_s, r.speedup
+        );
+    }
+}
+
+fn real_scaling() {
+    println!("\n== Measured wall-clock scaling of the real modules (host threads as PEs) ==");
+    let scanner = Scanner::new(ScannerConfig::paper_default(24, 3), Phantom::standard());
+    let vol = scanner.acquire(5);
+    let reference = scanner.anatomy().clone();
+    let moved = RigidTransform::translation(0.6, -0.4, 0.2).resample(&vol);
+    let series: Vec<_> = (0..24).map(|t| scanner.acquire(t)).collect();
+    let mask: Vec<bool> = scanner.activation().data.iter().map(|&a| a >= 0.0).collect();
+    // Oversubscribing threads on a small host still shows the shape
+    // (perfect scaling flattens once PEs exceed physical cores).
+    let max_threads =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).max(4);
+    let pes_list: Vec<usize> =
+        [1usize, 2, 4, 8, 16].into_iter().filter(|&p| p <= max_threads).collect();
+    println!(
+        "{:>5} {:>12} {:>12} {:>12} {:>9}",
+        "PEs", "filter (ms)", "motion (ms)", "RVO (ms)", "speedup"
+    );
+    let mut t1_total = 0.0f64;
+    for &pes in &pes_list {
+        let (t_filter, t_motion, t_rvo) = with_pe_count(pes, || {
+            let t0 = Instant::now();
+            for _ in 0..4 {
+                std::hint::black_box(median_filter(&vol));
+            }
+            let t_filter = t0.elapsed().as_secs_f64() / 4.0;
+
+            let corrector = MotionCorrector::new(reference.clone(), 2, 50.0);
+            let t0 = Instant::now();
+            std::hint::black_box(corrector.estimate(&moved));
+            let t_motion = t0.elapsed().as_secs_f64();
+
+            let t0 = Instant::now();
+            std::hint::black_box(rvo::optimize(
+                &series,
+                &scanner.config().stimulus,
+                RvoBounds::default(),
+                RvoMethod::FullGrid { delay_steps: 7, dispersion_steps: 4 },
+                Some(&mask),
+            ));
+            let t_rvo = t0.elapsed().as_secs_f64();
+            (t_filter, t_motion, t_rvo)
+        });
+        let total = t_filter + t_motion + t_rvo;
+        if pes == 1 {
+            t1_total = total;
+        }
+        println!(
+            "{:>5} {:>12.1} {:>12.1} {:>12.1} {:>9.2}",
+            pes,
+            t_filter * 1e3,
+            t_motion * 1e3,
+            t_rvo * 1e3,
+            t1_total / total
+        );
+    }
+    println!("(motion estimation is mostly serial per image — matching the paper's flat column)");
+}
+
+fn main() {
+    model_table();
+    if std::env::args().any(|a| a == "--real") {
+        real_scaling();
+    } else {
+        println!("\n(add `-- --real` for measured thread-scaling of the actual modules)");
+    }
+}

@@ -1,0 +1,48 @@
+//! # gtw-bench — the table/figure regeneration harness
+//!
+//! One binary per paper artifact (see DESIGN.md's experiment index):
+//!
+//! | target            | artifact |
+//! |-------------------|----------|
+//! | `table1`          | Table 1 — FIRE module times / speedup on the T3E |
+//! | `fig1_network`    | Figure 1 — testbed throughput matrix + MTU sweep |
+//! | `fig2_latency`    | Figure 2 — scan-to-display delay budget |
+//! | `fig3_overlay`    | Figure 3 — 2-D overlay + ROI time courses |
+//! | `fig4_workbench`  | Figure 4 — 3-D rendering + workbench frame rates |
+//! | `apps_matrix`     | §3 — application traffic vs link feasibility (X1) |
+//! | `pipeline`        | §4 — sequential vs pipelined throughput (X2) |
+//! | `rvo_ablation`    | §4 — RVO grid vs coarse+refine (X3) |
+//!
+//! Criterion microbenchmarks (`cargo bench`) cover the FIRE modules, the
+//! network stack primitives and the linear-algebra kit.
+
+/// Print a horizontal rule sized to a header line.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// Format seconds with the paper's table precision.
+pub fn fmt_s(s: f64) -> String {
+    format!("{s:.2}")
+}
+
+/// Relative deviation in percent.
+pub fn rel_pct(ours: f64, paper: f64) -> f64 {
+    if paper == 0.0 {
+        return 0.0;
+    }
+    (ours - paper) / paper * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers() {
+        assert_eq!(fmt_s(109.27), "109.27");
+        assert_eq!(fmt_s(1.01), "1.01");
+        assert!((rel_pct(110.0, 100.0) - 10.0).abs() < 1e-12);
+        assert_eq!(rel_pct(1.0, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Deterministic time-ordered event queue.
+//!
+//! A thin wrapper over `BinaryHeap` that breaks same-time ties with a
+//! monotonically increasing sequence number, so events scheduled for the
+//! same instant pop in scheduling (FIFO) order. This is what makes whole
+//! simulations bit-for-bit reproducible.
+
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An entry in the queue: fire time, tie-break sequence, payload.
+#[derive(Debug)]
+pub struct QueuedEvent<T> {
+    /// Instant at which the event fires.
+    pub time: SimTime,
+    /// Scheduling order; unique per queue.
+    pub seq: u64,
+    /// The event payload.
+    pub payload: T,
+}
+
+struct HeapEntry<T> {
+    time: SimTime,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for HeapEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for HeapEntry<T> {}
+
+impl<T> PartialOrd for HeapEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for HeapEntry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert so earliest (time, seq) pops
+        // first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Min-queue of timed events with FIFO tie-breaking.
+pub struct EventQueue<T> {
+    heap: BinaryHeap<HeapEntry<T>>,
+    next_seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `payload` at `time`. Returns the sequence number assigned,
+    /// which can be used for debugging/tracing.
+    pub fn push(&mut self, time: SimTime, payload: T) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapEntry { time, seq, payload });
+        seq
+    }
+
+    /// Pop the earliest event (FIFO among equal times).
+    pub fn pop(&mut self) -> Option<QueuedEvent<T>> {
+        self.heap
+            .pop()
+            .map(|e| QueuedEvent { time: e.time, seq: e.seq, payload: e.payload })
+    }
+
+    /// Fire time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Total number of events ever scheduled on this queue.
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3), "c");
+        q.push(SimTime::from_secs(1), "a");
+        q.push(SimTime::from_secs(2), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn fifo_among_equal_times() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(10);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_secs(5), ());
+        q.push(SimTime::from_secs(2), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn counters() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(SimTime::ZERO, ());
+        q.push(SimTime::ZERO, ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.scheduled_total(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.scheduled_total(), 2);
+    }
+}

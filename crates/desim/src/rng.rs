@@ -1,0 +1,195 @@
+//! Named, reproducible random-number streams.
+//!
+//! Every stochastic element of a simulation (traffic jitter, noise
+//! injection, ...) draws from its own named stream so that adding a new
+//! consumer of randomness never perturbs the draws seen by existing ones —
+//! the classic requirement for comparable simulation runs.
+
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A seedable random stream identified by `(master_seed, name)`.
+///
+/// Internally a ChaCha8 generator keyed by a stable FNV-1a hash of the
+/// stream name mixed with the master seed.
+pub struct StreamRng {
+    inner: ChaCha8Rng,
+    name: String,
+}
+
+/// Stable 64-bit FNV-1a, used to derive per-stream seeds from names.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+impl StreamRng {
+    /// Create the stream `name` under `master_seed`.
+    pub fn new(master_seed: u64, name: &str) -> Self {
+        let mut seed = [0u8; 32];
+        let h = fnv1a(name.as_bytes());
+        seed[0..8].copy_from_slice(&master_seed.to_le_bytes());
+        seed[8..16].copy_from_slice(&h.to_le_bytes());
+        seed[16..24].copy_from_slice(&master_seed.rotate_left(17).to_le_bytes());
+        seed[24..32].copy_from_slice(&h.rotate_left(31).to_le_bytes());
+        StreamRng { inner: ChaCha8Rng::from_seed(seed), name: name.to_string() }
+    }
+
+    /// The stream's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.inner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn uniform_in(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(hi >= lo);
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Standard normal draw (Box–Muller; one value per call, the pair's
+    /// second member is discarded for simplicity).
+    pub fn normal(&mut self) -> f64 {
+        let u1 = loop {
+            let u = self.uniform();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Normal draw with the given mean and standard deviation.
+    pub fn normal_with(&mut self, mean: f64, sd: f64) -> f64 {
+        mean + sd * self.normal()
+    }
+
+    /// Exponential draw with the given rate (mean `1/rate`).
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0);
+        let u = loop {
+            let u = self.uniform();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        -u.ln() / rate
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        // Rejection sampling to avoid modulo bias.
+        let zone = u64::MAX - (u64::MAX % n);
+        loop {
+            let v = self.inner.next_u64();
+            if v < zone {
+                return v % n;
+            }
+        }
+    }
+}
+
+impl RngCore for StreamRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StreamRng::new(42, "noise");
+        let mut b = StreamRng::new(42, "noise");
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_names_decorrelate() {
+        let mut a = StreamRng::new(42, "noise");
+        let mut b = StreamRng::new(42, "jitter");
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 3);
+    }
+
+    #[test]
+    fn different_seeds_decorrelate() {
+        let mut a = StreamRng::new(1, "noise");
+        let mut b = StreamRng::new(2, "noise");
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 3);
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut r = StreamRng::new(7, "u");
+        for _ in 0..10_000 {
+            let x = r.uniform();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_in_bounds() {
+        let mut r = StreamRng::new(7, "u2");
+        for _ in 0..1_000 {
+            let x = r.uniform_in(-3.0, 5.0);
+            assert!((-3.0..5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = StreamRng::new(11, "n");
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = StreamRng::new(13, "e");
+        let n = 50_000;
+        let mean = (0..n).map(|_| r.exponential(2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut r = StreamRng::new(17, "b");
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v = r.below(10);
+            assert!(v < 10);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for the simulation kernel invariants.
+
+use gtw_desim::{EventQueue, SimDuration, SimTime, Simulator};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+proptest! {
+    /// Events always pop in non-decreasing time order, and FIFO among ties.
+    #[test]
+    fn queue_pops_sorted(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_nanos(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some(ev) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(ev.time >= lt);
+                if ev.time == lt {
+                    // FIFO among equal times: payload index (scheduling
+                    // order) must increase.
+                    prop_assert!(ev.payload > li);
+                }
+            }
+            last = Some((ev.time, ev.payload));
+        }
+    }
+
+    /// The simulator clock is monotone over any schedule of closures.
+    #[test]
+    fn clock_monotone(delays in proptest::collection::vec(0u64..10_000, 1..100)) {
+        let mut sim = Simulator::new();
+        let last = Arc::new(AtomicU64::new(0));
+        for &d in &delays {
+            let last = Arc::clone(&last);
+            sim.call_in(SimDuration::from_nanos(d), move |s| {
+                let now = s.now().as_nanos();
+                let prev = last.swap(now, Ordering::SeqCst);
+                assert!(now >= prev, "clock went backwards: {prev} -> {now}");
+            });
+        }
+        sim.run();
+        prop_assert_eq!(sim.events_processed(), delays.len() as u64);
+    }
+
+    /// Transmission delay is monotone in payload size and antitone in rate.
+    #[test]
+    fn transmission_monotone(bits_a in 1u64..1_000_000, bits_b in 1u64..1_000_000,
+                             rate in 1.0e6f64..10.0e9) {
+        let (lo, hi) = if bits_a <= bits_b { (bits_a, bits_b) } else { (bits_b, bits_a) };
+        prop_assert!(SimDuration::transmission(lo, rate) <= SimDuration::transmission(hi, rate));
+        prop_assert!(
+            SimDuration::transmission(lo, rate * 2.0) <= SimDuration::transmission(lo, rate)
+        );
+    }
+
+    /// from_secs_f64 / as_secs_f64 round-trips to nanosecond precision.
+    #[test]
+    fn time_float_roundtrip(s in 0.0f64..1.0e6) {
+        let t = SimTime::from_secs_f64(s);
+        prop_assert!((t.as_secs_f64() - s).abs() < 1e-9 * (1.0 + s));
+    }
+
+    /// run_until never processes events beyond the horizon, and resuming
+    /// processes exactly the remainder.
+    #[test]
+    fn horizon_split(delays in proptest::collection::vec(1u64..1_000, 1..50), split in 1u64..1_000) {
+        let mut sim = Simulator::new();
+        let fired = Arc::new(AtomicU64::new(0));
+        for &d in &delays {
+            let fired = Arc::clone(&fired);
+            sim.call_in(SimDuration::from_nanos(d), move |_| {
+                fired.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        sim.run_until(SimTime::from_nanos(split));
+        let early = delays.iter().filter(|&&d| d <= split).count() as u64;
+        prop_assert_eq!(fired.load(Ordering::SeqCst), early);
+        sim.run();
+        prop_assert_eq!(fired.load(Ordering::SeqCst), delays.len() as u64);
+    }
+}

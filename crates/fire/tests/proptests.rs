@@ -1,0 +1,200 @@
+//! Property-based tests for the FIRE processing modules.
+
+use gtw_fire::decomp::{balanced_range, block_grid, extract_slab};
+use gtw_fire::detrend::DetrendBasis;
+use gtw_fire::filters::{average_filter, median_filter};
+use gtw_fire::linalg::{conjugate_gradient, jacobi_eigen, solve, Matrix};
+use gtw_scan::volume::{Dims, Volume};
+use proptest::prelude::*;
+
+fn arb_volume(max: usize) -> impl Strategy<Value = Volume> {
+    (2usize..=max, 2usize..=max, 2usize..=max).prop_flat_map(|(nx, ny, nz)| {
+        let d = Dims::new(nx, ny, nz);
+        proptest::collection::vec(-100.0f32..100.0, d.len())
+            .prop_map(move |data| Volume::from_vec(d, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The median filter's output values always come from the input's
+    /// value set (median selects, never invents).
+    #[test]
+    fn median_selects_existing_values(vol in arb_volume(6)) {
+        let out = median_filter(&vol);
+        let mut values: Vec<f32> = vol.data.clone();
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for &v in &out.data {
+            prop_assert!(values.binary_search_by(|x| x.partial_cmp(&v).unwrap()).is_ok());
+        }
+    }
+
+    /// Both filters are bounded by the input range.
+    #[test]
+    fn filters_respect_range(vol in arb_volume(6)) {
+        let (lo, hi) = vol.min_max();
+        for out in [median_filter(&vol), average_filter(&vol)] {
+            let (olo, ohi) = out.min_max();
+            prop_assert!(olo >= lo - 1e-4);
+            prop_assert!(ohi <= hi + 1e-4);
+        }
+    }
+
+    /// The average filter preserves a constant offset: filter(x + c) =
+    /// filter(x) + c.
+    #[test]
+    fn average_filter_shift_equivariant(vol in arb_volume(5), c in -50.0f32..50.0) {
+        let base = average_filter(&vol);
+        let mut shifted = vol.clone();
+        for v in &mut shifted.data {
+            *v += c;
+        }
+        let out = average_filter(&shifted);
+        for (a, b) in out.data.iter().zip(&base.data) {
+            prop_assert!((a - (b + c)).abs() < 1e-3);
+        }
+    }
+
+    /// Detrending is a projection: applying it twice equals applying it
+    /// once.
+    #[test]
+    fn detrend_is_idempotent(series in proptest::collection::vec(-1e3f32..1e3, 8..64),
+                             cosines in 0usize..4) {
+        let basis = DetrendBasis::with_cosines(series.len(), cosines);
+        let mut once = series.clone();
+        basis.detrend(&mut once);
+        let mut twice = once.clone();
+        basis.detrend(&mut twice);
+        for (a, b) in once.iter().zip(&twice) {
+            prop_assert!((a - b).abs() < 2e-2 * (1.0 + a.abs()), "{a} vs {b}");
+        }
+    }
+
+    /// Detrending preserves the mean.
+    #[test]
+    fn detrend_preserves_mean(series in proptest::collection::vec(-1e3f32..1e3, 8..64)) {
+        let basis = DetrendBasis::linear(series.len());
+        let mean0: f32 = series.iter().sum::<f32>() / series.len() as f32;
+        let mut s = series.clone();
+        basis.detrend(&mut s);
+        let mean1: f32 = s.iter().sum::<f32>() / s.len() as f32;
+        prop_assert!((mean0 - mean1).abs() < 1e-1 * (1.0 + mean0.abs()));
+    }
+
+    /// solve() actually solves: A·x = b for random well-conditioned
+    /// (diagonally dominant) systems.
+    #[test]
+    fn solve_satisfies_system(n in 1usize..8, seed in 0u64..1000) {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = next();
+            }
+            a[(i, i)] += n as f64 + 1.0;
+        }
+        let b: Vec<f64> = (0..n).map(|_| next() * 10.0).collect();
+        let x = solve(&a, &b).expect("diagonally dominant => solvable");
+        let ax = a.matvec(&x);
+        for (l, r) in ax.iter().zip(&b) {
+            prop_assert!((l - r).abs() < 1e-8 * (1.0 + r.abs()));
+        }
+    }
+
+    /// Jacobi eigendecomposition reconstructs the matrix: ‖VΛVᵀ − A‖ ≈ 0.
+    #[test]
+    fn eigen_reconstructs(n in 2usize..8, seed in 0u64..1000) {
+        let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(7);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let v = next();
+                a[(i, j)] = v;
+                a[(j, i)] = v;
+            }
+        }
+        let (vals, vecs) = jacobi_eigen(&a, 100);
+        let mut lam = Matrix::zeros(n, n);
+        for i in 0..n {
+            lam[(i, i)] = vals[i];
+        }
+        let rec = vecs.matmul(&lam).matmul(&vecs.transpose());
+        let mut err = 0.0f64;
+        for i in 0..n {
+            for j in 0..n {
+                err = err.max((rec[(i, j)] - a[(i, j)]).abs());
+            }
+        }
+        prop_assert!(err < 1e-8, "reconstruction error {err}");
+    }
+
+    /// CG and direct solve agree on SPD systems.
+    #[test]
+    fn cg_agrees_with_direct(n in 1usize..8, seed in 0u64..500) {
+        let mut state = seed.wrapping_mul(0xDA942042E4DD58B5).wrapping_add(3);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        // SPD via AᵀA + n·I.
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                m[(i, j)] = next();
+            }
+        }
+        let mut a = m.transpose().matmul(&m);
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        let b: Vec<f64> = (0..n).map(|_| next() * 5.0).collect();
+        let x_cg = conjugate_gradient(&a, &b, 1e-12, 500);
+        let x_dir = solve(&a, &b).unwrap();
+        for (c, d) in x_cg.iter().zip(&x_dir) {
+            prop_assert!((c - d).abs() < 1e-6 * (1.0 + d.abs()));
+        }
+    }
+
+    /// Balanced ranges tile [0, n) exactly for any n/parts.
+    #[test]
+    fn balanced_ranges_tile(n in 0usize..1000, parts in 1usize..32) {
+        let mut cursor = 0;
+        for i in 0..parts {
+            let (s, e) = balanced_range(n, parts, i);
+            prop_assert_eq!(s, cursor);
+            prop_assert!(e >= s);
+            cursor = e;
+        }
+        prop_assert_eq!(cursor, n);
+    }
+
+    /// Block grids multiply back to the PE count.
+    #[test]
+    fn block_grid_product(pes in 1usize..512) {
+        let (px, py, pz) = block_grid(pes);
+        prop_assert_eq!(px * py * pz, pes);
+    }
+
+    /// Slab extraction round-trips content for any in-range slab.
+    #[test]
+    fn slab_content_matches(vol in arb_volume(5), z0_frac in 0.0f64..1.0, halo in 0usize..3) {
+        let nz = vol.dims.nz;
+        let z0 = ((z0_frac * (nz - 1) as f64) as usize).min(nz - 1);
+        let z1 = (z0 + 1).min(nz);
+        let (slab, interior) = extract_slab(&vol, z0, z1, halo);
+        for y in 0..vol.dims.ny {
+            for x in 0..vol.dims.nx {
+                prop_assert_eq!(slab.at(x, y, interior), vol.at(x, y, z0));
+            }
+        }
+    }
+}

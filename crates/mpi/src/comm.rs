@@ -1,0 +1,1334 @@
+//! Communicators: point-to-point messaging, collectives, dynamic process
+//! creation and inter-communicators.
+
+use std::cell::Cell;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+
+use crate::envelope::{
+    decode_f32s, decode_f64s, decode_i64s, decode_u64s, encode_f32s, encode_f64s, encode_i64s,
+    encode_u64s, Datatype, Envelope, Tag, ANY_SOURCE,
+};
+use crate::machine::{CommCost, FabricSpec, MachineSpec, Placement};
+use crate::trace::EventKind;
+use crate::universe::UniverseInner;
+
+/// Completion information of a receive (like `MPI_Status`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Status {
+    /// Local rank of the sender within this communicator (or remote rank
+    /// for inter-communicator receives).
+    pub source: usize,
+    /// Tag of the matched message.
+    pub tag: Tag,
+    /// Payload size in bytes.
+    pub bytes: usize,
+}
+
+/// Reduction operator for `reduce`/`allreduce`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReduceOp {
+    /// Elementwise sum.
+    Sum,
+    /// Elementwise minimum.
+    Min,
+    /// Elementwise maximum.
+    Max,
+}
+
+impl ReduceOp {
+    fn combine(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+}
+
+struct BarrierState {
+    count: usize,
+    generation: u64,
+}
+
+/// State shared by all ranks of one communicator.
+pub(crate) struct CommShared {
+    barrier: Mutex<BarrierState>,
+    barrier_cv: Condvar,
+    costs: Vec<Mutex<CommCost>>,
+}
+
+impl CommShared {
+    pub(crate) fn new(n: usize) -> Arc<Self> {
+        Arc::new(CommShared {
+            barrier: Mutex::new(BarrierState { count: 0, generation: 0 }),
+            barrier_cv: Condvar::new(),
+            costs: (0..n).map(|_| Mutex::new(CommCost::default())).collect(),
+        })
+    }
+}
+
+/// Link from a spawned world back to its parent group.
+struct ParentLink {
+    parent_group: Arc<Vec<usize>>,
+    wan: FabricSpec,
+}
+
+/// A communicator handle owned by one rank (like `MPI_COMM_WORLD` seen
+/// from that rank). Not `Sync`: each rank keeps its own.
+pub struct Comm {
+    universe: Arc<UniverseInner>,
+    group: Arc<Vec<usize>>,
+    my_local: usize,
+    placement: Arc<Placement>,
+    shared: Arc<CommShared>,
+    parent: Option<Arc<ParentLink>>,
+    coll_seq: Cell<u64>,
+    derive_seq: Cell<u64>,
+}
+
+/// Base of the reserved tag space used by collectives.
+const COLL_TAG_BASE: u32 = 0x8000_0000;
+
+impl Comm {
+    pub(crate) fn new(
+        universe: Arc<UniverseInner>,
+        group: Arc<Vec<usize>>,
+        my_local: usize,
+        placement: Arc<Placement>,
+        shared: Arc<CommShared>,
+        parent: Option<(Arc<Vec<usize>>, FabricSpec)>,
+    ) -> Self {
+        Comm {
+            universe,
+            group,
+            my_local,
+            placement,
+            shared,
+            parent: parent
+                .map(|(parent_group, wan)| Arc::new(ParentLink { parent_group, wan })),
+            coll_seq: Cell::new(0),
+            derive_seq: Cell::new(0),
+        }
+    }
+
+    /// This rank's index within the communicator.
+    pub fn rank(&self) -> usize {
+        self.my_local
+    }
+
+    /// Number of ranks in the communicator.
+    pub fn size(&self) -> usize {
+        self.group.len()
+    }
+
+    /// This rank's global id in the universe (for traces).
+    pub fn global_id(&self) -> usize {
+        self.group[self.my_local]
+    }
+
+    /// The machine this rank is placed on.
+    pub fn machine(&self) -> &MachineSpec {
+        self.placement.machine_of(self.my_local)
+    }
+
+    /// Snapshot of this rank's accumulated modeled communication cost.
+    pub fn comm_cost(&self) -> CommCost {
+        *self.shared.costs[self.my_local].lock()
+    }
+
+    fn charge(&self, peer_local: usize, bytes: u64) {
+        let wan = !self.placement.same_machine(self.my_local, peer_local);
+        let t = self.placement.transfer_time(self.my_local, peer_local, bytes);
+        self.shared.costs[self.my_local].lock().charge(t, bytes, wan);
+    }
+
+    // ----- point-to-point -------------------------------------------------
+
+    /// Send raw bytes with an explicit datatype tag.
+    pub fn send_bytes(&self, dst: usize, tag: Tag, datatype: Datatype, data: Bytes) {
+        assert!(dst < self.size(), "destination {dst} out of range");
+        assert!(tag.0 < COLL_TAG_BASE, "tag {tag:?} is in the reserved collective space");
+        self.send_internal(dst, tag, datatype, data);
+    }
+
+    fn send_internal(&self, dst: usize, tag: Tag, datatype: Datatype, data: Bytes) {
+        let bytes = data.len() as u64;
+        let dst_global = self.group[dst];
+        let env = Envelope { src: self.global_id(), dst: dst_global, tag, datatype, data };
+        self.universe.mailbox(dst_global).post(env);
+        self.charge(dst, bytes);
+        self.universe.trace.record(self.global_id(), EventKind::Send, Some(dst_global), bytes);
+    }
+
+    /// Blocking receive; `src` may be [`ANY_SOURCE`], `tag` may be
+    /// [`crate::envelope::ANY_TAG`]. Returns the envelope and a [`Status`].
+    pub fn recv_envelope(&self, src: usize, tag: Tag) -> (Envelope, Status) {
+        let src_global = if src == ANY_SOURCE {
+            ANY_SOURCE
+        } else {
+            assert!(src < self.size(), "source {src} out of range");
+            self.group[src]
+        };
+        let env = self.universe.mailbox(self.global_id()).claim(src_global, tag);
+        let source = self
+            .group
+            .iter()
+            .position(|&g| g == env.src)
+            .expect("message from outside this communicator (use the InterComm handle)");
+        self.charge(source, env.byte_len() as u64);
+        self.universe.trace.record(self.global_id(), EventKind::Recv, Some(env.src), env.byte_len() as u64);
+        let status = Status { source, tag: env.tag, bytes: env.byte_len() };
+        (env, status)
+    }
+
+    /// Non-blocking probe for a matching message.
+    pub fn probe(&self, src: usize, tag: Tag) -> bool {
+        let src_global =
+            if src == ANY_SOURCE { ANY_SOURCE } else { self.group[src] };
+        self.universe.mailbox(self.global_id()).probe(src_global, tag)
+    }
+
+    /// Send a `f64` slice.
+    pub fn send_f64s(&self, dst: usize, tag: Tag, data: &[f64]) {
+        self.send_bytes(dst, tag, Datatype::F64, encode_f64s(data));
+    }
+
+    /// Receive a `f64` slice.
+    pub fn recv_f64s(&self, src: usize, tag: Tag) -> (Vec<f64>, Status) {
+        let (env, st) = self.recv_envelope(src, tag);
+        assert_eq!(env.datatype, Datatype::F64, "datatype mismatch");
+        (decode_f64s(&env.data), st)
+    }
+
+    /// Send a `f32` slice.
+    pub fn send_f32s(&self, dst: usize, tag: Tag, data: &[f32]) {
+        self.send_bytes(dst, tag, Datatype::F32, encode_f32s(data));
+    }
+
+    /// Receive a `f32` slice.
+    pub fn recv_f32s(&self, src: usize, tag: Tag) -> (Vec<f32>, Status) {
+        let (env, st) = self.recv_envelope(src, tag);
+        assert_eq!(env.datatype, Datatype::F32, "datatype mismatch");
+        (decode_f32s(&env.data), st)
+    }
+
+    /// Send a `u64` slice.
+    pub fn send_u64s(&self, dst: usize, tag: Tag, data: &[u64]) {
+        self.send_bytes(dst, tag, Datatype::U64, encode_u64s(data));
+    }
+
+    /// Receive a `u64` slice.
+    pub fn recv_u64s(&self, src: usize, tag: Tag) -> (Vec<u64>, Status) {
+        let (env, st) = self.recv_envelope(src, tag);
+        assert_eq!(env.datatype, Datatype::U64, "datatype mismatch");
+        (decode_u64s(&env.data), st)
+    }
+
+    /// Send an `i64` slice.
+    pub fn send_i64s(&self, dst: usize, tag: Tag, data: &[i64]) {
+        self.send_bytes(dst, tag, Datatype::I64, encode_i64s(data));
+    }
+
+    /// Receive an `i64` slice.
+    pub fn recv_i64s(&self, src: usize, tag: Tag) -> (Vec<i64>, Status) {
+        let (env, st) = self.recv_envelope(src, tag);
+        assert_eq!(env.datatype, Datatype::I64, "datatype mismatch");
+        (decode_i64s(&env.data), st)
+    }
+
+    /// Send raw bytes (opaque payload).
+    pub fn send_u8s(&self, dst: usize, tag: Tag, data: &[u8]) {
+        self.send_bytes(dst, tag, Datatype::U8, Bytes::copy_from_slice(data));
+    }
+
+    /// Receive raw bytes.
+    pub fn recv_u8s(&self, src: usize, tag: Tag) -> (Vec<u8>, Status) {
+        let (env, st) = self.recv_envelope(src, tag);
+        assert_eq!(env.datatype, Datatype::U8, "datatype mismatch");
+        (env.data.to_vec(), st)
+    }
+
+    // ----- collectives ----------------------------------------------------
+
+    fn next_coll_tag(&self) -> Tag {
+        let seq = self.coll_seq.get();
+        self.coll_seq.set(seq.wrapping_add(1));
+        Tag(COLL_TAG_BASE | ((seq as u32) & 0x7fff_ffff))
+    }
+
+    /// Block until every rank of the communicator arrives.
+    pub fn barrier(&self) {
+        let mut st = self.shared.barrier.lock();
+        let gen = st.generation;
+        st.count += 1;
+        if st.count == self.size() {
+            st.count = 0;
+            st.generation += 1;
+            self.shared.barrier_cv.notify_all();
+        } else {
+            while st.generation == gen {
+                self.shared.barrier_cv.wait(&mut st);
+            }
+        }
+        drop(st);
+        self.universe.trace.record(self.global_id(), EventKind::Barrier, None, 0);
+    }
+
+    /// Broadcast `data` from `root`; every rank returns the payload.
+    pub fn bcast_f64s(&self, root: usize, data: &[f64]) -> Vec<f64> {
+        let tag = self.next_coll_tag();
+        self.universe.trace.record(self.global_id(), EventKind::Collective, None, 0);
+        if self.rank() == root {
+            let payload = encode_f64s(data);
+            for dst in 0..self.size() {
+                if dst != root {
+                    self.send_internal(dst, tag, Datatype::F64, payload.clone());
+                }
+            }
+            data.to_vec()
+        } else {
+            let env = self.universe.mailbox(self.global_id()).claim(self.group[root], tag);
+            self.charge(root, env.byte_len() as u64);
+            decode_f64s(&env.data)
+        }
+    }
+
+    /// Broadcast a `f32` payload from `root`.
+    pub fn bcast_f32s(&self, root: usize, data: &[f32]) -> Vec<f32> {
+        let tag = self.next_coll_tag();
+        self.universe.trace.record(self.global_id(), EventKind::Collective, None, 0);
+        if self.rank() == root {
+            let payload = encode_f32s(data);
+            for dst in 0..self.size() {
+                if dst != root {
+                    self.send_internal(dst, tag, Datatype::F32, payload.clone());
+                }
+            }
+            data.to_vec()
+        } else {
+            let env = self.universe.mailbox(self.global_id()).claim(self.group[root], tag);
+            self.charge(root, env.byte_len() as u64);
+            decode_f32s(&env.data)
+        }
+    }
+
+    /// Reduce elementwise to `root`; `Some(result)` at root, `None`
+    /// elsewhere. All contributions must have equal length.
+    pub fn reduce_f64s(&self, root: usize, op: ReduceOp, contrib: &[f64]) -> Option<Vec<f64>> {
+        let tag = self.next_coll_tag();
+        self.universe.trace.record(self.global_id(), EventKind::Collective, None, 0);
+        if self.rank() == root {
+            let mut acc = contrib.to_vec();
+            for _ in 0..self.size() - 1 {
+                let env = self.universe.mailbox(self.global_id()).claim(ANY_SOURCE, tag);
+                let src = self
+                    .group
+                    .iter()
+                    .position(|&g| g == env.src)
+                    .expect("reduce contribution from outside the communicator");
+                self.charge(src, env.byte_len() as u64);
+                let v = decode_f64s(&env.data);
+                assert_eq!(v.len(), acc.len(), "reduce length mismatch");
+                for (a, b) in acc.iter_mut().zip(v) {
+                    *a = op.combine(*a, b);
+                }
+            }
+            Some(acc)
+        } else {
+            self.send_internal(root, tag, Datatype::F64, encode_f64s(contrib));
+            None
+        }
+    }
+
+    /// Reduce to rank 0 then broadcast: every rank returns the result.
+    pub fn allreduce_f64s(&self, op: ReduceOp, contrib: &[f64]) -> Vec<f64> {
+        match self.reduce_f64s(0, op, contrib) {
+            Some(v) => self.bcast_f64s(0, &v),
+            None => self.bcast_f64s(0, &[]),
+        }
+    }
+
+    /// Gather per-rank contributions at `root` (indexed by source rank).
+    pub fn gather_f64s(&self, root: usize, contrib: &[f64]) -> Option<Vec<Vec<f64>>> {
+        let tag = self.next_coll_tag();
+        self.universe.trace.record(self.global_id(), EventKind::Collective, None, 0);
+        if self.rank() == root {
+            let mut parts: Vec<Vec<f64>> = vec![Vec::new(); self.size()];
+            parts[root] = contrib.to_vec();
+            for _ in 0..self.size() - 1 {
+                let env = self.universe.mailbox(self.global_id()).claim(ANY_SOURCE, tag);
+                let src = self
+                    .group
+                    .iter()
+                    .position(|&g| g == env.src)
+                    .expect("gather contribution from outside the communicator");
+                self.charge(src, env.byte_len() as u64);
+                parts[src] = decode_f64s(&env.data);
+            }
+            Some(parts)
+        } else {
+            self.send_internal(root, tag, Datatype::F64, encode_f64s(contrib));
+            None
+        }
+    }
+
+    /// Gather `f32` contributions at `root`.
+    pub fn gather_f32s(&self, root: usize, contrib: &[f32]) -> Option<Vec<Vec<f32>>> {
+        let tag = self.next_coll_tag();
+        self.universe.trace.record(self.global_id(), EventKind::Collective, None, 0);
+        if self.rank() == root {
+            let mut parts: Vec<Vec<f32>> = vec![Vec::new(); self.size()];
+            parts[root] = contrib.to_vec();
+            for _ in 0..self.size() - 1 {
+                let env = self.universe.mailbox(self.global_id()).claim(ANY_SOURCE, tag);
+                let src = self
+                    .group
+                    .iter()
+                    .position(|&g| g == env.src)
+                    .expect("gather contribution from outside the communicator");
+                self.charge(src, env.byte_len() as u64);
+                parts[src] = decode_f32s(&env.data);
+            }
+            Some(parts)
+        } else {
+            self.send_internal(root, tag, Datatype::F32, encode_f32s(contrib));
+            None
+        }
+    }
+
+    /// Scatter `parts[r]` to each rank `r` from `root` (non-roots pass
+    /// an empty slice).
+    pub fn scatter_f32s(&self, root: usize, parts: &[Vec<f32>]) -> Vec<f32> {
+        let tag = self.next_coll_tag();
+        self.universe.trace.record(self.global_id(), EventKind::Collective, None, 0);
+        if self.rank() == root {
+            assert_eq!(parts.len(), self.size(), "scatter needs one part per rank");
+            for (dst, part) in parts.iter().enumerate() {
+                if dst != root {
+                    self.send_internal(dst, tag, Datatype::F32, encode_f32s(part));
+                }
+            }
+            parts[root].clone()
+        } else {
+            let env = self.universe.mailbox(self.global_id()).claim(self.group[root], tag);
+            self.charge(root, env.byte_len() as u64);
+            decode_f32s(&env.data)
+        }
+    }
+
+    // ----- metacomputing-aware collectives ----------------------------------
+
+    /// Hierarchical broadcast: the payload crosses the WAN **once per
+    /// machine** instead of once per rank — the defining optimization of
+    /// a metacomputing-aware MPI ("the communication both inside and
+    /// between the machines that form the metacomputer should be
+    /// efficient"). The root sends to one *leader* rank on each other
+    /// machine; leaders re-broadcast locally over the fast fabric.
+    pub fn bcast_hierarchical_f64s(&self, root: usize, data: &[f64]) -> Vec<f64> {
+        let tag = self.next_coll_tag();
+        self.universe.trace.record(self.global_id(), EventKind::Collective, None, 0);
+        // Deterministic leader per machine: the lowest rank placed there.
+        let my_machine = self.placement.machine_of(self.rank()).name.clone();
+        let leader_of = |rank: usize| -> usize {
+            let m = self.placement.machine_of(rank).name.clone();
+            (0..self.size())
+                .find(|&r| self.placement.machine_of(r).name == m)
+                .expect("every machine has a lowest rank")
+        };
+        let my_leader = leader_of(self.rank());
+        let root_machine = self.placement.machine_of(root).name.clone();
+        if self.rank() == root {
+            let payload = encode_f64s(data);
+            // One WAN send per foreign machine's leader...
+            let mut sent_machines = vec![root_machine.clone()];
+            for r in 0..self.size() {
+                let m = self.placement.machine_of(r).name.clone();
+                if !sent_machines.contains(&m) {
+                    sent_machines.push(m);
+                    self.send_internal(leader_of(r), tag, Datatype::F64, payload.clone());
+                }
+            }
+            // ...and local re-broadcast on the root's own machine.
+            for r in 0..self.size() {
+                if r != root
+                    && self.placement.machine_of(r).name == root_machine
+                {
+                    self.send_internal(r, tag, Datatype::F64, payload.clone());
+                }
+            }
+            return data.to_vec();
+        }
+        // Non-root: leaders of foreign machines receive from the root and
+        // re-broadcast locally; everyone else receives from their leader
+        // (or from the root if they share its machine).
+        let i_am_leader = self.rank() == my_leader && my_machine != root_machine;
+        if i_am_leader {
+            let env = self.universe.mailbox(self.global_id()).claim(self.group[root], tag);
+            self.charge(root, env.byte_len() as u64);
+            let payload = env.data.clone();
+            for r in 0..self.size() {
+                if r != self.rank()
+                    && self.placement.machine_of(r).name == my_machine
+                {
+                    self.send_internal(r, tag, Datatype::F64, payload.clone());
+                }
+            }
+            decode_f64s(&env.data)
+        } else {
+            let from = if my_machine == root_machine { root } else { my_leader };
+            let env = self.universe.mailbox(self.global_id()).claim(self.group[from], tag);
+            self.charge(from, env.byte_len() as u64);
+            decode_f64s(&env.data)
+        }
+    }
+
+    /// Hierarchical allreduce(sum): reduce locally on each machine, let
+    /// the machine leaders exchange partial sums over the WAN (one
+    /// message per machine pair direction via rank-0 accumulation), then
+    /// re-broadcast locally. WAN crossings: `2·(machines−1)` instead of
+    /// `2·(ranks−1)` for the naive reduce+bcast.
+    pub fn allreduce_hierarchical_f64s(&self, contrib: &[f64]) -> Vec<f64> {
+        let tag = self.next_coll_tag();
+        self.universe.trace.record(self.global_id(), EventKind::Collective, None, 0);
+        let machine_name = |r: usize| self.placement.machine_of(r).name.clone();
+        let my_machine = machine_name(self.rank());
+        let my_leader = (0..self.size())
+            .find(|&r| machine_name(r) == my_machine)
+            .expect("machine has a lowest rank");
+        // Phase 1: local reduce to the machine leader.
+        let local_sum: Vec<f64> = if self.rank() == my_leader {
+            let locals: Vec<usize> = (0..self.size())
+                .filter(|&r| r != self.rank() && machine_name(r) == my_machine)
+                .collect();
+            let mut acc = contrib.to_vec();
+            for _ in &locals {
+                let env = self.universe.mailbox(self.global_id()).claim(ANY_SOURCE, tag);
+                let src = self
+                    .group
+                    .iter()
+                    .position(|&g| g == env.src)
+                    .expect("contribution from outside the communicator");
+                self.charge(src, env.byte_len() as u64);
+                for (a, b) in acc.iter_mut().zip(decode_f64s(&env.data)) {
+                    *a += b;
+                }
+            }
+            acc
+        } else {
+            self.send_internal(my_leader, tag, Datatype::F64, encode_f64s(contrib));
+            Vec::new()
+        };
+        // Phase 2: leaders send partials to the global leader (rank of
+        // the first machine), which combines and returns the total.
+        let global_leader = 0; // rank 0 is always its machine's leader
+        let tag2 = self.next_coll_tag();
+        let total: Vec<f64> = if self.rank() == my_leader {
+            if self.rank() == global_leader {
+                let mut acc = local_sum;
+                let foreign_leaders: Vec<usize> = (0..self.size())
+                    .filter(|&r| {
+                        r != global_leader
+                            && (0..self.size())
+                                .find(|&q| machine_name(q) == machine_name(r))
+                                .unwrap()
+                                == r
+                    })
+                    .collect();
+                for _ in &foreign_leaders {
+                    let env = self.universe.mailbox(self.global_id()).claim(ANY_SOURCE, tag2);
+                    let src = self
+                        .group
+                        .iter()
+                        .position(|&g| g == env.src)
+                        .expect("partial from outside the communicator");
+                    self.charge(src, env.byte_len() as u64);
+                    for (a, b) in acc.iter_mut().zip(decode_f64s(&env.data)) {
+                        *a += b;
+                    }
+                }
+                for &l in &foreign_leaders {
+                    self.send_internal(l, tag2, Datatype::F64, encode_f64s(&acc));
+                }
+                acc
+            } else {
+                self.send_internal(global_leader, tag2, Datatype::F64, encode_f64s(&local_sum));
+                let env =
+                    self.universe.mailbox(self.global_id()).claim(self.group[global_leader], tag2);
+                self.charge(global_leader, env.byte_len() as u64);
+                decode_f64s(&env.data)
+            }
+        } else {
+            Vec::new()
+        };
+        // Phase 3: local re-broadcast from each leader.
+        let tag3 = self.next_coll_tag();
+        if self.rank() == my_leader {
+            for r in 0..self.size() {
+                if r != self.rank() && machine_name(r) == my_machine {
+                    self.send_internal(r, tag3, Datatype::F64, encode_f64s(&total));
+                }
+            }
+            total
+        } else {
+            let env = self.universe.mailbox(self.global_id()).claim(self.group[my_leader], tag3);
+            self.charge(my_leader, env.byte_len() as u64);
+            decode_f64s(&env.data)
+        }
+    }
+
+    // ----- nonblocking receives -------------------------------------------
+
+    /// Post a nonblocking receive (like `MPI_Irecv`): returns a
+    /// [`RecvRequest`] that can be tested or waited on. Sends are always
+    /// nonblocking (eager) in this implementation, so no send request
+    /// type is needed.
+    pub fn irecv(&self, src: usize, tag: Tag) -> RecvRequest {
+        let src_global = if src == ANY_SOURCE {
+            ANY_SOURCE
+        } else {
+            assert!(src < self.size(), "source {src} out of range");
+            self.group[src]
+        };
+        RecvRequest {
+            mailbox: self.universe.mailbox(self.global_id()),
+            group: Arc::clone(&self.group),
+            src_global,
+            tag,
+            done: Cell::new(false),
+        }
+    }
+
+    // ----- derived communicators -------------------------------------------
+
+    /// Stable FNV-1a over the new group's global ids plus the derivation
+    /// sequence — every member computes the same key.
+    fn derive_key(&self, new_group: &[usize]) -> u64 {
+        let seq = self.derive_seq.get();
+        self.derive_seq.set(seq + 1);
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        mix(seq);
+        mix(new_group.len() as u64);
+        for &g in new_group {
+            mix(g as u64);
+        }
+        h
+    }
+
+    /// Split the communicator (like `MPI_Comm_split`): ranks with the
+    /// same `color` form a new communicator, ordered by `(key, rank)`.
+    /// Collective: every rank must call it.
+    pub fn split(&self, color: i64, key: i64) -> Comm {
+        // Allgather (color, key) pairs via the existing collectives.
+        let mine = vec![self.rank() as f64, color as f64, key as f64];
+        let gathered = match self.gather_f64s(0, &mine) {
+            Some(parts) => {
+                let flat: Vec<f64> = parts.into_iter().flatten().collect();
+                self.bcast_f64s(0, &flat)
+            }
+            None => self.bcast_f64s(0, &[]),
+        };
+        let mut members: Vec<(i64, usize)> = Vec::new(); // (key, parent rank)
+        for chunk in gathered.chunks_exact(3) {
+            let (r, c, k) = (chunk[0] as usize, chunk[1] as i64, chunk[2] as i64);
+            if c == color {
+                members.push((k, r));
+            }
+        }
+        members.sort_unstable();
+        let new_group: Vec<usize> = members.iter().map(|&(_, r)| self.group[r]).collect();
+        let my_local = new_group
+            .iter()
+            .position(|&g| g == self.global_id())
+            .expect("caller belongs to its own color group");
+        // Sub-placement: carry the machine assignments over.
+        let parent_ranks: Vec<usize> = members.iter().map(|&(_, r)| r).collect();
+        let machines: Vec<MachineSpec> =
+            parent_ranks.iter().map(|&r| self.placement.machine_of(r).clone()).collect();
+        let machine_of: Vec<usize> = (0..machines.len()).collect();
+        let placement = Placement::custom(
+            machines,
+            machine_of,
+            *self.placement.wan(),
+        );
+        let shared_key = self.derive_key(&new_group);
+        let shared = self.universe.shared_for(shared_key, new_group.len());
+        Comm {
+            universe: Arc::clone(&self.universe),
+            group: Arc::new(new_group),
+            my_local,
+            placement: Arc::new(placement),
+            shared,
+            parent: None,
+            coll_seq: Cell::new(0),
+            derive_seq: Cell::new(0),
+        }
+    }
+
+    /// Duplicate the communicator (like `MPI_Comm_dup`): same group,
+    /// fresh collective/cost state. Collective.
+    pub fn dup(&self) -> Comm {
+        self.barrier();
+        let shared_key = self.derive_key(&self.group);
+        let shared = self.universe.shared_for(shared_key, self.size());
+        Comm {
+            universe: Arc::clone(&self.universe),
+            group: Arc::clone(&self.group),
+            my_local: self.my_local,
+            placement: Arc::clone(&self.placement),
+            shared,
+            parent: None,
+            coll_seq: Cell::new(0),
+            derive_seq: Cell::new(0),
+        }
+    }
+
+    /// All-to-all personalized exchange: `parts[r]` goes to rank `r`;
+    /// returns one part from every rank, indexed by source.
+    pub fn alltoall_f64s(&self, parts: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        assert_eq!(parts.len(), self.size(), "alltoall needs one part per rank");
+        let tag = self.next_coll_tag();
+        self.universe.trace.record(self.global_id(), EventKind::Collective, None, 0);
+        for (dst, part) in parts.iter().enumerate() {
+            if dst != self.rank() {
+                self.send_internal(dst, tag, Datatype::F64, encode_f64s(part));
+            }
+        }
+        let mut out: Vec<Vec<f64>> = vec![Vec::new(); self.size()];
+        out[self.rank()] = parts[self.rank()].clone();
+        for _ in 0..self.size() - 1 {
+            let env = self.universe.mailbox(self.global_id()).claim(ANY_SOURCE, tag);
+            let src = self
+                .group
+                .iter()
+                .position(|&g| g == env.src)
+                .expect("alltoall from outside the communicator");
+            self.charge(src, env.byte_len() as u64);
+            out[src] = decode_f64s(&env.data);
+        }
+        out
+    }
+
+    // ----- MPI-2: dynamic processes and attachment ------------------------
+
+    /// Spawn a child world of `n` ranks running `f`, placed on `machine`,
+    /// connected to this rank's group over `wan`. Returns the parent-side
+    /// inter-communicator. (The paper: "dynamic process creation and
+    /// attachment e.g. can be used for realtime-visualization or
+    /// computational steering".)
+    pub fn spawn<F>(&self, n: usize, machine: MachineSpec, wan: FabricSpec, f: F) -> InterComm
+    where
+        F: Fn(Comm) + Send + Sync + 'static,
+    {
+        assert!(n > 0, "cannot spawn an empty world");
+        self.universe.trace.record(self.global_id(), EventKind::Spawn, None, n as u64);
+        let child_group = self.universe.register(n);
+        let child_shared = CommShared::new(n);
+        let child_placement = Arc::new(Placement::single(n, machine));
+        let f = Arc::new(f);
+        for rank in 0..n {
+            let comm = Comm::new(
+                Arc::clone(&self.universe),
+                Arc::clone(&child_group),
+                rank,
+                Arc::clone(&child_placement),
+                Arc::clone(&child_shared),
+                Some((Arc::clone(&self.group), wan)),
+            );
+            let f = Arc::clone(&f);
+            let h = std::thread::Builder::new()
+                .name(format!("spawned-{rank}"))
+                .spawn(move || f(comm))
+                .expect("failed to spawn child rank");
+            self.universe.push_spawned(h);
+        }
+        InterComm {
+            universe: Arc::clone(&self.universe),
+            my_global: self.global_id(),
+            remote_group: child_group,
+            wan,
+        }
+    }
+
+    /// The inter-communicator to the spawning parent, if this world was
+    /// created via [`Comm::spawn`] (like `MPI_Comm_get_parent`).
+    pub fn parent(&self) -> Option<InterComm> {
+        self.parent.as_ref().map(|p| InterComm {
+            universe: Arc::clone(&self.universe),
+            my_global: self.global_id(),
+            remote_group: Arc::clone(&p.parent_group),
+            wan: p.wan,
+        })
+    }
+
+    /// Rendezvous with another running component on a named port
+    /// (`MPI_Comm_accept`/`MPI_Comm_connect`): both sides call with the
+    /// same name; each receives an inter-communicator to the other's
+    /// group.
+    pub fn attach(&self, port_name: &str, wan: FabricSpec) -> InterComm {
+        let (remote_group, _caller) =
+            self.universe.rendezvous(port_name, Arc::clone(&self.group), self.global_id());
+        InterComm {
+            universe: Arc::clone(&self.universe),
+            my_global: self.global_id(),
+            remote_group,
+            wan,
+        }
+    }
+}
+
+/// An inter-communicator: point-to-point messaging to a remote group
+/// (spawned children, a spawning parent, or an attached peer).
+pub struct InterComm {
+    universe: Arc<UniverseInner>,
+    my_global: usize,
+    remote_group: Arc<Vec<usize>>,
+    wan: FabricSpec,
+}
+
+impl InterComm {
+    /// Size of the remote group.
+    pub fn remote_size(&self) -> usize {
+        self.remote_group.len()
+    }
+
+    /// Modeled WAN time for a payload of `bytes` (one message).
+    pub fn modeled_transfer_time(&self, bytes: u64) -> f64 {
+        self.wan.transfer_time(bytes)
+    }
+
+    /// Send raw bytes to remote rank `dst`.
+    pub fn send_bytes(&self, dst: usize, tag: Tag, datatype: Datatype, data: Bytes) {
+        let dst_global = self.remote_group[dst];
+        let bytes = data.len() as u64;
+        let env = Envelope { src: self.my_global, dst: dst_global, tag, datatype, data };
+        self.universe.mailbox(dst_global).post(env);
+        self.universe.trace.record(self.my_global, EventKind::Send, Some(dst_global), bytes);
+    }
+
+    /// Receive from remote rank `src` (or [`ANY_SOURCE`]).
+    pub fn recv_envelope(&self, src: usize, tag: Tag) -> (Envelope, Status) {
+        let src_global =
+            if src == ANY_SOURCE { ANY_SOURCE } else { self.remote_group[src] };
+        let env = self.universe.mailbox(self.my_global).claim(src_global, tag);
+        let source = self
+            .remote_group
+            .iter()
+            .position(|&g| g == env.src)
+            .expect("message from outside the remote group");
+        self.universe.trace.record(self.my_global, EventKind::Recv, Some(env.src), env.byte_len() as u64);
+        let st = Status { source, tag: env.tag, bytes: env.byte_len() };
+        (env, st)
+    }
+
+    /// Send a `f32` slice.
+    pub fn send_f32s(&self, dst: usize, tag: Tag, data: &[f32]) {
+        self.send_bytes(dst, tag, Datatype::F32, encode_f32s(data));
+    }
+
+    /// Receive a `f32` slice.
+    pub fn recv_f32s(&self, src: usize, tag: Tag) -> (Vec<f32>, Status) {
+        let (env, st) = self.recv_envelope(src, tag);
+        assert_eq!(env.datatype, Datatype::F32, "datatype mismatch");
+        (decode_f32s(&env.data), st)
+    }
+
+    /// Send a `f64` slice.
+    pub fn send_f64s(&self, dst: usize, tag: Tag, data: &[f64]) {
+        self.send_bytes(dst, tag, Datatype::F64, encode_f64s(data));
+    }
+
+    /// Receive a `f64` slice.
+    pub fn recv_f64s(&self, src: usize, tag: Tag) -> (Vec<f64>, Status) {
+        let (env, st) = self.recv_envelope(src, tag);
+        assert_eq!(env.datatype, Datatype::F64, "datatype mismatch");
+        (decode_f64s(&env.data), st)
+    }
+
+    /// Send a `u64` slice.
+    pub fn send_u64s(&self, dst: usize, tag: Tag, data: &[u64]) {
+        self.send_bytes(dst, tag, Datatype::U64, encode_u64s(data));
+    }
+
+    /// Receive a `u64` slice.
+    pub fn recv_u64s(&self, src: usize, tag: Tag) -> (Vec<u64>, Status) {
+        let (env, st) = self.recv_envelope(src, tag);
+        assert_eq!(env.datatype, Datatype::U64, "datatype mismatch");
+        (decode_u64s(&env.data), st)
+    }
+
+    /// Non-blocking probe on the remote group.
+    pub fn probe(&self, src: usize, tag: Tag) -> bool {
+        let src_global =
+            if src == ANY_SOURCE { ANY_SOURCE } else { self.remote_group[src] };
+        self.universe.mailbox(self.my_global).probe(src_global, tag)
+    }
+}
+
+/// A pending nonblocking receive.
+pub struct RecvRequest {
+    mailbox: crate::mailbox::Mailbox,
+    group: Arc<Vec<usize>>,
+    src_global: usize,
+    tag: Tag,
+    done: Cell<bool>,
+}
+
+impl RecvRequest {
+    /// Nonblocking completion test (like `MPI_Test`): returns the
+    /// message if it has arrived.
+    pub fn test(&self) -> Option<(Envelope, Status)> {
+        assert!(!self.done.get(), "request already completed");
+        let env = self.mailbox.try_claim(self.src_global, self.tag)?;
+        self.done.set(true);
+        Some(self.status_of(env))
+    }
+
+    /// Block until the message arrives (like `MPI_Wait`).
+    pub fn wait(self) -> (Envelope, Status) {
+        assert!(!self.done.get(), "request already completed");
+        let env = self.mailbox.claim(self.src_global, self.tag);
+        self.done.set(true);
+        self.status_of(env)
+    }
+
+    fn status_of(&self, env: Envelope) -> (Envelope, Status) {
+        let source = self
+            .group
+            .iter()
+            .position(|&g| g == env.src)
+            .expect("message from outside this communicator");
+        let st = Status { source, tag: env.tag, bytes: env.byte_len() };
+        (env, st)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{FabricSpec, MachineSpec, Placement};
+    use crate::universe::Universe;
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static BEFORE: AtomicUsize = AtomicUsize::new(0);
+        let out = Universe::run(6, |comm| {
+            BEFORE.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            // After the barrier every rank must observe all arrivals.
+            BEFORE.load(Ordering::SeqCst)
+        });
+        assert!(out.iter().all(|&v| v == 6), "{out:?}");
+    }
+
+    #[test]
+    fn bcast_from_each_root() {
+        for root in 0..4 {
+            let out = Universe::run(4, move |comm| {
+                let data = if comm.rank() == root { vec![1.0, 2.0, 3.0] } else { vec![] };
+                comm.bcast_f64s(root, &data)
+            });
+            for v in out {
+                assert_eq!(v, vec![1.0, 2.0, 3.0]);
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sum_min_max() {
+        let out = Universe::run(5, |comm| {
+            let x = comm.rank() as f64;
+            let sum = comm.reduce_f64s(0, ReduceOp::Sum, &[x, 2.0 * x]);
+            let all_max = comm.allreduce_f64s(ReduceOp::Max, &[x]);
+            let all_min = comm.allreduce_f64s(ReduceOp::Min, &[x]);
+            (sum, all_max[0], all_min[0])
+        });
+        assert_eq!(out[0].0, Some(vec![10.0, 20.0]));
+        for (i, (sum, mx, mn)) in out.iter().enumerate() {
+            if i != 0 {
+                assert!(sum.is_none());
+            }
+            assert_eq!(*mx, 4.0);
+            assert_eq!(*mn, 0.0);
+        }
+    }
+
+    #[test]
+    fn gather_and_scatter() {
+        let out = Universe::run(4, |comm| {
+            let mine = vec![comm.rank() as f32; comm.rank() + 1];
+            let gathered = comm.gather_f32s(0, &mine);
+            let parts: Vec<Vec<f32>> = if comm.rank() == 0 {
+                (0..4).map(|r| vec![r as f32 * 10.0]).collect()
+            } else {
+                vec![]
+            };
+            let part = comm.scatter_f32s(0, &parts);
+            (gathered, part)
+        });
+        let g = out[0].0.as_ref().unwrap();
+        for (r, part) in g.iter().enumerate() {
+            assert_eq!(part, &vec![r as f32; r + 1]);
+        }
+        for (r, (_, part)) in out.iter().enumerate() {
+            assert_eq!(part, &vec![r as f32 * 10.0]);
+        }
+    }
+
+    #[test]
+    fn back_to_back_collectives_do_not_cross_talk() {
+        let out = Universe::run(3, |comm| {
+            let mut acc = Vec::new();
+            for round in 0..20 {
+                let data = if comm.rank() == 0 { vec![round as f64] } else { vec![] };
+                acc.push(comm.bcast_f64s(0, &data)[0]);
+            }
+            acc
+        });
+        for v in out {
+            assert_eq!(v, (0..20).map(|r| r as f64).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn comm_cost_attributes_wan_traffic() {
+        let p = Placement::split(
+            4,
+            2,
+            MachineSpec::new("T3E", FabricSpec::t3e_torus()),
+            MachineSpec::new("SP2", FabricSpec::sp2_switch()),
+            FabricSpec::wan_testbed(),
+        );
+        let out = Universe::run_placed(p, |comm| {
+            let peer_same = comm.rank() ^ 1; // 0<->1, 2<->3 intra
+            let peer_wan = (comm.rank() + 2) % 4; // crosses the split
+            comm.send_f64s(peer_same, Tag(1), &[1.0; 128]);
+            let _ = comm.recv_f64s(peer_same, Tag(1));
+            comm.send_f64s(peer_wan, Tag(2), &[1.0; 128]);
+            let _ = comm.recv_f64s(peer_wan, Tag(2));
+            comm.comm_cost()
+        });
+        for c in out {
+            assert_eq!(c.messages, 4);
+            assert!(c.wan_seconds > c.intra_seconds * 10.0, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn spawn_children_and_talk() {
+        let out = Universe::run(1, |comm| {
+            let kids = comm.spawn(
+                3,
+                MachineSpec::new("T3E", FabricSpec::t3e_torus()),
+                FabricSpec::wan_testbed(),
+                |child| {
+                    let parent = child.parent().expect("child has a parent");
+                    // Children also talk among themselves.
+                    let sum = child.allreduce_f64s(ReduceOp::Sum, &[child.rank() as f64]);
+                    parent.send_f64s(0, Tag(9), &[child.rank() as f64 * 100.0 + sum[0]]);
+                },
+            );
+            assert_eq!(kids.remote_size(), 3);
+            let mut got = Vec::new();
+            for _ in 0..3 {
+                let (v, st) = kids.recv_f64s(ANY_SOURCE, Tag(9));
+                got.push((st.source, v[0]));
+            }
+            got.sort_by_key(|&(s, _)| s);
+            got
+        });
+        assert_eq!(out[0], vec![(0, 3.0), (1, 103.0), (2, 203.0)]);
+    }
+
+    #[test]
+    fn attach_rendezvous_pairs_two_worlds() {
+        // A "compute" world and a "viz client" world attach on a named
+        // port — the FIRE pattern.
+        let u = Universe::new();
+        let u2 = u.clone();
+        let compute = std::thread::spawn(move || {
+            u2.launch_and_join(
+                Placement::single(1, MachineSpec::new("T3E", FabricSpec::t3e_torus())),
+                |comm| {
+                    let viz = comm.attach("fire-viz", FabricSpec::wan_testbed());
+                    viz.send_f32s(0, Tag(1), &[1.5, 2.5]);
+                    let (reply, _) = viz.recv_f32s(0, Tag(2));
+                    reply[0]
+                },
+            )
+        });
+        let viz_out = u.launch_and_join(
+            Placement::single(1, MachineSpec::new("Onyx", FabricSpec::smp_shared())),
+            |comm| {
+                let sim = comm.attach("fire-viz", FabricSpec::wan_testbed());
+                let (data, _) = sim.recv_f32s(0, Tag(1));
+                sim.send_f32s(0, Tag(2), &[data.iter().sum::<f32>()]);
+                data.len()
+            },
+        );
+        let compute_out = compute.join().unwrap();
+        assert_eq!(viz_out, vec![2]);
+        assert_eq!(compute_out, vec![4.0]);
+    }
+
+    #[test]
+    fn hierarchical_bcast_delivers_everywhere() {
+        let p = Placement::split(
+            6,
+            3,
+            MachineSpec::new("T3E", FabricSpec::t3e_torus()),
+            MachineSpec::new("SP2", FabricSpec::sp2_switch()),
+            FabricSpec::wan_testbed(),
+        );
+        for root in [0usize, 4] {
+            let out = Universe::run_placed(p.clone(), move |comm| {
+                let data = if comm.rank() == root { vec![1.0, 2.0, 3.0] } else { vec![] };
+                comm.bcast_hierarchical_f64s(root, &data)
+            });
+            for v in out {
+                assert_eq!(v, vec![1.0, 2.0, 3.0], "root {root}");
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_bcast_crosses_wan_once() {
+        // Flat bcast from rank 0: 3 WAN messages (to ranks 3,4,5).
+        // Hierarchical: 1 WAN message (to the SP2 leader, rank 3).
+        let p = Placement::split(
+            6,
+            3,
+            MachineSpec::new("T3E", FabricSpec::t3e_torus()),
+            MachineSpec::new("SP2", FabricSpec::sp2_switch()),
+            FabricSpec::wan_testbed(),
+        );
+        let payload = vec![0.5f64; 4096]; // 32 KB
+        let pay_flat = payload.clone();
+        let flat = Universe::run_placed(p.clone(), move |comm| {
+            let data = if comm.rank() == 0 { pay_flat.clone() } else { vec![] };
+            comm.bcast_f64s(0, &data);
+            comm.comm_cost().wan_seconds
+        });
+        let pay_hier = payload.clone();
+        let hier = Universe::run_placed(p, move |comm| {
+            let data = if comm.rank() == 0 { pay_hier.clone() } else { vec![] };
+            comm.bcast_hierarchical_f64s(0, &data);
+            comm.comm_cost().wan_seconds
+        });
+        let flat_wan: f64 = flat.iter().sum();
+        let hier_wan: f64 = hier.iter().sum();
+        assert!(
+            hier_wan < flat_wan / 2.0,
+            "hierarchical should cut WAN time ~3x: flat {flat_wan} vs hier {hier_wan}"
+        );
+        assert!(hier_wan > 0.0, "one WAN crossing remains");
+    }
+
+    #[test]
+    fn hierarchical_allreduce_matches_flat() {
+        let p = Placement::split(
+            6,
+            3,
+            MachineSpec::new("T3E", FabricSpec::t3e_torus()),
+            MachineSpec::new("SP2", FabricSpec::sp2_switch()),
+            FabricSpec::wan_testbed(),
+        );
+        let out = Universe::run_placed(p, |comm| {
+            let mine = vec![comm.rank() as f64, 1.0];
+            let flat = comm.allreduce_f64s(ReduceOp::Sum, &mine);
+            let hier = comm.allreduce_hierarchical_f64s(&mine);
+            (flat, hier)
+        });
+        for (flat, hier) in out {
+            assert_eq!(flat, vec![15.0, 6.0]);
+            assert_eq!(hier, vec![15.0, 6.0]);
+        }
+    }
+
+    #[test]
+    fn hierarchical_allreduce_cuts_wan_cost() {
+        let p = Placement::split(
+            8,
+            4,
+            MachineSpec::new("T3E", FabricSpec::t3e_torus()),
+            MachineSpec::new("SP2", FabricSpec::sp2_switch()),
+            FabricSpec::wan_testbed(),
+        );
+        let payload = vec![1.0f64; 8192];
+        let pay1 = payload.clone();
+        let flat: f64 = Universe::run_placed(p.clone(), move |comm| {
+            comm.allreduce_f64s(ReduceOp::Sum, &pay1);
+            comm.comm_cost().wan_seconds
+        })
+        .iter()
+        .sum();
+        let pay2 = payload.clone();
+        let hier: f64 = Universe::run_placed(p, move |comm| {
+            comm.allreduce_hierarchical_f64s(&pay2);
+            comm.comm_cost().wan_seconds
+        })
+        .iter()
+        .sum();
+        assert!(hier < flat / 1.5, "flat WAN {flat} vs hierarchical {hier}");
+        assert!(hier > 0.0);
+    }
+
+    #[test]
+    fn hierarchical_bcast_single_machine_degenerates_gracefully() {
+        let out = Universe::run(4, |comm| {
+            let data = if comm.rank() == 0 { vec![9.0] } else { vec![] };
+            comm.bcast_hierarchical_f64s(0, &data)
+        });
+        for v in out {
+            assert_eq!(v, vec![9.0]);
+        }
+    }
+
+    #[test]
+    fn irecv_test_and_wait() {
+        let out = Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                // Post the receive before the message exists; poll via
+                // test() and fall back to wait() — whichever completes
+                // first consumes the request.
+                let req = comm.irecv(1, Tag(5));
+                let (env, st) = match req.test() {
+                    Some(done) => done,
+                    None => req.wait(),
+                };
+                assert_eq!(st.source, 1);
+                crate::envelope::decode_u64s(&env.data)[0]
+            } else {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                comm.send_u64s(0, Tag(5), &[99]);
+                0
+            }
+        });
+        assert_eq!(out[0], 99);
+    }
+
+    #[test]
+    fn irecv_overlaps_computation() {
+        let out = Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                let req = comm.irecv(1, Tag(6));
+                // "Computation" while the message is in flight.
+                let mut acc = 0u64;
+                for i in 0..10_000u64 {
+                    acc = acc.wrapping_add(i * i);
+                }
+                let (env, _) = req.wait();
+                acc.wrapping_add(crate::envelope::decode_u64s(&env.data)[0])
+            } else {
+                comm.send_u64s(0, Tag(6), &[7]);
+                0
+            }
+        });
+        assert!(out[0] > 0);
+    }
+
+    #[test]
+    fn split_by_parity() {
+        let out = Universe::run(6, |comm| {
+            let color = (comm.rank() % 2) as i64;
+            let sub = comm.split(color, comm.rank() as i64);
+            // Even ranks {0,2,4} and odd ranks {1,3,5}, each of size 3,
+            // ordered by parent rank.
+            assert_eq!(sub.size(), 3);
+            assert_eq!(sub.rank(), comm.rank() / 2);
+            // Collectives work inside the new communicator.
+            let sum = sub.allreduce_f64s(ReduceOp::Sum, &[comm.rank() as f64]);
+            (color, sum[0])
+        });
+        for (r, &(color, sum)) in out.iter().enumerate() {
+            let expect = if color == 0 { 0.0 + 2.0 + 4.0 } else { 1.0 + 3.0 + 5.0 };
+            assert_eq!(sum, expect, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn split_reorders_by_key() {
+        let out = Universe::run(4, |comm| {
+            // Reverse key order: rank 3 becomes local 0.
+            let sub = comm.split(0, -(comm.rank() as i64));
+            sub.rank()
+        });
+        assert_eq!(out, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn dup_isolates_traffic() {
+        let out = Universe::run(2, |comm| {
+            let dup = comm.dup();
+            if comm.rank() == 0 {
+                comm.send_u64s(1, Tag(9), &[1]);
+                dup.send_u64s(1, Tag(9), &[2]);
+                0
+            } else {
+                // Receive from the dup first: tags are identical, but
+                // the source global ids are the same too — messages are
+                // distinguished by arrival order per (src, tag), and
+                // both communicators share the mailbox. The dup
+                // semantics here guarantee separate collective state;
+                // p2p shares the rank's mailbox (documented).
+                let (a, _) = comm.recv_u64s(0, Tag(9));
+                let (b, _) = dup.recv_u64s(0, Tag(9));
+                a[0] * 10 + b[0]
+            }
+        });
+        assert_eq!(out[1], 12);
+    }
+
+    #[test]
+    fn alltoall_exchanges_parts() {
+        let out = Universe::run(3, |comm| {
+            let parts: Vec<Vec<f64>> = (0..3)
+                .map(|dst| vec![(comm.rank() * 10 + dst) as f64])
+                .collect();
+            let got = comm.alltoall_f64s(&parts);
+            got.into_iter().map(|v| v[0] as i64).collect::<Vec<_>>()
+        });
+        // Rank r receives [0r, 1r, 2r] (sender*10 + r).
+        assert_eq!(out[0], vec![0, 10, 20]);
+        assert_eq!(out[1], vec![1, 11, 21]);
+        assert_eq!(out[2], vec![2, 12, 22]);
+    }
+
+    #[test]
+    fn split_carries_placement() {
+        let p = Placement::split(
+            4,
+            2,
+            MachineSpec::new("T3E", FabricSpec::t3e_torus()),
+            MachineSpec::new("SP2", FabricSpec::sp2_switch()),
+            FabricSpec::wan_testbed(),
+        );
+        let out = Universe::run_placed(p, |comm| {
+            // Group by machine: split on the machine index.
+            let color = if comm.machine().name == "T3E" { 0 } else { 1 };
+            let sub = comm.split(color, 0);
+            sub.machine().name.clone()
+        });
+        assert_eq!(out[0], "T3E");
+        assert_eq!(out[3], "SP2");
+    }
+
+    #[test]
+    #[should_panic(expected = "rank panicked")]
+    fn reserved_tags_rejected() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send_u64s(1, Tag(COLL_TAG_BASE | 1), &[1]);
+            }
+        });
+    }
+}

@@ -1,0 +1,162 @@
+//! Per-rank mailboxes with MPI-style `(source, tag)` matching.
+//!
+//! Each rank owns a mailbox; `post` is non-blocking (eager send), `claim`
+//! blocks until a matching envelope is available. Matching follows MPI
+//! semantics: messages from the same sender with the same tag are
+//! non-overtaking (FIFO per (src, tag) pair — guaranteed here by scanning
+//! the queue in arrival order); wildcards [`ANY_SOURCE`] / [`ANY_TAG`]
+//! match the earliest arrival.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::envelope::{Envelope, Tag, ANY_SOURCE, ANY_TAG};
+
+struct Inner {
+    queue: Mutex<VecDeque<Envelope>>,
+    available: Condvar,
+}
+
+/// A rank's receive mailbox. Cheap to clone (shared).
+#[derive(Clone)]
+pub struct Mailbox {
+    inner: Arc<Inner>,
+}
+
+impl Default for Mailbox {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn matches(e: &Envelope, src: usize, tag: Tag) -> bool {
+    (src == ANY_SOURCE || e.src == src) && (tag == ANY_TAG || e.tag == tag)
+}
+
+impl Mailbox {
+    /// New empty mailbox.
+    pub fn new() -> Self {
+        Mailbox {
+            inner: Arc::new(Inner { queue: Mutex::new(VecDeque::new()), available: Condvar::new() }),
+        }
+    }
+
+    /// Deposit an envelope (non-blocking, eager).
+    pub fn post(&self, e: Envelope) {
+        let mut q = self.inner.queue.lock();
+        q.push_back(e);
+        self.inner.available.notify_all();
+    }
+
+    /// Blocking receive of the earliest envelope matching `(src, tag)`.
+    pub fn claim(&self, src: usize, tag: Tag) -> Envelope {
+        let mut q = self.inner.queue.lock();
+        loop {
+            if let Some(pos) = q.iter().position(|e| matches(e, src, tag)) {
+                return q.remove(pos).expect("position was just found");
+            }
+            self.inner.available.wait(&mut q);
+        }
+    }
+
+    /// Non-blocking probe: does a matching message exist?
+    pub fn probe(&self, src: usize, tag: Tag) -> bool {
+        self.inner.queue.lock().iter().any(|e| matches(e, src, tag))
+    }
+
+    /// Non-blocking receive.
+    pub fn try_claim(&self, src: usize, tag: Tag) -> Option<Envelope> {
+        let mut q = self.inner.queue.lock();
+        let pos = q.iter().position(|e| matches(e, src, tag))?;
+        q.remove(pos)
+    }
+
+    /// Number of queued (unclaimed) envelopes.
+    pub fn len(&self) -> usize {
+        self.inner.queue.lock().len()
+    }
+
+    /// Whether the mailbox is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::Datatype;
+    use bytes::Bytes;
+
+    fn env(src: usize, tag: u32, byte: u8) -> Envelope {
+        Envelope {
+            src,
+            dst: 0,
+            tag: Tag(tag),
+            datatype: Datatype::U8,
+            data: Bytes::from(vec![byte]),
+        }
+    }
+
+    #[test]
+    fn exact_match_fifo() {
+        let mb = Mailbox::new();
+        mb.post(env(1, 7, 10));
+        mb.post(env(1, 7, 20));
+        assert_eq!(mb.claim(1, Tag(7)).data[0], 10);
+        assert_eq!(mb.claim(1, Tag(7)).data[0], 20);
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn tag_selectivity() {
+        let mb = Mailbox::new();
+        mb.post(env(1, 7, 10));
+        mb.post(env(1, 8, 20));
+        assert_eq!(mb.claim(1, Tag(8)).data[0], 20);
+        assert_eq!(mb.claim(1, Tag(7)).data[0], 10);
+    }
+
+    #[test]
+    fn source_selectivity_and_wildcards() {
+        let mb = Mailbox::new();
+        mb.post(env(2, 7, 22));
+        mb.post(env(1, 7, 11));
+        assert_eq!(mb.claim(1, Tag(7)).data[0], 11);
+        assert_eq!(mb.claim(ANY_SOURCE, ANY_TAG).data[0], 22);
+    }
+
+    #[test]
+    fn probe_and_try_claim() {
+        let mb = Mailbox::new();
+        assert!(!mb.probe(ANY_SOURCE, ANY_TAG));
+        assert!(mb.try_claim(ANY_SOURCE, ANY_TAG).is_none());
+        mb.post(env(3, 1, 5));
+        assert!(mb.probe(3, Tag(1)));
+        assert!(!mb.probe(3, Tag(2)));
+        assert_eq!(mb.try_claim(3, Tag(1)).unwrap().data[0], 5);
+    }
+
+    #[test]
+    fn blocking_claim_wakes_on_post() {
+        let mb = Mailbox::new();
+        let mb2 = mb.clone();
+        let h = std::thread::spawn(move || mb2.claim(ANY_SOURCE, Tag(9)).data[0]);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        mb.post(env(0, 9, 42));
+        assert_eq!(h.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn non_overtaking_per_src_tag() {
+        let mb = Mailbox::new();
+        for i in 0..50u8 {
+            mb.post(env(1, 3, i));
+        }
+        for i in 0..50u8 {
+            assert_eq!(mb.claim(ANY_SOURCE, Tag(3)).data[0], i);
+        }
+    }
+}

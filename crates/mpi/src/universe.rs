@@ -1,0 +1,263 @@
+//! The process universe: thread-backed ranks, world launch, dynamic
+//! spawn bookkeeping and named-port attachment.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::comm::{Comm, CommShared};
+use crate::machine::{FabricSpec, MachineSpec, Placement};
+use crate::mailbox::Mailbox;
+use crate::trace::TraceCollector;
+
+/// A named-port rendezvous slot: two parties deposit their groups and
+/// each takes the other's.
+struct PortSlot {
+    groups: Vec<(Arc<Vec<usize>>, usize)>, // (group, caller global id)
+    taken: usize,
+}
+
+pub(crate) struct UniverseInner {
+    mailboxes: Mutex<Vec<Mailbox>>,
+    ports: Mutex<HashMap<String, PortSlot>>,
+    ports_cv: Condvar,
+    spawned: Mutex<Vec<JoinHandle<()>>>,
+    /// Shared communicator state for derived communicators (split/dup):
+    /// all members of a new communicator deterministically compute the
+    /// same key and fetch the same shared block here.
+    shared_registry: Mutex<HashMap<u64, std::sync::Arc<crate::comm::CommShared>>>,
+    pub(crate) trace: TraceCollector,
+}
+
+impl UniverseInner {
+    pub(crate) fn mailbox(&self, global: usize) -> Mailbox {
+        self.mailboxes.lock()[global].clone()
+    }
+
+    pub(crate) fn register(&self, n: usize) -> Arc<Vec<usize>> {
+        let mut mbs = self.mailboxes.lock();
+        let base = mbs.len();
+        mbs.extend((0..n).map(|_| Mailbox::new()));
+        Arc::new((base..base + n).collect())
+    }
+
+    pub(crate) fn total_ranks(&self) -> usize {
+        self.mailboxes.lock().len()
+    }
+
+    pub(crate) fn push_spawned(&self, h: JoinHandle<()>) {
+        self.spawned.lock().push(h);
+    }
+
+    /// Fetch (or create) the shared state for a derived communicator
+    /// identified by `key` with `n` ranks.
+    pub(crate) fn shared_for(&self, key: u64, n: usize) -> Arc<crate::comm::CommShared> {
+        let mut reg = self.shared_registry.lock();
+        Arc::clone(reg.entry(key).or_insert_with(|| crate::comm::CommShared::new(n)))
+    }
+
+    /// Symmetric rendezvous on `name`: deposit `(group, caller)` and
+    /// return the other party's deposit. Blocks until a partner arrives.
+    pub(crate) fn rendezvous(
+        &self,
+        name: &str,
+        group: Arc<Vec<usize>>,
+        caller: usize,
+    ) -> (Arc<Vec<usize>>, usize) {
+        let mut ports = self.ports.lock();
+        let slot = ports
+            .entry(name.to_string())
+            .or_insert_with(|| PortSlot { groups: Vec::new(), taken: 0 });
+        let my_index = slot.groups.len();
+        assert!(my_index < 2, "more than two parties on port '{name}'");
+        slot.groups.push((group, caller));
+        self.ports_cv.notify_all();
+        loop {
+            let slot = ports.get_mut(name).expect("port vanished mid-rendezvous");
+            if slot.groups.len() == 2 {
+                let other = slot.groups[1 - my_index].clone();
+                slot.taken += 1;
+                if slot.taken == 2 {
+                    ports.remove(name);
+                }
+                return other;
+            }
+            self.ports_cv.wait(&mut ports);
+        }
+    }
+}
+
+/// The top-level runtime: owns the global mailbox registry and all
+/// dynamically spawned threads.
+///
+/// Cloning shares the same universe (cheap `Arc` clone) — useful for
+/// launching multiple worlds that attach to each other via named ports.
+#[derive(Clone)]
+pub struct Universe {
+    inner: Arc<UniverseInner>,
+}
+
+impl Default for Universe {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Universe {
+    /// New universe with tracing disabled.
+    pub fn new() -> Self {
+        Self::with_trace(TraceCollector::disabled())
+    }
+
+    /// New universe recording a VAMPIR-style trace.
+    pub fn traced() -> Self {
+        Self::with_trace(TraceCollector::enabled())
+    }
+
+    fn with_trace(trace: TraceCollector) -> Self {
+        Universe {
+            inner: Arc::new(UniverseInner {
+                mailboxes: Mutex::new(Vec::new()),
+                ports: Mutex::new(HashMap::new()),
+                ports_cv: Condvar::new(),
+                spawned: Mutex::new(Vec::new()),
+                shared_registry: Mutex::new(HashMap::new()),
+                trace,
+            }),
+        }
+    }
+
+    /// The trace collector (empty if the universe is untraced).
+    pub fn trace(&self) -> &TraceCollector {
+        &self.inner.trace
+    }
+
+    /// Total ranks ever registered (worlds + spawned).
+    pub fn total_ranks(&self) -> usize {
+        self.inner.total_ranks()
+    }
+
+    /// Run a world of `n` ranks on a single implicit SMP machine and
+    /// return each rank's result, ordered by rank.
+    pub fn run<R, F>(n: usize, f: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(Comm) -> R + Send + Sync + 'static,
+    {
+        Self::run_placed(
+            Placement::single(n, MachineSpec::new("local", FabricSpec::smp_shared())),
+            f,
+        )
+    }
+
+    /// Run a world with an explicit machine placement.
+    pub fn run_placed<R, F>(placement: Placement, f: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(Comm) -> R + Send + Sync + 'static,
+    {
+        let u = Universe::new();
+        let out = u.launch_and_join(placement, f);
+        u.join_spawned();
+        out
+    }
+
+    /// Same as [`Universe::run_placed`] but on an existing universe (so a
+    /// trace collector or ports survive across worlds).
+    pub fn launch_and_join<R, F>(&self, placement: Placement, f: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(Comm) -> R + Send + Sync + 'static,
+    {
+        let n = placement.len();
+        assert!(n > 0, "world must have at least one rank");
+        let group = self.inner.register(n);
+        let shared = CommShared::new(n);
+        let placement = Arc::new(placement);
+        let f = Arc::new(f);
+        let handles: Vec<JoinHandle<R>> = (0..n)
+            .map(|rank| {
+                let comm = Comm::new(
+                    Arc::clone(&self.inner),
+                    Arc::clone(&group),
+                    rank,
+                    Arc::clone(&placement),
+                    Arc::clone(&shared),
+                    None,
+                );
+                let f = Arc::clone(&f);
+                std::thread::Builder::new()
+                    .name(format!("rank-{rank}"))
+                    .spawn(move || f(comm))
+                    .expect("failed to spawn rank thread")
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+    }
+
+    /// Join every dynamically spawned child thread. Call after the world
+    /// completes; [`Universe::run_placed`] does it automatically.
+    pub fn join_spawned(&self) {
+        loop {
+            let handle = self.inner.spawned.lock().pop();
+            match handle {
+                Some(h) => h.join().expect("spawned rank panicked"),
+                None => return,
+            }
+        }
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::Tag;
+
+    #[test]
+    fn single_rank_world() {
+        let out = Universe::run(1, |comm| {
+            assert_eq!(comm.rank(), 0);
+            assert_eq!(comm.size(), 1);
+            42
+        });
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn results_ordered_by_rank() {
+        let out = Universe::run(8, |comm| comm.rank() * 10);
+        assert_eq!(out, (0..8).map(|r| r * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ring_exchange() {
+        let out = Universe::run(5, |comm| {
+            let n = comm.size();
+            let right = (comm.rank() + 1) % n;
+            comm.send_u64s(right, Tag(1), &[comm.rank() as u64]);
+            let (v, st) = comm.recv_u64s(crate::ANY_SOURCE, Tag(1));
+            assert_eq!(st.source, (comm.rank() + n - 1) % n);
+            v[0]
+        });
+        assert_eq!(out, vec![4, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn traced_universe_collects() {
+        let u = Universe::traced();
+        let p = Placement::single(2, MachineSpec::new("m", FabricSpec::smp_shared()));
+        u.launch_and_join(p, |comm| {
+            if comm.rank() == 0 {
+                comm.send_u64s(1, Tag(5), &[1, 2, 3]);
+            } else {
+                let _ = comm.recv_u64s(0, Tag(5));
+            }
+        });
+        let s = u.trace().summary(u.total_ranks());
+        assert_eq!(s.total_messages(), 1);
+        assert_eq!(s.total_bytes(), 24);
+    }
+}

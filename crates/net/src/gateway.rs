@@ -1,0 +1,154 @@
+//! HiPPI↔ATM IP gateways — the paper's answer to supercomputers without
+//! 622 Mbit/s ATM adapters.
+//!
+//! "The HiPPI networks of the Crays and the IBM SP2 were connected to the
+//! ATM backbone using workstations as IP gateways. Currently, an SGI O200
+//! and a Sun Ultra 30 in Jülich and a SUN E5000 in Sankt Augustin are
+//! equipped with Fore 622 Mbit/s ATM adapters and Essential HiPPI
+//! adapters."
+//!
+//! A gateway is a store-and-forward IP router between two media: it
+//! receives a datagram on one interface, copies it through host memory,
+//! and transmits on the other. Its contribution to a path is therefore a
+//! hop whose service time is routing cost + memory copy + egress framing.
+
+use gtw_desim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::link::Medium;
+use crate::sdh::StmLevel;
+use crate::tcp::HopModel;
+use crate::units::{Bandwidth, DataSize};
+
+/// Cut-through vs store-and-forward operation (an ablation knob; the real
+/// gateways were store-and-forward IP routers).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum ForwardingMode {
+    /// Full datagram received before transmission starts.
+    StoreAndForward,
+    /// Transmission begins after the header: hides the copy latency (not
+    /// the bandwidth cap).
+    CutThrough,
+}
+
+/// A workstation IP gateway between HiPPI and ATM.
+#[derive(Clone, Debug)]
+pub struct Gateway {
+    /// Name (e.g. "SGI O200 (FZJ)").
+    pub label: &'static str,
+    /// Egress framing (the side of the path being modelled).
+    pub egress: Medium,
+    /// Per-datagram routing/driver cost.
+    pub per_packet: SimDuration,
+    /// Memory-copy bandwidth of the workstation's I/O bus.
+    pub copy_rate: Bandwidth,
+    /// Operation mode.
+    pub mode: ForwardingMode,
+}
+
+impl Gateway {
+    /// SGI O200 gateway (Jülich), HiPPI→ATM622 direction.
+    pub fn sgi_o200_to_atm() -> Self {
+        Gateway {
+            label: "SGI O200 gateway (FZJ)",
+            egress: Medium::Atm { cell_rate: StmLevel::Stm4.payload_rate() },
+            per_packet: SimDuration::from_micros(80),
+            copy_rate: Bandwidth::from_gbps(1.6),
+            mode: ForwardingMode::StoreAndForward,
+        }
+    }
+
+    /// Sun Ultra 30 gateway (Jülich), HiPPI→ATM622 direction.
+    pub fn sun_ultra30_to_atm() -> Self {
+        Gateway {
+            label: "Sun Ultra 30 gateway (FZJ)",
+            egress: Medium::Atm { cell_rate: StmLevel::Stm4.payload_rate() },
+            per_packet: SimDuration::from_micros(100),
+            copy_rate: Bandwidth::from_gbps(1.2),
+            mode: ForwardingMode::StoreAndForward,
+        }
+    }
+
+    /// SUN E5000 gateway (Sankt Augustin), ATM622→HiPPI direction.
+    pub fn sun_e5000_to_hippi() -> Self {
+        Gateway {
+            label: "SUN E5000 gateway (GMD)",
+            egress: Medium::Hippi { channel: crate::hippi::HippiChannel::default() },
+            per_packet: SimDuration::from_micros(90),
+            copy_rate: Bandwidth::from_gbps(2.0),
+            mode: ForwardingMode::StoreAndForward,
+        }
+    }
+
+    /// The gateway's contribution as an analytic hop: per-packet routing
+    /// cost plus (in store-and-forward mode) the memory copy, with egress
+    /// framing as the medium.
+    pub fn hop(&self, propagation: SimDuration) -> HopModel {
+        let per_packet = match self.mode {
+            ForwardingMode::StoreAndForward => {
+                // Copy cost is per byte; fold the *fixed* part into
+                // per_packet and keep it proportional via an effective
+                // service applied on a reference datagram. For hop
+                // algebra we approximate the copy as a fixed cost at the
+                // path MTU — see `hop_for_mtu` for the exact variant.
+                self.per_packet
+            }
+            ForwardingMode::CutThrough => self.per_packet,
+        };
+        HopModel { medium: self.egress, per_packet, propagation }
+    }
+
+    /// Exact hop for a known datagram size: the store-and-forward copy of
+    /// `mtu` bytes is charged as fixed per-packet time.
+    pub fn hop_for_mtu(&self, propagation: SimDuration, mtu: u64) -> HopModel {
+        let copy = match self.mode {
+            ForwardingMode::StoreAndForward => {
+                self.copy_rate.time_for(DataSize::from_bytes(mtu))
+            }
+            ForwardingMode::CutThrough => SimDuration::ZERO,
+        };
+        HopModel { medium: self.egress, per_packet: self.per_packet + copy, propagation }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ip::IpConfig;
+
+    #[test]
+    fn store_and_forward_charges_the_copy() {
+        let g = Gateway::sgi_o200_to_atm();
+        let sf = g.hop_for_mtu(SimDuration::ZERO, 65535);
+        let mut ct = g.clone();
+        ct.mode = ForwardingMode::CutThrough;
+        let ct = ct.hop_for_mtu(SimDuration::ZERO, 65535);
+        assert!(sf.per_packet > ct.per_packet);
+        // Copy of 64 KiB at 1.6 Gbit/s ≈ 328 µs.
+        let copy_us = sf.per_packet.as_micros_f64() - ct.per_packet.as_micros_f64();
+        assert!((copy_us - 327.7).abs() < 2.0, "{copy_us}");
+    }
+
+    #[test]
+    fn gateway_is_not_the_wan_bottleneck_at_large_mtu() {
+        // T3E -> gateway -> WAN: the gateway's ATM-622 egress (with copy)
+        // must still beat the Cray NIC service so the end-to-end local
+        // bottleneck stays at the host, as the paper's numbers imply.
+        let ip = IpConfig::large_mtu();
+        let seg = ip.segment_ip_bytes(ip.mss());
+        let gw = Gateway::sgi_o200_to_atm().hop_for_mtu(SimDuration::ZERO, ip.mtu);
+        let cray = crate::host::HostNic::cray_hippi().hop(SimDuration::ZERO);
+        assert!(gw.service_time(seg) > SimDuration::ZERO);
+        assert!(
+            gw.service_time(seg) < cray.service_time(seg) * 2,
+            "gateway absurdly slow: {:?}",
+            gw.service_time(seg)
+        );
+    }
+
+    #[test]
+    fn presets_have_distinct_egress() {
+        assert!(matches!(Gateway::sgi_o200_to_atm().egress, Medium::Atm { .. }));
+        assert!(matches!(Gateway::sun_e5000_to_hippi().egress, Medium::Hippi { .. }));
+    }
+}

@@ -1,0 +1,198 @@
+//! ATM traffic policing: the GCRA leaky bucket and CLP-based selective
+//! discard.
+//!
+//! The testbed carried wildly different service classes on one fabric —
+//! studio video next to metacomputing bulk transfers — which is exactly
+//! what ATM's usage-parameter control was built for. A [`LeakyBucket`]
+//! (the Generic Cell Rate Algorithm of ITU-T I.371) polices a virtual
+//! circuit at its contracted rate: conforming cells pass untouched,
+//! excess cells are either *tagged* (CLP ← 1, droppable first) or
+//! *discarded* at the UNI. The switch's output ports then shed
+//! CLP-tagged cells first under congestion, protecting the contracted
+//! traffic.
+
+use gtw_desim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::cell::AtmCell;
+
+/// What happens to a non-conforming cell.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum PolicingAction {
+    /// Mark CLP = 1; downstream drops it first under congestion.
+    Tag,
+    /// Discard at the policing point.
+    Discard,
+}
+
+/// Verdict of the policer for one cell.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// Within contract.
+    Conforming,
+    /// Out of contract, CLP-tagged and forwarded.
+    Tagged,
+    /// Out of contract, dropped.
+    Discarded,
+}
+
+/// The GCRA / virtual-scheduling leaky bucket.
+#[derive(Clone, Debug)]
+pub struct LeakyBucket {
+    /// Cell emission interval `T = 1/PCR`.
+    increment: SimDuration,
+    /// Tolerance τ (CDVT): how far ahead of schedule a cell may arrive.
+    tolerance: SimDuration,
+    /// Action for non-conforming cells.
+    pub action: PolicingAction,
+    /// Theoretical arrival time of the next conforming cell.
+    tat: SimTime,
+    /// Counters.
+    pub conforming: u64,
+    /// Cells tagged.
+    pub tagged: u64,
+    /// Cells discarded.
+    pub discarded: u64,
+}
+
+impl LeakyBucket {
+    /// Police at `peak_cell_rate` cells/second with `tolerance` CDVT.
+    pub fn new(peak_cell_rate: f64, tolerance: SimDuration, action: PolicingAction) -> Self {
+        assert!(peak_cell_rate > 0.0, "PCR must be positive");
+        LeakyBucket {
+            increment: SimDuration::from_secs_f64(1.0 / peak_cell_rate),
+            tolerance,
+            action,
+            tat: SimTime::ZERO,
+            conforming: 0,
+            tagged: 0,
+            discarded: 0,
+        }
+    }
+
+    /// Police one cell arriving at `now`; may set its CLP bit. The
+    /// verdict says what to do with it.
+    pub fn police(&mut self, cell: &mut AtmCell, now: SimTime) -> Verdict {
+        // GCRA virtual scheduling: conforming iff now >= TAT - τ.
+        let earliest = SimTime::from_nanos(
+            self.tat.as_nanos().saturating_sub(self.tolerance.as_nanos()),
+        );
+        if now >= earliest {
+            self.tat = self.tat.max(now) + self.increment;
+            self.conforming += 1;
+            Verdict::Conforming
+        } else {
+            match self.action {
+                PolicingAction::Tag => {
+                    cell.header.clp = true;
+                    self.tagged += 1;
+                    Verdict::Tagged
+                }
+                PolicingAction::Discard => {
+                    self.discarded += 1;
+                    Verdict::Discarded
+                }
+            }
+        }
+    }
+
+    /// Contracted rate in cells per second.
+    pub fn contracted_rate(&self) -> f64 {
+        1.0 / self.increment.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellHeader;
+
+    fn cell() -> AtmCell {
+        AtmCell::new(CellHeader::data(1, 100), b"x")
+    }
+
+    /// Feed `n` cells at a fixed interval; return verdict counts.
+    fn run(bucket: &mut LeakyBucket, n: usize, interval: SimDuration) -> (u64, u64, u64) {
+        let mut t = SimTime::ZERO;
+        for _ in 0..n {
+            let mut c = cell();
+            bucket.police(&mut c, t);
+            t += interval;
+        }
+        (bucket.conforming, bucket.tagged, bucket.discarded)
+    }
+
+    #[test]
+    fn conforming_stream_passes_untouched() {
+        // Source exactly at the contracted rate.
+        let mut b = LeakyBucket::new(1000.0, SimDuration::from_micros(100), PolicingAction::Tag);
+        let (ok, tagged, dropped) = run(&mut b, 500, SimDuration::from_millis(1));
+        assert_eq!(ok, 500);
+        assert_eq!(tagged, 0);
+        assert_eq!(dropped, 0);
+    }
+
+    #[test]
+    fn double_rate_stream_tagged_half() {
+        // Source at 2x the contract: every other cell is out of contract.
+        let mut b = LeakyBucket::new(1000.0, SimDuration::from_micros(10), PolicingAction::Tag);
+        let (ok, tagged, _) = run(&mut b, 1000, SimDuration::from_micros(500));
+        let ratio = tagged as f64 / (ok + tagged) as f64;
+        assert!((ratio - 0.5).abs() < 0.05, "tagged ratio {ratio}");
+    }
+
+    #[test]
+    fn discard_mode_drops_excess() {
+        let mut b =
+            LeakyBucket::new(1000.0, SimDuration::from_micros(10), PolicingAction::Discard);
+        let (ok, tagged, dropped) = run(&mut b, 1000, SimDuration::from_micros(250));
+        assert_eq!(tagged, 0);
+        assert!(dropped > 700, "dropped {dropped}");
+        // Throughput of surviving cells ~ the contract.
+        assert!((ok as f64 - 250.0).abs() < 30.0, "ok {ok}");
+    }
+
+    #[test]
+    fn tolerance_absorbs_jitter_bursts() {
+        // A bursty but on-average conforming source: with generous CDVT
+        // everything conforms; with zero CDVT the bursts get tagged.
+        let burst = |b: &mut LeakyBucket| {
+            let mut t = SimTime::ZERO;
+            for k in 0..200 {
+                let mut c = cell();
+                b.police(&mut c, t);
+                // 10 cells back to back, then a long gap (mean = 1 ms).
+                t += if k % 10 == 9 {
+                    SimDuration::from_micros(9100)
+                } else {
+                    SimDuration::from_micros(100)
+                };
+            }
+        };
+        let mut generous =
+            LeakyBucket::new(1000.0, SimDuration::from_millis(10), PolicingAction::Tag);
+        burst(&mut generous);
+        assert_eq!(generous.tagged, 0, "CDVT should absorb the bursts");
+        let mut strict = LeakyBucket::new(1000.0, SimDuration::ZERO, PolicingAction::Tag);
+        burst(&mut strict);
+        assert!(strict.tagged > 100, "zero CDVT should tag the bursts: {}", strict.tagged);
+    }
+
+    #[test]
+    fn tagged_cells_carry_clp() {
+        let mut b = LeakyBucket::new(1.0, SimDuration::ZERO, PolicingAction::Tag);
+        let mut c1 = cell();
+        let mut c2 = cell();
+        assert_eq!(b.police(&mut c1, SimTime::ZERO), Verdict::Conforming);
+        assert!(!c1.header.clp);
+        assert_eq!(b.police(&mut c2, SimTime::ZERO), Verdict::Tagged);
+        assert!(c2.header.clp);
+    }
+
+    #[test]
+    fn contracted_rate_roundtrip() {
+        let b = LeakyBucket::new(353_207.5, SimDuration::ZERO, PolicingAction::Tag);
+        // The interval is stored at nanosecond granularity.
+        assert!((b.contracted_rate() - 353_207.5).abs() / 353_207.5 < 1e-3);
+    }
+}

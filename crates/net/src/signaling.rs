@@ -1,0 +1,403 @@
+//! ATM signalling: switched-virtual-circuit setup and teardown.
+//!
+//! The testbed ran on PVCs (the figure-1 circuits were provisioned by
+//! hand), but "the problem of simultaneous resource allocation" the
+//! conclusion raises is exactly what SVC signalling automates: a SETUP
+//! message walks the path hop by hop, each switch admits (or rejects)
+//! the requested bandwidth and installs its VC-table entry; CONNECT
+//! walks back; RELEASE frees the circuit. This module implements that
+//! control plane event-driven on `gtw-desim`, with per-switch call
+//! admission against port capacity.
+
+use std::collections::HashMap;
+
+use gtw_desim::component::{downcast, msg};
+use gtw_desim::{Component, ComponentId, Ctx, Msg, SimDuration, SimTime, Simulator};
+use serde::{Deserialize, Serialize};
+
+use crate::units::Bandwidth;
+
+/// Identifier of a signalled call.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct CallId(pub u64);
+
+/// Outcome of a call attempt.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub enum CallOutcome {
+    /// Admitted on every hop; the VC is up.
+    Connected {
+        /// Setup latency: SETUP departure to CONNECT arrival.
+        setup_s: f64,
+    },
+    /// Rejected by call admission at the named hop index.
+    Rejected {
+        /// Index of the refusing hop along the path.
+        at_hop: usize,
+    },
+}
+
+// ---- messages ---------------------------------------------------------
+
+struct Setup {
+    call: CallId,
+    rate: Bandwidth,
+    /// Remaining path after this node (component ids of signalling
+    /// agents).
+    path: Vec<ComponentId>,
+    /// Hops already traversed (for CONNECT backtracking).
+    visited: Vec<ComponentId>,
+    origin: ComponentId,
+    sent_at: SimTime,
+}
+
+struct Connect {
+    call: CallId,
+    /// Reverse path still to walk.
+    back: Vec<ComponentId>,
+    origin: ComponentId,
+    sent_at: SimTime,
+}
+
+struct Reject {
+    call: CallId,
+    at_hop: usize,
+    /// Hops that already admitted and must roll back.
+    visited: Vec<ComponentId>,
+    origin: ComponentId,
+}
+
+struct Release {
+    call: CallId,
+    path: Vec<ComponentId>,
+}
+
+/// Delivered to the originator when the call completes.
+struct CallResult(CallId, CallOutcome);
+
+// ---- components -------------------------------------------------------
+
+/// The signalling agent of one switch: call admission against a port
+/// capacity, VC-table bookkeeping, SETUP/CONNECT/RELEASE forwarding.
+pub struct SignallingAgent {
+    /// Total admissible bandwidth on the transit port.
+    pub capacity: Bandwidth,
+    /// Per-call admitted rates.
+    pub admitted: HashMap<CallId, f64>,
+    /// Signalling processing time per message.
+    pub processing: SimDuration,
+    /// Propagation to the next hop.
+    pub hop_latency: SimDuration,
+    /// Counters.
+    pub calls_admitted: u64,
+    /// Calls this agent refused.
+    pub calls_refused: u64,
+    label: String,
+}
+
+impl SignallingAgent {
+    /// New agent for a port of the given capacity.
+    pub fn new(label: impl Into<String>, capacity: Bandwidth, hop_latency: SimDuration) -> Self {
+        SignallingAgent {
+            capacity,
+            admitted: HashMap::new(),
+            processing: SimDuration::from_micros(150),
+            hop_latency,
+            calls_admitted: 0,
+            calls_refused: 0,
+            label: label.into(),
+        }
+    }
+
+    /// Bandwidth currently committed.
+    pub fn committed_bps(&self) -> f64 {
+        self.admitted.values().sum()
+    }
+}
+
+impl Component for SignallingAgent {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, m: Msg) {
+        let delay = self.processing + self.hop_latency;
+        if m.is::<Setup>() {
+            let mut s = *downcast::<Setup>(m);
+            // Call admission.
+            if self.committed_bps() + s.rate.bps() > self.capacity.bps() {
+                self.calls_refused += 1;
+                let at_hop = s.visited.len();
+                let origin = s.origin;
+                ctx.send_in(
+                    delay,
+                    origin,
+                    msg(Reject { call: s.call, at_hop, visited: s.visited, origin }),
+                );
+                return;
+            }
+            self.admitted.insert(s.call, s.rate.bps());
+            self.calls_admitted += 1;
+            s.visited.push(ctx.self_id());
+            if s.path.is_empty() {
+                // Terminating switch: send CONNECT back along the path.
+                let mut back = s.visited.clone();
+                back.pop(); // skip self
+                let next = back.pop();
+                let c = Connect { call: s.call, back, origin: s.origin, sent_at: s.sent_at };
+                match next {
+                    Some(n) => ctx.send_in(delay, n, msg(c)),
+                    None => {
+                        let origin = s.origin;
+                        let setup_s =
+                            (ctx.now() + delay).saturating_since(c.sent_at).as_secs_f64();
+                        ctx.send_in(
+                            delay,
+                            origin,
+                            msg(CallResult(s.call, CallOutcome::Connected { setup_s })),
+                        );
+                    }
+                }
+            } else {
+                let next = s.path.remove(0);
+                ctx.send_in(delay, next, msg(s));
+            }
+        } else if m.is::<Connect>() {
+            let mut c = *downcast::<Connect>(m);
+            match c.back.pop() {
+                Some(n) => ctx.send_in(delay, n, msg(c)),
+                None => {
+                    let origin = c.origin;
+                    let setup_s = (ctx.now() + delay).saturating_since(c.sent_at).as_secs_f64();
+                    ctx.send_in(
+                        delay,
+                        origin,
+                        msg(CallResult(c.call, CallOutcome::Connected { setup_s })),
+                    );
+                }
+            }
+        } else if m.is::<Reject>() {
+            // Delivered to each visited hop in turn to roll back, then to
+            // the origin. (The origin relays it through `visited`.)
+            let r = *downcast::<Reject>(m);
+            self.admitted.remove(&r.call);
+            let origin = r.origin;
+            ctx.send_in(delay, origin, msg(r));
+        } else if m.is::<Release>() {
+            let mut r = *downcast::<Release>(m);
+            self.admitted.remove(&r.call);
+            if !r.path.is_empty() {
+                let next = r.path.remove(0);
+                ctx.send_in(delay, next, msg(r));
+            }
+        } else {
+            panic!("unexpected message at signalling agent");
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+/// The call originator: issues SETUPs, collects outcomes.
+#[derive(Default)]
+pub struct CallOriginator {
+    /// Completed calls.
+    pub results: Vec<(CallId, CallOutcome)>,
+    /// Paths of connected calls (for release).
+    pub routes: HashMap<CallId, Vec<ComponentId>>,
+}
+
+impl Component for CallOriginator {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, m: Msg) {
+        if m.is::<CallResult>() {
+            let CallResult(id, outcome) = *downcast::<CallResult>(m);
+            self.results.push((id, outcome));
+        } else if m.is::<Reject>() {
+            // Roll back the hops that admitted, then record the failure.
+            let r = *downcast::<Reject>(m);
+            for &hop in &r.visited {
+                ctx.send_in(
+                    SimDuration::ZERO,
+                    hop,
+                    msg(Release { call: r.call, path: Vec::new() }),
+                );
+            }
+            self.results.push((r.call, CallOutcome::Rejected { at_hop: r.at_hop }));
+        } else {
+            panic!("unexpected message at originator");
+        }
+    }
+
+    fn name(&self) -> &str {
+        "call-originator"
+    }
+}
+
+/// Helper: issue a SETUP for `call` along `path` at `rate`.
+pub fn place_call(
+    sim: &mut Simulator,
+    origin: ComponentId,
+    path: &[ComponentId],
+    call: CallId,
+    rate: Bandwidth,
+    at: SimTime,
+) {
+    assert!(!path.is_empty(), "call needs at least one hop");
+    let first = path[0];
+    sim.send_at(
+        at,
+        first,
+        msg(Setup {
+            call,
+            rate,
+            path: path[1..].to_vec(),
+            visited: Vec::new(),
+            origin,
+            sent_at: at,
+        }),
+    );
+}
+
+/// Helper: release a connected call along its path.
+pub fn release_call(sim: &mut Simulator, path: &[ComponentId], call: CallId, at: SimTime) {
+    assert!(!path.is_empty());
+    let first = path[0];
+    sim.send_at(at, first, msg(Release { call, path: path[1..].to_vec() }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build origin + a chain of agents (capacities in Mbit/s).
+    fn chain(sim: &mut Simulator, caps_mbps: &[f64]) -> (ComponentId, Vec<ComponentId>) {
+        let origin = sim.add_component(CallOriginator::default());
+        let agents = caps_mbps
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                sim.add_component(SignallingAgent::new(
+                    format!("sw{i}"),
+                    Bandwidth::from_mbps(c),
+                    SimDuration::from_micros(500),
+                ))
+            })
+            .collect();
+        (origin, agents)
+    }
+
+    #[test]
+    fn call_connects_and_installs_bandwidth() {
+        let mut sim = Simulator::new();
+        let (origin, path) = chain(&mut sim, &[622.0, 2400.0, 622.0]);
+        place_call(&mut sim, origin, &path, CallId(1), Bandwidth::from_mbps(270.0), SimTime::ZERO);
+        sim.run();
+        let o = sim.component::<CallOriginator>(origin);
+        assert_eq!(o.results.len(), 1);
+        match o.results[0].1 {
+            CallOutcome::Connected { setup_s } => {
+                // 3 hops out + 3 back at (150 us + 500 us) each ≈ 3.9 ms.
+                assert!(setup_s > 0.003 && setup_s < 0.006, "setup {setup_s}");
+            }
+            other => panic!("expected Connected, got {other:?}"),
+        }
+        for &a in &path {
+            let agent = sim.component::<SignallingAgent>(a);
+            assert!((agent.committed_bps() - 270e6).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn admission_rejects_when_full_and_rolls_back() {
+        let mut sim = Simulator::new();
+        // Middle hop only fits one 270 Mbit/s call.
+        let (origin, path) = chain(&mut sim, &[622.0, 300.0, 622.0]);
+        place_call(&mut sim, origin, &path, CallId(1), Bandwidth::from_mbps(270.0), SimTime::ZERO);
+        place_call(
+            &mut sim,
+            origin,
+            &path,
+            CallId(2),
+            Bandwidth::from_mbps(270.0),
+            SimTime::from_millis(20),
+        );
+        sim.run();
+        let o = sim.component::<CallOriginator>(origin);
+        assert_eq!(o.results.len(), 2);
+        assert!(matches!(o.results[0].1, CallOutcome::Connected { .. }));
+        assert_eq!(o.results[1].1, CallOutcome::Rejected { at_hop: 1 });
+        // The first hop's tentative admission of call 2 was rolled back.
+        let first = sim.component::<SignallingAgent>(path[0]);
+        assert!((first.committed_bps() - 270e6).abs() < 1.0, "{}", first.committed_bps());
+        assert_eq!(first.calls_admitted, 2);
+        let middle = sim.component::<SignallingAgent>(path[1]);
+        assert_eq!(middle.calls_refused, 1);
+    }
+
+    #[test]
+    fn release_frees_capacity_for_the_next_call() {
+        let mut sim = Simulator::new();
+        let (origin, path) = chain(&mut sim, &[300.0]);
+        place_call(&mut sim, origin, &path, CallId(1), Bandwidth::from_mbps(270.0), SimTime::ZERO);
+        release_call(&mut sim, &path, CallId(1), SimTime::from_millis(50));
+        place_call(
+            &mut sim,
+            origin,
+            &path,
+            CallId(2),
+            Bandwidth::from_mbps(270.0),
+            SimTime::from_millis(100),
+        );
+        sim.run();
+        let o = sim.component::<CallOriginator>(origin);
+        assert!(matches!(o.results[0].1, CallOutcome::Connected { .. }));
+        assert!(matches!(o.results[1].1, CallOutcome::Connected { .. }));
+        let agent = sim.component::<SignallingAgent>(path[0]);
+        assert!((agent.committed_bps() - 270e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn many_small_calls_fill_the_pipe_exactly() {
+        let mut sim = Simulator::new();
+        let (origin, path) = chain(&mut sim, &[622.0, 622.0]);
+        // 4 × 155 = 620 fits; the 5th must be refused.
+        for k in 0..5 {
+            place_call(
+                &mut sim,
+                origin,
+                &path,
+                CallId(k),
+                Bandwidth::from_mbps(155.0),
+                SimTime::from_millis(10 * k),
+            );
+        }
+        sim.run();
+        let o = sim.component::<CallOriginator>(origin);
+        let connected =
+            o.results.iter().filter(|(_, r)| matches!(r, CallOutcome::Connected { .. })).count();
+        assert_eq!(connected, 4);
+        assert_eq!(o.results.len(), 5);
+    }
+
+    #[test]
+    fn setup_latency_scales_with_path_length() {
+        let short = {
+            let mut sim = Simulator::new();
+            let (origin, path) = chain(&mut sim, &[622.0]);
+            place_call(&mut sim, origin, &path, CallId(1), Bandwidth::from_mbps(1.0), SimTime::ZERO);
+            sim.run();
+            match sim.component::<CallOriginator>(origin).results[0].1 {
+                CallOutcome::Connected { setup_s } => setup_s,
+                _ => panic!(),
+            }
+        };
+        let long = {
+            let mut sim = Simulator::new();
+            let (origin, path) = chain(&mut sim, &[622.0; 6]);
+            place_call(&mut sim, origin, &path, CallId(1), Bandwidth::from_mbps(1.0), SimTime::ZERO);
+            sim.run();
+            match sim.component::<CallOriginator>(origin).results[0].1 {
+                CallOutcome::Connected { setup_s } => setup_s,
+                _ => panic!(),
+            }
+        };
+        assert!(long > short * 3.0, "short {short} long {long}");
+    }
+}

@@ -1,0 +1,134 @@
+//! Flow/link statistics collected during event-driven runs.
+
+use gtw_desim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::units::{Bandwidth, DataSize};
+
+/// Counters kept by every pipeline stage (link, gateway, NIC).
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct StageStats {
+    /// Packets accepted for transmission.
+    pub packets_in: u64,
+    /// Packets delivered downstream.
+    pub packets_out: u64,
+    /// Packets dropped on buffer overflow.
+    pub packets_dropped: u64,
+    /// Payload bytes delivered downstream.
+    pub bytes_out: u64,
+    /// Peak queue backlog in bytes.
+    pub max_backlog_bytes: u64,
+    /// Cumulative time the transmitter was busy, for utilization.
+    pub busy: SimDuration,
+}
+
+impl StageStats {
+    /// Utilization over the elapsed span.
+    pub fn utilization(&self, elapsed: SimDuration) -> f64 {
+        if elapsed == SimDuration::ZERO {
+            return 0.0;
+        }
+        self.busy.as_secs_f64() / elapsed.as_secs_f64()
+    }
+
+    /// Loss ratio among accepted + dropped packets.
+    pub fn loss_ratio(&self) -> f64 {
+        let total = self.packets_in + self.packets_dropped;
+        if total == 0 {
+            return 0.0;
+        }
+        self.packets_dropped as f64 / total as f64
+    }
+}
+
+/// A per-flow one-way latency/throughput recorder.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct FlowRecorder {
+    /// Packets observed.
+    pub packets: u64,
+    /// Payload bytes observed.
+    pub bytes: u64,
+    /// First packet arrival time.
+    pub first_at: Option<SimTime>,
+    /// Last packet arrival time.
+    pub last_at: Option<SimTime>,
+    /// Sum of one-way latencies (for the mean).
+    pub latency_sum: SimDuration,
+    /// Minimum one-way latency seen.
+    pub latency_min: Option<SimDuration>,
+    /// Maximum one-way latency seen.
+    pub latency_max: Option<SimDuration>,
+}
+
+impl FlowRecorder {
+    /// Record a packet that was created at `sent` and arrived at `now`
+    /// carrying `payload` bytes.
+    pub fn record(&mut self, sent: SimTime, now: SimTime, payload: DataSize) {
+        self.packets += 1;
+        self.bytes += payload.bytes();
+        let lat = now.saturating_since(sent);
+        self.latency_sum += lat;
+        self.latency_min = Some(self.latency_min.map_or(lat, |m| m.min(lat)));
+        self.latency_max = Some(self.latency_max.map_or(lat, |m| m.max(lat)));
+        if self.first_at.is_none() {
+            self.first_at = Some(now);
+        }
+        self.last_at = Some(now);
+    }
+
+    /// Mean one-way latency.
+    pub fn mean_latency(&self) -> SimDuration {
+        if self.packets == 0 {
+            return SimDuration::ZERO;
+        }
+        self.latency_sum / self.packets
+    }
+
+    /// Goodput between first and last arrival (payload bytes / span).
+    pub fn goodput(&self) -> Bandwidth {
+        match (self.first_at, self.last_at) {
+            (Some(a), Some(b)) if b > a => {
+                crate::units::throughput(DataSize::from_bytes(self.bytes), b - a)
+            }
+            _ => Bandwidth::from_bps(0.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_utilization_and_loss() {
+        let mut s = StageStats { busy: SimDuration::from_millis(250), ..Default::default() };
+        assert!((s.utilization(SimDuration::from_secs(1)) - 0.25).abs() < 1e-12);
+        assert_eq!(s.utilization(SimDuration::ZERO), 0.0);
+        s.packets_in = 90;
+        s.packets_dropped = 10;
+        assert!((s.loss_ratio() - 0.1).abs() < 1e-12);
+        assert_eq!(StageStats::default().loss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn flow_recorder_latency_and_goodput() {
+        let mut f = FlowRecorder::default();
+        let k = DataSize::from_kib(1);
+        f.record(SimTime::ZERO, SimTime::from_millis(10), k);
+        f.record(SimTime::from_millis(5), SimTime::from_millis(25), k);
+        assert_eq!(f.packets, 2);
+        assert_eq!(f.mean_latency(), SimDuration::from_millis(15));
+        assert_eq!(f.latency_min.unwrap(), SimDuration::from_millis(10));
+        assert_eq!(f.latency_max.unwrap(), SimDuration::from_millis(20));
+        // 2 KiB between t=10ms and t=25ms -> 16384 bits / 15 ms.
+        let g = f.goodput().bps();
+        assert!((g - 16384.0 / 0.015).abs() / g < 1e-9);
+    }
+
+    #[test]
+    fn empty_flow_is_safe() {
+        let f = FlowRecorder::default();
+        assert_eq!(f.mean_latency(), SimDuration::ZERO);
+        assert_eq!(f.goodput().bps(), 0.0);
+    }
+}

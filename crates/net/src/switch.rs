@@ -1,0 +1,437 @@
+//! A cell-level ATM switch, modelling the Fore ASX-4000s of the testbed.
+//!
+//! The switch routes on `(input port, VPI, VCI)`, rewrites the header to
+//! the outgoing `(VPI, VCI)` (standard VC switching), and serializes cells
+//! on per-output-port transmitters with finite cell buffers — the loss
+//! point under congestion. Cells whose HEC does not verify are discarded
+//! at the input, exactly as real hardware does.
+
+use std::collections::{HashMap, VecDeque};
+
+use gtw_desim::{Component, ComponentId, Ctx, Msg, SimDuration};
+use serde::{Deserialize, Serialize};
+
+use crate::cell::{AtmCell, ATM_CELL_BYTES};
+use crate::units::Bandwidth;
+
+/// A cell arriving at `port` of the receiving component, already parsed
+/// (i.e. its header integrity was established upstream).
+pub struct CellArrive {
+    /// Input port index at the receiver.
+    pub port: usize,
+    /// The cell.
+    pub cell: AtmCell,
+}
+
+/// A cell arriving as raw wire octets; the switch performs HEC
+/// verification and discards on mismatch (the `hec_discard` counter).
+pub struct WireCellArrive {
+    /// Input port index at the receiver.
+    pub port: usize,
+    /// The 53 wire octets.
+    pub wire: [u8; ATM_CELL_BYTES],
+}
+
+struct PortTxDone(usize);
+
+/// Routing key: where the cell came in and on which VC.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct VcKey {
+    /// Input port.
+    pub port: usize,
+    /// Incoming VPI.
+    pub vpi: u8,
+    /// Incoming VCI.
+    pub vci: u16,
+}
+
+/// Routing action: output port and outgoing VC labels.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct VcRoute {
+    /// Output port.
+    pub port: usize,
+    /// Outgoing VPI.
+    pub vpi: u8,
+    /// Outgoing VCI.
+    pub vci: u16,
+}
+
+/// Static configuration of one output port.
+#[derive(Clone, Debug)]
+pub struct OutputPort {
+    /// Downstream component.
+    pub next: ComponentId,
+    /// Input port index at the downstream component.
+    pub next_port: usize,
+    /// Line rate of this port.
+    pub rate: Bandwidth,
+    /// Propagation delay to the downstream component.
+    pub propagation: SimDuration,
+    /// Cell buffer capacity.
+    pub buffer_cells: usize,
+    /// Selective-discard threshold: once the queue holds this many
+    /// cells, arriving CLP-tagged cells are dropped (set to
+    /// `buffer_cells` to disable). Protects contracted traffic when a
+    /// policer upstream tagged the excess.
+    pub clp_threshold: usize,
+}
+
+impl OutputPort {
+    /// A port without selective discard.
+    pub fn simple(
+        next: ComponentId,
+        next_port: usize,
+        rate: Bandwidth,
+        propagation: SimDuration,
+        buffer_cells: usize,
+    ) -> Self {
+        OutputPort { next, next_port, rate, propagation, buffer_cells, clp_threshold: buffer_cells }
+    }
+}
+
+struct PortState {
+    cfg: OutputPort,
+    queue: VecDeque<AtmCell>,
+    transmitting: bool,
+}
+
+/// Per-switch counters.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct SwitchStats {
+    /// Cells successfully switched.
+    pub switched: u64,
+    /// Cells dropped: no routing entry.
+    pub unroutable: u64,
+    /// Cells dropped: output buffer full.
+    pub overflow: u64,
+    /// Cells dropped: HEC failure at input.
+    pub hec_discard: u64,
+    /// CLP-tagged cells shed by selective discard.
+    pub clp_discard: u64,
+}
+
+/// The switch component.
+pub struct AtmSwitch {
+    routes: HashMap<VcKey, VcRoute>,
+    ports: Vec<PortState>,
+    /// Fixed fabric latency from input to the output queue.
+    pub fabric_latency: SimDuration,
+    /// Counters.
+    pub stats: SwitchStats,
+    label: String,
+}
+
+impl AtmSwitch {
+    /// Create a switch with the given output ports.
+    pub fn new(label: impl Into<String>, ports: Vec<OutputPort>) -> Self {
+        AtmSwitch {
+            routes: HashMap::new(),
+            ports: ports
+                .into_iter()
+                .map(|cfg| PortState { cfg, queue: VecDeque::new(), transmitting: false })
+                .collect(),
+            fabric_latency: SimDuration::from_micros(10),
+            stats: SwitchStats::default(),
+            label: label.into(),
+        }
+    }
+
+    /// Install a PVC: `(in port, vpi, vci)` → `(out port, vpi, vci)`.
+    pub fn add_route(&mut self, key: VcKey, route: VcRoute) {
+        assert!(route.port < self.ports.len(), "route to nonexistent port");
+        self.routes.insert(key, route);
+    }
+
+    /// Number of output ports.
+    pub fn port_count(&self) -> usize {
+        self.ports.len()
+    }
+
+    fn start_tx(&mut self, ctx: &mut Ctx<'_>, port: usize) {
+        let p = &mut self.ports[port];
+        if p.transmitting || p.queue.is_empty() {
+            return;
+        }
+        p.transmitting = true;
+        let tx = SimDuration::transmission((ATM_CELL_BYTES * 8) as u64, p.cfg.rate.bps());
+        ctx.timer_in(tx, gtw_desim::component::msg(PortTxDone(port)));
+    }
+}
+
+impl Component for AtmSwitch {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, m: Msg) {
+        if m.is::<CellArrive>() || m.is::<WireCellArrive>() {
+            let (port, cell) = if m.is::<WireCellArrive>() {
+                let WireCellArrive { port, wire } =
+                    *gtw_desim::component::downcast::<WireCellArrive>(m);
+                match AtmCell::from_wire(&wire) {
+                    Some(cell) => (port, cell),
+                    None => {
+                        self.stats.hec_discard += 1;
+                        return;
+                    }
+                }
+            } else {
+                let CellArrive { port, cell } = *gtw_desim::component::downcast::<CellArrive>(m);
+                (port, cell)
+            };
+            let key = VcKey { port, vpi: cell.header.vpi, vci: cell.header.vci };
+            let Some(route) = self.routes.get(&key).copied() else {
+                self.stats.unroutable += 1;
+                return;
+            };
+            let mut out = cell;
+            out.header.vpi = route.vpi;
+            out.header.vci = route.vci;
+            let p = &mut self.ports[route.port];
+            if out.header.clp && p.queue.len() >= p.cfg.clp_threshold {
+                self.stats.clp_discard += 1;
+                return;
+            }
+            if p.queue.len() >= p.cfg.buffer_cells {
+                self.stats.overflow += 1;
+                return;
+            }
+            p.queue.push_back(out);
+            self.stats.switched += 1;
+            self.start_tx(ctx, route.port);
+        } else {
+            let PortTxDone(port) = *gtw_desim::component::downcast::<PortTxDone>(m);
+            let p = &mut self.ports[port];
+            p.transmitting = false;
+            let cell = p.queue.pop_front().expect("TxDone with empty port queue");
+            let (next, next_port) = (p.cfg.next, p.cfg.next_port);
+            let delay = self.fabric_latency + p.cfg.propagation;
+            ctx.send_in(
+                delay,
+                next,
+                gtw_desim::component::msg(CellArrive { port: next_port, cell }),
+            );
+            self.start_tx(ctx, port);
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+/// A cell endpoint that reassembles AAL5 PDUs per VC; terminal node for
+/// cell-level tests.
+#[derive(Default)]
+pub struct CellEndpoint {
+    reassemblers: HashMap<(u8, u16), crate::aal5::Reassembler>,
+    /// Completed payloads in arrival order, tagged with their VC.
+    pub delivered: Vec<((u8, u16), Vec<u8>)>,
+    /// Reassembly errors observed.
+    pub errors: u64,
+}
+
+impl Component for CellEndpoint {
+    fn handle(&mut self, _ctx: &mut Ctx<'_>, m: Msg) {
+        let CellArrive { cell, .. } = *gtw_desim::component::downcast::<CellArrive>(m);
+        let vc = (cell.header.vpi, cell.header.vci);
+        let r = self.reassemblers.entry(vc).or_default();
+        if let Some(result) = r.push(&cell) {
+            match result {
+                Ok(payload) => self.delivered.push((vc, payload)),
+                Err(_) => self.errors += 1,
+            }
+        }
+    }
+    fn name(&self) -> &str {
+        "cell-endpoint"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aal5::segment;
+    use gtw_desim::component::msg;
+    use gtw_desim::Simulator;
+
+    /// Build: source --(port0)--> switch --(port0)--> endpoint.
+    fn one_switch_setup(buffer_cells: usize) -> (Simulator, ComponentId, ComponentId) {
+        let mut sim = Simulator::new();
+        let ep = sim.add_component(CellEndpoint::default());
+        let mut sw = AtmSwitch::new(
+            "asx4000",
+            vec![OutputPort::simple(
+                ep,
+                0,
+                Bandwidth::OC3,
+                SimDuration::from_micros(5),
+                buffer_cells,
+            )],
+        );
+        sw.add_route(
+            VcKey { port: 0, vpi: 1, vci: 100 },
+            VcRoute { port: 0, vpi: 2, vci: 200 },
+        );
+        let sw = sim.add_component(sw);
+        (sim, sw, ep)
+    }
+
+    #[test]
+    fn switches_and_relabels_a_pdu() {
+        let (mut sim, sw, ep) = one_switch_setup(1000);
+        let payload: Vec<u8> = (0..500).map(|i| i as u8).collect();
+        for cell in segment(&payload, 1, 100) {
+            sim.send_in(SimDuration::ZERO, sw, msg(CellArrive { port: 0, cell }));
+        }
+        sim.run();
+        let e = sim.component::<CellEndpoint>(ep);
+        assert_eq!(e.delivered.len(), 1);
+        assert_eq!(e.delivered[0].0, (2, 200), "VC must be relabelled");
+        assert_eq!(e.delivered[0].1, payload);
+        assert_eq!(e.errors, 0);
+        let s = sim.component::<AtmSwitch>(sw);
+        assert_eq!(s.stats.switched as usize, segment(&payload, 1, 100).len());
+    }
+
+    #[test]
+    fn unroutable_cells_counted() {
+        let (mut sim, sw, ep) = one_switch_setup(1000);
+        for cell in segment(&[0u8; 100], 9, 999) {
+            sim.send_in(SimDuration::ZERO, sw, msg(CellArrive { port: 0, cell }));
+        }
+        sim.run();
+        assert!(sim.component::<AtmSwitch>(sw).stats.unroutable > 0);
+        assert!(sim.component::<CellEndpoint>(ep).delivered.is_empty());
+    }
+
+    #[test]
+    fn buffer_overflow_drops_and_aal5_catches_it() {
+        let (mut sim, sw, ep) = one_switch_setup(2);
+        let payload = vec![7u8; 2000]; // ~42 cells, buffer of 2 at OC-3
+        for cell in segment(&payload, 1, 100) {
+            sim.send_in(SimDuration::ZERO, sw, msg(CellArrive { port: 0, cell }));
+        }
+        sim.run();
+        let s = sim.component::<AtmSwitch>(sw);
+        assert!(s.stats.overflow > 0, "expected overflow drops");
+        let e = sim.component::<CellEndpoint>(ep);
+        // The mutilated PDU must not be delivered as valid.
+        assert!(e.delivered.is_empty());
+        assert!(e.errors > 0 || e.delivered.is_empty());
+    }
+
+    #[test]
+    fn corrupted_header_discarded_at_input() {
+        let (mut sim, sw, ep) = one_switch_setup(1000);
+        let mut cells = segment(&[1u8; 40], 1, 100);
+        assert_eq!(cells.len(), 1);
+        let ok = cells.pop().unwrap();
+        let mut wire = ok.to_wire();
+        wire[1] ^= 0x10; // flip a VPI bit -> HEC mismatch on the wire
+        sim.send_in(SimDuration::ZERO, sw, msg(WireCellArrive { port: 0, wire }));
+        // And an intact wire cell for contrast.
+        sim.send_in(SimDuration::ZERO, sw, msg(WireCellArrive { port: 0, wire: ok.to_wire() }));
+        sim.run();
+        assert_eq!(sim.component::<AtmSwitch>(sw).stats.hec_discard, 1);
+        assert_eq!(sim.component::<CellEndpoint>(ep).delivered.len(), 1);
+    }
+
+    #[test]
+    fn two_switch_tandem() {
+        let mut sim = Simulator::new();
+        let ep = sim.add_component(CellEndpoint::default());
+        let mut sw2 = AtmSwitch::new(
+            "gmd",
+            vec![OutputPort::simple(
+                ep,
+                0,
+                Bandwidth::OC12,
+                SimDuration::from_micros(5),
+                4096,
+            )],
+        );
+        sw2.add_route(VcKey { port: 0, vpi: 2, vci: 200 }, VcRoute { port: 0, vpi: 3, vci: 300 });
+        let sw2 = sim.add_component(sw2);
+        let mut sw1 = AtmSwitch::new(
+            "fzj",
+            vec![OutputPort::simple(
+                sw2,
+                0,
+                Bandwidth::OC48,
+                StageConfigPropagation::JUELICH_GMD,
+                4096,
+            )],
+        );
+        sw1.add_route(VcKey { port: 0, vpi: 1, vci: 100 }, VcRoute { port: 0, vpi: 2, vci: 200 });
+        let sw1 = sim.add_component(sw1);
+
+        let payload: Vec<u8> = (0..5000).map(|i| (i % 256) as u8).collect();
+        for cell in segment(&payload, 1, 100) {
+            sim.send_in(SimDuration::ZERO, sw1, msg(CellArrive { port: 0, cell }));
+        }
+        sim.run();
+        let e = sim.component::<CellEndpoint>(ep);
+        assert_eq!(e.delivered.len(), 1);
+        assert_eq!(e.delivered[0].0, (3, 300));
+        assert_eq!(e.delivered[0].1, payload);
+        // End-to-end time exceeds the WAN propagation alone.
+        assert!(sim.now().as_micros_f64() > 500.0);
+    }
+
+    #[test]
+    fn selective_discard_protects_contracted_cells() {
+        use crate::policing::{LeakyBucket, PolicingAction};
+        // Overload an OC-3 port with a policed 2x-contract stream; the
+        // CLP-tagged half is shed first, the conforming half survives.
+        let mut sim = Simulator::new();
+        let ep = sim.add_component(CellEndpoint::default());
+        let mut sw = AtmSwitch::new(
+            "qos",
+            vec![OutputPort {
+                next: ep,
+                next_port: 0,
+                rate: Bandwidth::OC3,
+                propagation: SimDuration::from_micros(5),
+                buffer_cells: 64,
+                clp_threshold: 8,
+            }],
+        );
+        sw.add_route(VcKey { port: 0, vpi: 1, vci: 100 }, VcRoute { port: 0, vpi: 1, vci: 100 });
+        let sw = sim.add_component(sw);
+        // Police a raw cell stream at half the offered rate.
+        let offered_interval = SimDuration::from_micros(2); // ~500k cells/s offered
+        let mut bucket = LeakyBucket::new(
+            250_000.0, // contract: half of offered
+            SimDuration::from_micros(4),
+            PolicingAction::Tag,
+        );
+        let mut t = gtw_desim::SimTime::ZERO;
+        let mut sent_conforming = 0u64;
+        for i in 0..2000u64 {
+            let mut cell = AtmCell::new(
+                {
+                    let mut h = crate::cell::CellHeader::data(1, 100);
+                    h.pti = crate::cell::Pti::USER_DATA;
+                    h
+                },
+                &i.to_le_bytes(),
+            );
+            if bucket.police(&mut cell, t) != crate::policing::Verdict::Discarded {
+                if !cell.header.clp {
+                    sent_conforming += 1;
+                }
+                sim.send_at(t, sw, msg(CellArrive { port: 0, cell }));
+            }
+            t += offered_interval;
+        }
+        sim.run();
+        let stats = &sim.component::<AtmSwitch>(sw).stats;
+        assert!(stats.clp_discard > 300, "tagged cells should be shed: {stats:?}");
+        // Conforming cells survive (no untagged overflow at this load).
+        assert_eq!(stats.overflow, 0, "{stats:?}");
+        assert_eq!(stats.switched, sent_conforming + (bucket.tagged - stats.clp_discard));
+    }
+
+    /// Propagation constant for tests: Jülich–Sankt Augustin ≈ 100 km.
+    struct StageConfigPropagation;
+    impl StageConfigPropagation {
+        const JUELICH_GMD: SimDuration = SimDuration::from_micros(500);
+    }
+}

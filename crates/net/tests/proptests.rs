@@ -1,0 +1,128 @@
+//! Property-based tests for the network stack invariants.
+
+use gtw_net::aal5::{aal5_efficiency, cells_for_pdu, segment, Reassembler};
+use gtw_net::cell::{AtmCell, CellHeader, Pti};
+use gtw_net::ip::{fragment_sizes, IpConfig, IP_HEADER_BYTES};
+use gtw_net::link::Medium;
+use gtw_net::tcp::{HopModel, TcpModel};
+use gtw_net::units::{Bandwidth, DataSize};
+use gtw_desim::SimDuration;
+use proptest::prelude::*;
+
+proptest! {
+    /// AAL5 segmentation followed by reassembly returns the payload
+    /// byte-for-byte for any payload up to the CPCS limit.
+    #[test]
+    fn aal5_roundtrip(payload in proptest::collection::vec(any::<u8>(), 0..20_000),
+                      vpi in 0u8..=255, vci in 0u16..=u16::MAX) {
+        let cells = segment(&payload, vpi, vci);
+        prop_assert_eq!(cells.len(), cells_for_pdu(payload.len()));
+        let mut r = Reassembler::new();
+        let mut out = None;
+        for c in &cells {
+            prop_assert_eq!(c.header.vpi, vpi);
+            prop_assert_eq!(c.header.vci, vci);
+            if let Some(res) = r.push(c) {
+                out = Some(res);
+            }
+        }
+        prop_assert_eq!(out.unwrap().unwrap(), payload);
+    }
+
+    /// Dropping any single cell from a multi-cell PDU is detected.
+    #[test]
+    fn aal5_single_cell_loss_detected(len in 100usize..5000, drop_idx in 0usize..100) {
+        let payload: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
+        let cells = segment(&payload, 0, 5);
+        prop_assume!(cells.len() >= 2);
+        let drop = drop_idx % cells.len();
+        let mut r = Reassembler::new();
+        let mut outcome = None;
+        for (i, c) in cells.iter().enumerate() {
+            if i == drop { continue; }
+            if let Some(res) = r.push(c) {
+                outcome = Some(res);
+            }
+        }
+        match outcome {
+            // PDU completed (end cell survived): must be flagged corrupt.
+            Some(res) => prop_assert!(res.is_err()),
+            // End cell was the dropped one: PDU still pending, nothing
+            // delivered — also safe.
+            None => prop_assert_eq!(r.pdus_ok, 0),
+        }
+    }
+
+    /// Cell header pack/unpack round-trips for all field values, and the
+    /// wire form survives parsing.
+    #[test]
+    fn cell_header_roundtrip(gfc in 0u8..16, vpi: u8, vci: u16, pti in 0u8..8, clp: bool) {
+        let h = CellHeader { gfc, vpi, vci, pti: Pti(pti), clp };
+        prop_assert_eq!(CellHeader::unpack(h.pack()), h);
+        let cell = AtmCell::new(h, b"x");
+        prop_assert_eq!(AtmCell::from_wire(&cell.to_wire()).unwrap(), cell);
+    }
+
+    /// AAL5 efficiency is bounded by the raw cell tax and positive.
+    #[test]
+    fn aal5_efficiency_bounds(len in 1usize..=65535) {
+        let e = aal5_efficiency(len);
+        prop_assert!(e > 0.0);
+        prop_assert!(e <= 48.0 / 53.0 + 1e-12);
+    }
+
+    /// IP fragments always sum to the payload and respect the MTU.
+    #[test]
+    fn fragments_conserve_payload(payload in 0u64..200_000, mtu in 100u64..65_535) {
+        let frags = fragment_sizes(payload, mtu);
+        let total: u64 = frags.iter().map(|f| f.bytes() - IP_HEADER_BYTES).sum();
+        prop_assert_eq!(total, payload);
+        for f in &frags {
+            prop_assert!(f.bytes() <= mtu.max(IP_HEADER_BYTES + 8));
+        }
+    }
+
+    /// TCP steady-state throughput is monotone non-decreasing in window
+    /// size and never exceeds the bottleneck payload rate.
+    #[test]
+    fn tcp_model_monotone_in_window(rate_mbps in 10.0f64..2500.0,
+                                    prop_us in 1u64..50_000,
+                                    w1 in 1u64..1000, w2 in 1u64..1000) {
+        let mk = |w_kib: u64| TcpModel {
+            hops: vec![HopModel {
+                medium: Medium::Raw { rate: Bandwidth::from_mbps(rate_mbps) },
+                per_packet: SimDuration::ZERO,
+                propagation: SimDuration::from_micros(prop_us),
+            }],
+            ip: IpConfig { mtu: 9180 },
+            window: DataSize::from_kib(w_kib),
+        };
+        let (lo, hi) = if w1 <= w2 { (w1, w2) } else { (w2, w1) };
+        let t_lo = mk(lo).steady_state_throughput().bps();
+        let t_hi = mk(hi).steady_state_throughput().bps();
+        prop_assert!(t_lo <= t_hi * (1.0 + 1e-9));
+        prop_assert!(t_hi <= rate_mbps * 1e6 * (1.0 + 1e-9));
+    }
+
+    /// Throughput is monotone non-increasing when hops are appended (a
+    /// longer path can never be faster).
+    #[test]
+    fn tcp_model_monotone_in_path(extra_hops in 0usize..5) {
+        let hop = HopModel {
+            medium: Medium::Raw { rate: Bandwidth::from_mbps(622.0) },
+            per_packet: SimDuration::from_micros(50),
+            propagation: SimDuration::from_micros(100),
+        };
+        let mut last = f64::INFINITY;
+        for n in 1..=(1 + extra_hops) {
+            let m = TcpModel {
+                hops: vec![hop; n],
+                ip: IpConfig { mtu: 9180 },
+                window: DataSize::from_kib(256),
+            };
+            let t = m.steady_state_throughput().bps();
+            prop_assert!(t <= last * (1.0 + 1e-9));
+            last = t;
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the synthetic scanner.
+
+use gtw_scan::acquire::{Scanner, ScannerConfig};
+use gtw_scan::hrf::{hrf_gamma, raw_convolution, ReferenceVector, Stimulus};
+use gtw_scan::motion::RigidTransform;
+use gtw_scan::phantom::Phantom;
+use gtw_scan::volume::{Dims, Volume};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The HRF is non-negative, finite, and peaks at the delay.
+    #[test]
+    fn hrf_wellformed(delay in 2.0f64..10.0, disp in 0.3f64..3.0, t in -5.0f64..60.0) {
+        let v = hrf_gamma(t, delay, disp);
+        prop_assert!(v.is_finite());
+        prop_assert!(v >= 0.0);
+        prop_assert!(v <= hrf_gamma(delay, delay, disp) + 1e-12);
+    }
+
+    /// Reference vectors are always zero-mean and unit-norm (or zero for
+    /// empty stimulation).
+    #[test]
+    fn reference_normalized(off in 1usize..10, on in 1usize..10, total in 10usize..80,
+                            delay in 3.0f64..9.0, disp in 0.5f64..2.0) {
+        let s = Stimulus::block_design(off, on, total, 2.0);
+        let rv = ReferenceVector::from_stimulus(&s, delay, disp);
+        let mean: f64 = rv.values.iter().sum::<f64>() / total as f64;
+        let norm: f64 = rv.values.iter().map(|v| v * v).sum();
+        prop_assert!(mean.abs() < 1e-9);
+        prop_assert!((norm - 1.0).abs() < 1e-6 || norm < 1e-12);
+    }
+
+    /// Correlation is always in [-1, 1] for arbitrary series.
+    #[test]
+    fn correlation_bounded(series in proptest::collection::vec(-1e5f32..1e5, 24)) {
+        let s = Stimulus::block_design(4, 4, 24, 2.0);
+        let rv = ReferenceVector::canonical(&s);
+        let c = rv.correlate(&series);
+        prop_assert!((-1.0..=1.0).contains(&c));
+    }
+
+    /// Convolution is linear in stimulus amplitude.
+    #[test]
+    fn convolution_linear(scale in 0.1f64..10.0) {
+        let base = Stimulus::block_design(5, 5, 40, 2.0);
+        let scaled = Stimulus {
+            course: base.course.iter().map(|&v| v * scale).collect(),
+            tr_s: base.tr_s,
+        };
+        let a = raw_convolution(&base, 6.0, 1.0);
+        let b = raw_convolution(&scaled, 6.0, 1.0);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((y - x * scale).abs() < 1e-9 * (1.0 + y.abs()));
+        }
+    }
+
+    /// Rigid resampling never exceeds the input intensity range
+    /// (trilinear interpolation is a convex combination).
+    #[test]
+    fn resample_respects_range(rx in -0.1f32..0.1, tx in -2.0f32..2.0, ty in -2.0f32..2.0) {
+        let vol = Phantom::standard().anatomy(Dims::new(16, 16, 8));
+        let (lo, hi) = vol.min_max();
+        let t = RigidTransform { rx, ry: 0.0, rz: 0.0, tx, ty, tz: 0.0 };
+        let out = t.resample(&vol);
+        let (olo, ohi) = out.min_max();
+        prop_assert!(olo >= lo - 1e-3);
+        prop_assert!(ohi <= hi + 1e-3);
+    }
+
+    /// Scanner determinism: same seed/scan always yields the same volume;
+    /// different scans differ (noise stream per scan).
+    #[test]
+    fn scanner_deterministic(seed in 0u64..1000, t_pick in 0usize..8) {
+        let mut cfg = ScannerConfig::paper_default(8, seed);
+        cfg.dims = Dims::new(8, 8, 4);
+        let s1 = Scanner::new(cfg.clone(), Phantom::standard());
+        let s2 = Scanner::new(cfg, Phantom::standard());
+        prop_assert_eq!(s1.acquire(t_pick), s2.acquire(t_pick));
+    }
+
+    /// Volume trilinear sampling interpolates within the local value
+    /// range at interior points.
+    #[test]
+    fn sample_within_local_range(x in 1.0f32..6.0, y in 1.0f32..6.0, z in 1.0f32..2.9) {
+        let vol = Phantom::standard().anatomy(Dims::new(8, 8, 4));
+        let v = vol.sample(x, y, z);
+        let (lo, hi) = vol.min_max();
+        prop_assert!(v >= lo - 1e-4 && v <= hi + 1e-4);
+    }
+
+    /// Index/coords round-trip for arbitrary dims.
+    #[test]
+    fn dims_roundtrip(nx in 1usize..20, ny in 1usize..20, nz in 1usize..20, pick in 0usize..8000) {
+        let d = Dims::new(nx, ny, nz);
+        let idx = pick % d.len();
+        let (x, y, z) = d.coords(idx);
+        prop_assert_eq!(d.index(x, y, z), idx);
+        prop_assert!(x < nx && y < ny && z < nz);
+    }
+
+    /// rms_diff is a metric: symmetric, zero iff equal-ish.
+    #[test]
+    fn rms_diff_metric(data in proptest::collection::vec(-10.0f32..10.0, 8)) {
+        let d = Dims::new(2, 2, 2);
+        let a = Volume::from_vec(d, data.clone());
+        let b = Volume::from_vec(d, data.iter().map(|v| v + 1.0).collect());
+        prop_assert_eq!(a.rms_diff(&a), 0.0);
+        prop_assert!((a.rms_diff(&b) - 1.0).abs() < 1e-5);
+        prop_assert_eq!(a.rms_diff(&b), b.rms_diff(&a));
+    }
+}

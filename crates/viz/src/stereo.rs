@@ -1,0 +1,222 @@
+//! Stereo rendering for the Responsive Workbench.
+//!
+//! The workbench "displays stereo images" on each projection plane: two
+//! views of the scene from eye positions separated by the interocular
+//! angle. This module renders stereo pairs with the ray-caster, builds
+//! full workbench frames (planes × eyes), and provides an anaglyph
+//! composite for flat-screen inspection of the depth signal.
+
+use crate::image::{Image, Rgb};
+use crate::raycast::{RenderParams, VolumeRenderer};
+
+/// A stereo pair.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StereoPair {
+    /// Left-eye view.
+    pub left: Image,
+    /// Right-eye view.
+    pub right: Image,
+}
+
+/// Render a stereo pair: the eyes differ by `separation` radians of
+/// azimuth (typical VR setups use ~0.05–0.1 rad at workbench scale).
+pub fn render_stereo(
+    renderer: &VolumeRenderer,
+    params: &RenderParams,
+    separation: f32,
+) -> StereoPair {
+    let left = renderer.render(&RenderParams {
+        azimuth: params.azimuth - separation / 2.0,
+        ..*params
+    });
+    let right = renderer.render(&RenderParams {
+        azimuth: params.azimuth + separation / 2.0,
+        ..*params
+    });
+    StereoPair { left, right }
+}
+
+impl StereoPair {
+    /// Total payload bytes of the pair.
+    pub fn byte_len(&self) -> u64 {
+        self.left.byte_len() + self.right.byte_len()
+    }
+
+    /// Red/cyan anaglyph composite (left eye → red channel, right eye →
+    /// green+blue), the classic flat-screen stereo check.
+    pub fn anaglyph(&self) -> Image {
+        assert_eq!(self.left.width, self.right.width, "stereo pair size mismatch");
+        assert_eq!(self.left.height, self.right.height, "stereo pair size mismatch");
+        let mut out = Image::new(self.left.width, self.left.height);
+        for (o, (l, r)) in out
+            .pixels
+            .iter_mut()
+            .zip(self.left.pixels.iter().zip(&self.right.pixels))
+        {
+            let lum_l = (l.0 as u16 + l.1 as u16 + l.2 as u16) / 3;
+            let lum_r = (r.0 as u16 + r.1 as u16 + r.2 as u16) / 3;
+            *o = Rgb(lum_l as u8, lum_r as u8, lum_r as u8);
+        }
+        out
+    }
+
+    /// A crude disparity metric: mean horizontal shift (pixels) that
+    /// best aligns the right view to the left, searched over ±`max`
+    /// pixels. Non-zero disparity = the pair actually carries depth.
+    pub fn estimate_disparity(&self, max: usize) -> i32 {
+        let (w, h) = (self.left.width, self.left.height);
+        let mut best = (f64::INFINITY, 0i32);
+        for shift in -(max as i32)..=(max as i32) {
+            let mut sse = 0.0f64;
+            let mut n = 0u64;
+            for y in 0..h {
+                for x in 0..w {
+                    let xr = x as i32 + shift;
+                    if xr < 0 || xr >= w as i32 {
+                        continue;
+                    }
+                    let l = self.left.at(x, y);
+                    let r = self.right.at(xr as usize, y);
+                    let d = l.0 as f64 - r.0 as f64;
+                    sse += d * d;
+                    n += 1;
+                }
+            }
+            let mse = sse / n.max(1) as f64;
+            if mse < best.0 {
+                best = (mse, shift);
+            }
+        }
+        best.1
+    }
+}
+
+/// A full workbench frame: one stereo pair per projection plane, each
+/// plane viewing the scene from its own angle (the two planes of the
+/// workbench stand at 90°).
+pub struct WorkbenchFrame {
+    /// One pair per plane.
+    pub planes: Vec<StereoPair>,
+}
+
+/// Render a complete frame for a workbench with `plane_azimuths` views.
+pub fn render_workbench_frame(
+    renderer: &VolumeRenderer,
+    base: &RenderParams,
+    plane_azimuths: &[f32],
+    separation: f32,
+) -> WorkbenchFrame {
+    let planes = plane_azimuths
+        .iter()
+        .map(|&az| {
+            render_stereo(renderer, &RenderParams { azimuth: az, ..*base }, separation)
+        })
+        .collect();
+    WorkbenchFrame { planes }
+}
+
+impl WorkbenchFrame {
+    /// Total payload of the frame.
+    pub fn byte_len(&self) -> u64 {
+        self.planes.iter().map(StereoPair::byte_len).sum()
+    }
+
+    /// Number of images in the frame.
+    pub fn image_count(&self) -> usize {
+        self.planes.len() * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtw_scan::phantom::Phantom;
+    use gtw_scan::volume::Dims;
+
+    fn renderer() -> VolumeRenderer {
+        let p = Phantom::standard();
+        let d = Dims::new(32, 32, 16);
+        VolumeRenderer::new(p.anatomy(d), None)
+    }
+
+    fn params() -> RenderParams {
+        RenderParams { width: 48, height: 48, ..RenderParams::default() }
+    }
+
+    #[test]
+    fn stereo_views_differ() {
+        let pair = render_stereo(&renderer(), &params(), 0.12);
+        assert_ne!(pair.left, pair.right, "eyes must see different views");
+        assert_eq!(pair.byte_len(), 2 * 48 * 48 * 3);
+    }
+
+    #[test]
+    fn zero_separation_collapses_to_mono() {
+        let pair = render_stereo(&renderer(), &params(), 0.0);
+        assert_eq!(pair.left, pair.right);
+        assert_eq!(pair.estimate_disparity(4), 0);
+    }
+
+    #[test]
+    fn view_difference_grows_with_separation() {
+        // Rotational stereo is not a uniform shift, so compare raw pixel
+        // disagreement instead of a single global disparity.
+        let r = renderer();
+        let diff = |pair: &StereoPair| {
+            pair.left
+                .pixels
+                .iter()
+                .zip(&pair.right.pixels)
+                .map(|(a, b)| (a.0 as i64 - b.0 as i64).unsigned_abs())
+                .sum::<u64>()
+        };
+        let narrow = diff(&render_stereo(&r, &params(), 0.05));
+        let wide = diff(&render_stereo(&r, &params(), 0.3));
+        assert!(wide > narrow, "narrow {narrow} vs wide {wide}");
+        assert!(narrow > 0);
+    }
+
+    #[test]
+    fn disparity_estimator_finds_a_pure_shift() {
+        // Synthetic pair: the right view is the left shifted 3 px.
+        let mut left = Image::new(32, 8);
+        for y in 0..8 {
+            for x in 0..32 {
+                *left.at_mut(x, y) = Rgb(((x * 8) % 256) as u8, 0, 0);
+            }
+        }
+        let mut right = Image::new(32, 8);
+        for y in 0..8 {
+            for x in 0..32 {
+                let src = (x + 29) % 32; // shift by -3 with wrap
+                *right.at_mut(x, y) = left.at(src, y);
+            }
+        }
+        let pair = StereoPair { left, right };
+        assert_eq!(pair.estimate_disparity(5).abs(), 3);
+    }
+
+    #[test]
+    fn anaglyph_encodes_both_eyes() {
+        let pair = render_stereo(&renderer(), &params(), 0.15);
+        let ana = pair.anaglyph();
+        // Somewhere the channels disagree (depth edges).
+        let diff = ana.pixels.iter().any(|p| p.0 != p.1);
+        assert!(diff, "anaglyph should separate the eyes");
+    }
+
+    #[test]
+    fn full_frame_geometry() {
+        let frame = render_workbench_frame(
+            &renderer(),
+            &params(),
+            &[0.4, 0.4 + std::f32::consts::FRAC_PI_2],
+            0.1,
+        );
+        assert_eq!(frame.planes.len(), 2);
+        assert_eq!(frame.image_count(), 4);
+        assert_eq!(frame.byte_len(), 4 * 48 * 48 * 3);
+        // The two planes see different views.
+        assert_ne!(frame.planes[0].left, frame.planes[1].left);
+    }
+}

@@ -1,0 +1,65 @@
+//! Property-based tests for the visualization layer.
+
+use gtw_viz::color::{correlation_color, grayscale, hot};
+use gtw_viz::image::{rle_decode, rle_encode, Image, Rgb};
+use proptest::prelude::*;
+
+proptest! {
+    /// RLE round-trips any RGB byte stream.
+    #[test]
+    fn rle_roundtrip(pixels in proptest::collection::vec(any::<u8>(), 0..2000)) {
+        // Truncate to a multiple of 3.
+        let n = pixels.len() / 3 * 3;
+        let rgb = &pixels[..n];
+        let enc = rle_encode(rgb);
+        prop_assert_eq!(rle_decode(&enc), rgb.to_vec());
+    }
+
+    /// RLE never expands beyond 4/3 of the input (quads encode at least
+    /// one pixel each).
+    #[test]
+    fn rle_expansion_bounded(pixels in proptest::collection::vec(any::<u8>(), 0..1500)) {
+        let n = pixels.len() / 3 * 3;
+        let enc = rle_encode(&pixels[..n]);
+        prop_assert!(enc.len() * 3 <= n * 4 + 12);
+    }
+
+    /// Highly repetitive streams compress.
+    #[test]
+    fn rle_compresses_runs(value in any::<u8>(), reps in 10usize..500) {
+        let rgb: Vec<u8> = std::iter::repeat_n([value, value, value], reps).flatten().collect();
+        let enc = rle_encode(&rgb);
+        prop_assert!(enc.len() < rgb.len() / 2 + 8);
+    }
+
+    /// Colormaps always emit valid channel orderings: hot is warm
+    /// (R ≥ G ≥ B), grayscale is gray.
+    #[test]
+    fn colormap_invariants(t in -1.0f32..2.0, v in -1e6f32..1e6) {
+        let h = hot(t);
+        prop_assert!(h.0 >= h.1 && h.1 >= h.2, "{h:?}");
+        let g = grayscale(v, -1e6, 1e6);
+        prop_assert!(g.0 == g.1 && g.1 == g.2);
+    }
+
+    /// The correlation overlay never renders black (must remain visible
+    /// at any clip level below the value).
+    #[test]
+    fn overlay_color_visible(c in 0.0f32..=1.0, clip in 0.0f32..0.99) {
+        prop_assume!(c >= clip);
+        let col = correlation_color(c, clip);
+        prop_assert!(col.0 > 60, "{col:?}");
+    }
+
+    /// Image coverage is consistent with direct pixel counting.
+    #[test]
+    fn coverage_matches_count(w in 1usize..20, h in 1usize..20, lit in 0usize..100) {
+        let mut img = Image::new(w, h);
+        let lit = lit.min(w * h);
+        for i in 0..lit {
+            img.pixels[i] = Rgb(1, 2, 3);
+        }
+        let expect = lit as f64 / (w * h) as f64;
+        prop_assert!((img.coverage() - expect).abs() < 1e-12);
+    }
+}

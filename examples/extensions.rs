@@ -1,0 +1,82 @@
+//! The Section-5 extension projects: distributed traffic simulation with
+//! visualization (Cologne dark fibre), multiscale molecular dynamics
+//! (Bonn link), and the bio-feedback loop the realtime-fMRI delay
+//! enables.
+//!
+//! ```text
+//! cargo run --release --example extensions
+//! ```
+
+use gtw_apps::moldyn::{MdConfig, System};
+use gtw_apps::traffic_sim::{fundamental_diagram, Road};
+use gtw_core::testbed::{GigabitTestbedWest, LinkEra};
+use gtw_desim::StreamRng;
+use gtw_fire::biofeedback::{run_session, FeedbackConfig};
+use gtw_viz::image::{Image, Rgb};
+
+fn main() {
+    // --- Extended testbed ------------------------------------------------
+    let mut tb = GigabitTestbedWest::build(LinkEra::Oc48Upgrade);
+    let ext = tb.extend();
+    println!("== Section 5: extended testbed ==");
+    for (name, node) in [("DLR", ext.dlr), ("Cologne", ext.cologne), ("Bonn", ext.bonn)] {
+        let m = tb.measure(node, tb.t3e_600, 16 * 1024 * 1024, 4 * 1024 * 1024);
+        println!("  {name:<8} -> T3E-600: {:.0} Mbit/s", m.report.goodput.mbps());
+    }
+
+    // --- Distributed traffic simulation + visualization -------------------
+    println!("\n== Traffic simulation (Nagel-Schreckenberg) ==");
+    println!("fundamental diagram (density -> flow):");
+    for (rho, flow) in fundamental_diagram(400, &[0.05, 0.1, 0.2, 0.4, 0.6, 0.8], 400, 0.25, 7) {
+        let bar = "#".repeat((flow * 120.0) as usize);
+        println!("  rho {rho:>4.2}: flow {flow:>5.3}  {bar}");
+    }
+    // Space-time diagram rendered as an image (the "visualization" half).
+    let mut road = Road::ring(256, 80, 0.25, 9);
+    let mut rng = StreamRng::new(9, "viz");
+    let raster = road.space_time(128, &mut rng);
+    let mut img = Image::new(256, 128);
+    for (t, row) in raster.iter().enumerate() {
+        for (x, &occ) in row.iter().enumerate() {
+            if occ {
+                *img.at_mut(x, t) = Rgb(255, 255, 255);
+            }
+        }
+    }
+    let path = std::env::temp_dir().join("gtw_traffic_spacetime.ppm");
+    std::fs::write(&path, img.to_ppm()).expect("write PPM");
+    println!("space-time diagram (jam waves visible) written to {}", path.display());
+
+    // --- Multiscale molecular dynamics ------------------------------------
+    println!("\n== Multiscale molecular dynamics ==");
+    let mut sys = System::lattice(MdConfig::default_box(14.0), 7, 0.25, 3);
+    let e0 = sys.total_energy();
+    for _ in 0..100 {
+        sys.multiscale_step();
+    }
+    let e1 = sys.total_energy();
+    println!(
+        "  {} LJ particles, 100 outer steps x {} substeps: energy {:.4} -> {:.4} (drift {:.2}%)",
+        sys.len(),
+        sys.cfg.substeps,
+        e0,
+        e1,
+        (e1 - e0).abs() / e0.abs() * 100.0
+    );
+    println!("  fine-region load share: {:.0}%", sys.fine_fraction() * 100.0);
+
+    // --- Bio-feedback ------------------------------------------------------
+    println!("\n== Bio-feedback ('the subject watching his own brain in action') ==");
+    println!("{:>22} {:>16} {:>16}", "chain latency", "final ability", "learned at scan");
+    for (name, latency) in [("4.2 s (256 PEs)", 4.2), ("7.1 s (32 PEs)", 7.1), ("17.4 s (8 PEs)", 17.4)] {
+        let r = run_session(&FeedbackConfig::paper(latency), true, 1);
+        println!(
+            "{:>22} {:>15.3}% {:>16}",
+            name,
+            r.final_ability * 100.0,
+            r.scans_to_learn.map(|t| t.to_string()).unwrap_or_else(|| "never".into())
+        );
+    }
+    let control = run_session(&FeedbackConfig::paper(4.2), false, 1);
+    println!("{:>22} {:>15.3}% {:>16}", "no feedback (control)", control.final_ability * 100.0, "-");
+}

@@ -1,0 +1,47 @@
+//! TRACE ↔ PARTRACE: the coupled groundwater application, distributed
+//! over two MPI ranks placed on different machines of the metacomputer.
+//!
+//! ```text
+//! cargo run --release --example groundwater_coupling
+//! ```
+
+use gtw_apps::groundwater::{coupled_run, Grid};
+use gtw_mpi::{FabricSpec, MachineSpec, Placement, Universe};
+
+fn main() {
+    let grid = Grid { nx: 32, ny: 16, nz: 8 };
+    let steps = 20;
+    // Rank 0 (TRACE) on the SP2, rank 1 (PARTRACE) on the T3E, joined by
+    // the testbed WAN — the paper's placement.
+    let placement = Placement::split(
+        2,
+        1,
+        MachineSpec::new("IBM SP2 (GMD)", FabricSpec::sp2_switch()),
+        MachineSpec::new("Cray T3E (FZJ)", FabricSpec::t3e_torus()),
+        FabricSpec::wan_testbed(),
+    );
+    let out = Universe::run_placed(placement, move |comm| {
+        let report = coupled_run(&comm, grid, steps, 10.0, 42);
+        (report, comm.comm_cost())
+    });
+
+    let (report, cost0) = &out[0];
+    let report = report.as_ref().expect("TRACE rank reports");
+    println!("coupled TRACE->PARTRACE run: {} timesteps", report.steps);
+    println!(
+        "field transfer: {} KB per step ({} MB/s at 2 steps/s — paper: up to 30 MB/s at production scale)",
+        report.bytes_per_step / 1024,
+        report.bytes_per_step as f64 * 2.0 / 1e6
+    );
+    println!("plume centre of mass (cells):");
+    for (i, x) in report.plume_x.iter().enumerate() {
+        if i % 4 == 0 {
+            println!("  step {:>2}: x = {:.2}", i + 1, x);
+        }
+    }
+    println!("breakthrough: {} of 500 particles", report.breakthrough);
+    println!(
+        "TRACE rank modeled comm time: {:.3}s total ({:.3}s over the WAN, {} messages)",
+        cost0.seconds, cost0.wan_seconds, cost0.messages
+    );
+}

@@ -1,0 +1,62 @@
+//! Mini-VAMPIR: trace a distributed run and print the message-statistics
+//! panels — the paper's Metacomputing Tools project ("the parallel
+//! tracing tool VAMPIR is extended for the use with this library").
+//!
+//! ```text
+//! cargo run --release --example vampir_trace
+//! ```
+
+use gtw_apps::groundwater::{coupled_run, Grid};
+use gtw_mpi::{FabricSpec, MachineSpec, Placement, Universe};
+
+fn main() {
+    // Trace the coupled groundwater application on a 2-machine placement.
+    let u = Universe::traced();
+    let grid = Grid { nx: 24, ny: 12, nz: 6 };
+    let placement = Placement::split(
+        2,
+        1,
+        MachineSpec::new("IBM SP2 (TRACE)", FabricSpec::sp2_switch()),
+        MachineSpec::new("Cray T3E (PARTRACE)", FabricSpec::t3e_torus()),
+        FabricSpec::wan_testbed(),
+    );
+    let costs = u.launch_and_join(placement, move |comm| {
+        coupled_run(&comm, grid, 8, 5.0, 11);
+        comm.comm_cost()
+    });
+    u.join_spawned();
+
+    let summary = u.trace().summary(u.total_ranks());
+    println!("== VAMPIR message statistics: TRACE <-> PARTRACE, 8 timesteps ==");
+    println!("\nmessage-count matrix:");
+    print!("{}", summary.message_matrix_table());
+    println!("\ntotal messages: {}", summary.total_messages());
+    println!(
+        "total payload:  {:.2} MB ({} KB per timestep field)",
+        summary.total_bytes() as f64 / 1e6,
+        3 * grid.nx * grid.ny * grid.nz * 4 / 1024
+    );
+    println!("\nper-rank activity:");
+    println!("{:>6} {:>8} {:>8} {:>12} {:>14} {:>14}", "rank", "sends", "recvs", "collectives", "comm time", "WAN share");
+    for (r, cost) in costs.iter().enumerate() {
+        println!(
+            "{:>6} {:>8} {:>8} {:>12} {:>12.1}ms {:>13.0}%",
+            r,
+            summary.sends[r],
+            summary.recvs[r],
+            summary.collectives[r],
+            cost.seconds * 1e3,
+            if cost.seconds > 0.0 { cost.wan_seconds / cost.seconds * 100.0 } else { 0.0 }
+        );
+    }
+    println!("\nevent timeline (first 10 events):");
+    for e in u.trace().events().into_iter().take(10) {
+        println!(
+            "  t={:>9.6}s rank {} {:?}{}",
+            e.at_s,
+            e.rank,
+            e.kind,
+            e.peer.map(|p| format!(" -> rank {p} ({} B)", e.bytes)).unwrap_or_default()
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Uncompressed D1 studio video over the testbed's link classes.
+//!
+//! ```text
+//! cargo run --release --example video_stream
+//! ```
+
+use gtw_apps::video::{stream_over, D1Stream};
+use gtw_desim::SimDuration;
+use gtw_net::ip::IpConfig;
+use gtw_net::link::Medium;
+use gtw_net::sdh::StmLevel;
+use gtw_net::tcp::HopModel;
+
+fn main() {
+    let d1 = D1Stream::pal();
+    println!(
+        "D1 PAL: {}x{} @ {} fps, {:.0} Mbit/s active payload, {:.0} Mbit/s serial",
+        d1.width,
+        d1.height,
+        d1.fps,
+        d1.payload_rate().mbps(),
+        d1.serial_rate().mbps()
+    );
+    println!(
+        "\n{:<10} {:>12} {:>12} {:>12} {:>10}",
+        "link", "goodput", "spacing", "peak jitter", "sustained"
+    );
+    for (name, level) in [
+        ("OC-3", StmLevel::Stm1),
+        ("OC-12", StmLevel::Stm4),
+        ("OC-48", StmLevel::Stm16),
+    ] {
+        let hop = HopModel {
+            medium: Medium::Atm { cell_rate: level.payload_rate() },
+            per_packet: SimDuration::from_micros(50),
+            propagation: SimDuration::from_micros(500),
+        };
+        let r = stream_over(&d1, &[hop], IpConfig::large_mtu(), 25);
+        println!(
+            "{:<10} {:>8.1} Mb/s {:>9.1} ms {:>9.2} ms {:>10}",
+            name,
+            r.goodput.mbps(),
+            r.mean_spacing_s * 1e3,
+            r.peak_jitter_s * 1e3,
+            if r.sustained { "yes" } else { "NO" }
+        );
+    }
+    println!("\n(the paper's multimedia project: 270 Mbit/s per stream needs the testbed, not the B-WiN)");
+}
