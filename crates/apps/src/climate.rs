@@ -208,11 +208,8 @@ pub fn coupled_run(
         for _ in 0..steps {
             // Receive air temperature (atmos grid), regrid to ocean.
             let (tair_raw, _) = comm.recv_f64s(1, TAG_TAIR);
-            let tair =
-                Field2d { nx: atmos_grid.0, ny: atmos_grid.1, data: tair_raw }.regrid(
-                    ocean_grid.0,
-                    ocean_grid.1,
-                );
+            let tair = Field2d { nx: atmos_grid.0, ny: atmos_grid.1, data: tair_raw }
+                .regrid(ocean_grid.0, ocean_grid.1);
             tair_mean.push(tair.mean());
             let flux = ocean.step(&tair, 0.5);
             // Regrid the flux to the atmosphere grid and send.
@@ -250,12 +247,8 @@ mod tests {
         }
         let up = f.regrid(64, 32);
         let back = up.regrid(32, 16);
-        let err: f64 = f
-            .data
-            .iter()
-            .zip(&back.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max);
+        let err: f64 =
+            f.data.iter().zip(&back.data).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
         assert!(err < 0.05, "regrid roundtrip error {err}");
     }
 

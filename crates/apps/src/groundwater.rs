@@ -14,8 +14,8 @@
 //! reproducing the paper's traffic pattern with a real computation on
 //! both ends.
 
-use gtw_mpi::{Comm, Tag};
 use gtw_desim::StreamRng;
+use gtw_mpi::{Comm, Tag};
 use serde::{Deserialize, Serialize};
 
 /// Grid dimensions of the flow domain.
@@ -104,11 +104,7 @@ pub struct Trace {
 impl Trace {
     /// Homogeneous-conductivity domain.
     pub fn homogeneous(grid: Grid) -> Self {
-        Trace {
-            grid,
-            conductivity: vec![1.0; grid.len()],
-            pressure: vec![0.0; grid.len()],
-        }
+        Trace { grid, conductivity: vec![1.0; grid.len()], pressure: vec![0.0; grid.len()] }
     }
 
     /// A heterogeneous aquifer: log-normal conductivity with a
@@ -122,8 +118,7 @@ impl Trace {
                 for _x in 0..grid.nx {
                     let base = (0.5 * rng.normal()).exp();
                     // Channel: a band of high conductivity.
-                    let in_channel = (y as f64 - grid.ny as f64 / 2.0).abs()
-                        < grid.ny as f64 / 8.0
+                    let in_channel = (y as f64 - grid.ny as f64 / 2.0).abs() < grid.ny as f64 / 8.0
                         && (z as f64 - grid.nz as f64 / 2.0).abs() < grid.nz as f64 / 4.0;
                     k.push(if in_channel { base * 10.0 } else { base });
                 }
@@ -266,11 +261,7 @@ impl Partrace {
                 continue;
             }
             let v1 = field.velocity_at(p[0], p[1], p[2]);
-            let mid = [
-                p[0] + 0.5 * dt * v1[0],
-                p[1] + 0.5 * dt * v1[1],
-                p[2] + 0.5 * dt * v1[2],
-            ];
+            let mid = [p[0] + 0.5 * dt * v1[0], p[1] + 0.5 * dt * v1[1], p[2] + 0.5 * dt * v1[2]];
             let v2 = field.velocity_at(mid[0], mid[1], mid[2]);
             p[0] += dt * v2[0];
             p[1] = (p[1] + dt * v2[1]).clamp(0.0, (field.grid.ny - 1) as f64);
@@ -310,7 +301,13 @@ pub struct CoupledReport {
 /// solves flow (re-solving as conductivity drifts slightly each step, so
 /// a fresh field genuinely crosses the wire every timestep), rank 1
 /// advects particles.
-pub fn coupled_run(comm: &Comm, grid: Grid, steps: usize, dt: f64, seed: u64) -> Option<CoupledReport> {
+pub fn coupled_run(
+    comm: &Comm,
+    grid: Grid,
+    steps: usize,
+    dt: f64,
+    seed: u64,
+) -> Option<CoupledReport> {
     assert!(comm.size() == 2, "coupled run needs exactly 2 ranks");
     let mut bytes_per_step = 0u64;
     if comm.rank() == 0 {

@@ -219,8 +219,7 @@ pub fn distributed_run(
             for y in 1..ny - 1 {
                 for x in x0..x1 {
                     let rhs = -cell.rayleigh
-                        * (cell.temp[cell.idx(x + 1, y)]
-                            - cell.temp[cell.idx(x + nx - 1, y)])
+                        * (cell.temp[cell.idx(x + 1, y)] - cell.temp[cell.idx(x + nx - 1, y)])
                         / (2.0 * cell.h);
                     let nb = cell.psi[cell.idx(x + 1, y)]
                         + cell.psi[cell.idx(x + nx - 1, y)]
@@ -331,9 +330,8 @@ mod tests {
         let dt = serial.stable_dt();
         serial.run(steps, sweeps, dt);
         for ranks in [2usize, 3] {
-            let out = Universe::run(ranks, move |comm| {
-                distributed_run(&comm, nx, ny, ra, steps, sweeps)
-            });
+            let out =
+                Universe::run(ranks, move |comm| distributed_run(&comm, nx, ny, ra, steps, sweeps));
             // Stitch strips back together and compare.
             let w = nx / ranks;
             for (r, strip) in out.iter().enumerate() {

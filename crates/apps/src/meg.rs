@@ -55,8 +55,7 @@ impl SensorArray {
             let elev = 0.26 + 1.2 * ring as f64 / (rings - 1).max(1) as f64;
             for k in 0..per_ring {
                 let az = 2.0 * std::f64::consts::PI * k as f64 / per_ring as f64;
-                let dir =
-                    [elev.cos() * az.cos(), elev.cos() * az.sin(), elev.sin()];
+                let dir = [elev.cos() * az.cos(), elev.cos() * az.sin(), elev.sin()];
                 positions.push([r * dir[0], r * dir[1], r * dir[2]]);
                 orientations.push(dir);
             }
@@ -137,9 +136,7 @@ pub fn synthesize(
         let lf = array.lead_field(d.position, d.moment);
         for t in 0..samples {
             // Distinct phases decorrelate the sources.
-            let s = (2.0 * std::f64::consts::PI * d.frequency * t as f64
-                + k as f64 * 1.7)
-                .sin();
+            let s = (2.0 * std::f64::consts::PI * d.frequency * t as f64 + k as f64 * 1.7).sin();
             for i in 0..m {
                 x[(i, t)] += lf[i] * s;
             }
@@ -317,16 +314,8 @@ mod tests {
 
     fn two_dipoles() -> Vec<Dipole> {
         vec![
-            Dipole {
-                position: [0.35, 0.1, 0.45],
-                moment: [0.0, 1.0, 0.2],
-                frequency: 0.05,
-            },
-            Dipole {
-                position: [-0.3, -0.25, 0.3],
-                moment: [1.0, 0.0, 0.4],
-                frequency: 0.083,
-            },
+            Dipole { position: [0.35, 0.1, 0.45], moment: [0.0, 1.0, 0.2], frequency: 0.05 },
+            Dipole { position: [-0.3, -0.25, 0.3], moment: [1.0, 0.0, 0.4], frequency: 0.083 },
         ]
     }
 
@@ -334,10 +323,7 @@ mod tests {
         truth
             .iter()
             .map(|d| {
-                found
-                    .iter()
-                    .map(|(p, _)| norm(sub(*p, d.position)))
-                    .fold(f64::INFINITY, f64::min)
+                found.iter().map(|(p, _)| norm(sub(*p, d.position))).fold(f64::INFINITY, f64::min)
             })
             .fold(0.0, f64::max)
     }

@@ -179,8 +179,7 @@ impl System {
     /// Fraction of particles currently in the fine region (the load the
     /// "fine" machine of the multiscale coupling carries).
     pub fn fine_fraction(&self) -> f64 {
-        let fine =
-            self.pos.iter().filter(|p| p[0] < self.cfg.fine_boundary).count();
+        let fine = self.pos.iter().filter(|p| p[0] < self.cfg.fine_boundary).count();
         fine as f64 / self.len().max(1) as f64
     }
 
@@ -322,8 +321,7 @@ mod tests {
     fn forces_are_pairwise_antisymmetric() {
         let s = small_system(5);
         let (f, pe) = s.forces();
-        let net: [f64; 2] =
-            f.iter().fold([0.0, 0.0], |acc, v| [acc[0] + v[0], acc[1] + v[1]]);
+        let net: [f64; 2] = f.iter().fold([0.0, 0.0], |acc, v| [acc[0] + v[0], acc[1] + v[1]]);
         assert!(net[0].abs() < 1e-9 && net[1].abs() < 1e-9, "{net:?}");
         assert!(pe.is_finite());
     }

@@ -156,8 +156,7 @@ mod tests {
     fn oc12_carries_most_but_not_fmri_workbench() {
         let oc12 = effective_payload(Bandwidth::OC12);
         let apps = AppProfile::paper_apps();
-        let ok: Vec<bool> =
-            apps.iter().map(|a| a.feasible_on(oc12, TESTBED_LATENCY).ok).collect();
+        let ok: Vec<bool> = apps.iter().map(|a| a.feasible_on(oc12, TESTBED_LATENCY).ok).collect();
         // Groundwater, climate, MEG, video fit; the full fMRI+workbench
         // pipeline needs more than OC-12 payload (the paper's reason for
         // waiting on 622 adapters *and* the OC-48 upgrade).
@@ -206,10 +205,8 @@ mod tests {
 
     #[test]
     fn utilization_reported() {
-        let app = AppProfile {
-            name: "t",
-            pattern: TrafficPattern::Continuous { rate_mbps: 100.0 },
-        };
+        let app =
+            AppProfile { name: "t", pattern: TrafficPattern::Continuous { rate_mbps: 100.0 } };
         let f = app.feasible_on(Bandwidth::from_mbps(200.0), 0.0);
         assert!(f.ok);
         assert!((f.utilization - 0.5).abs() < 1e-9);

@@ -152,10 +152,8 @@ pub fn distributed_step(comm: &Comm, segment: &mut Road, rng: &mut StreamRng) ->
     assert!(n > V_MAX, "segment shorter than the look-ahead");
 
     // 1. Halo exchange: my first V_MAX cells go upstream.
-    let head: Vec<f64> = segment.cells[..V_MAX]
-        .iter()
-        .map(|c| if c.is_some() { 1.0 } else { 0.0 })
-        .collect();
+    let head: Vec<f64> =
+        segment.cells[..V_MAX].iter().map(|c| if c.is_some() { 1.0 } else { 0.0 }).collect();
     comm.send_f64s(left, TAG_HALO, &head);
     let (halo, _) = comm.recv_f64s(right, TAG_HALO);
 
@@ -312,16 +310,13 @@ mod tests {
             for _ in 0..steps {
                 distributed_step(&comm, &mut segment, &mut rng);
                 let cars = segment.car_count().max(1);
-                vsum += segment.cells.iter().flatten().map(|&v| v as f64).sum::<f64>()
-                    / cars as f64;
+                vsum +=
+                    segment.cells.iter().flatten().map(|&v| v as f64).sum::<f64>() / cars as f64;
             }
             vsum / steps as f64
         });
         let dist_v = out.iter().sum::<f64>() / out.len() as f64;
-        assert!(
-            (dist_v - serial_v).abs() < 0.5,
-            "distributed v {dist_v} vs serial {serial_v}"
-        );
+        assert!((dist_v - serial_v).abs() < 0.5, "distributed v {dist_v} vs serial {serial_v}");
     }
 
     #[test]

@@ -119,9 +119,8 @@ pub fn run_production(
         latency[s] = total / frames as f64;
     }
     // Composite frame k completes when the slowest source delivers it.
-    let composite: Vec<SimTime> = (0..frames)
-        .map(|k| completion.iter().map(|c| c[k]).max().unwrap())
-        .collect();
+    let composite: Vec<SimTime> =
+        (0..frames).map(|k| completion.iter().map(|c| c[k]).max().unwrap()).collect();
     // Buffer depth: frames a fast source has delivered but the mixer has
     // not yet consumed — max over k, sources of (frames of source s
     // delivered by composite[k]) − k.
@@ -168,10 +167,7 @@ mod tests {
     #[test]
     fn symmetric_sources_need_minimal_buffer() {
         let d1 = D1Stream::pal();
-        let feeds = vec![
-            feed("DLR", StmLevel::Stm4, 200),
-            feed("Cologne", StmLevel::Stm4, 200),
-        ];
+        let feeds = vec![feed("DLR", StmLevel::Stm4, 200), feed("Cologne", StmLevel::Stm4, 200)];
         let r = run_production(&d1, &feeds, IpConfig::large_mtu(), 15);
         assert!(r.live, "{r:?}");
         assert!(r.buffer_frames <= 1, "{r:?}");
@@ -192,11 +188,7 @@ mod tests {
         let r_both = run_production(&d1, &both, IpConfig::large_mtu(), 15);
         assert!(r_both.buffer_frames > r_near.buffer_frames, "{r_both:?}");
         // 100 ms at 25 fps = 2.5 periods -> 3-4 frames of genlock buffer.
-        assert!(
-            (3..=5).contains(&r_both.buffer_frames),
-            "buffer {}",
-            r_both.buffer_frames
-        );
+        assert!((3..=5).contains(&r_both.buffer_frames), "buffer {}", r_both.buffer_frames);
         assert!(r_both.live, "latency alone must not break liveness: {r_both:?}");
     }
 

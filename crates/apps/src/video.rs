@@ -36,13 +36,7 @@ pub struct D1Stream {
 impl D1Stream {
     /// 625-line PAL D1.
     pub fn pal() -> Self {
-        D1Stream {
-            width: 720,
-            height: 576,
-            fps: 25.0,
-            bits_per_pixel: 20.0,
-            serial_overhead: 1.30,
-        }
+        D1Stream { width: 720, height: 576, fps: 25.0, bits_per_pixel: 20.0, serial_overhead: 1.30 }
     }
 
     /// Active payload bytes per frame.

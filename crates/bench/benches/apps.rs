@@ -71,9 +71,7 @@ fn bench_music(c: &mut Criterion) {
     group.bench_function("scan_11x11x11_grid", |b| {
         b.iter(|| black_box(music_scan(&array, &basis, head_grid(11))))
     });
-    group.bench_function("covariance_eigen_60ch", |b| {
-        b.iter(|| black_box(signal_subspace(&x, 1)))
-    });
+    group.bench_function("covariance_eigen_60ch", |b| b.iter(|| black_box(signal_subspace(&x, 1))));
     group.finish();
 }
 

@@ -83,18 +83,17 @@ fn bench_rvo(c: &mut Criterion) {
     });
     group.bench_function("coarse_refine", |b| {
         b.iter(|| {
-            black_box(optimize(&series, &stim, RvoBounds::default(), RvoMethod::paper_refined(), None))
+            black_box(optimize(
+                &series,
+                &stim,
+                RvoBounds::default(),
+                RvoMethod::paper_refined(),
+                None,
+            ))
         })
     });
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_filters,
-    bench_motion,
-    bench_correlation,
-    bench_detrend,
-    bench_rvo
-);
+criterion_group!(benches, bench_filters, bench_motion, bench_correlation, bench_detrend, bench_rvo);
 criterion_main!(benches);

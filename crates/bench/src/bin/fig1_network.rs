@@ -5,18 +5,56 @@
 //!
 //! ```text
 //! cargo run --release -p gtw-bench --bin fig1_network
+//! cargo run --release -p gtw-bench --bin fig1_network -- --json
 //! ```
+//!
+//! With `--json` the MTU sweep is emitted as a machine-readable run
+//! report (per-hop counters from the stats registry) instead of tables.
 
 use gtw_core::testbed::{GigabitTestbedWest, LinkEra};
+use gtw_desim::Json;
 use gtw_net::gateway::{ForwardingMode, Gateway};
 use gtw_net::hippi::HippiChannel;
 use gtw_net::ip::IpConfig;
 use gtw_net::transfer::{BulkTransfer, Protocol};
 use gtw_net::units::DataSize;
 
+/// The MTU sweep as a JSON document: one entry per MTU with the goodput
+/// and the full per-hop run report.
+fn emit_json(tb: &GigabitTestbedWest, bytes: u64) {
+    let (path, _, _) = tb.topology.path(tb.t3e_600, tb.e5000).expect("path");
+    let mut sweep = Vec::new();
+    for mtu in [1500u64, 4352, 9180, 17914, 65535] {
+        let hops = tb.topology.path_hops(&path, mtu);
+        let xfer = BulkTransfer {
+            hops,
+            ip: IpConfig { mtu },
+            bytes,
+            protocol: Protocol::Tcp { window_bytes: 4 * 1024 * 1024 },
+        };
+        let (report, run) = xfer.run_with_report();
+        sweep.push(Json::obj([
+            ("mtu", Json::from(mtu)),
+            ("goodput_mbps", Json::from(report.goodput.mbps())),
+            ("predicted_mbps", Json::from(xfer.predict().mbps())),
+            ("run", run.to_json()),
+        ]));
+    }
+    let doc = Json::obj([
+        ("experiment", Json::from("mtu_sweep_t3e600_to_e5000")),
+        ("bytes", Json::from(bytes)),
+        ("sweep", Json::Arr(sweep)),
+    ]);
+    println!("{}", doc.pretty());
+}
+
 fn main() {
     let tb = GigabitTestbedWest::build(LinkEra::Oc48Upgrade);
     let bytes = 32 * 1024 * 1024;
+    if std::env::args().any(|a| a == "--json") {
+        emit_json(&tb, bytes);
+        return;
+    }
 
     println!("== Figure 1: measured TCP throughput over the testbed (32 MiB transfers) ==");
     println!(

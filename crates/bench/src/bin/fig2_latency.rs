@@ -13,7 +13,15 @@ fn main() {
     println!("== Figure 2: per-image delay budget (derived from the testbed + T3E model) ==");
     println!(
         "{:>5} | {:>8} {:>10} {:>9} {:>8} | {:>8} | {:>10} {:>10} {:>8}",
-        "PEs", "acquire", "transfers", "compute", "display", "total", "seq.period", "pipelined", "safe TR"
+        "PEs",
+        "acquire",
+        "transfers",
+        "compute",
+        "display",
+        "total",
+        "seq.period",
+        "pipelined",
+        "safe TR"
     );
     gtw_bench::rule(96);
     for pes in [1usize, 8, 16, 32, 64, 128, 256] {

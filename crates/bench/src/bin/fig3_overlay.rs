@@ -31,13 +31,16 @@ fn main() {
     let max = rv.values.iter().cloned().fold(f64::MIN, f64::max);
     for &v in &rv.values[..32] {
         let level = (v / max * 4.0).round();
-        print!("{}", match level as i64 {
-            i64::MIN..=0 => '.',
-            1 => ':',
-            2 => '-',
-            3 => '=',
-            _ => '#',
-        });
+        print!(
+            "{}",
+            match level as i64 {
+                i64::MIN..=0 => '.',
+                1 => ':',
+                2 => '-',
+                3 => '=',
+                _ => '#',
+            }
+        );
     }
     println!("  (stimulus ⊛ gamma HRF, delay 6 s / dispersion 1 s)");
 

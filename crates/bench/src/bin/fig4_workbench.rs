@@ -14,16 +14,13 @@ use gtw_net::ip::IpConfig;
 use gtw_scan::phantom::Phantom;
 use gtw_scan::volume::Dims;
 use gtw_viz::raycast::{RenderParams, VolumeRenderer};
-use gtw_viz::workbench::{
-    measured_compression, workbench_frame_rate, FrameTransport, Workbench,
-};
+use gtw_viz::workbench::{measured_compression, workbench_frame_rate, FrameTransport, Workbench};
 
 fn main() {
     // Render the Figure-4 view: anatomy + motor activation.
     let phantom = Phantom::standard();
     let dims = Dims::new(96, 96, 48); // anatomy-resolution stand-in
-    let renderer =
-        VolumeRenderer::new(phantom.anatomy(dims), Some(phantom.activation_map(dims)));
+    let renderer = VolumeRenderer::new(phantom.anatomy(dims), Some(phantom.activation_map(dims)));
     let t0 = Instant::now();
     let frame = renderer.render(&RenderParams { width: 512, height: 512, ..Default::default() });
     let render_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -61,8 +58,8 @@ fn main() {
     }
 
     // The paper's exact statement is about a direct 622 Mbit/s ATM hop.
-    let hop622 = gtw_net::host::HostNic::workstation_atm622()
-        .hop(gtw_desim::SimDuration::from_micros(500));
+    let hop622 =
+        gtw_net::host::HostNic::workstation_atm622().hop(gtw_desim::SimDuration::from_micros(500));
     let (fps622, _) =
         workbench_frame_rate(&wb, FrameTransport::RawIp, &[hop622], IpConfig::large_mtu());
     println!(

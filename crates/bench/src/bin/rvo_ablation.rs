@@ -29,10 +29,7 @@ fn main() {
     let mask: Vec<bool> = scanner.activation().data.iter().map(|&a| a > 0.02).collect();
     let voxels = mask.iter().filter(|&&b| b).count();
     println!("== X3: RVO full-grid raster vs coarse-grid + refinement ==");
-    println!(
-        "subject HRF: delay 7.2 s, dispersion 1.3 s; {} activated voxels fitted",
-        voxels
-    );
+    println!("subject HRF: delay 7.2 s, dispersion 1.3 s; {} activated voxels fitted", voxels);
     println!(
         "\n{:<34} {:>12} {:>10} {:>11} {:>11} {:>9}",
         "method", "evaluations", "time", "delay err", "disp err", "corr"
@@ -40,7 +37,10 @@ fn main() {
     gtw_bench::rule(94);
     let methods: Vec<(String, RvoMethod)> = vec![
         ("full grid 13x7 (paper production)".into(), RvoMethod::paper_grid()),
-        ("full grid 25x13 (finer)".into(), RvoMethod::FullGrid { delay_steps: 25, dispersion_steps: 13 }),
+        (
+            "full grid 25x13 (finer)".into(),
+            RvoMethod::FullGrid { delay_steps: 25, dispersion_steps: 13 },
+        ),
         ("coarse 5x3 + 4 refine (planned)".into(), RvoMethod::paper_refined()),
         (
             "coarse 7x4 + 6 refine".into(),
@@ -49,7 +49,13 @@ fn main() {
     ];
     for (name, method) in methods {
         let t0 = Instant::now();
-        let res = optimize(&series, &scanner.config().stimulus, RvoBounds::default(), method, Some(&mask));
+        let res = optimize(
+            &series,
+            &scanner.config().stimulus,
+            RvoBounds::default(),
+            method,
+            Some(&mask),
+        );
         let dt = t0.elapsed().as_secs_f64();
         let (d_err, w_err) = recovery_error(&res, &mask, 7.2, 1.3);
         let mean_corr: f64 = mask

@@ -32,9 +32,7 @@ fn model_table() {
         "PEs", "filter", "motion", "RVO", "total", "speedup", "paper-t", "paper-s", "dev%"
     );
     gtw_bench::rule(88);
-    for (row, &(pes, _, _, _, p_total, p_speed)) in
-        model.table1().iter().zip(PAPER_TABLE1.iter())
-    {
+    for (row, &(pes, _, _, _, p_total, p_speed)) in model.table1().iter().zip(PAPER_TABLE1.iter()) {
         println!(
             "{:>5} | {:>7.2} {:>7.2} {:>8.2} {:>8.2} {:>8.1} | {:>8.2} {:>8.1} | {:>6.1}%",
             row.pes,
@@ -69,8 +67,7 @@ fn real_scaling() {
     let mask: Vec<bool> = scanner.activation().data.iter().map(|&a| a >= 0.0).collect();
     // Oversubscribing threads on a small host still shows the shape
     // (perfect scaling flattens once PEs exceed physical cores).
-    let max_threads =
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).max(4);
+    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).max(4);
     let pes_list: Vec<usize> =
         [1usize, 2, 4, 8, 16].into_iter().filter(|&p| p <= max_threads).collect();
     println!(

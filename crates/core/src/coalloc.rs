@@ -133,11 +133,8 @@ impl CoAllocator {
             .into_iter()
             .find(|&s| self.fits_at(job, s))
             .expect("some candidate always fits once prior jobs end");
-        let res = Reservation {
-            job: job.name.clone(),
-            start_s: start,
-            end_s: start + job.duration_s,
-        };
+        let res =
+            Reservation { job: job.name.clone(), start_s: start, end_s: start + job.duration_s };
         self.committed.push((res.clone(), job.needs.clone()));
         Ok(res)
     }
@@ -180,14 +177,9 @@ pub fn fmri_session(name: &str, release_s: u64, duration_s: u64) -> Job {
 /// SETUP along the FZJ→GMD trunk agents and verify admission matches the
 /// scheduler's bandwidth accounting. Returns the signalled setup latency
 /// on success.
-pub fn signal_wan_share(
-    reserved_mbps: f64,
-    concurrent_mbps: &[f64],
-) -> Result<f64, usize> {
+pub fn signal_wan_share(reserved_mbps: f64, concurrent_mbps: &[f64]) -> Result<f64, usize> {
     use gtw_desim::{SimDuration, SimTime, Simulator};
-    use gtw_net::signaling::{
-        place_call, CallId, CallOriginator, CallOutcome, SignallingAgent,
-    };
+    use gtw_net::signaling::{place_call, CallId, CallOriginator, CallOutcome, SignallingAgent};
     use gtw_net::units::Bandwidth;
     let mut sim = Simulator::new();
     let origin = sim.add_component(CallOriginator::default());
@@ -195,20 +187,17 @@ pub fn signal_wan_share(
     // Aggregation ports fan in many access links, so their admissible
     // aggregate exceeds the trunk; the far-end access port is a single
     // 622 Mbit/s attachment.
-    let path: Vec<_> = [
-        ("FZJ aggregation", 4800.0),
-        ("OC-48 trunk", 2400.0),
-        ("GMD access", 622.08),
-    ]
-    .iter()
-    .map(|&(name, mbps)| {
-        sim.add_component(SignallingAgent::new(
-            name,
-            Bandwidth::from_mbps(mbps),
-            SimDuration::from_micros(500),
-        ))
-    })
-    .collect();
+    let path: Vec<_> =
+        [("FZJ aggregation", 4800.0), ("OC-48 trunk", 2400.0), ("GMD access", 622.08)]
+            .iter()
+            .map(|&(name, mbps)| {
+                sim.add_component(SignallingAgent::new(
+                    name,
+                    Bandwidth::from_mbps(mbps),
+                    SimDuration::from_micros(500),
+                ))
+            })
+            .collect();
     // Pre-existing calls.
     for (k, &mbps) in concurrent_mbps.iter().enumerate() {
         place_call(

@@ -77,7 +77,12 @@ impl FmriScenario {
         (self.dims.len() * 4) as u64
     }
 
-    fn transfer_seconds(&self, from: gtw_net::topology::NodeId, to: gtw_net::topology::NodeId, bytes: u64) -> f64 {
+    fn transfer_seconds(
+        &self,
+        from: gtw_net::topology::NodeId,
+        to: gtw_net::topology::NodeId,
+        bytes: u64,
+    ) -> f64 {
         let (_, mtu, hops) = self.testbed.topology.path(from, to).expect("path exists");
         let xfer = BulkTransfer {
             hops,
@@ -111,12 +116,7 @@ impl FmriScenario {
         let compute_s = T3eModel::t3e_600().row(self.pes, self.dims).total_s;
         // Stage 4: display (paper: 0.6 s for the Motif GUI update).
         let display_s = 0.6;
-        let timing = ChainTiming {
-            acquire_s,
-            transfer_s: transfers_s,
-            compute_s,
-            display_s,
-        };
+        let timing = ChainTiming { acquire_s, transfer_s: transfers_s, compute_s, display_s };
         ScenarioReport {
             pes: self.pes,
             acquire_s,

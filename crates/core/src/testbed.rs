@@ -134,7 +134,13 @@ impl GigabitTestbedWest {
         // Sankt Augustin attachments.
         t.connect(e5000, sw_gmd, atm622, us, "ATM 622");
         t.connect(gw_e5000, sw_gmd, atm622, us, "ATM 622");
-        t.connect(sp2, sw_gmd, Medium::Atm { cell_rate: StmLevel::Stm1.payload_rate() * 8.0 }, us, "8x ATM 155");
+        t.connect(
+            sp2,
+            sw_gmd,
+            Medium::Atm { cell_rate: StmLevel::Stm1.payload_rate() * 8.0 },
+            us,
+            "8x ATM 155",
+        );
         t.connect(onyx_gmd, gw_e5000, hippi, us, "HiPPI");
 
         GigabitTestbedWest {
@@ -218,25 +224,13 @@ impl GigabitTestbedWest {
 
     /// Measure a TCP bulk transfer between two nodes (event-driven) and
     /// compare with the analytic bound.
-    pub fn measure(
-        &self,
-        from: NodeId,
-        to: NodeId,
-        bytes: u64,
-        window_bytes: u64,
-    ) -> MeasuredPath {
-        let (path, mtu, hops) = self
-            .topology
-            .path(from, to)
-            .unwrap_or_else(|| panic!("no path {} -> {}", self.topology.name_of(from), self.topology.name_of(to)));
+    pub fn measure(&self, from: NodeId, to: NodeId, bytes: u64, window_bytes: u64) -> MeasuredPath {
+        let (path, mtu, hops) = self.topology.path(from, to).unwrap_or_else(|| {
+            panic!("no path {} -> {}", self.topology.name_of(from), self.topology.name_of(to))
+        });
         let _ = path;
         let ip = IpConfig { mtu };
-        let xfer = BulkTransfer {
-            hops,
-            ip,
-            bytes,
-            protocol: Protocol::Tcp { window_bytes },
-        };
+        let xfer = BulkTransfer { hops, ip, bytes, protocol: Protocol::Tcp { window_bytes } };
         let predicted_mbps = xfer.predict().mbps();
         let report = xfer.run();
         MeasuredPath {
@@ -328,10 +322,8 @@ mod tests {
         let b = 16 * 1024 * 1024;
         let old = GigabitTestbedWest::build(LinkEra::Oc12Initial);
         let new = GigabitTestbedWest::build(LinkEra::Oc48Upgrade);
-        let g_old =
-            old.measure(old.t3e_600, old.e5000, b, 4 * 1024 * 1024).report.goodput.mbps();
-        let g_new =
-            new.measure(new.t3e_600, new.e5000, b, 4 * 1024 * 1024).report.goodput.mbps();
+        let g_old = old.measure(old.t3e_600, old.e5000, b, 4 * 1024 * 1024).report.goodput.mbps();
+        let g_new = new.measure(new.t3e_600, new.e5000, b, 4 * 1024 * 1024).report.goodput.mbps();
         assert!(g_new >= g_old * 0.99, "upgrade slowed things down: {g_old} -> {g_new}");
     }
 
@@ -415,10 +407,7 @@ mod tests {
         tb.set_wan_state(false);
         let degraded =
             tb.measure(tb.t3e_600, tb.e5000, 8 * 1024 * 1024, 4 * 1024 * 1024).report.goodput;
-        assert!(
-            degraded.mbps() < 140.0,
-            "B-WiN fallback should cap near 155 Mbit/s: {degraded}"
-        );
+        assert!(degraded.mbps() < 140.0, "B-WiN fallback should cap near 155 Mbit/s: {degraded}");
         assert!(healthy.mbps() > degraded.mbps() * 2.0, "{healthy} vs {degraded}");
         // The fMRI chain survives but can no longer feed the workbench:
         // functional images still fit 155 Mbit/s.

@@ -11,6 +11,7 @@ use std::any::Any;
 use crate::queue::EventQueue;
 use crate::sim::Event;
 use crate::time::{SimDuration, SimTime};
+use crate::trace::Tracer;
 
 /// Opaque handle to a registered component.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -45,7 +46,11 @@ pub fn msg<T: Any + Send>(value: T) -> Msg {
 /// closed simulation).
 pub fn downcast<T: Any>(m: Msg) -> Box<T> {
     m.downcast::<T>().unwrap_or_else(|m| {
-        panic!("message downcast to {} failed (got {:?})", std::any::type_name::<T>(), (*m).type_id())
+        panic!(
+            "message downcast to {} failed (got {:?})",
+            std::any::type_name::<T>(),
+            (*m).type_id()
+        )
     })
 }
 
@@ -69,6 +74,7 @@ pub struct Ctx<'a> {
     pub(crate) now: SimTime,
     pub(crate) self_id: ComponentId,
     pub(crate) queue: &'a mut EventQueue<Event>,
+    pub(crate) tracer: Option<&'a mut dyn Tracer>,
 }
 
 impl Ctx<'_> {
@@ -85,6 +91,9 @@ impl Ctx<'_> {
     /// Deliver `m` to `target` after `delay`.
     pub fn send_in(&mut self, delay: SimDuration, target: ComponentId, m: Msg) {
         let t = self.now + delay;
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            tr.on_send(self.now, self.self_id, target, t);
+        }
         self.queue.push(t, Event::Deliver { target, msg: m });
     }
 
@@ -92,13 +101,21 @@ impl Ctx<'_> {
     /// the past).
     pub fn send_at(&mut self, at: SimTime, target: ComponentId, m: Msg) {
         assert!(at >= self.now, "cannot schedule into the past: {at:?} < {:?}", self.now);
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            tr.on_send(self.now, self.self_id, target, at);
+        }
         self.queue.push(at, Event::Deliver { target, msg: m });
     }
 
     /// Schedule a timer: deliver `m` back to this component after `delay`.
     pub fn timer_in(&mut self, delay: SimDuration, m: Msg) {
         let id = self.self_id;
-        self.send_in(delay, id, m);
+        let t = self.now + delay;
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            tr.on_timer_armed(self.now, id, t);
+            tr.on_send(self.now, id, id, t);
+        }
+        self.queue.push(t, Event::Deliver { target: id, msg: m });
     }
 }
 

@@ -1,0 +1,245 @@
+//! A dependency-free JSON value and emitter for machine-readable run
+//! reports.
+//!
+//! The workspace's serde is an offline stand-in whose derives expand to
+//! nothing, so report emission is explicit: build a [`Json`] tree and
+//! [`dump`](Json::dump) or [`pretty`](Json::pretty) it. The builder
+//! surface is deliberately tiny — reports are flat objects of numbers,
+//! strings and arrays.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any integer (covers `u64` exactly).
+    Int(i128),
+    /// A float; non-finite values emit as `null`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::Int(v as i128)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::Int(v as i128)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        Json::Int(v as i128)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Num(v)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Self {
+        Json::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl Json {
+    /// Build an object from `(key, value)` pairs.
+    pub fn obj<K: Into<String>, V: Into<Json>>(pairs: impl IntoIterator<Item = (K, V)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v.into())).collect())
+    }
+
+    /// Build an array of unsigned counters.
+    pub fn uint_array(values: &[u64]) -> Json {
+        Json::Arr(values.iter().map(|&v| Json::from(v)).collect())
+    }
+
+    /// Append a key to an object (panics on non-objects).
+    pub fn push(&mut self, key: impl Into<String>, value: impl Into<Json>) -> &mut Self {
+        match self {
+            Json::Obj(pairs) => pairs.push((key.into(), value.into())),
+            other => panic!("Json::push on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Compact single-line serialization.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Two-space-indented serialization.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Num(n) => {
+                if n.is_finite() {
+                    // `{}` on f64 always round-trips and never produces
+                    // bare exponents JSON parsers reject.
+                    if n.fract() == 0.0 && n.abs() < 1e15 {
+                        let _ = write!(out, "{n:.1}");
+                    } else {
+                        let _ = write!(out, "{n}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+                    items[i].write(out, indent, depth + 1);
+                });
+            }
+            Json::Obj(pairs) => {
+                write_seq(out, indent, depth, '{', '}', pairs.len(), |out, i| {
+                    write_escaped(out, &pairs[i].0);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    pairs[i].1.write(out, indent, depth + 1);
+                });
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * (depth + 1)));
+        }
+        item(out, i);
+        if i + 1 < len {
+            out.push(',');
+        }
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(w * depth));
+    }
+    out.push(close);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(Json::Null.dump(), "null");
+        assert_eq!(Json::from(true).dump(), "true");
+        assert_eq!(Json::from(42u64).dump(), "42");
+        assert_eq!(Json::from(-7i64).dump(), "-7");
+        assert_eq!(Json::from(2.5).dump(), "2.5");
+        assert_eq!(Json::from(3.0).dump(), "3.0");
+        assert_eq!(Json::Num(f64::NAN).dump(), "null");
+        assert_eq!(Json::from(u64::MAX).dump(), u64::MAX.to_string());
+    }
+
+    #[test]
+    fn string_escaping() {
+        assert_eq!(Json::from("a\"b\\c\nd\u{1}").dump(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn compact_object_and_array() {
+        let j = Json::obj([
+            ("name", Json::from("hop0")),
+            ("in", Json::from(10u64)),
+            ("rates", Json::from(vec![1.5, 2.0])),
+        ]);
+        assert_eq!(j.dump(), r#"{"name":"hop0","in":10,"rates":[1.5,2.0]}"#);
+    }
+
+    #[test]
+    fn pretty_indents() {
+        let j = Json::obj([("a", Json::from(1u64)), ("b", Json::Arr(vec![]))]);
+        assert_eq!(j.pretty(), "{\n  \"a\": 1,\n  \"b\": []\n}");
+    }
+
+    #[test]
+    fn push_extends_objects() {
+        let mut j = Json::obj([("a", 1u64)]);
+        j.push("b", 2u64);
+        assert_eq!(j.dump(), r#"{"a":1,"b":2}"#);
+    }
+}

@@ -28,13 +28,17 @@
 //! ```
 
 pub mod component;
+pub mod json;
 pub mod queue;
 pub mod rng;
 pub mod sim;
 pub mod time;
+pub mod trace;
 
 pub use component::{Component, ComponentId, Ctx, Msg};
+pub use json::Json;
 pub use queue::{EventQueue, QueuedEvent};
 pub use rng::StreamRng;
 pub use sim::{RunResult, Simulator};
 pub use time::{SimDuration, SimTime};
+pub use trace::{EventCounter, Tracer};

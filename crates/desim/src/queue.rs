@@ -86,9 +86,7 @@ impl<T> EventQueue<T> {
 
     /// Pop the earliest event (FIFO among equal times).
     pub fn pop(&mut self) -> Option<QueuedEvent<T>> {
-        self.heap
-            .pop()
-            .map(|e| QueuedEvent { time: e.time, seq: e.seq, payload: e.payload })
+        self.heap.pop().map(|e| QueuedEvent { time: e.time, seq: e.seq, payload: e.payload })
     }
 
     /// Fire time of the next event without removing it.

@@ -4,16 +4,103 @@
 //! injection, ...) draws from its own named stream so that adding a new
 //! consumer of randomness never perturbs the draws seen by existing ones —
 //! the classic requirement for comparable simulation runs.
+//!
+//! The generator is a self-contained ChaCha8 block cipher in counter mode
+//! (no external crates), keyed by a stable FNV-1a hash of the stream name
+//! mixed with the master seed.
 
-use rand::{RngCore, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+/// Core ChaCha8 block generator.
+struct ChaCha8 {
+    key: [u32; 8],
+    counter: u64,
+    buf: [u32; 16],
+    /// Next unread word in `buf`; 16 means the buffer is exhausted.
+    idx: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8 {
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (i, k) in key.iter_mut().enumerate() {
+            *k = u32::from_le_bytes(seed[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        ChaCha8 { key, counter: 0, buf: [0; 16], idx: 16 }
+    }
+
+    /// Produce the next 64-byte keystream block into `buf`.
+    fn refill(&mut self) {
+        // "expand 32-byte k" constants, key, 64-bit block counter, zero nonce.
+        let mut state = [
+            0x6170_7865,
+            0x3320_646e,
+            0x7962_2d32,
+            0x6b20_6574,
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            self.counter as u32,
+            (self.counter >> 32) as u32,
+            0,
+            0,
+        ];
+        let initial = state;
+        for _ in 0..4 {
+            // Column round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, (s, i)) in self.buf.iter_mut().zip(state.iter().zip(initial.iter())) {
+            *out = s.wrapping_add(*i);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.idx = 0;
+    }
+
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        if self.idx == 16 {
+            self.refill();
+        }
+        let w = self.buf[self.idx];
+        self.idx += 1;
+        w
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
 
 /// A seedable random stream identified by `(master_seed, name)`.
-///
-/// Internally a ChaCha8 generator keyed by a stable FNV-1a hash of the
-/// stream name mixed with the master seed.
 pub struct StreamRng {
-    inner: ChaCha8Rng,
+    inner: ChaCha8,
     name: String,
 }
 
@@ -36,12 +123,30 @@ impl StreamRng {
         seed[8..16].copy_from_slice(&h.to_le_bytes());
         seed[16..24].copy_from_slice(&master_seed.rotate_left(17).to_le_bytes());
         seed[24..32].copy_from_slice(&h.rotate_left(31).to_le_bytes());
-        StreamRng { inner: ChaCha8Rng::from_seed(seed), name: name.to_string() }
+        StreamRng { inner: ChaCha8::from_seed(seed), name: name.to_string() }
     }
 
     /// The stream's name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Next raw 32-bit draw.
+    pub fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Fill `dest` with keystream bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let w = self.inner.next_u32().to_le_bytes();
+            chunk.copy_from_slice(&w[..chunk.len()]);
+        }
     }
 
     /// Uniform `f64` in `[0, 1)`.
@@ -100,24 +205,20 @@ impl StreamRng {
     }
 }
 
-impl RngCore for StreamRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// RFC 8439 test vector machinery only covers ChaCha20; for ChaCha8 we
+    /// check the block function against an independently computed keystream
+    /// property instead: distinct counters must give distinct blocks.
+    #[test]
+    fn blocks_differ_by_counter() {
+        let mut g = ChaCha8::from_seed([7u8; 32]);
+        let a: Vec<u32> = (0..16).map(|_| g.next_u32()).collect();
+        let b: Vec<u32> = (0..16).map(|_| g.next_u32()).collect();
+        assert_ne!(a, b);
+    }
 
     #[test]
     fn same_seed_same_stream() {
@@ -142,6 +243,14 @@ mod tests {
         let mut b = StreamRng::new(2, "noise");
         let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
         assert!(same < 3);
+    }
+
+    #[test]
+    fn fill_bytes_handles_odd_lengths() {
+        let mut r = StreamRng::new(3, "f");
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
     }
 
     #[test]

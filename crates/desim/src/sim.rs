@@ -11,6 +11,7 @@ use std::any::Any;
 use crate::component::{Component, ComponentId, Ctx, Msg};
 use crate::queue::EventQueue;
 use crate::time::{SimDuration, SimTime};
+use crate::trace::Tracer;
 
 /// Internal event representation.
 pub enum Event {
@@ -47,6 +48,10 @@ pub struct Simulator {
     /// Hard cap on processed events, guarding against accidental infinite
     /// self-scheduling loops in models. Default: effectively unlimited.
     event_budget: u64,
+    /// Optional observer of dispatches/sends/timer arms. `None` (the
+    /// default) costs one branch per hook — no allocation, no virtual
+    /// call.
+    tracer: Option<Box<dyn Tracer>>,
 }
 
 impl Default for Simulator {
@@ -66,7 +71,19 @@ impl Simulator {
             dispatch_counts: Vec::new(),
             processed: 0,
             event_budget: u64::MAX,
+            tracer: None,
         }
+    }
+
+    /// Attach a [`Tracer`]; replaces any previous one.
+    pub fn set_tracer(&mut self, tracer: Box<dyn Tracer>) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Detach and return the current tracer (to read out its results
+    /// after a run).
+    pub fn take_tracer(&mut self) -> Option<Box<dyn Tracer>> {
+        self.tracer.take()
     }
 
     /// Current virtual time.
@@ -108,11 +125,7 @@ impl Simulator {
     /// registration order — the profile view of a finished run (which
     /// actor was hot).
     pub fn dispatch_profile(&self) -> Vec<(&str, u64)> {
-        self.names
-            .iter()
-            .map(String::as_str)
-            .zip(self.dispatch_counts.iter().copied())
-            .collect()
+        self.names.iter().map(String::as_str).zip(self.dispatch_counts.iter().copied()).collect()
     }
 
     /// Events handled by one component.
@@ -156,12 +169,18 @@ impl Simulator {
     /// Schedule a message delivery after `delay`.
     pub fn send_in(&mut self, delay: SimDuration, target: ComponentId, m: Msg) {
         let t = self.now + delay;
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            tr.on_send(self.now, ComponentId::placeholder(), target, t);
+        }
         self.queue.push(t, Event::Deliver { target, msg: m });
     }
 
     /// Schedule a message delivery at the absolute instant `at`.
     pub fn send_at(&mut self, at: SimTime, target: ComponentId, m: Msg) {
         assert!(at >= self.now, "cannot schedule into the past");
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            tr.on_send(self.now, ComponentId::placeholder(), target, at);
+        }
         self.queue.push(at, Event::Deliver { target, msg: m });
     }
 
@@ -197,11 +216,24 @@ impl Simulator {
                 let mut comp = self.components[target.0]
                     .take()
                     .unwrap_or_else(|| panic!("re-entrant dispatch to {:?}", target));
-                let mut ctx = Ctx { now: self.now, self_id: target, queue: &mut self.queue };
+                if let Some(tr) = self.tracer.as_deref_mut() {
+                    tr.on_dispatch(self.now, target, &self.names[target.0]);
+                }
+                let mut ctx = Ctx {
+                    now: self.now,
+                    self_id: target,
+                    queue: &mut self.queue,
+                    tracer: self.tracer.as_deref_mut(),
+                };
                 comp.handle(&mut ctx, msg);
                 self.components[target.0] = Some(comp);
             }
-            Event::Call(f) => f(self),
+            Event::Call(f) => {
+                if let Some(tr) = self.tracer.as_deref_mut() {
+                    tr.on_call(self.now);
+                }
+                f(self)
+            }
         }
         true
     }
@@ -279,11 +311,8 @@ mod tests {
     #[test]
     fn component_self_timers() {
         let mut sim = Simulator::new();
-        let id = sim.add_component(Counter {
-            ticks: 0,
-            period: SimDuration::from_millis(10),
-            limit: 5,
-        });
+        let id =
+            sim.add_component(Counter { ticks: 0, period: SimDuration::from_millis(10), limit: 5 });
         sim.send_in(SimDuration::ZERO, id, msg(Tick));
         sim.run();
         assert_eq!(sim.component::<Counter>(id).ticks, 5);
@@ -294,11 +323,8 @@ mod tests {
     #[test]
     fn run_until_horizon_leaves_events_pending() {
         let mut sim = Simulator::new();
-        let id = sim.add_component(Counter {
-            ticks: 0,
-            period: SimDuration::from_secs(1),
-            limit: 100,
-        });
+        let id =
+            sim.add_component(Counter { ticks: 0, period: SimDuration::from_secs(1), limit: 100 });
         sim.send_in(SimDuration::ZERO, id, msg(Tick));
         let r = sim.run_until(SimTime::from_millis(4500));
         assert_eq!(r, RunResult::HorizonReached);
@@ -326,11 +352,7 @@ mod tests {
     #[test]
     fn component_accessors() {
         let mut sim = Simulator::new();
-        let id = sim.add_component(Counter {
-            ticks: 7,
-            period: SimDuration::ZERO,
-            limit: 0,
-        });
+        let id = sim.add_component(Counter { ticks: 7, period: SimDuration::ZERO, limit: 0 });
         assert_eq!(sim.component_name(id), "counter");
         assert_eq!(sim.component_count(), 1);
         sim.component_mut::<Counter>(id).ticks = 9;
@@ -340,16 +362,10 @@ mod tests {
     #[test]
     fn dispatch_profile_counts_per_component() {
         let mut sim = Simulator::new();
-        let a = sim.add_component(Counter {
-            ticks: 0,
-            period: SimDuration::from_millis(1),
-            limit: 5,
-        });
-        let b = sim.add_component(Counter {
-            ticks: 0,
-            period: SimDuration::from_millis(1),
-            limit: 2,
-        });
+        let a =
+            sim.add_component(Counter { ticks: 0, period: SimDuration::from_millis(1), limit: 5 });
+        let b =
+            sim.add_component(Counter { ticks: 0, period: SimDuration::from_millis(1), limit: 2 });
         sim.send_in(SimDuration::ZERO, a, msg(Tick));
         sim.send_in(SimDuration::ZERO, b, msg(Tick));
         sim.run();
@@ -362,11 +378,8 @@ mod tests {
     #[test]
     fn mixed_closures_and_deliveries_interleave_deterministically() {
         let mut sim = Simulator::new();
-        let id = sim.add_component(Counter {
-            ticks: 0,
-            period: SimDuration::from_secs(10),
-            limit: 1,
-        });
+        let id =
+            sim.add_component(Counter { ticks: 0, period: SimDuration::from_secs(10), limit: 1 });
         // Same instant: delivery scheduled first, then the closure checking
         // it fired.
         sim.send_at(SimTime::from_secs(1), id, msg(Tick));

@@ -86,10 +86,7 @@ impl CorrelationState {
     /// The full correlation map over the scans so far.
     pub fn correlation_map(&self) -> Volume {
         let mut out = Volume::zeros(self.dims);
-        out.data
-            .par_iter_mut()
-            .enumerate()
-            .for_each(|(i, v)| *v = self.voxel_correlation(i));
+        out.data.par_iter_mut().enumerate().for_each(|(i, v)| *v = self.voxel_correlation(i));
         out
     }
 
@@ -447,14 +444,8 @@ mod tests {
         let idx = 0; // an "activated" voxel
         let windowed = sliding.correlation_map().data[idx];
         let cumulative = full.correlation_map().data[idx];
-        assert!(
-            windowed < 0.35,
-            "window should see the activation gone: {windowed}"
-        );
-        assert!(
-            cumulative > windowed + 0.2,
-            "cumulative {cumulative} vs windowed {windowed}"
-        );
+        assert!(windowed < 0.35, "window should see the activation gone: {windowed}");
+        assert!(cumulative > windowed + 0.2, "cumulative {cumulative} vs windowed {windowed}");
     }
 
     #[test]

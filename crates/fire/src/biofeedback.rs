@@ -111,8 +111,7 @@ pub fn run_session(cfg: &FeedbackConfig, feedback: bool, seed: u64) -> FeedbackR
         }
     }
     let tail = cfg.scans / 4;
-    let final_ability =
-        abilities[cfg.scans - tail..].iter().sum::<f64>() / tail as f64;
+    let final_ability = abilities[cfg.scans - tail..].iter().sum::<f64>() / tail as f64;
     FeedbackReport { ability: abilities, rewards, final_ability, scans_to_learn }
 }
 
@@ -121,7 +120,9 @@ mod tests {
     use super::*;
 
     fn mean_over_seeds(latency: f64, feedback: bool) -> f64 {
-        (0..8).map(|s| run_session(&FeedbackConfig::paper(latency), feedback, s).final_ability).sum::<f64>()
+        (0..8)
+            .map(|s| run_session(&FeedbackConfig::paper(latency), feedback, s).final_ability)
+            .sum::<f64>()
             / 8.0
     }
 
@@ -129,10 +130,7 @@ mod tests {
     fn feedback_enables_learning() {
         let with = mean_over_seeds(4.2, true);
         let without = mean_over_seeds(4.2, false);
-        assert!(
-            with > without * 1.5,
-            "feedback should raise self-regulation: {with} vs {without}"
-        );
+        assert!(with > without * 1.5, "feedback should raise self-regulation: {with} vs {without}");
         assert!(with > 0.012, "learned ability should cross the threshold: {with}");
     }
 

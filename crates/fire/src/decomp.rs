@@ -136,11 +136,7 @@ pub fn distributed_median_filter(comm: &Comm, vol: Option<&Volume>) -> Option<Vo
                 // Filter our own slab below.
                 continue;
             }
-            let mut header = vec![
-                slab.dims.nz as f32,
-                interior as f32,
-                (z1 - z0) as f32,
-            ];
+            let mut header = vec![slab.dims.nz as f32, interior as f32, (z1 - z0) as f32];
             header.extend_from_slice(&slab.data);
             comm.send_f32s(pe, TAG_SLAB, &header);
         }
@@ -212,10 +208,7 @@ pub fn distributed_rvo(
         let series = series.expect("root provides the series");
         dims = series[0].dims;
         scans = series.len();
-        comm.bcast_f64s(
-            ROOT,
-            &[dims.nx as f64, dims.ny as f64, dims.nz as f64, scans as f64],
-        );
+        comm.bcast_f64s(ROOT, &[dims.nx as f64, dims.ny as f64, dims.nz as f64, scans as f64]);
         for pe in 1..pes {
             let (v0, v1) = balanced_range(dims.len(), pes, pe);
             // Block layout: scan-major within the block.
@@ -236,9 +229,7 @@ pub fn distributed_rvo(
     let my_series: Vec<Volume> = if me == ROOT {
         let series = series.unwrap();
         (0..scans)
-            .map(|t| {
-                Volume::from_vec(Dims::new(block_len, 1, 1), series[t].data[v0..v1].to_vec())
-            })
+            .map(|t| Volume::from_vec(Dims::new(block_len, 1, 1), series[t].data[v0..v1].to_vec()))
             .collect()
     } else {
         let (payload, _) = comm.recv_f32s(ROOT, TAG_RVO_IN);
@@ -290,10 +281,8 @@ pub fn distributed_rvo(
 /// Run `f` on a dedicated rayon pool of `pes` threads — the "real PE"
 /// executor used for measured speedup curves.
 pub fn with_pe_count<R: Send>(pes: usize, f: impl FnOnce() -> R + Send) -> R {
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(pes)
-        .build()
-        .expect("failed to build PE pool");
+    let pool =
+        rayon::ThreadPoolBuilder::new().num_threads(pes).build().expect("failed to build PE pool");
     pool.install(f)
 }
 
@@ -324,8 +313,12 @@ mod tests {
     fn slab_sizes_differ_by_at_most_one() {
         let d = Dims::EPI;
         for pes in [2usize, 3, 5, 7, 16] {
-            let sizes: Vec<usize> =
-                (0..pes).map(|p| { let (a, b) = slab_of(d, pes, p); b - a }).collect();
+            let sizes: Vec<usize> = (0..pes)
+                .map(|p| {
+                    let (a, b) = slab_of(d, pes, p);
+                    b - a
+                })
+                .collect();
             let max = sizes.iter().max().unwrap();
             let min = sizes.iter().min().unwrap();
             assert!(max - min <= 1, "pes={pes}: {sizes:?}");

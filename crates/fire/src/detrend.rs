@@ -105,8 +105,7 @@ mod tests {
         let basis = DetrendBasis::with_cosines(n, 3);
         let mut series: Vec<f32> = (0..n)
             .map(|t| {
-                200.0
-                    + 5.0 * (std::f64::consts::PI * (t as f64 + 0.5) / n as f64).cos() as f32
+                200.0 + 5.0 * (std::f64::consts::PI * (t as f64 + 0.5) / n as f64).cos() as f32
             })
             .collect();
         basis.detrend(&mut series);
@@ -119,48 +118,32 @@ mod tests {
         // drift band; detrending must leave its amplitude intact.
         let n = 64;
         let basis = DetrendBasis::with_cosines(n, 3);
-        let signal: Vec<f32> =
-            (0..n).map(|t| if (t / 8) % 2 == 1 { 10.0 } else { 0.0 }).collect();
+        let signal: Vec<f32> = (0..n).map(|t| if (t / 8) % 2 == 1 { 10.0 } else { 0.0 }).collect();
         let mut series: Vec<f32> =
             signal.iter().enumerate().map(|(t, &s)| 100.0 + 0.5 * t as f32 + s).collect();
         basis.detrend(&mut series);
         // Correlate residual with the square wave: amplitude preserved.
         let m = series.iter().sum::<f32>() / n as f32;
         let sig_m = signal.iter().sum::<f32>() / n as f32;
-        let num: f32 = series
-            .iter()
-            .zip(&signal)
-            .map(|(&r, &s)| (r - m) * (s - sig_m))
-            .sum();
+        let num: f32 = series.iter().zip(&signal).map(|(&r, &s)| (r - m) * (s - sig_m)).sum();
         let den: f32 = signal.iter().map(|&s| (s - sig_m) * (s - sig_m)).sum();
         let slope = num / den; // 1.0 = perfectly preserved
-        assert!(
-            slope > 0.75 && slope < 1.05,
-            "activation amplitude distorted: slope {slope}"
-        );
+        assert!(slope > 0.75 && slope < 1.05, "activation amplitude distorted: slope {slope}");
         // And the linear drift itself is gone: regression on scan index
         // is near zero.
         let t_m = (n as f32 - 1.0) / 2.0;
-        let drift_num: f32 = series
-            .iter()
-            .enumerate()
-            .map(|(t, &r)| (t as f32 - t_m) * (r - m))
-            .sum();
+        let drift_num: f32 =
+            series.iter().enumerate().map(|(t, &r)| (t as f32 - t_m) * (r - m)).sum();
         let drift_den: f32 = (0..n).map(|t| (t as f32 - t_m).powi(2)).sum();
-        assert!(
-            (drift_num / drift_den).abs() < 0.05,
-            "drift residual {}",
-            drift_num / drift_den
-        );
+        assert!((drift_num / drift_den).abs() < 0.05, "drift residual {}", drift_num / drift_den);
     }
 
     #[test]
     fn detrend_all_handles_many_voxels() {
         let n = 16;
         let basis = DetrendBasis::linear(n);
-        let mut voxels: Vec<Vec<f32>> = (0..10)
-            .map(|v| (0..n).map(|t| v as f32 * 10.0 + t as f32 * 0.3).collect())
-            .collect();
+        let mut voxels: Vec<Vec<f32>> =
+            (0..10).map(|v| (0..n).map(|t| v as f32 * 10.0 + t as f32 * 0.3).collect()).collect();
         basis.detrend_all(&mut voxels);
         for series in &voxels {
             assert!(almost_flat(series));

@@ -47,18 +47,15 @@ fn filter_rows(vol: &Volume, f: impl Fn(&mut [f32; 27]) -> f32 + Sync) -> Volume
     let d = vol.dims;
     let mut out = Volume::zeros(d);
     let slab = d.nx * d.ny;
-    out.data
-        .par_chunks_mut(slab)
-        .enumerate()
-        .for_each(|(z, out_slab)| {
-            let mut vals = [0.0f32; 27];
-            for y in 0..d.ny {
-                for x in 0..d.nx {
-                    neighbourhood(vol, x, y, z, &mut vals);
-                    out_slab[x + d.nx * y] = f(&mut vals);
-                }
+    out.data.par_chunks_mut(slab).enumerate().for_each(|(z, out_slab)| {
+        let mut vals = [0.0f32; 27];
+        for y in 0..d.ny {
+            for x in 0..d.nx {
+                neighbourhood(vol, x, y, z, &mut vals);
+                out_slab[x + d.nx * y] = f(&mut vals);
             }
-        });
+        }
+    });
     out
 }
 

@@ -43,9 +43,7 @@ impl Matrix {
     /// Matrix–vector product.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols, "dimension mismatch");
-        (0..self.rows)
-            .map(|i| (0..self.cols).map(|j| self[(i, j)] * v[j]).sum())
-            .collect()
+        (0..self.rows).map(|i| (0..self.cols).map(|j| self[(i, j)] * v[j]).sum()).collect()
     }
 
     /// Transpose.
@@ -108,8 +106,8 @@ pub fn solve(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
     let mut x = b.to_vec();
     for col in 0..n {
         // Pivot.
-        let pivot = (col..n)
-            .max_by(|&i, &j| m[(i, col)].abs().partial_cmp(&m[(j, col)].abs()).unwrap())?;
+        let pivot =
+            (col..n).max_by(|&i, &j| m[(i, col)].abs().partial_cmp(&m[(j, col)].abs()).unwrap())?;
         if m[(pivot, col)].abs() < 1e-12 {
             return None;
         }
@@ -363,11 +361,7 @@ mod tests {
 
     #[test]
     fn cg_matches_direct_solve() {
-        let a = Matrix::from_rows(&[
-            vec![4.0, 1.0, 0.0],
-            vec![1.0, 3.0, 1.0],
-            vec![0.0, 1.0, 5.0],
-        ]);
+        let a = Matrix::from_rows(&[vec![4.0, 1.0, 0.0], vec![1.0, 3.0, 1.0], vec![0.0, 1.0, 5.0]]);
         let b = [1.0, 2.0, 3.0];
         let x_cg = conjugate_gradient(&a, &b, 1e-12, 100);
         let x_direct = solve(&a, &b).unwrap();

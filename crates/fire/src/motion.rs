@@ -167,8 +167,8 @@ impl MotionCorrector {
                 self.residuals(moved, &RigidTransform::from_params(trial), &mut r_lo);
                 let sse_after: f64 = r_lo.iter().map(|v| v * v).sum();
                 if sse_after < sse_before {
-                    step_mag = step.iter().map(|&v| (lambda as f64 * v).powi(2)).sum::<f64>()
-                        .sqrt() as f32;
+                    step_mag = step.iter().map(|&v| (lambda as f64 * v).powi(2)).sum::<f64>().sqrt()
+                        as f32;
                     params = trial;
                     accepted = true;
                     break;

@@ -195,10 +195,7 @@ impl FirePipeline {
     /// The clip-level overlay values (Figure 3 rule).
     pub fn overlay(&self) -> Vec<Option<f32>> {
         let map = self.correlation_map();
-        map.data
-            .iter()
-            .map(|&c| if c >= self.config.clip_level { Some(c) } else { None })
-            .collect()
+        map.data.iter().map(|&c| if c >= self.config.clip_level { Some(c) } else { None }).collect()
     }
 
     /// Run reference-vector optimization over the accumulated series.
@@ -208,10 +205,8 @@ impl FirePipeline {
         method: RvoMethod,
         mask: Option<&[bool]>,
     ) -> RvoResult {
-        let truncated = Stimulus {
-            course: stimulus.course[..self.series.len()].to_vec(),
-            tr_s: stimulus.tr_s,
-        };
+        let truncated =
+            Stimulus { course: stimulus.course[..self.series.len()].to_vec(), tr_s: stimulus.tr_s };
         rvo::optimize(&self.series, &truncated, RvoBounds::default(), method, mask)
     }
 }
@@ -254,10 +249,7 @@ impl ChainTiming {
     /// Pipelined-mode period: stages overlap, the slowest stage sets the
     /// rate.
     pub fn pipelined_period_s(&self) -> f64 {
-        self.acquire_s
-            .max(self.transfer_s)
-            .max(self.compute_s)
-            .max(self.display_s)
+        self.acquire_s.max(self.transfer_s).max(self.compute_s).max(self.display_s)
     }
 
     /// The smallest safe scanner repetition time for a mode period (the
@@ -361,8 +353,7 @@ mod tests {
             &scanner,
         );
         let s_with = crate::analysis::score_detection(&with.correlation_map(), &truth, 0.45);
-        let s_without =
-            crate::analysis::score_detection(&without.correlation_map(), &truth, 0.45);
+        let s_without = crate::analysis::score_detection(&without.correlation_map(), &truth, 0.45);
         // Under strong drift the raw map lights up everywhere (drift
         // correlates with the slow reference); detrending must kill the
         // false positives without losing the true ones.

@@ -163,7 +163,12 @@ mod tests {
         let scanner = tiny_scanner(16);
         let report = run_rt_session(
             &scanner,
-            FireConfig { median_filter: false, motion_correction: false, detrend: None, ..FireConfig::default() },
+            FireConfig {
+                median_filter: false,
+                motion_correction: false,
+                detrend: None,
+                ..FireConfig::default()
+            },
             256,
             1,
         );

@@ -88,9 +88,7 @@ pub struct RvoResult {
 
 fn grid(bounds: (f64, f64), steps: usize) -> Vec<f64> {
     assert!(steps >= 2, "grid needs at least 2 steps");
-    (0..steps)
-        .map(|i| bounds.0 + (bounds.1 - bounds.0) * i as f64 / (steps - 1) as f64)
-        .collect()
+    (0..steps).map(|i| bounds.0 + (bounds.1 - bounds.0) * i as f64 / (steps - 1) as f64).collect()
 }
 
 /// Run RVO over a scan series. `mask` (if given) restricts the fit to
@@ -169,9 +167,8 @@ pub fn optimize(
             // radius, the CG-flavoured local search of the paper's
             // outlook.
             if refine_iters > 0 {
-                let mut h_d = (bounds.delay_s.1 - bounds.delay_s.0)
-                    / (delays.len() - 1) as f64
-                    / 2.0;
+                let mut h_d =
+                    (bounds.delay_s.1 - bounds.delay_s.0) / (delays.len() - 1) as f64 / 2.0;
                 let mut h_w = (bounds.dispersion_s.1 - bounds.dispersion_s.0)
                     / (dispersions.len() - 1) as f64
                     / 2.0;
@@ -250,9 +247,9 @@ pub fn recovery_error(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gtw_scan::volume::Dims;
-    use gtw_scan::hrf::raw_convolution;
     use gtw_desim::StreamRng;
+    use gtw_scan::hrf::raw_convolution;
+    use gtw_scan::volume::Dims;
 
     /// Build a tiny series where every "brain" voxel follows the HRF at
     /// (true_delay, true_disp) plus noise, and air voxels are pure noise.
@@ -313,13 +310,8 @@ mod tests {
         let dims = Dims::new(5, 5, 2);
         let (series, stim, mask) = synthetic_series(dims, 36, 8.0, 1.5, 1.0, 2);
         let canonical = ReferenceVector::canonical(&stim);
-        let res = optimize(
-            &series,
-            &stim,
-            RvoBounds::default(),
-            RvoMethod::paper_grid(),
-            Some(&mask),
-        );
+        let res =
+            optimize(&series, &stim, RvoBounds::default(), RvoMethod::paper_grid(), Some(&mask));
         let mut canon_mean = 0.0f64;
         let mut rvo_mean = 0.0f64;
         let mut n = 0;
@@ -343,20 +335,10 @@ mod tests {
     fn coarse_refine_is_cheaper_and_close() {
         let dims = Dims::new(6, 6, 2);
         let (series, stim, mask) = synthetic_series(dims, 36, 5.5, 1.0, 0.3, 3);
-        let full = optimize(
-            &series,
-            &stim,
-            RvoBounds::default(),
-            RvoMethod::paper_grid(),
-            Some(&mask),
-        );
-        let refined = optimize(
-            &series,
-            &stim,
-            RvoBounds::default(),
-            RvoMethod::paper_refined(),
-            Some(&mask),
-        );
+        let full =
+            optimize(&series, &stim, RvoBounds::default(), RvoMethod::paper_grid(), Some(&mask));
+        let refined =
+            optimize(&series, &stim, RvoBounds::default(), RvoMethod::paper_refined(), Some(&mask));
         assert!(
             refined.evaluations < full.evaluations / 2,
             "refined {} vs full {} evaluations",

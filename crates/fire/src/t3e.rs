@@ -113,10 +113,7 @@ impl T3eModel {
     /// The full Table 1 (PEs 1..256 in powers of two) at the reference
     /// image size.
     pub fn table1(&self) -> Vec<Table1Row> {
-        [1usize, 2, 4, 8, 16, 32, 64, 128, 256]
-            .iter()
-            .map(|&p| self.row(p, Dims::EPI))
-            .collect()
+        [1usize, 2, 4, 8, 16, 32, 64, 128, 256].iter().map(|&p| self.row(p, Dims::EPI)).collect()
     }
 }
 

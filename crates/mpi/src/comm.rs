@@ -107,8 +107,7 @@ impl Comm {
             my_local,
             placement,
             shared,
-            parent: parent
-                .map(|(parent_group, wan)| Arc::new(ParentLink { parent_group, wan })),
+            parent: parent.map(|(parent_group, wan)| Arc::new(ParentLink { parent_group, wan })),
             coll_seq: Cell::new(0),
             derive_seq: Cell::new(0),
         }
@@ -179,15 +178,19 @@ impl Comm {
             .position(|&g| g == env.src)
             .expect("message from outside this communicator (use the InterComm handle)");
         self.charge(source, env.byte_len() as u64);
-        self.universe.trace.record(self.global_id(), EventKind::Recv, Some(env.src), env.byte_len() as u64);
+        self.universe.trace.record(
+            self.global_id(),
+            EventKind::Recv,
+            Some(env.src),
+            env.byte_len() as u64,
+        );
         let status = Status { source, tag: env.tag, bytes: env.byte_len() };
         (env, status)
     }
 
     /// Non-blocking probe for a matching message.
     pub fn probe(&self, src: usize, tag: Tag) -> bool {
-        let src_global =
-            if src == ANY_SOURCE { ANY_SOURCE } else { self.group[src] };
+        let src_global = if src == ANY_SOURCE { ANY_SOURCE } else { self.group[src] };
         self.universe.mailbox(self.global_id()).probe(src_global, tag)
     }
 
@@ -453,9 +456,7 @@ impl Comm {
             }
             // ...and local re-broadcast on the root's own machine.
             for r in 0..self.size() {
-                if r != root
-                    && self.placement.machine_of(r).name == root_machine
-                {
+                if r != root && self.placement.machine_of(r).name == root_machine {
                     self.send_internal(r, tag, Datatype::F64, payload.clone());
                 }
             }
@@ -470,9 +471,7 @@ impl Comm {
             self.charge(root, env.byte_len() as u64);
             let payload = env.data.clone();
             for r in 0..self.size() {
-                if r != self.rank()
-                    && self.placement.machine_of(r).name == my_machine
-                {
+                if r != self.rank() && self.placement.machine_of(r).name == my_machine {
                     self.send_internal(r, tag, Datatype::F64, payload.clone());
                 }
             }
@@ -654,11 +653,7 @@ impl Comm {
         let machines: Vec<MachineSpec> =
             parent_ranks.iter().map(|&r| self.placement.machine_of(r).clone()).collect();
         let machine_of: Vec<usize> = (0..machines.len()).collect();
-        let placement = Placement::custom(
-            machines,
-            machine_of,
-            *self.placement.wan(),
-        );
+        let placement = Placement::custom(machines, machine_of, *self.placement.wan());
         let shared_key = self.derive_key(&new_group);
         let shared = self.universe.shared_for(shared_key, new_group.len());
         Comm {
@@ -816,15 +811,19 @@ impl InterComm {
 
     /// Receive from remote rank `src` (or [`ANY_SOURCE`]).
     pub fn recv_envelope(&self, src: usize, tag: Tag) -> (Envelope, Status) {
-        let src_global =
-            if src == ANY_SOURCE { ANY_SOURCE } else { self.remote_group[src] };
+        let src_global = if src == ANY_SOURCE { ANY_SOURCE } else { self.remote_group[src] };
         let env = self.universe.mailbox(self.my_global).claim(src_global, tag);
         let source = self
             .remote_group
             .iter()
             .position(|&g| g == env.src)
             .expect("message from outside the remote group");
-        self.universe.trace.record(self.my_global, EventKind::Recv, Some(env.src), env.byte_len() as u64);
+        self.universe.trace.record(
+            self.my_global,
+            EventKind::Recv,
+            Some(env.src),
+            env.byte_len() as u64,
+        );
         let st = Status { source, tag: env.tag, bytes: env.byte_len() };
         (env, st)
     }
@@ -867,8 +866,7 @@ impl InterComm {
 
     /// Non-blocking probe on the remote group.
     pub fn probe(&self, src: usize, tag: Tag) -> bool {
-        let src_global =
-            if src == ANY_SOURCE { ANY_SOURCE } else { self.remote_group[src] };
+        let src_global = if src == ANY_SOURCE { ANY_SOURCE } else { self.remote_group[src] };
         self.universe.mailbox(self.my_global).probe(src_global, tag)
     }
 }
@@ -1291,9 +1289,8 @@ mod tests {
     #[test]
     fn alltoall_exchanges_parts() {
         let out = Universe::run(3, |comm| {
-            let parts: Vec<Vec<f64>> = (0..3)
-                .map(|dst| vec![(comm.rank() * 10 + dst) as f64])
-                .collect();
+            let parts: Vec<Vec<f64>> =
+                (0..3).map(|dst| vec![(comm.rank() * 10 + dst) as f64]).collect();
             let got = comm.alltoall_f64s(&parts);
             got.into_iter().map(|v| v[0] as i64).collect::<Vec<_>>()
         });

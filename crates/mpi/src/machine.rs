@@ -84,18 +84,16 @@ pub struct Placement {
 impl Placement {
     /// All `n` ranks on one machine.
     pub fn single(n: usize, machine: MachineSpec) -> Self {
-        Placement { machines: vec![machine], machine_of: vec![0; n], wan: FabricSpec::wan_testbed() }
+        Placement {
+            machines: vec![machine],
+            machine_of: vec![0; n],
+            wan: FabricSpec::wan_testbed(),
+        }
     }
 
     /// Ranks `0..split` on machine `a`, the rest on machine `b`, joined by
     /// `wan`.
-    pub fn split(
-        n: usize,
-        split: usize,
-        a: MachineSpec,
-        b: MachineSpec,
-        wan: FabricSpec,
-    ) -> Self {
+    pub fn split(n: usize, split: usize, a: MachineSpec, b: MachineSpec, wan: FabricSpec) -> Self {
         assert!(split <= n, "split beyond communicator size");
         let machine_of = (0..n).map(|r| usize::from(r >= split)).collect();
         Placement { machines: vec![a, b], machine_of, wan }
@@ -103,10 +101,7 @@ impl Placement {
 
     /// Fully general placement.
     pub fn custom(machines: Vec<MachineSpec>, machine_of: Vec<usize>, wan: FabricSpec) -> Self {
-        assert!(
-            machine_of.iter().all(|&m| m < machines.len()),
-            "machine index out of range"
-        );
+        assert!(machine_of.iter().all(|&m| m < machines.len()), "machine index out of range");
         Placement { machines, machine_of, wan }
     }
 

@@ -39,7 +39,10 @@ impl Mailbox {
     /// New empty mailbox.
     pub fn new() -> Self {
         Mailbox {
-            inner: Arc::new(Inner { queue: Mutex::new(VecDeque::new()), available: Condvar::new() }),
+            inner: Arc::new(Inner {
+                queue: Mutex::new(VecDeque::new()),
+                available: Condvar::new(),
+            }),
         }
     }
 

@@ -54,12 +54,20 @@ pub struct TraceCollector {
 impl TraceCollector {
     /// A collector that records events.
     pub fn enabled() -> Self {
-        TraceCollector { events: Arc::new(Mutex::new(Vec::new())), epoch: Instant::now(), enabled: true }
+        TraceCollector {
+            events: Arc::new(Mutex::new(Vec::new())),
+            epoch: Instant::now(),
+            enabled: true,
+        }
     }
 
     /// A collector that drops everything (zero overhead beyond a branch).
     pub fn disabled() -> Self {
-        TraceCollector { events: Arc::new(Mutex::new(Vec::new())), epoch: Instant::now(), enabled: false }
+        TraceCollector {
+            events: Arc::new(Mutex::new(Vec::new())),
+            epoch: Instant::now(),
+            enabled: false,
+        }
     }
 
     /// Whether recording is on.
@@ -148,6 +156,25 @@ impl VampirSummary {
         self.bytes.iter().flatten().sum()
     }
 
+    /// JSON rendering, in the same machine-readable report format the
+    /// network simulator emits (`gtw_desim::Json`), so MPI traces and
+    /// network run reports can land in one dump.
+    pub fn to_json(&self) -> gtw_desim::Json {
+        use gtw_desim::Json;
+        let matrix =
+            |m: &[Vec<u64>]| Json::Arr(m.iter().map(|row| Json::uint_array(row)).collect());
+        Json::obj([
+            ("ranks", Json::from(self.ranks)),
+            ("total_messages", Json::from(self.total_messages())),
+            ("total_bytes", Json::from(self.total_bytes())),
+            ("messages", matrix(&self.messages)),
+            ("bytes", matrix(&self.bytes)),
+            ("sends", Json::uint_array(&self.sends)),
+            ("recvs", Json::uint_array(&self.recvs)),
+            ("collectives", Json::uint_array(&self.collectives)),
+        ])
+    }
+
     /// Render the message matrix as an aligned text table (what the
     /// benches print).
     pub fn message_matrix_table(&self) -> String {
@@ -215,6 +242,18 @@ mod tests {
         let table = t.summary(2).message_matrix_table();
         assert!(table.contains("src\\dst"));
         assert!(table.lines().count() == 3);
+    }
+
+    #[test]
+    fn summary_json_round_trips_counts() {
+        let t = TraceCollector::enabled();
+        t.record(0, EventKind::Send, Some(1), 100);
+        t.record(1, EventKind::Recv, Some(0), 100);
+        let j = t.summary(2).to_json().dump();
+        assert!(j.contains("\"ranks\":2"), "{j}");
+        assert!(j.contains("\"total_messages\":1"), "{j}");
+        assert!(j.contains("\"messages\":[[0,1],[0,0]]"), "{j}");
+        assert!(j.contains("\"sends\":[1,0]"), "{j}");
     }
 
     #[test]

@@ -208,7 +208,6 @@ impl Universe {
             }
         }
     }
-
 }
 
 #[cfg(test)]

@@ -152,7 +152,8 @@ impl Reassembler {
             self.pdus_err += 1;
             return Err(ReassemblyError::CrcMismatch);
         }
-        let len = u16::from_be_bytes(pdu[pdu.len() - 6..pdu.len() - 4].try_into().unwrap()) as usize;
+        let len =
+            u16::from_be_bytes(pdu[pdu.len() - 6..pdu.len() - 4].try_into().unwrap()) as usize;
         // The payload must fit in the PDU with pad < 48.
         if cpcs_pdu_len(len) != pdu.len() {
             self.pdus_err += 1;

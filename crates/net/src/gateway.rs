@@ -102,9 +102,7 @@ impl Gateway {
     /// `mtu` bytes is charged as fixed per-packet time.
     pub fn hop_for_mtu(&self, propagation: SimDuration, mtu: u64) -> HopModel {
         let copy = match self.mode {
-            ForwardingMode::StoreAndForward => {
-                self.copy_rate.time_for(DataSize::from_bytes(mtu))
-            }
+            ForwardingMode::StoreAndForward => self.copy_rate.time_for(DataSize::from_bytes(mtu)),
             ForwardingMode::CutThrough => SimDuration::ZERO,
         };
         HopModel { medium: self.egress, per_packet: self.per_packet + copy, propagation }

@@ -102,10 +102,7 @@ mod tests {
     fn small_blocks_collapse() {
         let ch = HippiChannel::default();
         let tp = ch.throughput(DataSize::from_mib(64), DataSize::from_bytes(1024));
-        assert!(
-            tp.mbps() < 350.0,
-            "1 KiB blocks should be badly amortized, got {tp}"
-        );
+        assert!(tp.mbps() < 350.0, "1 KiB blocks should be badly amortized, got {tp}");
     }
 
     #[test]

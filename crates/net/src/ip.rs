@@ -44,10 +44,7 @@ impl IpConfig {
 
     /// Maximum TCP segment payload (MSS) under this MTU.
     pub fn mss(&self) -> u64 {
-        assert!(
-            self.mtu > IP_HEADER_BYTES + TCP_HEADER_BYTES,
-            "MTU too small for TCP/IP headers"
-        );
+        assert!(self.mtu > IP_HEADER_BYTES + TCP_HEADER_BYTES, "MTU too small for TCP/IP headers");
         self.mtu - IP_HEADER_BYTES - TCP_HEADER_BYTES
     }
 
@@ -120,8 +117,7 @@ mod tests {
         for payload in [0u64, 1, 100, 9160, 9161, 65535, 100_000] {
             for mtu in [576u64, 1500, 9180] {
                 let frags = fragment_sizes(payload, mtu);
-                let total: u64 =
-                    frags.iter().map(|f| f.bytes() - IP_HEADER_BYTES).sum();
+                let total: u64 = frags.iter().map(|f| f.bytes() - IP_HEADER_BYTES).sum();
                 assert_eq!(total, payload, "payload {payload} mtu {mtu}");
                 // All but last fragment payloads are multiples of 8.
                 for f in &frags[..frags.len().saturating_sub(1)] {

@@ -48,6 +48,7 @@ pub mod transfer;
 pub mod units;
 
 pub use cell::{AtmCell, CellHeader, ATM_CELL_BYTES, ATM_PAYLOAD_BYTES};
+pub use stats::{RunReport, StatsRegistry};
 pub use topology::{LinkSpec, NodeId, NodeKind, Topology};
 pub use transfer::{BulkTransfer, Protocol, TransferReport};
 pub use units::{Bandwidth, DataSize};

@@ -87,6 +87,15 @@ impl Medium {
     pub fn effective_rate(&self, ip_bytes: DataSize) -> Bandwidth {
         crate::units::throughput(ip_bytes, self.wire_time(ip_bytes))
     }
+
+    /// Short name of the medium kind, for run reports.
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            Medium::Atm { .. } => "atm",
+            Medium::Hippi { .. } => "hippi",
+            Medium::Raw { .. } => "raw",
+        }
+    }
 }
 
 /// Configuration of one pipeline stage.
@@ -263,7 +272,11 @@ mod tests {
         let sink = sim.add_component(Sink::default());
         let link = sim.add_component(raw_stage(100.0, sink));
         for seq in 0..10 {
-            sim.send_in(SimDuration::ZERO, link, msg(Arrive(data_packet(seq, 12_500, SimTime::ZERO))));
+            sim.send_in(
+                SimDuration::ZERO,
+                link,
+                msg(Arrive(data_packet(seq, 12_500, SimTime::ZERO))),
+            );
         }
         sim.run();
         let s = sim.component::<Sink>(sink);
@@ -285,7 +298,11 @@ mod tests {
         st.config.buffer_bytes = 30_000; // fits 2 packets of 12500
         let link = sim.add_component(st);
         for seq in 0..10 {
-            sim.send_in(SimDuration::ZERO, link, msg(Arrive(data_packet(seq, 12_500, SimTime::ZERO))));
+            sim.send_in(
+                SimDuration::ZERO,
+                link,
+                msg(Arrive(data_packet(seq, 12_500, SimTime::ZERO))),
+            );
         }
         sim.run();
         let st = sim.component::<PipeStage>(link);

@@ -74,9 +74,8 @@ impl LeakyBucket {
     /// verdict says what to do with it.
     pub fn police(&mut self, cell: &mut AtmCell, now: SimTime) -> Verdict {
         // GCRA virtual scheduling: conforming iff now >= TAT - τ.
-        let earliest = SimTime::from_nanos(
-            self.tat.as_nanos().saturating_sub(self.tolerance.as_nanos()),
-        );
+        let earliest =
+            SimTime::from_nanos(self.tat.as_nanos().saturating_sub(self.tolerance.as_nanos()));
         if now >= earliest {
             self.tat = self.tat.max(now) + self.increment;
             self.conforming += 1;
@@ -143,8 +142,7 @@ mod tests {
 
     #[test]
     fn discard_mode_drops_excess() {
-        let mut b =
-            LeakyBucket::new(1000.0, SimDuration::from_micros(10), PolicingAction::Discard);
+        let mut b = LeakyBucket::new(1000.0, SimDuration::from_micros(10), PolicingAction::Discard);
         let (ok, tagged, dropped) = run(&mut b, 1000, SimDuration::from_micros(250));
         assert_eq!(tagged, 0);
         assert!(dropped > 700, "dropped {dropped}");

@@ -128,7 +128,11 @@ pub struct SectionTestReport {
 
 /// Run a (virtual) acceptance test of a section: Bernoulli errored-seconds
 /// draws from the quality model.
-pub fn section_test(quality: SignalQuality, seconds: u64, rng: &mut StreamRng) -> SectionTestReport {
+pub fn section_test(
+    quality: SignalQuality,
+    seconds: u64,
+    rng: &mut StreamRng,
+) -> SectionTestReport {
     let p = quality.errored_second_probability();
     let errored = (0..seconds).filter(|_| rng.uniform() < p).count() as u64;
     let ratio = errored as f64 / seconds.max(1) as f64;

@@ -144,8 +144,7 @@ impl Component for SignallingAgent {
                     Some(n) => ctx.send_in(delay, n, msg(c)),
                     None => {
                         let origin = s.origin;
-                        let setup_s =
-                            (ctx.now() + delay).saturating_since(c.sent_at).as_secs_f64();
+                        let setup_s = (ctx.now() + delay).saturating_since(c.sent_at).as_secs_f64();
                         ctx.send_in(
                             delay,
                             origin,
@@ -381,7 +380,14 @@ mod tests {
         let short = {
             let mut sim = Simulator::new();
             let (origin, path) = chain(&mut sim, &[622.0]);
-            place_call(&mut sim, origin, &path, CallId(1), Bandwidth::from_mbps(1.0), SimTime::ZERO);
+            place_call(
+                &mut sim,
+                origin,
+                &path,
+                CallId(1),
+                Bandwidth::from_mbps(1.0),
+                SimTime::ZERO,
+            );
             sim.run();
             match sim.component::<CallOriginator>(origin).results[0].1 {
                 CallOutcome::Connected { setup_s } => setup_s,
@@ -391,7 +397,14 @@ mod tests {
         let long = {
             let mut sim = Simulator::new();
             let (origin, path) = chain(&mut sim, &[622.0; 6]);
-            place_call(&mut sim, origin, &path, CallId(1), Bandwidth::from_mbps(1.0), SimTime::ZERO);
+            place_call(
+                &mut sim,
+                origin,
+                &path,
+                CallId(1),
+                Bandwidth::from_mbps(1.0),
+                SimTime::ZERO,
+            );
             sim.run();
             match sim.component::<CallOriginator>(origin).results[0].1 {
                 CallOutcome::Connected { setup_s } => setup_s,

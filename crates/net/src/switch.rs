@@ -110,6 +110,15 @@ pub struct SwitchStats {
     pub clp_discard: u64,
 }
 
+impl SwitchStats {
+    /// Total cells that arrived at the switch: every arrival is either
+    /// switched or accounted to exactly one discard counter, so this is
+    /// the conservation identity run reports and tests check.
+    pub fn cells_in(&self) -> u64 {
+        self.switched + self.unroutable + self.overflow + self.hec_discard + self.clp_discard
+    }
+}
+
 /// The switch component.
 pub struct AtmSwitch {
     routes: HashMap<VcKey, VcRoute>,
@@ -265,10 +274,7 @@ mod tests {
                 buffer_cells,
             )],
         );
-        sw.add_route(
-            VcKey { port: 0, vpi: 1, vci: 100 },
-            VcRoute { port: 0, vpi: 2, vci: 200 },
-        );
+        sw.add_route(VcKey { port: 0, vpi: 1, vci: 100 }, VcRoute { port: 0, vpi: 2, vci: 200 });
         let sw = sim.add_component(sw);
         (sim, sw, ep)
     }
@@ -339,13 +345,7 @@ mod tests {
         let ep = sim.add_component(CellEndpoint::default());
         let mut sw2 = AtmSwitch::new(
             "gmd",
-            vec![OutputPort::simple(
-                ep,
-                0,
-                Bandwidth::OC12,
-                SimDuration::from_micros(5),
-                4096,
-            )],
+            vec![OutputPort::simple(ep, 0, Bandwidth::OC12, SimDuration::from_micros(5), 4096)],
         );
         sw2.add_route(VcKey { port: 0, vpi: 2, vci: 200 }, VcRoute { port: 0, vpi: 3, vci: 300 });
         let sw2 = sim.add_component(sw2);

@@ -150,6 +150,14 @@ pub struct TcpSender {
     pub retransmits: u64,
     /// Total data segments sent (including retransmits).
     pub segments_sent: u64,
+    /// Whether an RTO watchdog timer is currently in flight. At most one
+    /// is outstanding at any time; it is re-armed on expiry, not on every
+    /// ACK (arming per ACK floods the event queue with O(acked segments)
+    /// stale timers).
+    rto_outstanding: bool,
+    /// Total RTO watchdog arms (observability; compare against
+    /// `segments_sent` to see the watchdog is not per-packet).
+    pub rto_armed: u64,
 }
 
 impl TcpSender {
@@ -165,7 +173,14 @@ impl TcpSender {
             finished_at: None,
             retransmits: 0,
             segments_sent: 0,
+            rto_outstanding: false,
+            rto_armed: 0,
         }
+    }
+
+    /// Cumulative bytes acknowledged so far.
+    pub fn bytes_acked(&self) -> u64 {
+        self.acked
     }
 
     /// Elapsed transfer time, if finished.
@@ -185,9 +200,7 @@ impl TcpSender {
 
     fn pump(&mut self, ctx: &mut Ctx<'_>) {
         let mss = self.cfg.ip.mss();
-        while self.next_byte < self.cfg.total_bytes
-            && self.next_byte - self.acked < self.window()
-        {
+        while self.next_byte < self.cfg.total_bytes && self.next_byte - self.acked < self.window() {
             let payload = mss.min(self.cfg.total_bytes - self.next_byte);
             let pkt = Packet {
                 flow: self.cfg.flow,
@@ -202,9 +215,11 @@ impl TcpSender {
             self.next_byte += payload;
             self.segments_sent += 1;
         }
-        // Arm (or re-arm) the retransmission watchdog while data is
-        // outstanding.
-        if self.acked < self.cfg.total_bytes {
+        // Keep exactly one retransmission watchdog in flight while data
+        // is outstanding; it re-arms itself on expiry.
+        if self.acked < self.cfg.total_bytes && !self.rto_outstanding {
+            self.rto_outstanding = true;
+            self.rto_armed += 1;
             ctx.timer_in(
                 self.cfg.rto,
                 gtw_desim::component::msg(RtoCheck { acked_at_arm: self.acked }),
@@ -236,8 +251,15 @@ impl Component for TcpSender {
             self.pump(ctx);
         } else {
             let RtoCheck { acked_at_arm } = *gtw_desim::component::downcast::<RtoCheck>(m);
-            if self.finished_at.is_some() || self.acked > acked_at_arm {
-                return; // progress was made; newer watchdog is armed
+            self.rto_outstanding = false;
+            if self.finished_at.is_some() {
+                return;
+            }
+            if self.acked > acked_at_arm {
+                // Progress was made during this RTO interval; re-arm from
+                // the current ack level without retransmitting.
+                self.pump(ctx);
+                return;
             }
             // Timeout: go-back-N from the last cumulative ACK.
             self.retransmits += 1;
@@ -269,6 +291,8 @@ pub struct TcpReceiver {
     pub segments_in_order: u64,
     /// Out-of-order/duplicate segments observed.
     pub segments_out_of_order: u64,
+    /// ACK packets emitted.
+    pub acks_sent: u64,
     since_last_ack: u64,
 }
 
@@ -283,8 +307,14 @@ impl TcpReceiver {
             expected: 0,
             segments_in_order: 0,
             segments_out_of_order: 0,
+            acks_sent: 0,
             since_last_ack: 0,
         }
+    }
+
+    /// Contiguous in-order bytes delivered to the application.
+    pub fn bytes_delivered(&self) -> u64 {
+        self.expected
     }
 
     fn send_ack(&mut self, ctx: &mut Ctx<'_>) {
@@ -298,6 +328,7 @@ impl TcpReceiver {
         };
         let path = self.ack_path;
         ctx.send_in(SimDuration::ZERO, path, gtw_desim::component::msg(Arrive(ack)));
+        self.acks_sent += 1;
         self.since_last_ack = 0;
     }
 }
@@ -354,7 +385,8 @@ mod tests {
             buffer_bytes: u64::MAX,
         };
         // Create with placeholder next ids; patch afterwards.
-        let fwd = sim.add_component(PipeStage::new("fwd", cfg_stage.clone(), ComponentId::placeholder()));
+        let fwd =
+            sim.add_component(PipeStage::new("fwd", cfg_stage.clone(), ComponentId::placeholder()));
         let rev = sim.add_component(PipeStage::new("rev", cfg_stage, ComponentId::placeholder()));
         let receiver = sim.add_component(TcpReceiver::new(cfg.flow, cfg.total_bytes, rev));
         let sender = sim.add_component(TcpSender::new(cfg, fwd));
@@ -449,12 +481,8 @@ mod tests {
         for mtu in [1500u64, 9180, 65535] {
             let ip = IpConfig { mtu };
             let cfg = TcpConfig::bulk(4, 16 * 1024 * 1024, ip, 4 * 1024 * 1024);
-            let (sim, sender) = run_transfer(
-                Bandwidth::HIPPI,
-                SimDuration::from_micros(10),
-                per_packet,
-                cfg,
-            );
+            let (sim, sender) =
+                run_transfer(Bandwidth::HIPPI, SimDuration::from_micros(10), per_packet, cfg);
             results.push(sim.component::<TcpSender>(sender).goodput().unwrap().mbps());
         }
         assert!(results[0] < results[1] && results[1] < results[2], "{results:?}");
@@ -476,7 +504,8 @@ mod tests {
             propagation: SimDuration::from_micros(100),
             buffer_bytes: 64 * 1024, // tight buffer
         };
-        let fwd = sim.add_component(PipeStage::new("fwd", stage_cfg.clone(), ComponentId::placeholder()));
+        let fwd =
+            sim.add_component(PipeStage::new("fwd", stage_cfg.clone(), ComponentId::placeholder()));
         let rev = sim.add_component(PipeStage::new(
             "rev",
             StageConfig { buffer_bytes: u64::MAX, ..stage_cfg },
@@ -499,6 +528,50 @@ mod tests {
     }
 
     #[test]
+    fn rto_watchdog_is_single_not_per_ack() {
+        // Regression: the sender used to arm a fresh RTO timer on every
+        // pump (i.e. every ACK), flooding the queue with stale timers.
+        // With the re-arm-on-expiry watchdog, timer arms are bounded by
+        // transfer-time/RTO + retransmits, not by segment count.
+        let ip = IpConfig { mtu: 9180 };
+        let total = 8 * 1024 * 1024;
+        let cfg = TcpConfig::bulk(6, total, ip, 512 * 1024);
+        let rto = cfg.rto;
+        let mut sim = Simulator::new();
+        sim.set_tracer(Box::new(gtw_desim::EventCounter::new()));
+        let cfg_stage = StageConfig {
+            medium: Medium::Raw { rate: Bandwidth::from_mbps(100.0) },
+            per_packet: SimDuration::ZERO,
+            propagation: SimDuration::from_micros(500),
+            buffer_bytes: u64::MAX,
+        };
+        let fwd =
+            sim.add_component(PipeStage::new("fwd", cfg_stage.clone(), ComponentId::placeholder()));
+        let rev = sim.add_component(PipeStage::new("rev", cfg_stage, ComponentId::placeholder()));
+        let receiver = sim.add_component(TcpReceiver::new(cfg.flow, cfg.total_bytes, rev));
+        let sender = sim.add_component(TcpSender::new(cfg, fwd));
+        sim.component_mut::<PipeStage>(fwd).next = receiver;
+        sim.component_mut::<PipeStage>(rev).next = sender;
+        sim.send_in(SimDuration::ZERO, sender, msg(StartTransfer));
+        sim.run();
+        let s = sim.component::<TcpSender>(sender);
+        let elapsed = s.elapsed().expect("transfer finished");
+        let (segments_sent, retransmits, rto_armed) = (s.segments_sent, s.retransmits, s.rto_armed);
+        assert!(segments_sent > 500, "test should move many segments");
+        // Bound: one initial arm plus one re-arm per expired interval
+        // plus one per retransmission burst.
+        let max_arms = elapsed.as_secs_f64() / rto.as_secs_f64() + retransmits as f64 + 2.0;
+        assert!((rto_armed as f64) <= max_arms, "rto_armed {rto_armed} exceeds bound {max_arms}");
+        assert!(rto_armed < segments_sent / 10, "watchdog arms scale with segments");
+        // Cross-check against the kernel's own timer accounting: the
+        // sender's only self-timers are RTO watchdogs.
+        let tracer = sim.take_tracer().unwrap();
+        let counter =
+            (tracer as Box<dyn std::any::Any>).downcast::<gtw_desim::EventCounter>().unwrap();
+        assert_eq!(counter.timers_armed_by(sender), rto_armed);
+    }
+
+    #[test]
     fn analytic_required_window_fills_pipe() {
         let ip = IpConfig { mtu: 9180 };
         let model = TcpModel {
@@ -514,8 +587,7 @@ mod tests {
         let filled = TcpModel { window: needed, ..model.clone() };
         let tp = filled.steady_state_throughput().mbps();
         // With the BDP window the pipe rate is achieved (within rounding).
-        let pipe =
-            (ip.mss() as f64 * 8.0) / filled.bottleneck_service().as_secs_f64() / 1e6;
+        let pipe = (ip.mss() as f64 * 8.0) / filled.bottleneck_service().as_secs_f64() / 1e6;
         assert!((tp - pipe).abs() / pipe < 0.01, "tp {tp} pipe {pipe}");
     }
 }

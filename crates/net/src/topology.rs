@@ -226,9 +226,9 @@ impl Topology {
         let mut hops = Vec::with_capacity(path.len());
         for w in path.windows(2) {
             let (from, to) = (w[0], w[1]);
-            let link = self
-                .link_between(from, to)
-                .unwrap_or_else(|| panic!("no link {} -> {}", self.name_of(from), self.name_of(to)));
+            let link = self.link_between(from, to).unwrap_or_else(|| {
+                panic!("no link {} -> {}", self.name_of(from), self.name_of(to))
+            });
             let per_packet = match &self.nodes[from.0].kind {
                 NodeKind::Host(nic) => nic.per_packet,
                 NodeKind::Gateway(gw) => gw.hop_for_mtu(SimDuration::ZERO, mtu).per_packet,

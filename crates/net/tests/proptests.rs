@@ -1,12 +1,12 @@
 //! Property-based tests for the network stack invariants.
 
+use gtw_desim::SimDuration;
 use gtw_net::aal5::{aal5_efficiency, cells_for_pdu, segment, Reassembler};
 use gtw_net::cell::{AtmCell, CellHeader, Pti};
 use gtw_net::ip::{fragment_sizes, IpConfig, IP_HEADER_BYTES};
 use gtw_net::link::Medium;
 use gtw_net::tcp::{HopModel, TcpModel};
 use gtw_net::units::{Bandwidth, DataSize};
-use gtw_desim::SimDuration;
 use proptest::prelude::*;
 
 proptest! {

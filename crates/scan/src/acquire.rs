@@ -232,8 +232,7 @@ mod tests {
         let mut checked = 0;
         for i in 0..v.data.len() {
             if amp.data[i] > 0.03 {
-                let expect = anat.data[i]
-                    * (1.0 + amp.data[i] * s.true_response(peak_t) as f32);
+                let expect = anat.data[i] * (1.0 + amp.data[i] * s.true_response(peak_t) as f32);
                 assert!((v.data[i] - expect).abs() / expect < 0.02);
                 checked += 1;
             }

@@ -47,9 +47,7 @@ impl Stimulus {
     pub fn block_design(off: usize, on: usize, total: usize, tr_s: f64) -> Self {
         assert!(off + on > 0, "block period must be positive");
         let period = off + on;
-        let course = (0..total)
-            .map(|i| if i % period < off { 0.0 } else { 1.0 })
-            .collect();
+        let course = (0..total).map(|i| if i % period < off { 0.0 } else { 1.0 }).collect();
         Stimulus { course, tr_s }
     }
 

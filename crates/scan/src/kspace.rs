@@ -38,10 +38,7 @@ impl Complex {
     }
 
     fn mul(self, o: Complex) -> Complex {
-        Complex {
-            re: self.re * o.re - self.im * o.im,
-            im: self.re * o.im + self.im * o.re,
-        }
+        Complex { re: self.re * o.re - self.im * o.im, im: self.re * o.im + self.im * o.re }
     }
 
     fn add(self, o: Complex) -> Complex {
@@ -114,11 +111,7 @@ impl Slice2d {
     /// From a real image.
     pub fn from_real(nx: usize, ny: usize, img: &[f32]) -> Self {
         assert_eq!(img.len(), nx * ny);
-        Slice2d {
-            nx,
-            ny,
-            data: img.iter().map(|&v| Complex::new(v as f64, 0.0)).collect(),
-        }
+        Slice2d { nx, ny, data: img.iter().map(|&v| Complex::new(v as f64, 0.0)).collect() }
     }
 
     /// Magnitude image.

@@ -92,8 +92,7 @@ impl RigidTransform {
         for z in 0..dims.nz {
             for y in 0..dims.ny {
                 for x in 0..dims.nx {
-                    let (sx, sy, sz) =
-                        self.apply_point((x as f32, y as f32, z as f32), centre);
+                    let (sx, sy, sz) = self.apply_point((x as f32, y as f32, z as f32), centre);
                     out.data[dims.index(x, y, z)] = vol.sample(sx, sy, sz);
                 }
             }
@@ -140,8 +139,7 @@ mod tests {
                     let dx = x as f32 - 6.0;
                     let dy = y as f32 - 8.0;
                     let dz = z as f32 - 9.0;
-                    v.data[d.index(x, y, z)] =
-                        (-(dx * dx + dy * dy + dz * dz) / 8.0).exp();
+                    v.data[d.index(x, y, z)] = (-(dx * dx + dy * dy + dz * dz) / 8.0).exp();
                 }
             }
         }
@@ -181,14 +179,7 @@ mod tests {
     #[test]
     fn small_motion_roundtrip_recovers_volume() {
         let v = blob_volume();
-        let t = RigidTransform {
-            rx: 0.02,
-            ry: -0.015,
-            rz: 0.01,
-            tx: 0.4,
-            ty: -0.3,
-            tz: 0.2,
-        };
+        let t = RigidTransform { rx: 0.02, ry: -0.015, rz: 0.01, tx: 0.4, ty: -0.3, tz: 0.2 };
         let moved = t.resample(&v);
         let back = t.inverse().resample(&moved);
         // Interior error small (edges clamp); compare a central region.

@@ -84,8 +84,8 @@ impl MultiEchoScanner {
         let resp = self.base.true_response(t) as f32;
         let anatomy = self.base.anatomy();
         let activation = self.base.activation();
-        let drift = self.base.config().drift_fraction
-            * (t as f32 / self.base.scan_count().max(1) as f32);
+        let drift =
+            self.base.config().drift_fraction * (t as f32 / self.base.scan_count().max(1) as f32);
         self.me
             .echo_times_ms
             .iter()
@@ -96,18 +96,12 @@ impl MultiEchoScanner {
                     let s0 = anatomy.data[i] * (1.0 + drift);
                     // Activation raises T2* (the BOLD effect).
                     let t2 = self.me.t2star_ms as f32
-                        * (1.0
-                            + self.me.t2star_gain as f32
-                                * activation.data[i]
-                                * resp
-                                * 0.04);
+                        * (1.0 + self.me.t2star_gain as f32 * activation.data[i] * resp * 0.04);
                     vol.data[i] = s0 * (-(te as f32) / t2.max(1.0)).exp();
                 }
                 if self.base.config().noise_sd > 0.0 {
-                    let mut rng = StreamRng::new(
-                        self.base.config().seed,
-                        &format!("me-noise-{t}-{e}"),
-                    );
+                    let mut rng =
+                        StreamRng::new(self.base.config().seed, &format!("me-noise-{t}-{e}"));
                     for v in &mut vol.data {
                         *v += self.base.config().noise_sd * rng.normal() as f32;
                     }
@@ -125,10 +119,8 @@ pub fn combine_echoes(echoes: &[Volume], echo_times_ms: &[f64], t2star_ms: f64) 
     assert_eq!(echoes.len(), echo_times_ms.len(), "echo/TE count mismatch");
     assert!(!echoes.is_empty(), "need at least one echo");
     let dims = echoes[0].dims;
-    let weights: Vec<f32> = echo_times_ms
-        .iter()
-        .map(|&te| (te * (-te / t2star_ms).exp()) as f32)
-        .collect();
+    let weights: Vec<f32> =
+        echo_times_ms.iter().map(|&te| (te * (-te / t2star_ms).exp()) as f32).collect();
     let wsum: f32 = weights.iter().sum();
     let mut out = Volume::zeros(dims);
     for (vol, &w) in echoes.iter().zip(&weights) {
@@ -214,8 +206,7 @@ mod tests {
         // Correlate activated-voxel series for the combined image vs the
         // second echo alone (TE 30 ms, the usual single-echo choice).
         let amp = s.base().activation();
-        let idxs: Vec<usize> =
-            (0..amp.data.len()).filter(|&i| amp.data[i] > 0.025).collect();
+        let idxs: Vec<usize> = (0..amp.data.len()).filter(|&i| amp.data[i] > 0.025).collect();
         assert!(!idxs.is_empty());
         let mut combined_series: Vec<Vec<f32>> = vec![Vec::new(); idxs.len()];
         let mut single_series: Vec<Vec<f32>> = vec![Vec::new(); idxs.len()];
@@ -256,9 +247,8 @@ mod tests {
         // TE·exp(−TE/T2*) peaks at TE = T2*: with T2* = 50 ms the 48 ms
         // echo gets the largest weight.
         let dims = Dims::new(2, 2, 1);
-        let echoes: Vec<Volume> = (0..4)
-            .map(|e| Volume::filled(dims, if e == 2 { 1.0 } else { 0.0 }))
-            .collect();
+        let echoes: Vec<Volume> =
+            (0..4).map(|e| Volume::filled(dims, if e == 2 { 1.0 } else { 0.0 })).collect();
         let te = [12.0, 30.0, 48.0, 66.0];
         let out = combine_echoes(&echoes, &te, 50.0);
         // The 48 ms echo contributes the largest share.

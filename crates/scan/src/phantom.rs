@@ -106,8 +106,7 @@ impl Phantom {
         let a_vent = Self::inside(Self::ellipsoid(u + 0.05, v - 0.10, w, 0.18, 0.28, 0.20));
         // A dense off-axis structure (cerebellum-like) breaks rotational
         // symmetry for the registration tests.
-        let a_cereb =
-            Self::inside(Self::ellipsoid(u - 0.30, v + 0.45, w + 0.25, 0.22, 0.20, 0.18));
+        let a_cereb = Self::inside(Self::ellipsoid(u - 0.30, v + 0.45, w + 0.25, 0.22, 0.20, 0.18));
         // Grey matter shell over white matter core, with a smooth
         // modulation that gives motion correction spatial gradients.
         let a_core = Self::inside(Self::ellipsoid(u, v, w, 0.48, 0.62, 0.55));

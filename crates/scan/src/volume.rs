@@ -58,11 +58,7 @@ impl Dims {
 
     /// Geometric centre in voxel coordinates.
     pub fn centre(self) -> (f32, f32, f32) {
-        (
-            (self.nx as f32 - 1.0) / 2.0,
-            (self.ny as f32 - 1.0) / 2.0,
-            (self.nz as f32 - 1.0) / 2.0,
-        )
+        ((self.nx as f32 - 1.0) / 2.0, (self.ny as f32 - 1.0) / 2.0, (self.nz as f32 - 1.0) / 2.0)
     }
 }
 
@@ -167,12 +163,8 @@ impl Volume {
     /// Root-mean-square difference against another volume of equal dims.
     pub fn rms_diff(&self, other: &Volume) -> f32 {
         assert_eq!(self.dims, other.dims, "volume dims mismatch");
-        let sum: f64 = self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(&a, &b)| ((a - b) as f64).powi(2))
-            .sum();
+        let sum: f64 =
+            self.data.iter().zip(&other.data).map(|(&a, &b)| ((a - b) as f64).powi(2)).sum();
         ((sum / self.data.len() as f64).sqrt()) as f32
     }
 

@@ -76,77 +76,73 @@ impl VolumeRenderer {
         let right = [-sa, ca, 0.0];
         let up = [-ca * se, -sa * se, ce];
         let centre = d.centre();
-        let half_extent = 0.5
-            * ((d.nx * d.nx + d.ny * d.ny + d.nz * d.nz) as f32).sqrt();
+        let half_extent = 0.5 * ((d.nx * d.nx + d.ny * d.ny + d.nz * d.nz) as f32).sqrt();
         let scale = 2.2 * half_extent / p.width.min(p.height) as f32;
         let steps = (2.0 * half_extent / p.step) as usize;
 
         let mut img = Image::new(p.width, p.height);
         let width = p.width;
-        img.pixels
-            .par_chunks_mut(width)
-            .enumerate()
-            .for_each(|(py, row)| {
-                for (px, out) in row.iter_mut().enumerate() {
-                    let u = (px as f32 - p.width as f32 / 2.0) * scale;
-                    let v = (py as f32 - p.height as f32 / 2.0) * scale;
-                    // Ray origin: behind the volume.
-                    let o = [
-                        centre.0 + u * right[0] + v * up[0] - half_extent * dir[0],
-                        centre.1 + u * right[1] + v * up[1] - half_extent * dir[1],
-                        centre.2 + u * right[2] + v * up[2] - half_extent * dir[2],
-                    ];
-                    let mut rgb = [0.0f32; 3];
-                    let mut alpha = 0.0f32;
-                    for s in 0..steps {
-                        if alpha > 0.97 {
-                            break;
-                        }
-                        let t = s as f32 * p.step;
-                        let x = o[0] + t * dir[0];
-                        let y = o[1] + t * dir[1];
-                        let z = o[2] + t * dir[2];
-                        if x < -1.0
-                            || y < -1.0
-                            || z < -1.0
-                            || x > d.nx as f32
-                            || y > d.ny as f32
-                            || z > d.nz as f32
-                        {
-                            continue;
-                        }
-                        let density = self.anatomy.sample(x, y, z);
-                        if density < p.density_floor {
-                            continue;
-                        }
-                        let dn = (density / self.density_max).clamp(0.0, 1.0);
-                        let a = (dn * p.opacity_scale).min(1.0);
-                        // Base colour: bone-tinted grayscale by density.
-                        let mut c = [dn, dn * 0.97, dn * 0.92];
-                        if let Some(act) = &self.activation {
-                            let amp = act.sample(x, y, z);
-                            if amp > 0.0 {
-                                // Blend the hot highlight ("light areas").
-                                let h = hot(0.5 + 10.0 * amp.min(0.05));
-                                let w = (amp * 25.0).min(1.0);
-                                c[0] = c[0] * (1.0 - w) + (h.0 as f32 / 255.0) * w;
-                                c[1] = c[1] * (1.0 - w) + (h.1 as f32 / 255.0) * w;
-                                c[2] = c[2] * (1.0 - w) + (h.2 as f32 / 255.0) * w;
-                            }
-                        }
-                        let wgt = a * (1.0 - alpha);
-                        rgb[0] += c[0] * wgt;
-                        rgb[1] += c[1] * wgt;
-                        rgb[2] += c[2] * wgt;
-                        alpha += wgt;
+        img.pixels.par_chunks_mut(width).enumerate().for_each(|(py, row)| {
+            for (px, out) in row.iter_mut().enumerate() {
+                let u = (px as f32 - p.width as f32 / 2.0) * scale;
+                let v = (py as f32 - p.height as f32 / 2.0) * scale;
+                // Ray origin: behind the volume.
+                let o = [
+                    centre.0 + u * right[0] + v * up[0] - half_extent * dir[0],
+                    centre.1 + u * right[1] + v * up[1] - half_extent * dir[1],
+                    centre.2 + u * right[2] + v * up[2] - half_extent * dir[2],
+                ];
+                let mut rgb = [0.0f32; 3];
+                let mut alpha = 0.0f32;
+                for s in 0..steps {
+                    if alpha > 0.97 {
+                        break;
                     }
-                    *out = Rgb(
-                        (rgb[0].clamp(0.0, 1.0) * 255.0) as u8,
-                        (rgb[1].clamp(0.0, 1.0) * 255.0) as u8,
-                        (rgb[2].clamp(0.0, 1.0) * 255.0) as u8,
-                    );
+                    let t = s as f32 * p.step;
+                    let x = o[0] + t * dir[0];
+                    let y = o[1] + t * dir[1];
+                    let z = o[2] + t * dir[2];
+                    if x < -1.0
+                        || y < -1.0
+                        || z < -1.0
+                        || x > d.nx as f32
+                        || y > d.ny as f32
+                        || z > d.nz as f32
+                    {
+                        continue;
+                    }
+                    let density = self.anatomy.sample(x, y, z);
+                    if density < p.density_floor {
+                        continue;
+                    }
+                    let dn = (density / self.density_max).clamp(0.0, 1.0);
+                    let a = (dn * p.opacity_scale).min(1.0);
+                    // Base colour: bone-tinted grayscale by density.
+                    let mut c = [dn, dn * 0.97, dn * 0.92];
+                    if let Some(act) = &self.activation {
+                        let amp = act.sample(x, y, z);
+                        if amp > 0.0 {
+                            // Blend the hot highlight ("light areas").
+                            let h = hot(0.5 + 10.0 * amp.min(0.05));
+                            let w = (amp * 25.0).min(1.0);
+                            c[0] = c[0] * (1.0 - w) + (h.0 as f32 / 255.0) * w;
+                            c[1] = c[1] * (1.0 - w) + (h.1 as f32 / 255.0) * w;
+                            c[2] = c[2] * (1.0 - w) + (h.2 as f32 / 255.0) * w;
+                        }
+                    }
+                    let wgt = a * (1.0 - alpha);
+                    rgb[0] += c[0] * wgt;
+                    rgb[1] += c[1] * wgt;
+                    rgb[2] += c[2] * wgt;
+                    alpha += wgt;
                 }
-            });
+                *out = Rgb(
+                    (rgb[0].clamp(0.0, 1.0) * 255.0) as u8,
+                    (rgb[1].clamp(0.0, 1.0) * 255.0) as u8,
+                    (rgb[2].clamp(0.0, 1.0) * 255.0) as u8,
+                );
+            }
+        });
         img
     }
 }
@@ -184,8 +180,8 @@ mod tests {
     fn activation_changes_the_rendering() {
         let p = Phantom::standard();
         let d = Dims::new(48, 48, 24);
-        let with = VolumeRenderer::new(p.anatomy(d), Some(p.activation_map(d)))
-            .render(&small_params());
+        let with =
+            VolumeRenderer::new(p.anatomy(d), Some(p.activation_map(d))).render(&small_params());
         let without = VolumeRenderer::new(p.anatomy(d), None).render(&small_params());
         assert_ne!(with, without, "activation highlight must be visible");
         // Highlighted pixels are redder than their unhighlighted

@@ -25,14 +25,10 @@ pub fn render_stereo(
     params: &RenderParams,
     separation: f32,
 ) -> StereoPair {
-    let left = renderer.render(&RenderParams {
-        azimuth: params.azimuth - separation / 2.0,
-        ..*params
-    });
-    let right = renderer.render(&RenderParams {
-        azimuth: params.azimuth + separation / 2.0,
-        ..*params
-    });
+    let left =
+        renderer.render(&RenderParams { azimuth: params.azimuth - separation / 2.0, ..*params });
+    let right =
+        renderer.render(&RenderParams { azimuth: params.azimuth + separation / 2.0, ..*params });
     StereoPair { left, right }
 }
 
@@ -48,10 +44,8 @@ impl StereoPair {
         assert_eq!(self.left.width, self.right.width, "stereo pair size mismatch");
         assert_eq!(self.left.height, self.right.height, "stereo pair size mismatch");
         let mut out = Image::new(self.left.width, self.left.height);
-        for (o, (l, r)) in out
-            .pixels
-            .iter_mut()
-            .zip(self.left.pixels.iter().zip(&self.right.pixels))
+        for (o, (l, r)) in
+            out.pixels.iter_mut().zip(self.left.pixels.iter().zip(&self.right.pixels))
         {
             let lum_l = (l.0 as u16 + l.1 as u16 + l.2 as u16) / 3;
             let lum_r = (r.0 as u16 + r.1 as u16 + r.2 as u16) / 3;
@@ -108,9 +102,7 @@ pub fn render_workbench_frame(
 ) -> WorkbenchFrame {
     let planes = plane_azimuths
         .iter()
-        .map(|&az| {
-            render_stereo(renderer, &RenderParams { azimuth: az, ..*base }, separation)
-        })
+        .map(|&az| render_stereo(renderer, &RenderParams { azimuth: az, ..*base }, separation))
         .collect();
     WorkbenchFrame { planes }
 }

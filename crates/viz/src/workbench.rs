@@ -8,10 +8,10 @@
 //! AVOCADO extension for remote display, including a lossless RLE mode
 //! whose compression ratio is *measured* on actual rendered frames.
 
+use gtw_desim::SimDuration;
 use gtw_net::ip::IpConfig;
 use gtw_net::tcp::HopModel;
 use gtw_net::transfer::frame_stream_rate;
-use gtw_desim::SimDuration;
 use serde::{Deserialize, Serialize};
 
 use crate::image::{rle_encode, Image};
@@ -171,12 +171,8 @@ mod tests {
         });
         let ratio = measured_compression(&frame);
         assert!(ratio > 1.5, "rendered frames should RLE-compress: {ratio}");
-        let (raw_fps, _) = workbench_frame_rate(
-            &wb,
-            FrameTransport::RawIp,
-            &atm622_path(),
-            IpConfig::large_mtu(),
-        );
+        let (raw_fps, _) =
+            workbench_frame_rate(&wb, FrameTransport::RawIp, &atm622_path(), IpConfig::large_mtu());
         let (rle_fps, _) = workbench_frame_rate(
             &wb,
             FrameTransport::Rle { ratio },
@@ -189,12 +185,8 @@ mod tests {
     #[test]
     fn small_mtu_hurts_frame_rate() {
         let wb = Workbench::paper();
-        let (large, _) = workbench_frame_rate(
-            &wb,
-            FrameTransport::RawIp,
-            &atm622_path(),
-            IpConfig::large_mtu(),
-        );
+        let (large, _) =
+            workbench_frame_rate(&wb, FrameTransport::RawIp, &atm622_path(), IpConfig::large_mtu());
         let (small, _) = workbench_frame_rate(
             &wb,
             FrameTransport::RawIp,

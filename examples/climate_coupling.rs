@@ -17,8 +17,7 @@ fn main() {
         MachineSpec::new("IBM SP2 (atmosphere)", FabricSpec::sp2_switch()),
         FabricSpec::wan_testbed(),
     );
-    let out =
-        Universe::run_placed(placement, |comm| coupled_run(&comm, (96, 48), (64, 32), 150));
+    let out = Universe::run_placed(placement, |comm| coupled_run(&comm, (96, 48), (64, 32), 150));
     let report = out[0].as_ref().expect("ocean rank reports");
     println!(
         "coupled climate run: {} steps, {} KB exchanged per step (bursty, per the paper)",

@@ -68,7 +68,9 @@ fn main() {
     // --- Bio-feedback ------------------------------------------------------
     println!("\n== Bio-feedback ('the subject watching his own brain in action') ==");
     println!("{:>22} {:>16} {:>16}", "chain latency", "final ability", "learned at scan");
-    for (name, latency) in [("4.2 s (256 PEs)", 4.2), ("7.1 s (32 PEs)", 7.1), ("17.4 s (8 PEs)", 17.4)] {
+    for (name, latency) in
+        [("4.2 s (256 PEs)", 4.2), ("7.1 s (32 PEs)", 7.1), ("17.4 s (8 PEs)", 17.4)]
+    {
         let r = run_session(&FeedbackConfig::paper(latency), true, 1);
         println!(
             "{:>22} {:>15.3}% {:>16}",
@@ -78,5 +80,10 @@ fn main() {
         );
     }
     let control = run_session(&FeedbackConfig::paper(4.2), false, 1);
-    println!("{:>22} {:>15.3}% {:>16}", "no feedback (control)", control.final_ability * 100.0, "-");
+    println!(
+        "{:>22} {:>15.3}% {:>16}",
+        "no feedback (control)",
+        control.final_ability * 100.0,
+        "-"
+    );
 }

@@ -9,9 +9,7 @@
 //! cargo run --release --example meg_music
 //! ```
 
-use gtw_apps::meg::{
-    head_grid, music_scan, signal_subspace, synthesize, Dipole, SensorArray,
-};
+use gtw_apps::meg::{head_grid, music_scan, signal_subspace, synthesize, Dipole, SensorArray};
 
 fn main() {
     let array = SensorArray::helmet(6, 16);

@@ -18,12 +18,9 @@ fn main() {
     for n in 0..4 {
         let existing = vec![270.0; n];
         match signal_wan_share(270.0, &existing) {
-            Ok(setup) => println!(
-                "  stream #{}: CONNECT in {:.1} ms ({} already up)",
-                n + 1,
-                setup * 1e3,
-                n
-            ),
+            Ok(setup) => {
+                println!("  stream #{}: CONNECT in {:.1} ms ({} already up)", n + 1, setup * 1e3, n)
+            }
             Err(hop) => println!(
                 "  stream #{}: REJECTED by hop {hop} ({} already up) — admission control works",
                 n + 1,
@@ -64,10 +61,11 @@ fn main() {
         // Video: steady 1-KB PDUs, within contract (no tagging).
         let vid = vec![round as u8; 1024];
         for cell in segment(&vid, 0, 10) {
-            sim.send_at(t, sw, gtw_desim::component::msg(gtw_net::switch::CellArrive {
-                port: 0,
-                cell,
-            }));
+            sim.send_at(
+                t,
+                sw,
+                gtw_desim::component::msg(gtw_net::switch::CellArrive { port: 0, cell }),
+            );
             t += SimDuration::from_micros(8);
         }
         video_pdus += 1;
@@ -75,10 +73,11 @@ fn main() {
         let blk = vec![(round + 128) as u8; 2048];
         for mut cell in segment(&blk, 0, 20) {
             bulk_policer.police(&mut cell, t);
-            sim.send_at(t, sw, gtw_desim::component::msg(gtw_net::switch::CellArrive {
-                port: 0,
-                cell,
-            }));
+            sim.send_at(
+                t,
+                sw,
+                gtw_desim::component::msg(gtw_net::switch::CellArrive { port: 0, cell }),
+            );
             t += SimDuration::from_micros(1); // burst
         }
         bulk_pdus += 1;
@@ -93,8 +92,5 @@ fn main() {
         "  bulk:   {bulk_ok}/{bulk_pdus} PDUs intact; {} tagged cells shed, {} PDUs flagged corrupt by AAL5",
         stats.clp_discard, e.errors
     );
-    println!(
-        "  switch: {} cells forwarded, {} untagged drops",
-        stats.switched, stats.overflow
-    );
+    println!("  switch: {} cells forwarded, {} untagged drops", stats.switched, stats.overflow);
 }

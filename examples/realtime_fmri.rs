@@ -61,8 +61,7 @@ fn main() {
     let tb = GigabitTestbedWest::build(LinkEra::Oc48Upgrade);
     let wb = Workbench::paper();
     let (_, mtu, hops) = tb.topology.path(tb.onyx_gmd, tb.onyx_juelich).expect("viz path");
-    let (fps_raw, lat) =
-        workbench_frame_rate(&wb, FrameTransport::RawIp, &hops, IpConfig { mtu });
+    let (fps_raw, lat) = workbench_frame_rate(&wb, FrameTransport::RawIp, &hops, IpConfig { mtu });
     println!(
         "frame = {} MB ({} images); raw classical IP: {:.1} frames/s, {:.0} ms/frame",
         wb.frame_bytes() / (1024 * 1024),

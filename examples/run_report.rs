@@ -1,0 +1,78 @@
+//! Machine-readable run reports: per-hop network statistics and kernel
+//! scheduling counters as one JSON document.
+//!
+//! Part 1 replays the paper's T3E → SP2 bulk transfer over the testbed
+//! path and dumps the [`RunReport`](gtw_net::stats::RunReport) the stats
+//! registry collected — per-hop packet/byte counters, service and
+//! propagation totals, TCP endpoint state.
+//!
+//! Part 2 wires the same kind of pipeline by hand, attaches the kernel's
+//! [`EventCounter`](gtw_desim::EventCounter) tracer, and includes the
+//! per-component dispatch/timer/send counts in the dump — the
+//! observability layer end to end.
+//!
+//! ```text
+//! cargo run --release --example run_report
+//! ```
+
+use gtw_core::testbed::{GigabitTestbedWest, LinkEra};
+use gtw_desim::{ComponentId, EventCounter, Json, SimDuration, Simulator};
+use gtw_net::ip::IpConfig;
+use gtw_net::link::{Medium, PipeStage, StageConfig};
+use gtw_net::stats::StatsRegistry;
+use gtw_net::tcp::{StartTransfer, TcpConfig, TcpReceiver, TcpSender};
+use gtw_net::transfer::{BulkTransfer, Protocol};
+use gtw_net::units::Bandwidth;
+
+fn main() {
+    // ── Part 1: testbed transfer via the high-level API ──────────────
+    let tb = GigabitTestbedWest::build(LinkEra::Oc48Upgrade);
+    let (path, mtu, _) = tb.topology.path(tb.t3e_600, tb.sp2).expect("path T3E -> SP2");
+    let xfer = BulkTransfer {
+        hops: tb.topology.path_hops(&path, mtu),
+        ip: IpConfig { mtu },
+        bytes: 32 * 1024 * 1024,
+        protocol: Protocol::Tcp { window_bytes: 4 * 1024 * 1024 },
+    };
+    let (summary, run) = xfer.run_with_report();
+    eprintln!(
+        "T3E -> SP2, 32 MiB over {} hops: {:.1} Mbit/s ({} retransmits)",
+        xfer.hops.len(),
+        summary.goodput.mbps(),
+        summary.retransmits,
+    );
+
+    // ── Part 2: hand-wired pipeline with the kernel tracer attached ──
+    let mut sim = Simulator::new();
+    sim.set_tracer(Box::new(EventCounter::new()));
+    let mut reg = StatsRegistry::new();
+    let cfg_stage = StageConfig {
+        medium: Medium::Raw { rate: Bandwidth::from_mbps(622.0) },
+        per_packet: SimDuration::ZERO,
+        propagation: SimDuration::from_micros(500),
+        buffer_bytes: u64::MAX,
+    };
+    let fwd =
+        sim.add_component(PipeStage::new("fwd", cfg_stage.clone(), ComponentId::placeholder()));
+    let rev = sim.add_component(PipeStage::new("rev", cfg_stage, ComponentId::placeholder()));
+    let tcp = TcpConfig::bulk(1, 8 * 1024 * 1024, IpConfig { mtu: 9180 }, 2 * 1024 * 1024);
+    let receiver = sim.add_component(TcpReceiver::new(1, tcp.total_bytes, rev));
+    let sender = sim.add_component(TcpSender::new(tcp, fwd));
+    sim.component_mut::<PipeStage>(fwd).next = receiver;
+    sim.component_mut::<PipeStage>(rev).next = sender;
+    reg.add_stage(fwd);
+    reg.add_stage(rev);
+    reg.add_tcp_sender(sender);
+    reg.add_tcp_receiver(receiver);
+    sim.send_in(SimDuration::ZERO, sender, gtw_desim::component::msg(StartTransfer));
+    sim.run();
+    let traced = reg.collect(&sim);
+    let counter = (sim.take_tracer().expect("tracer attached") as Box<dyn std::any::Any>)
+        .downcast::<EventCounter>()
+        .expect("EventCounter");
+
+    // One document: the stdout of this example is valid JSON.
+    let mut doc = Json::obj([("t3e_to_sp2", run.to_json()), ("traced_pipeline", traced.to_json())]);
+    doc.push("kernel_counters", counter.to_json());
+    println!("{}", doc.pretty());
+}

@@ -37,7 +37,10 @@ fn main() {
         3 * grid.nx * grid.ny * grid.nz * 4 / 1024
     );
     println!("\nper-rank activity:");
-    println!("{:>6} {:>8} {:>8} {:>12} {:>14} {:>14}", "rank", "sends", "recvs", "collectives", "comm time", "WAN share");
+    println!(
+        "{:>6} {:>8} {:>8} {:>12} {:>14} {:>14}",
+        "rank", "sends", "recvs", "collectives", "comm time", "WAN share"
+    );
     for (r, cost) in costs.iter().enumerate() {
         println!(
             "{:>6} {:>8} {:>8} {:>12} {:>12.1}ms {:>13.0}%",

@@ -25,11 +25,9 @@ fn main() {
         "\n{:<10} {:>12} {:>12} {:>12} {:>10}",
         "link", "goodput", "spacing", "peak jitter", "sustained"
     );
-    for (name, level) in [
-        ("OC-3", StmLevel::Stm1),
-        ("OC-12", StmLevel::Stm4),
-        ("OC-48", StmLevel::Stm16),
-    ] {
+    for (name, level) in
+        [("OC-3", StmLevel::Stm1), ("OC-12", StmLevel::Stm4), ("OC-48", StmLevel::Stm16)]
+    {
         let hop = HopModel {
             medium: Medium::Atm { cell_rate: level.payload_rate() },
             per_packet: SimDuration::from_micros(50),

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Full local gate: formatting, lints, release build, and the test suite.
+# This is what CI runs; keep it green before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --check
+cargo clippy --all-targets -- -D warnings
+cargo build --release
+cargo test -q

@@ -9,7 +9,7 @@ use gtw_core::testbed::{GigabitTestbedWest, LinkEra};
 use gtw_fire::analysis::score_detection;
 use gtw_fire::pipeline::{FireConfig, FirePipeline};
 use gtw_fire::rt::run_rt_session;
-use gtw_fire::rvo::{recovery_error, intensity_mask, RvoMethod};
+use gtw_fire::rvo::{intensity_mask, recovery_error, RvoMethod};
 use gtw_net::ip::IpConfig;
 use gtw_scan::acquire::{Scanner, ScannerConfig};
 use gtw_scan::hrf::ReferenceVector;
@@ -68,7 +68,12 @@ fn rvo_recovers_subject_hrf_end_to_end() {
     let scanner = Scanner::new(cfg, Phantom::standard());
     let rv = ReferenceVector::canonical(&scanner.config().stimulus);
     let mut fire = FirePipeline::new(
-        FireConfig { median_filter: false, motion_correction: false, detrend: None, ..FireConfig::default() },
+        FireConfig {
+            median_filter: false,
+            motion_correction: false,
+            detrend: None,
+            ..FireConfig::default()
+        },
         scanner.config().dims,
         rv,
     );
@@ -107,8 +112,7 @@ fn workbench_stream_over_real_testbed_path() {
     let tb = GigabitTestbedWest::build(LinkEra::Oc48Upgrade);
     let (_, mtu, hops) = tb.topology.path(tb.onyx_gmd, tb.onyx_juelich).expect("path");
     let wb = Workbench::paper();
-    let (fps, latency) =
-        workbench_frame_rate(&wb, FrameTransport::RawIp, &hops, IpConfig { mtu });
+    let (fps, latency) = workbench_frame_rate(&wb, FrameTransport::RawIp, &hops, IpConfig { mtu });
     // The GMD->Jülich visualization path is HiPPI-gateway-bound; the
     // paper's <8 fps statement holds with margin.
     assert!(fps < 8.0, "fps {fps}");

@@ -48,10 +48,7 @@ fn multiecho_feeds_the_fire_pipeline() {
     let truth = me.base().phantom().truth_mask(cfg.dims, 0.02);
     let s_comb = score_detection(&fire_combined.correlation_map(), &truth, 0.4);
     let s_single = score_detection(&fire_single.correlation_map(), &truth, 0.4);
-    assert!(
-        s_comb.tpr >= s_single.tpr,
-        "combined {s_comb:?} vs single {s_single:?}"
-    );
+    assert!(s_comb.tpr >= s_single.tpr, "combined {s_comb:?} vs single {s_single:?}");
 }
 
 #[test]
@@ -71,9 +68,7 @@ fn kspace_recon_of_the_phantom_slice() {
     let orig = img.magnitude();
     let rms = |rec: &Slice2d| -> f32 {
         let m = rec.magnitude();
-        (orig.iter().zip(&m).map(|(a, b)| (a - b).powi(2)).sum::<f32>()
-            / orig.len() as f32)
-            .sqrt()
+        (orig.iter().zip(&m).map(|(a, b)| (a - b).powi(2)).sum::<f32>() / orig.len() as f32).sqrt()
     };
     let err_bad = rms(&bad);
     let err_good = rms(&good);
@@ -156,8 +151,7 @@ fn sliding_window_in_the_full_pipeline_context() {
     let scanner = Scanner::new(cfg, Phantom::standard());
     let rv = ReferenceVector::canonical(&scanner.config().stimulus);
     let mut full = gtw_fire::analysis::CorrelationState::new(scanner.config().dims, &rv);
-    let mut sliding =
-        gtw_fire::analysis::SlidingCorrelation::new(scanner.config().dims, &rv, 24);
+    let mut sliding = gtw_fire::analysis::SlidingCorrelation::new(scanner.config().dims, &rv, 24);
     for t in 0..scanner.scan_count() {
         let v = scanner.acquire(t);
         full.push(&v);
@@ -189,18 +183,18 @@ fn switch_and_policer_compose_in_one_simulation() {
     let sw = sim.add_component(sw);
     // One conforming PDU stream at a modest rate, plus an overdriven
     // tagged burst on the same VC.
-    let mut bucket =
-        LeakyBucket::new(50_000.0, SimDuration::from_micros(100), PolicingAction::Tag);
+    let mut bucket = LeakyBucket::new(50_000.0, SimDuration::from_micros(100), PolicingAction::Tag);
     let mut t = SimTime::ZERO;
     let mut pdus = 0;
     for k in 0..40u64 {
         let payload = vec![k as u8; 200];
         for mut cell in gtw_net::aal5::segment(&payload, 1, 7) {
             bucket.police(&mut cell, t);
-            sim.send_at(t, sw, gtw_desim::component::msg(gtw_net::switch::CellArrive {
-                port: 0,
-                cell,
-            }));
+            sim.send_at(
+                t,
+                sw,
+                gtw_desim::component::msg(gtw_net::switch::CellArrive { port: 0, cell }),
+            );
             t += SimDuration::from_micros(if k.is_multiple_of(2) { 25 } else { 2 });
         }
         pdus += 1;

@@ -18,25 +18,13 @@ fn cell_level_path_through_two_switches_delivers_pdus() {
     let ep = sim.add_component(CellEndpoint::default());
     let mut gmd = AtmSwitch::new(
         "ASX-GMD",
-        vec![OutputPort::simple(
-            ep,
-            0,
-            Bandwidth::OC12,
-            SimDuration::from_micros(5),
-            8192,
-        )],
+        vec![OutputPort::simple(ep, 0, Bandwidth::OC12, SimDuration::from_micros(5), 8192)],
     );
     gmd.add_route(VcKey { port: 0, vpi: 2, vci: 200 }, VcRoute { port: 0, vpi: 3, vci: 300 });
     let gmd = sim.add_component(gmd);
     let mut fzj = AtmSwitch::new(
         "ASX-FZJ",
-        vec![OutputPort::simple(
-            gmd,
-            0,
-            Bandwidth::OC48,
-            SimDuration::from_micros(500),
-            8192,
-        )],
+        vec![OutputPort::simple(gmd, 0, Bandwidth::OC48, SimDuration::from_micros(500), 8192)],
     );
     fzj.add_route(VcKey { port: 0, vpi: 1, vci: 100 }, VcRoute { port: 0, vpi: 2, vci: 200 });
     let fzj = sim.add_component(fzj);

@@ -1,0 +1,175 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API the bench harness uses —
+//! `bench_function`, `benchmark_group` (+ `throughput`/`sample_size`),
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros —
+//! with a plain wall-clock measurement loop: a short warm-up, then
+//! batches timed until a fixed measurement budget is spent. No
+//! statistics beyond mean ± min/max are reported; the point is that
+//! `cargo bench` runs and prints comparable numbers offline.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(30);
+const MEASURE: Duration = Duration::from_millis(120);
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// Measurement driver handed to the benchmark closure.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time repeated calls of `f` within the measurement budget.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up.
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < WARMUP {
+            black_box(f());
+            warm_iters += 1;
+        }
+        // Batch size targeting ~1ms per batch so the clock overhead
+        // stays negligible for nanosecond-scale bodies.
+        let per_iter = WARMUP.as_secs_f64() / warm_iters.max(1) as f64;
+        let batch = ((0.001 / per_iter.max(1e-9)) as u64).clamp(1, 1 << 20);
+        let begin = Instant::now();
+        let mut iters: u64 = 0;
+        while begin.elapsed() < MEASURE {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            iters += batch;
+        }
+        self.iters_done = iters;
+        self.elapsed = begin.elapsed();
+    }
+
+    fn per_iter(&self) -> Duration {
+        if self.iters_done == 0 {
+            return Duration::ZERO;
+        }
+        self.elapsed / u32::try_from(self.iters_done.min(u32::MAX as u64)).unwrap_or(1)
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let per = b.per_iter();
+    let mut line = format!("{name:<40} {:>12}/iter", fmt_duration(per));
+    if let Some(tp) = throughput {
+        let secs = per.as_secs_f64();
+        if secs > 0.0 {
+            match tp {
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!("  {:>10.1} MiB/s", n as f64 / secs / (1 << 20) as f64));
+                }
+                Throughput::Elements(n) => {
+                    line.push_str(&format!("  {:>10.1} Melem/s", n as f64 / secs / 1e6));
+                }
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// Top-level bench context, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run a standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher { iters_done: 0, elapsed: Duration::ZERO };
+        f(&mut b);
+        report(name, &b, None);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.to_string(), throughput: None }
+    }
+}
+
+/// A named group of benchmarks sharing throughput annotations.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate per-iteration throughput for subsequent benches.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in's budget is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in's budget is fixed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher { iters_done: 0, elapsed: Duration::ZERO };
+        f(&mut b);
+        report(&format!("{}/{name}", self.name), &b, self.throughput);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Mirror of `criterion_group!`: bundles bench functions into one entry
+/// point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    ($group:ident; $($rest:tt)*) => { $crate::criterion_group!($group, $($rest)*); };
+}
+
+/// Mirror of `criterion_main!`: the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

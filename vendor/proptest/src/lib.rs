@@ -1,0 +1,224 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this repository's property
+//! tests use: the [`proptest!`] macro (with `#![proptest_config(...)]`),
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`/`prop_assume!`,
+//! range and tuple strategies, `any::<T>()`, `collection::vec`,
+//! `prop_map`/`prop_flat_map`, and `Just`.
+//!
+//! Differences from the real crate, chosen for an offline environment:
+//!
+//! * **No shrinking.** A failing case panics with the full `Debug` dump
+//!   of the generated inputs instead of a minimized counterexample.
+//! * **Deterministic.** Every run draws from a fixed-seed SplitMix64
+//!   stream, so failures reproduce exactly under `cargo test`.
+//! * **Default case count is 64** (the real default is 256); blocks that
+//!   set `ProptestConfig::with_cases(n)` get exactly `n`.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Assert a boolean condition inside a proptest body; failure aborts the
+/// case with the condition text (plus an optional formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` == `{:?}`", __l, __r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` == `{:?}`: {}", __l, __r, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Assert inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                __l, __r
+            )));
+        }
+    }};
+}
+
+/// Discard the current case (regenerate inputs) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Define property tests. Mirrors `proptest::proptest!`:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///     #[test]
+///     fn my_prop(x in 0u64..100, flag: bool) { prop_assert!(x < 100); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    // Munch one `pat in strategy` parameter (more follow).
+    (@munch ($cfg:expr); ($($pats:pat,)*); ($($strats:expr,)*); ($body:block);
+        $p:pat in $s:expr, $($rest:tt)+) => {
+        $crate::proptest!(@munch ($cfg); ($($pats,)* $p,); ($($strats,)* $s,); ($body); $($rest)+)
+    };
+    // Munch the final `pat in strategy` parameter.
+    (@munch ($cfg:expr); ($($pats:pat,)*); ($($strats:expr,)*); ($body:block);
+        $p:pat in $s:expr $(,)?) => {
+        $crate::proptest!(@run ($cfg); ($($pats,)* $p,); ($($strats,)* $s,); ($body))
+    };
+    // Munch one `ident: Type` parameter (more follow).
+    (@munch ($cfg:expr); ($($pats:pat,)*); ($($strats:expr,)*); ($body:block);
+        $p:ident : $t:ty, $($rest:tt)+) => {
+        $crate::proptest!(@munch ($cfg); ($($pats,)* $p,);
+            ($($strats,)* $crate::arbitrary::any::<$t>(),); ($body); $($rest)+)
+    };
+    // Munch the final `ident: Type` parameter.
+    (@munch ($cfg:expr); ($($pats:pat,)*); ($($strats:expr,)*); ($body:block);
+        $p:ident : $t:ty $(,)?) => {
+        $crate::proptest!(@run ($cfg); ($($pats,)* $p,);
+            ($($strats,)* $crate::arbitrary::any::<$t>(),); ($body))
+    };
+    // All parameters munched: emit the runner loop.
+    (@run ($cfg:expr); ($($pats:pat,)*); ($($strats:expr,)*); ($body:block)) => {{
+        let __config: $crate::test_runner::ProptestConfig = $cfg;
+        let mut __rng = $crate::test_runner::TestRng::deterministic();
+        let __strategy = ($($strats,)*);
+        let mut __cases_run: u32 = 0;
+        let mut __rejects: u32 = 0;
+        while __cases_run < __config.cases {
+            let __values = $crate::strategy::Strategy::generate(&__strategy, &mut __rng);
+            let __repr = format!("{:?}", __values);
+            let ($($pats,)*) = __values;
+            let __outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                (|| { $body ::core::result::Result::Ok(()) })();
+            match __outcome {
+                ::core::result::Result::Ok(()) => __cases_run += 1,
+                ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(__why)) => {
+                    __rejects += 1;
+                    if __rejects > __config.cases.saturating_mul(64).max(4096) {
+                        panic!("proptest: too many prop_assume rejections ({})", __why);
+                    }
+                }
+                ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                    panic!(
+                        "proptest case failed after {} passing case(s): {}\n  inputs: {}",
+                        __cases_run, __msg, __repr
+                    );
+                }
+            }
+        }
+    }};
+    // Test-item muncher (with an explicit config expression).
+    (@tests ($cfg:expr);) => {};
+    (@tests ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::proptest!(@munch ($cfg); (); (); ($body); $($params)*);
+        }
+        $crate::proptest!(@tests ($cfg); $($rest)*);
+    };
+    // Entry: leading block-level config attribute.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@tests ($cfg); $($rest)*);
+    };
+    // Entry: no config — use the default.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@tests ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 5u64..10, y in -3i64..=3, f in 0.25f64..0.75) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((-3..=3).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn typed_params_and_vec(b: bool, v in crate::collection::vec(0u8..255, 3..7)) {
+            prop_assert!((3..7).contains(&v.len()));
+            prop_assert!(u8::from(b) <= 1);
+        }
+
+        #[test]
+        fn maps_and_flat_maps(len in (1usize..5).prop_flat_map(|n|
+            crate::collection::vec(Just(1u32), n).prop_map(|v| v.len()))) {
+            prop_assert!((1..5).contains(&len));
+        }
+
+        #[test]
+        fn assume_rejects(x in 0u32..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case failed")]
+    fn failures_report_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn inner(x in 100u64..200) { prop_assert!(x < 100, "x was {x}"); }
+        }
+        inner();
+    }
+}

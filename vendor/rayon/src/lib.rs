@@ -1,0 +1,215 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no crates.io access, so this crate keeps
+//! the rayon API surface used by the repository compiling while running
+//! everything **sequentially**: `par_iter()`-family methods simply
+//! return the corresponding `std` iterators, which support the same
+//! combinators (`zip`, `enumerate`, `map`, `for_each`, `collect`, ...).
+//! Results are bit-identical to the parallel versions since all uses in
+//! this repo are data-parallel over disjoint elements; only wall-clock
+//! speedup is lost. `ThreadPool::install` tracks the configured thread
+//! count so `current_num_threads()` reports the simulated PE count —
+//! the value the decomposition layer uses for work splitting.
+
+use std::cell::Cell;
+
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelSliceExt, ParallelSliceMutExt,
+    };
+}
+
+/// `.into_par_iter()` — sequential stand-in returning the std iterator.
+pub trait IntoParallelIterator {
+    /// Iterator type produced.
+    type Iter;
+    /// Convert into a "parallel" (here: sequential) iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Iter = I::IntoIter;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// `.par_iter()` on collections.
+pub trait IntoParallelRefIterator<'a> {
+    /// Iterator type produced.
+    type Iter;
+    /// Borrowing "parallel" iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+/// `.par_iter_mut()` on collections.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Iterator type produced.
+    type Iter;
+    /// Mutably borrowing "parallel" iterator.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Iter = std::slice::IterMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        self.iter_mut()
+    }
+}
+
+impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Iter = std::slice::IterMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        self.iter_mut()
+    }
+}
+
+/// `.par_chunks()` on slices.
+pub trait ParallelSliceExt<T> {
+    /// Immutable chunk iterator.
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+}
+
+impl<T> ParallelSliceExt<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+}
+
+/// `.par_chunks_mut()` on slices.
+pub trait ParallelSliceMutExt<T> {
+    /// Mutable chunk iterator.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+}
+
+impl<T> ParallelSliceMutExt<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+}
+
+thread_local! {
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of threads of the current pool: the installed pool's
+/// configured count, or the machine parallelism outside any pool.
+pub fn current_num_threads() -> usize {
+    INSTALLED_THREADS.with(|t| {
+        t.get()
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+    })
+}
+
+/// Run `a` and `b` "in parallel" (sequentially here), returning both.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Error type for pool construction (construction cannot fail here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Start a builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the pool's thread count.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: self.num_threads.unwrap_or_else(current_num_threads) })
+    }
+}
+
+/// A "pool" that records its configured width; work runs on the calling
+/// thread.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with `current_num_threads()` reporting this pool's width.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        INSTALLED_THREADS.with(|t| {
+            let prev = t.replace(Some(self.num_threads));
+            let out = f();
+            t.set(prev);
+            out
+        })
+    }
+
+    /// The configured thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn iterators_behave_like_std() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let mut w = v.clone();
+        w.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(w, vec![2, 3, 4, 5]);
+        let mut z = [0u8; 6];
+        z.par_chunks_mut(2).enumerate().for_each(|(i, c)| c.fill(i as u8));
+        assert_eq!(z, [0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn pool_reports_configured_width() {
+        let pool = crate::ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(crate::current_num_threads), 3);
+        let nested = pool.install(|| {
+            let inner = crate::ThreadPoolBuilder::new().num_threads(7).build().unwrap();
+            inner.install(crate::current_num_threads)
+        });
+        assert_eq!(nested, 7);
+        assert_eq!(pool.install(crate::current_num_threads), 3);
+    }
+}

@@ -1,0 +1,32 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The build environment for this repository has no access to crates.io,
+//! so the real `serde` cannot be resolved. The codebase only uses serde
+//! as a *marker* — `#[derive(Serialize, Deserialize)]` on model structs —
+//! and never serializes through it (run reports are emitted through the
+//! hand-rolled JSON writer in `gtw_desim::report`). This crate therefore
+//! provides the two traits as blanket-implemented markers and re-exports
+//! no-op derive macros, keeping every `use serde::...` and `#[derive]`
+//! in the tree compiling unchanged.
+//!
+//! If real serialization is ever needed, swap this path dependency back
+//! to the crates.io `serde` — no source changes required.
+
+/// Marker replacement for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker replacement for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker replacement for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Minimal `serde::de` namespace for `DeserializeOwned` imports.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}

@@ -1,0 +1,16 @@
+//! No-op `Serialize` / `Deserialize` derives for the offline serde
+//! stand-in. The companion `serde` crate blanket-implements both traits,
+//! so the derives only need to accept the attribute syntax (including
+//! `#[serde(...)]` helpers) and emit nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
