@@ -6,10 +6,15 @@
 //! ```text
 //! cargo run --release -p gtw-bench --bin fig1_network
 //! cargo run --release -p gtw-bench --bin fig1_network -- --json
+//! cargo run --release -p gtw-bench --bin fig1_network -- --trace-out trace.json
 //! ```
 //!
 //! With `--json` the MTU sweep is emitted as a machine-readable run
 //! report (per-hop counters from the stats registry) instead of tables.
+//! With `--trace-out <path>` the 9180-byte-MTU transfer is run with span
+//! tracing (per-hop `tx`/`flight` spans, TCP `transfer`/`rto-wait`
+//! spans, kernel dispatch instants) and written as a Chrome trace-event
+//! file loadable in Perfetto.
 
 use gtw_core::testbed::{GigabitTestbedWest, LinkEra};
 use gtw_desim::Json;
@@ -48,11 +53,36 @@ fn emit_json(tb: &GigabitTestbedWest, bytes: u64) {
     println!("{}", doc.pretty());
 }
 
+/// Trace one transfer (the MTU-argument configuration at 9180 bytes)
+/// and write the Chrome trace to `path`.
+fn emit_trace(tb: &GigabitTestbedWest, path: &str) {
+    let (net_path, _, _) = tb.topology.path(tb.t3e_600, tb.e5000).expect("path");
+    let mtu = 9180;
+    let xfer = BulkTransfer {
+        hops: tb.topology.path_hops(&net_path, mtu),
+        ip: IpConfig { mtu },
+        bytes: 4 * 1024 * 1024,
+        protocol: Protocol::Tcp { window_bytes: 4 * 1024 * 1024 },
+    };
+    let sink = gtw_desim::SpanSink::recording();
+    let (report, _) = xfer.run_traced(&sink);
+    println!(
+        "traced T3E-600 -> E5000 transfer: {:.1} Mbit/s, {} retransmits",
+        report.goodput.mbps(),
+        report.retransmits
+    );
+    gtw_bench::write_trace(&sink, path);
+}
+
 fn main() {
     let tb = GigabitTestbedWest::build(LinkEra::Oc48Upgrade);
     let bytes = 32 * 1024 * 1024;
-    if std::env::args().any(|a| a == "--json") {
+    if gtw_bench::has_flag("--json") {
         emit_json(&tb, bytes);
+        return;
+    }
+    if let Some(path) = gtw_bench::arg_value("--trace-out") {
+        emit_trace(&tb, &path);
         return;
     }
 

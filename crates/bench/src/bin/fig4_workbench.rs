@@ -5,9 +5,15 @@
 //!
 //! ```text
 //! cargo run --release -p gtw-bench --bin fig4_workbench
+//! cargo run --release -p gtw-bench --bin fig4_workbench -- --json
 //! ```
+//!
+//! With `--json` the render timing, compression ratio and per-transport
+//! frame rates are emitted as one machine-readable document.
 
 use std::time::Instant;
+
+use gtw_desim::Json;
 
 use gtw_core::testbed::{GigabitTestbedWest, LinkEra};
 use gtw_net::ip::IpConfig;
@@ -15,6 +21,37 @@ use gtw_scan::phantom::Phantom;
 use gtw_scan::volume::Dims;
 use gtw_viz::raycast::{RenderParams, VolumeRenderer};
 use gtw_viz::workbench::{measured_compression, workbench_frame_rate, FrameTransport, Workbench};
+
+fn emit_json(render_ms: f64, coverage: f64, ratio: f64) {
+    let wb = Workbench::paper();
+    let tb = GigabitTestbedWest::build(LinkEra::Oc48Upgrade);
+    let (_, mtu, hops) = tb.topology.path(tb.onyx_gmd, tb.onyx_juelich).expect("viz path");
+    let mut transports = Vec::new();
+    for (name, transport) in
+        [("raw_ip", FrameTransport::RawIp), ("rle", FrameTransport::Rle { ratio })]
+    {
+        let (fps, lat) = workbench_frame_rate(&wb, transport, &hops, IpConfig { mtu });
+        transports.push(Json::obj([
+            ("transport", Json::from(name)),
+            ("fps", Json::from(fps)),
+            ("frame_latency_ms", Json::from(lat.as_millis_f64())),
+        ]));
+    }
+    let hop622 =
+        gtw_net::host::HostNic::workstation_atm622().hop(gtw_desim::SimDuration::from_micros(500));
+    let (fps622, _) =
+        workbench_frame_rate(&wb, FrameTransport::RawIp, &[hop622], IpConfig::large_mtu());
+    let doc = Json::obj([
+        ("experiment", Json::from("fig4_workbench_frame_rates")),
+        ("render_ms", Json::from(render_ms)),
+        ("coverage", Json::from(coverage)),
+        ("rle_ratio", Json::from(ratio)),
+        ("frame_bytes", Json::from(wb.frame_bytes())),
+        ("gmd_to_juelich", Json::Arr(transports)),
+        ("direct_atm622_raw_ip_fps", Json::from(fps622)),
+    ]);
+    println!("{}", doc.pretty());
+}
 
 fn main() {
     // Render the Figure-4 view: anatomy + motor activation.
@@ -24,6 +61,11 @@ fn main() {
     let t0 = Instant::now();
     let frame = renderer.render(&RenderParams { width: 512, height: 512, ..Default::default() });
     let render_ms = t0.elapsed().as_secs_f64() * 1e3;
+    if gtw_bench::has_flag("--json") {
+        let ratio = measured_compression(&frame);
+        emit_json(render_ms, frame.coverage(), ratio);
+        return;
+    }
     let path = std::env::temp_dir().join("gtw_fig4_head.ppm");
     std::fs::write(&path, frame.to_ppm()).expect("write PPM");
     println!("== Figure 4: rendered activated head ==");

@@ -8,8 +8,11 @@
 //! speedup shape is the comparable quantity.
 //!
 //! ```text
-//! cargo run --release -p gtw-bench --bin table1 [-- --real]
+//! cargo run --release -p gtw-bench --bin table1 [-- --real] [-- --json]
 //! ```
+//!
+//! With `--json` the calibrated model table (and the paper's measured
+//! anchors) is emitted as one machine-readable document.
 
 use std::time::Instant;
 
@@ -115,9 +118,37 @@ fn real_scaling() {
     println!("(motion estimation is mostly serial per image — matching the paper's flat column)");
 }
 
+fn emit_json() {
+    use gtw_desim::Json;
+    let model = T3eModel::t3e_600();
+    let mut rows = Vec::new();
+    for (row, &(pes, _, _, _, p_total, p_speed)) in model.table1().iter().zip(PAPER_TABLE1.iter()) {
+        assert_eq!(row.pes, pes);
+        rows.push(Json::obj([
+            ("pes", Json::from(row.pes)),
+            ("filter_s", Json::from(row.filter_s)),
+            ("motion_s", Json::from(row.motion_s)),
+            ("rvo_s", Json::from(row.rvo_s)),
+            ("total_s", Json::from(row.total_s)),
+            ("speedup", Json::from(row.speedup)),
+            ("paper_total_s", Json::from(p_total)),
+            ("paper_speedup", Json::from(p_speed)),
+        ]));
+    }
+    let doc = Json::obj([
+        ("experiment", Json::from("table1_t3e_module_times")),
+        ("rows", Json::Arr(rows)),
+    ]);
+    println!("{}", doc.pretty());
+}
+
 fn main() {
+    if gtw_bench::has_flag("--json") {
+        emit_json();
+        return;
+    }
     model_table();
-    if std::env::args().any(|a| a == "--real") {
+    if gtw_bench::has_flag("--real") {
         real_scaling();
     } else {
         println!("\n(add `-- --real` for measured thread-scaling of the actual modules)");

@@ -1,0 +1,26 @@
+//! Validate a Chrome trace-event file produced by `--trace-out` (or any
+//! `traceEvents` document): it must parse, every `B` must have a
+//! matching `E` on the same tid, and timestamps must be nondecreasing
+//! per tid. Used by `scripts/check.sh` as the trace-export smoke test.
+//!
+//! ```text
+//! cargo run --release -p gtw-bench --bin trace_check -- trace.json
+//! ```
+
+fn main() {
+    let path = std::env::args().nth(1).expect("usage: trace_check <trace.json>");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("trace_check: cannot read {path}: {e}"));
+    match gtw_desim::validate_chrome_trace(&text) {
+        Ok(check) => {
+            println!(
+                "{path}: OK — {} events, {} spans, {} tracks",
+                check.events, check.spans, check.tids
+            );
+        }
+        Err(e) => {
+            eprintln!("{path}: INVALID — {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -21,6 +21,29 @@ pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));
 }
 
+/// Whether `--name` was passed on the command line.
+pub fn has_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// The value following `--name` on the command line, if present.
+pub fn arg_value(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// Write a span sink's Chrome trace to `path` and print where it went
+/// (the shared tail of every bin's `--trace-out` handling).
+pub fn write_trace(sink: &gtw_desim::SpanSink, path: &str) {
+    sink.write_chrome_trace(path.as_ref()).expect("write trace file");
+    eprintln!("chrome trace ({} spans) written to {path} — open in Perfetto", sink.len());
+}
+
 /// Format seconds with the paper's table precision.
 pub fn fmt_s(s: f64) -> String {
     format!("{s:.2}")

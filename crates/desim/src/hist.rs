@@ -1,0 +1,315 @@
+//! A log-bucketed latency histogram (HDR-style).
+//!
+//! Latencies span six orders of magnitude in this codebase — microsecond
+//! cell times on an OC-12 next to multi-second fMRI chain delays — so a
+//! linear histogram is useless and storing raw samples is unbounded.
+//! [`Histogram`] buckets values logarithmically: below [`SUB_BUCKETS`]
+//! nanoseconds every value has its own bucket (exact); above that, each
+//! power-of-two octave is split into [`SUB_BUCKETS`] equal sub-buckets,
+//! bounding the relative quantization error of any percentile estimate to
+//! one part in [`SUB_BUCKETS`]. The bucket array is fixed-size (covers
+//! the full `u64` nanosecond range), histograms merge by elementwise
+//! addition, and `min`/`max`/`sum` are tracked exactly on the side.
+
+use crate::json::Json;
+use crate::time::SimDuration;
+
+/// Sub-buckets per power-of-two octave; also the exact-value range floor.
+/// The relative error of a percentile estimate is at most `1/SUB_BUCKETS`.
+pub const SUB_BUCKETS: u64 = 64;
+
+const SUB_BITS: u32 = SUB_BUCKETS.trailing_zeros(); // 6
+
+/// Map a nanosecond value to its bucket index.
+#[inline]
+fn index_of(ns: u64) -> usize {
+    if ns < SUB_BUCKETS {
+        return ns as usize;
+    }
+    // Highest set bit position; >= SUB_BITS here.
+    let exp = 63 - ns.leading_zeros();
+    // Top SUB_BITS bits below the leading one select the sub-bucket.
+    let sub = (ns >> (exp - SUB_BITS)) & (SUB_BUCKETS - 1);
+    ((exp - SUB_BITS + 1) as usize) * SUB_BUCKETS as usize + sub as usize
+}
+
+/// Inclusive lower bound of a bucket, in nanoseconds.
+#[inline]
+fn bucket_low(idx: usize) -> u64 {
+    if idx < SUB_BUCKETS as usize {
+        return idx as u64;
+    }
+    let block = idx / SUB_BUCKETS as usize - 1; // 0-based octave
+    let sub = (idx % SUB_BUCKETS as usize) as u64;
+    (SUB_BUCKETS + sub) << block
+}
+
+/// Width of a bucket, in nanoseconds.
+#[inline]
+fn bucket_width(idx: usize) -> u64 {
+    if idx < SUB_BUCKETS as usize {
+        1
+    } else {
+        1u64 << (idx / SUB_BUCKETS as usize - 1)
+    }
+}
+
+/// A fixed-size, mergeable, log-bucketed duration histogram.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    /// Bucket counters, allocated lazily up to the highest bucket used.
+    counts: Vec<u64>,
+    count: u64,
+    sum_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one duration sample.
+    pub fn record(&mut self, d: SimDuration) {
+        self.record_ns(d.as_nanos());
+    }
+
+    /// Record one sample given in raw nanoseconds.
+    pub fn record_ns(&mut self, ns: u64) {
+        let idx = index_of(ns);
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        if self.count == 0 {
+            self.min_ns = ns;
+            self.max_ns = ns;
+        } else {
+            self.min_ns = self.min_ns.min(ns);
+            self.max_ns = self.max_ns.max(ns);
+        }
+        self.count += 1;
+        self.sum_ns += ns as u128;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact minimum recorded sample ([`SimDuration::ZERO`] when empty).
+    pub fn min(&self) -> SimDuration {
+        SimDuration::from_nanos(if self.count == 0 { 0 } else { self.min_ns })
+    }
+
+    /// Exact maximum recorded sample ([`SimDuration::ZERO`] when empty).
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_nanos(if self.count == 0 { 0 } else { self.max_ns })
+    }
+
+    /// Exact mean of the recorded samples.
+    pub fn mean(&self) -> SimDuration {
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_nanos((self.sum_ns / self.count as u128) as u64)
+    }
+
+    /// Exact sum of the recorded samples (saturating at `u64` ns).
+    pub fn sum(&self) -> SimDuration {
+        SimDuration::from_nanos(u64::try_from(self.sum_ns).unwrap_or(u64::MAX))
+    }
+
+    /// Estimate the `p`-th percentile (`0 < p <= 100`).
+    ///
+    /// Returns the midpoint of the bucket containing the rank-`⌈p/100·n⌉`
+    /// sample, clamped into `[min, max]`; the estimate is within one
+    /// bucket width (relative error `1/SUB_BUCKETS`) of the exact
+    /// sorted-sample percentile.
+    pub fn percentile(&self, p: f64) -> SimDuration {
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let rank = rank.min(self.count);
+        let mut cum = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                let mid = bucket_low(idx) + bucket_width(idx) / 2;
+                return SimDuration::from_nanos(mid.clamp(self.min_ns, self.max_ns));
+            }
+        }
+        self.max()
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> SimDuration {
+        self.percentile(50.0)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> SimDuration {
+        self.percentile(90.0)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> SimDuration {
+        self.percentile(99.0)
+    }
+
+    /// Fold another histogram into this one. The result is identical to a
+    /// histogram fed the concatenation of both sample streams.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (dst, &src) in self.counts.iter_mut().zip(&other.counts) {
+            *dst += src;
+        }
+        if self.count == 0 {
+            self.min_ns = other.min_ns;
+            self.max_ns = other.max_ns;
+        } else {
+            self.min_ns = self.min_ns.min(other.min_ns);
+            self.max_ns = self.max_ns.max(other.max_ns);
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+    }
+
+    /// The worst-case absolute quantization error at duration `d`: the
+    /// width of the bucket `d` falls in.
+    pub fn bucket_error(d: SimDuration) -> SimDuration {
+        SimDuration::from_nanos(bucket_width(index_of(d.as_nanos())))
+    }
+
+    /// JSON summary: count and the latency distribution in seconds.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", Json::from(self.count)),
+            ("min_s", Json::from(self.min().as_secs_f64())),
+            ("mean_s", Json::from(self.mean().as_secs_f64())),
+            ("p50_s", Json::from(self.p50().as_secs_f64())),
+            ("p90_s", Json::from(self.p90().as_secs_f64())),
+            ("p99_s", Json::from(self.p99().as_secs_f64())),
+            ("max_s", Json::from(self.max().as_secs_f64())),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Total bucket count: one exact bucket per value below
+    /// `SUB_BUCKETS`, then `SUB_BUCKETS` per octave of bit length
+    /// `SUB_BITS+1 ..= 64`.
+    const BUCKETS: usize = SUB_BUCKETS as usize * (64 - SUB_BITS as usize + 1);
+
+    #[test]
+    fn bucket_layout_is_monotone_and_total() {
+        // Index is monotone in the value and bounds bracket the value.
+        let mut prev = 0usize;
+        for &v in &[0u64, 1, 63, 64, 65, 127, 128, 1000, 1 << 20, u64::MAX / 3, u64::MAX] {
+            let idx = index_of(v);
+            assert!(idx >= prev, "index not monotone at {v}");
+            assert!(idx < BUCKETS, "index {idx} out of range");
+            let low = bucket_low(idx);
+            assert!(low <= v, "low {low} > value {v}");
+            assert!(v - low < bucket_width(idx), "value {v} beyond bucket {idx}");
+            prev = idx;
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for ns in [1u64, 2, 3, 10, 63] {
+            h.record_ns(ns);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), SimDuration::from_nanos(1));
+        assert_eq!(h.max(), SimDuration::from_nanos(63));
+        assert_eq!(h.p50(), SimDuration::from_nanos(3));
+    }
+
+    #[test]
+    fn percentiles_on_a_uniform_ramp() {
+        let mut h = Histogram::new();
+        for ms in 1..=1000u64 {
+            h.record(SimDuration::from_millis(ms));
+        }
+        let p50 = h.p50().as_millis_f64();
+        let p99 = h.p99().as_millis_f64();
+        assert!((p50 - 500.0).abs() / 500.0 < 2.0 / SUB_BUCKETS as f64, "p50={p50}");
+        assert!((p99 - 990.0).abs() / 990.0 < 2.0 / SUB_BUCKETS as f64, "p99={p99}");
+        assert_eq!(h.max(), SimDuration::from_millis(1000));
+    }
+
+    #[test]
+    fn merge_matches_concatenation() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for i in 0..500u64 {
+            let v = i * i + 17;
+            a.record_ns(v);
+            all.record_ns(v);
+        }
+        for i in 0..300u64 {
+            let v = i * 7919 + 3;
+            b.record_ns(v);
+            all.record_ns(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        assert_eq!(a.counts, all.counts);
+        for p in [10.0, 50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(a.percentile(p), all.percentile(p));
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.p99(), SimDuration::ZERO);
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        let s = h.to_json().dump();
+        assert!(s.contains("\"count\":0"), "{s}");
+    }
+
+    #[test]
+    fn merge_into_empty_copies() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        b.record(SimDuration::from_micros(5));
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.min(), SimDuration::from_micros(5));
+        assert_eq!(a.max(), SimDuration::from_micros(5));
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_millis(3));
+        let s = h.to_json().dump();
+        for key in ["count", "min_s", "mean_s", "p50_s", "p90_s", "p99_s", "max_s"] {
+            assert!(s.contains(&format!("\"{key}\":")), "{s}");
+        }
+    }
+}

@@ -28,17 +28,21 @@
 //! ```
 
 pub mod component;
+pub mod hist;
 pub mod json;
 pub mod queue;
 pub mod rng;
 pub mod sim;
+pub mod span;
 pub mod time;
 pub mod trace;
 
 pub use component::{Component, ComponentId, Ctx, Msg};
+pub use hist::Histogram;
 pub use json::Json;
 pub use queue::{EventQueue, QueuedEvent};
 pub use rng::StreamRng;
 pub use sim::{RunResult, Simulator};
+pub use span::{chrome_trace, validate_chrome_trace, Span, SpanRecorder, SpanSink, TraceCheck};
 pub use time::{SimDuration, SimTime};
 pub use trace::{EventCounter, Tracer};

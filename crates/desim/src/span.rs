@@ -1,0 +1,492 @@
+//! Span tracing: a bounded flight recorder of timed intervals and a
+//! Chrome trace-event exporter.
+//!
+//! A [`Span`] is a named interval on a named *track* (usually one track
+//! per component). [`SpanRecorder`] keeps the most recent spans in a
+//! bounded ring — a flight recorder, so tracing a long run costs constant
+//! memory — and [`chrome_trace`] renders any span set as Chrome
+//! trace-event JSON (`[{"name","ph":"B"/"E","ts","pid","tid"},…]`),
+//! loadable in Perfetto or `chrome://tracing`. Overlapping spans on one
+//! track are spread over per-track *lanes* (one `tid` each) so the
+//! begin/end pairs on every `tid` nest properly.
+//!
+//! [`SpanSink`] is the shareable handle components hold: a clone-able
+//! reference to one recorder, with a no-op `disabled` state whose record
+//! calls compile down to a branch. It also implements
+//! [`Tracer`](crate::trace::Tracer), recording every kernel dispatch as a
+//! zero-length span, so `sim.set_tracer(Box::new(sink.clone()))` yields a
+//! scheduling timeline with no component changes at all.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use crate::component::ComponentId;
+use crate::json::Json;
+use crate::time::SimTime;
+use crate::trace::Tracer;
+
+/// A completed timed interval on a track.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Span {
+    /// Track key — one timeline row group, usually a component.
+    pub track: String,
+    /// What happened during the interval.
+    pub name: String,
+    /// Interval start (virtual time).
+    pub begin: SimTime,
+    /// Interval end; `begin == end` marks an instantaneous event.
+    pub end: SimTime,
+}
+
+/// Default ring capacity: enough for every span of the bench runs while
+/// bounding long soak runs to a few MiB.
+pub const DEFAULT_SPAN_CAPACITY: usize = 1 << 16;
+
+/// A bounded ring of completed spans plus a stack of open ones.
+#[derive(Debug)]
+pub struct SpanRecorder {
+    spans: VecDeque<Span>,
+    open: Vec<Span>,
+    capacity: usize,
+    /// Completed spans evicted from the full ring (oldest first).
+    pub dropped: u64,
+}
+
+impl Default for SpanRecorder {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_SPAN_CAPACITY)
+    }
+}
+
+impl SpanRecorder {
+    /// A recorder keeping at most `capacity` completed spans.
+    pub fn with_capacity(capacity: usize) -> Self {
+        SpanRecorder {
+            spans: VecDeque::new(),
+            open: Vec::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Record a completed span.
+    pub fn record(
+        &mut self,
+        track: impl Into<String>,
+        name: impl Into<String>,
+        begin: SimTime,
+        end: SimTime,
+    ) {
+        debug_assert!(end >= begin, "span ends before it begins");
+        if self.spans.len() == self.capacity {
+            self.spans.pop_front();
+            self.dropped += 1;
+        }
+        self.spans.push_back(Span { track: track.into(), name: name.into(), begin, end });
+    }
+
+    /// Open a span; pair with [`end`](Self::end) (LIFO per track+name).
+    pub fn begin(&mut self, track: impl Into<String>, name: impl Into<String>, now: SimTime) {
+        self.open.push(Span { track: track.into(), name: name.into(), begin: now, end: now });
+    }
+
+    /// Close the most recently opened span with this track and name.
+    /// Unmatched ends are ignored (the flight recorder must never panic
+    /// mid-run).
+    pub fn end(&mut self, track: &str, name: &str, now: SimTime) {
+        if let Some(pos) = self.open.iter().rposition(|s| s.track == track && s.name == name) {
+            let mut span = self.open.remove(pos);
+            span.end = now.max(span.begin);
+            if self.spans.len() == self.capacity {
+                self.spans.pop_front();
+                self.dropped += 1;
+            }
+            self.spans.push_back(span);
+        }
+    }
+
+    /// Completed spans, oldest first.
+    pub fn spans(&self) -> impl Iterator<Item = &Span> {
+        self.spans.iter()
+    }
+
+    /// Number of completed spans currently held.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether no completed spans are held.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Spans begun but not yet ended.
+    pub fn open_count(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Chrome trace-event JSON of the held spans.
+    pub fn to_chrome_trace(&self) -> Json {
+        chrome_trace(self.spans.iter())
+    }
+}
+
+/// The shareable span-recording handle. Cloning is cheap; all clones feed
+/// one recorder. The [`disabled`](SpanSink::disabled) sink records
+/// nothing and costs one branch per call.
+#[derive(Clone, Default)]
+pub struct SpanSink {
+    inner: Option<Arc<Mutex<SpanRecorder>>>,
+}
+
+impl SpanSink {
+    /// A recording sink with the default ring capacity.
+    pub fn recording() -> Self {
+        Self::with_capacity(DEFAULT_SPAN_CAPACITY)
+    }
+
+    /// A recording sink keeping at most `capacity` spans.
+    pub fn with_capacity(capacity: usize) -> Self {
+        SpanSink { inner: Some(Arc::new(Mutex::new(SpanRecorder::with_capacity(capacity)))) }
+    }
+
+    /// A no-op sink.
+    pub fn disabled() -> Self {
+        SpanSink { inner: None }
+    }
+
+    /// Whether this sink records anything.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Record a completed span (no-op when disabled).
+    pub fn record(&self, track: &str, name: &str, begin: SimTime, end: SimTime) {
+        if let Some(inner) = &self.inner {
+            inner.lock().expect("span recorder poisoned").record(track, name, begin, end);
+        }
+    }
+
+    /// Snapshot of the completed spans, oldest first.
+    pub fn snapshot(&self) -> Vec<Span> {
+        match &self.inner {
+            Some(inner) => inner.lock().expect("span recorder poisoned").spans().cloned().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Completed spans evicted from the full ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.lock().expect("span recorder poisoned").dropped)
+    }
+
+    /// Number of completed spans currently held.
+    pub fn len(&self) -> usize {
+        self.inner.as_ref().map_or(0, |i| i.lock().expect("span recorder poisoned").len())
+    }
+
+    /// Whether no completed spans are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Chrome trace-event JSON of the recorded spans.
+    pub fn to_chrome_trace(&self) -> Json {
+        chrome_trace(self.snapshot().iter())
+    }
+
+    /// Write the Chrome trace to `path` (pretty-printed JSON).
+    pub fn write_chrome_trace(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_chrome_trace().pretty())
+    }
+}
+
+impl std::fmt::Debug for SpanSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanSink").field("enabled", &self.enabled()).finish()
+    }
+}
+
+/// As a kernel tracer, a sink records every event dispatch as a
+/// zero-length span on the dispatched component's track.
+impl Tracer for SpanSink {
+    fn on_dispatch(&mut self, now: SimTime, target: ComponentId, name: &str) {
+        if let Some(inner) = &self.inner {
+            let track = format!("{name}#{}", target.index());
+            inner.lock().expect("span recorder poisoned").record(track, "dispatch", now, now);
+        }
+    }
+}
+
+/// Render spans as Chrome trace-event JSON.
+///
+/// All events share `pid` 0. Each track gets one `tid` per *lane*:
+/// spans are laid onto the first lane whose previous span has ended, so
+/// overlapping spans land on different `tid`s and every `tid` carries a
+/// properly nested, time-ordered `B`/`E` sequence. A `"M"` (metadata)
+/// `thread_name` event labels each lane with its track name.
+pub fn chrome_trace<'a>(spans: impl IntoIterator<Item = &'a Span>) -> Json {
+    let mut sorted: Vec<&Span> = spans.into_iter().collect();
+    sorted.sort_by(|a, b| (a.begin, a.end, &a.track).cmp(&(b.begin, b.end, &b.track)));
+
+    // Track order = first appearance; lanes are per track.
+    let mut track_order: Vec<&str> = Vec::new();
+    for s in &sorted {
+        if !track_order.iter().any(|t| *t == s.track) {
+            track_order.push(&s.track);
+        }
+    }
+    // lanes[track][lane] = (end time of last span, events on this lane)
+    let mut lanes: Vec<Vec<(SimTime, Vec<&Span>)>> = vec![Vec::new(); track_order.len()];
+    for s in &sorted {
+        let ti = track_order.iter().position(|t| *t == s.track).expect("track registered");
+        let lane = match lanes[ti].iter_mut().find(|(end, _)| *end <= s.begin) {
+            Some(lane) => lane,
+            None => {
+                lanes[ti].push((SimTime::ZERO, Vec::new()));
+                lanes[ti].last_mut().expect("lane just pushed")
+            }
+        };
+        lane.0 = s.end;
+        lane.1.push(s);
+    }
+
+    let mut events: Vec<Json> = Vec::new();
+    let mut tid: u64 = 0;
+    for (ti, track) in track_order.iter().enumerate() {
+        for (lane_idx, (_, lane_spans)) in lanes[ti].iter().enumerate() {
+            let label =
+                if lane_idx == 0 { (*track).to_string() } else { format!("{track}.{lane_idx}") };
+            events.push(Json::obj([
+                ("name", Json::from("thread_name")),
+                ("ph", Json::from("M")),
+                ("pid", Json::from(0u64)),
+                ("tid", Json::from(tid)),
+                ("args", Json::obj([("name", Json::from(label))])),
+            ]));
+            for s in lane_spans {
+                for (ph, ts) in [("B", s.begin), ("E", s.end)] {
+                    events.push(Json::obj([
+                        ("name", Json::from(s.name.as_str())),
+                        ("cat", Json::from(s.track.as_str())),
+                        ("ph", Json::from(ph)),
+                        ("ts", Json::from(ts.as_micros_f64())),
+                        ("pid", Json::from(0u64)),
+                        ("tid", Json::from(tid)),
+                    ]));
+                }
+            }
+            tid += 1;
+        }
+    }
+    Json::Arr(events)
+}
+
+/// Summary returned by a successful [`validate_chrome_trace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCheck {
+    /// Total events in the file (metadata included).
+    pub events: usize,
+    /// Completed `B`/`E` pairs.
+    pub spans: usize,
+    /// Distinct `tid`s carrying spans.
+    pub tids: usize,
+}
+
+/// Validate Chrome trace-event JSON text: it must parse, `ts` must be
+/// nondecreasing per `tid`, and every `B` must have a matching `E` (same
+/// `tid`, LIFO, same name). Accepts both a bare event array and the
+/// `{"traceEvents": [...]}` wrapper.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
+    let doc = Json::parse(text)?;
+    let events = match &doc {
+        Json::Arr(events) => events,
+        Json::Obj(_) => match doc.get("traceEvents") {
+            Some(Json::Arr(events)) => events,
+            _ => return Err("object form lacks a \"traceEvents\" array".into()),
+        },
+        _ => return Err("top level is neither an array nor an object".into()),
+    };
+    let mut last_ts: std::collections::HashMap<i128, f64> = std::collections::HashMap::new();
+    let mut stacks: std::collections::HashMap<i128, Vec<String>> = std::collections::HashMap::new();
+    let mut spans = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing \"ph\""))?;
+        if ph == "M" {
+            continue;
+        }
+        if ph != "B" && ph != "E" {
+            return Err(format!("event {i}: unsupported phase {ph:?}"));
+        }
+        let ts = ev
+            .get("ts")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("event {i}: missing numeric \"ts\""))?;
+        let tid = ev
+            .get("tid")
+            .and_then(Json::as_i128)
+            .ok_or_else(|| format!("event {i}: missing integer \"tid\""))?;
+        let name = ev
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing \"name\""))?;
+        if let Some(&prev) = last_ts.get(&tid) {
+            if ts < prev {
+                return Err(format!("event {i}: ts {ts} < {prev} on tid {tid}"));
+            }
+        }
+        last_ts.insert(tid, ts);
+        let stack = stacks.entry(tid).or_default();
+        match ph {
+            "B" => stack.push(name.to_string()),
+            _ => match stack.pop() {
+                Some(open) if open == name => spans += 1,
+                Some(open) => {
+                    return Err(format!("event {i}: E {name:?} closes B {open:?} on tid {tid}"))
+                }
+                None => return Err(format!("event {i}: E {name:?} without B on tid {tid}")),
+            },
+        }
+    }
+    for (tid, stack) in &stacks {
+        if let Some(open) = stack.last() {
+            return Err(format!("unclosed B {open:?} on tid {tid}"));
+        }
+    }
+    let tids = stacks.len();
+    Ok(TraceCheck { events: events.len(), spans, tids })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn ring_is_bounded_and_drops_oldest() {
+        let mut r = SpanRecorder::with_capacity(3);
+        for i in 0..5u64 {
+            r.record("trk", format!("s{i}"), t(i), t(i + 1));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped, 2);
+        assert_eq!(r.spans().next().expect("spans held").name, "s2");
+    }
+
+    #[test]
+    fn begin_end_pairs_lifo() {
+        let mut r = SpanRecorder::default();
+        r.begin("trk", "outer", t(0));
+        r.begin("trk", "inner", t(1));
+        r.end("trk", "inner", t(2));
+        r.end("trk", "outer", t(4));
+        r.end("trk", "stray", t(5)); // ignored
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.open_count(), 0);
+        let spans: Vec<_> = r.spans().collect();
+        assert_eq!(spans[0].name, "inner");
+        assert_eq!(spans[1].end - spans[1].begin, SimDuration::from_micros(4));
+    }
+
+    #[test]
+    fn export_validates_and_separates_overlap_lanes() {
+        let mut r = SpanRecorder::default();
+        // Two overlapping spans on one track must land on two lanes.
+        r.record("switch", "cell0", t(0), t(10));
+        r.record("switch", "cell1", t(5), t(15));
+        r.record("host", "tx", t(2), t(3));
+        let text = r.to_chrome_trace().dump();
+        let check = validate_chrome_trace(&text).expect("valid trace");
+        assert_eq!(check.spans, 3);
+        assert_eq!(check.tids, 3, "{text}");
+    }
+
+    #[test]
+    fn sequential_spans_share_a_lane() {
+        let mut r = SpanRecorder::default();
+        r.record("link", "p0", t(0), t(5));
+        r.record("link", "p1", t(5), t(9));
+        let check = validate_chrome_trace(&r.to_chrome_trace().dump()).expect("valid");
+        assert_eq!(check.tids, 1);
+        assert_eq!(check.spans, 2);
+    }
+
+    #[test]
+    fn zero_length_spans_are_valid() {
+        let mut r = SpanRecorder::default();
+        r.record("c", "dispatch", t(3), t(3));
+        r.record("c", "dispatch", t(3), t(3));
+        let check = validate_chrome_trace(&r.to_chrome_trace().dump()).expect("valid");
+        assert_eq!(check.spans, 2);
+    }
+
+    #[test]
+    fn sink_clones_share_one_recorder() {
+        let sink = SpanSink::recording();
+        let clone = sink.clone();
+        clone.record("a", "x", t(0), t(1));
+        sink.record("b", "y", t(1), t(2));
+        assert_eq!(sink.len(), 2);
+        assert!(SpanSink::disabled().snapshot().is_empty());
+        assert!(!SpanSink::disabled().enabled());
+    }
+
+    #[test]
+    fn sink_as_tracer_records_dispatch_spans() {
+        use crate::component::{downcast, msg, Component, Ctx, Msg};
+        use crate::Simulator;
+
+        struct Nop;
+        struct Tick;
+        impl Component for Nop {
+            fn handle(&mut self, _ctx: &mut Ctx<'_>, m: Msg) {
+                let _ = downcast::<Tick>(m);
+            }
+            fn name(&self) -> &str {
+                "nop"
+            }
+        }
+        let mut sim = Simulator::new();
+        let id = sim.add_component(Nop);
+        let sink = SpanSink::recording();
+        sim.set_tracer(Box::new(sink.clone()));
+        sim.send_in(SimDuration::from_micros(7), id, msg(Tick));
+        sim.run();
+        let spans = sink.snapshot();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].track, format!("nop#{}", id.index()));
+        assert_eq!(spans[0].begin, t(7));
+        validate_chrome_trace(&sink.to_chrome_trace().dump()).expect("valid");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_traces() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+        // E without B.
+        let bad = r#"[{"name":"x","ph":"E","ts":1.0,"pid":0,"tid":0}]"#;
+        assert!(validate_chrome_trace(bad).is_err());
+        // Unclosed B.
+        let bad = r#"[{"name":"x","ph":"B","ts":1.0,"pid":0,"tid":0}]"#;
+        assert!(validate_chrome_trace(bad).is_err());
+        // ts decreasing on one tid.
+        let bad = r#"[{"name":"x","ph":"B","ts":2.0,"pid":0,"tid":0},
+                      {"name":"x","ph":"E","ts":1.0,"pid":0,"tid":0}]"#;
+        assert!(validate_chrome_trace(bad).is_err());
+        // Mismatched nesting.
+        let bad = r#"[{"name":"a","ph":"B","ts":1.0,"pid":0,"tid":0},
+                      {"name":"b","ph":"E","ts":2.0,"pid":0,"tid":0}]"#;
+        assert!(validate_chrome_trace(bad).is_err());
+        // The wrapper form is accepted.
+        let good = r#"{"traceEvents":[{"name":"a","ph":"B","ts":1.0,"pid":0,"tid":0},
+                                      {"name":"a","ph":"E","ts":2.0,"pid":0,"tid":0}]}"#;
+        assert_eq!(validate_chrome_trace(good).expect("valid").spans, 1);
+    }
+}

@@ -1,9 +1,17 @@
 //! Property-based tests for the simulation kernel invariants.
 
-use gtw_desim::{EventQueue, SimDuration, SimTime, Simulator};
+use gtw_desim::hist::SUB_BUCKETS;
+use gtw_desim::{EventQueue, Histogram, SimDuration, SimTime, Simulator};
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Exact percentile of a sample set: the `⌈p/100·n⌉`-th smallest value
+/// (the same rank convention `Histogram::percentile` uses).
+fn exact_percentile(sorted: &[u64], p: f64) -> u64 {
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
 
 proptest! {
     /// Events always pop in non-decreasing time order, and FIFO among ties.
@@ -79,5 +87,63 @@ proptest! {
         prop_assert_eq!(fired.load(Ordering::SeqCst), early);
         sim.run();
         prop_assert_eq!(fired.load(Ordering::SeqCst), delays.len() as u64);
+    }
+
+    /// Histogram percentile estimates stay within one bucket of the exact
+    /// sorted-sample percentile: the absolute error is bounded by the
+    /// width of the bucket the exact value falls in (relative error
+    /// `1/SUB_BUCKETS`), and min/max are exact.
+    #[test]
+    fn histogram_percentiles_within_one_bucket(
+        samples in proptest::collection::vec(0u64..(1u64 << 40), 1..400),
+        p in 0.5f64..100.0,
+    ) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record_ns(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.min().as_nanos(), sorted[0]);
+        prop_assert_eq!(h.max().as_nanos(), sorted[sorted.len() - 1]);
+        for q in [p, 50.0, 90.0, 99.0, 100.0] {
+            let exact = exact_percentile(&sorted, q);
+            let est = h.percentile(q).as_nanos();
+            let tol = Histogram::bucket_error(SimDuration::from_nanos(exact)).as_nanos();
+            prop_assert!(
+                est.abs_diff(exact) <= tol,
+                "p{q}: estimate {est} vs exact {exact} (tolerance {tol}, 1/{SUB_BUCKETS} relative)",
+            );
+        }
+    }
+
+    /// Merging histograms is exactly equivalent to recording the
+    /// concatenated sample stream into one histogram.
+    #[test]
+    fn histogram_merge_equals_concatenation(
+        a in proptest::collection::vec(0u64..(1u64 << 48), 0..200),
+        b in proptest::collection::vec(0u64..(1u64 << 48), 0..200),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut hall = Histogram::new();
+        for &s in &a {
+            ha.record_ns(s);
+            hall.record_ns(s);
+        }
+        for &s in &b {
+            hb.record_ns(s);
+            hall.record_ns(s);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hall.count());
+        prop_assert_eq!(ha.min(), hall.min());
+        prop_assert_eq!(ha.max(), hall.max());
+        prop_assert_eq!(ha.mean(), hall.mean());
+        for q in [1.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9, 100.0] {
+            prop_assert_eq!(ha.percentile(q), hall.percentile(q));
+        }
+        prop_assert_eq!(ha.to_json().dump(), hall.to_json().dump());
     }
 }

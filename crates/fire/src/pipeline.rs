@@ -84,6 +84,11 @@ pub struct FirePipeline {
     series: Vec<Volume>,
     /// Motion estimates per scan.
     pub motion_log: Vec<MotionEstimate>,
+    /// Per-stage wall-clock spans (`filter`, `motion`, `correlate`,
+    /// `smooth` on the `fire` track); disabled by default.
+    spans: gtw_desim::SpanSink,
+    /// Wall-clock epoch for span timestamps.
+    epoch: std::time::Instant,
 }
 
 impl FirePipeline {
@@ -98,6 +103,26 @@ impl FirePipeline {
             state,
             series: Vec::new(),
             motion_log: Vec::new(),
+            spans: gtw_desim::SpanSink::disabled(),
+            epoch: std::time::Instant::now(),
+        }
+    }
+
+    /// Attach a span sink recording wall-clock per-stage spans.
+    pub fn with_spans(mut self, sink: gtw_desim::SpanSink) -> Self {
+        self.spans = sink;
+        self
+    }
+
+    /// Record a wall-clock span for a compute stage that started
+    /// `started` into the run (both endpoints relative to the pipeline
+    /// epoch, so the trace is self-consistent).
+    fn stage_span(&self, name: &str, started: std::time::Duration) {
+        if self.spans.enabled() {
+            let ns = |d: std::time::Duration| d.as_nanos().min(u64::MAX as u128) as u64;
+            let begin = gtw_desim::SimTime::from_nanos(ns(started));
+            let end = gtw_desim::SimTime::from_nanos(ns(self.epoch.elapsed()));
+            self.spans.record("fire", name, begin, end);
         }
     }
 
@@ -116,8 +141,11 @@ impl FirePipeline {
         assert_eq!(raw.dims, self.dims, "image dims mismatch");
         let scan = self.series.len();
         // 1. Median pre-filter.
+        let t = self.epoch.elapsed();
         let mut vol = if self.config.median_filter { median_filter(raw) } else { raw.clone() };
+        self.stage_span("filter", t);
         // 2. Movement correction against the first (filtered) image.
+        let t = self.epoch.elapsed();
         let mut motion = None;
         if self.config.motion_correction {
             match &self.corrector {
@@ -133,16 +161,21 @@ impl FirePipeline {
                 }
             }
         }
+        self.stage_span("motion", t);
         // 3. Accumulate.
         self.state.push(&vol);
         self.series.push(vol.clone());
         // 4. Per-scan display map: the cheap incremental correlation
         // (updates within the acquisition window). The display-quality
         // map with detrending applied is [`FirePipeline::correlation_map`].
+        let t = self.epoch.elapsed();
         let mut correlation = self.state.correlation_map();
+        self.stage_span("correlate", t);
         // 5. Optional smoothing of the map.
         if self.config.smoothing {
+            let t = self.epoch.elapsed();
             correlation = average_filter(&correlation);
+            self.stage_span("smooth", t);
         }
         ProcessedImage { scan, corrected: vol, correlation, motion }
     }
@@ -181,12 +214,14 @@ impl FirePipeline {
                     ReferenceVector { values, ..rv }
                 };
                 use rayon::prelude::*;
+                let t = self.epoch.elapsed();
                 let series = &self.series;
                 out.data.par_iter_mut().enumerate().for_each(|(idx, c)| {
                     let mut voxel: Vec<f32> = series.iter().map(|v| v.data[idx]).collect();
                     basis.detrend(&mut voxel);
                     *c = rv.correlate(&voxel) as f32;
                 });
+                self.stage_span("detrend", t);
                 out
             }
         }
@@ -207,7 +242,10 @@ impl FirePipeline {
     ) -> RvoResult {
         let truncated =
             Stimulus { course: stimulus.course[..self.series.len()].to_vec(), tr_s: stimulus.tr_s };
-        rvo::optimize(&self.series, &truncated, RvoBounds::default(), method, mask)
+        let t = self.epoch.elapsed();
+        let out = rvo::optimize(&self.series, &truncated, RvoBounds::default(), method, mask);
+        self.stage_span("rvo", t);
+        out
     }
 }
 
@@ -280,6 +318,31 @@ mod tests {
             assert_eq!(out.scan, t);
         }
         p
+    }
+
+    #[test]
+    fn pipeline_emits_per_stage_spans() {
+        let scanner = small_scanner(8, 51);
+        let rv = ReferenceVector::canonical(&scanner.config().stimulus);
+        let sink = gtw_desim::SpanSink::recording();
+        let mut p = FirePipeline::new(
+            FireConfig { detrend: Some(2), ..FireConfig::default() },
+            scanner.config().dims,
+            rv,
+        )
+        .with_spans(sink.clone());
+        for t in 0..scanner.scan_count() {
+            p.process(&scanner.acquire(t));
+        }
+        let _ = p.correlation_map(); // detrend path
+        let spans = sink.snapshot();
+        for name in ["filter", "motion", "correlate", "detrend"] {
+            assert!(spans.iter().any(|s| s.name == name), "missing stage {name}");
+        }
+        assert!(spans.iter().all(|s| s.track == "fire" && s.end >= s.begin));
+        let check = gtw_desim::validate_chrome_trace(&sink.to_chrome_trace().dump())
+            .expect("valid Chrome trace");
+        assert!(check.spans >= 4);
     }
 
     #[test]

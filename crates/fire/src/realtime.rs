@@ -12,7 +12,9 @@
 //! too short a TR.
 
 use gtw_desim::component::{downcast, msg};
-use gtw_desim::{Component, ComponentId, Ctx, Msg, SimDuration, SimTime, Simulator};
+use gtw_desim::{
+    Component, ComponentId, Ctx, Histogram, Msg, SimDuration, SimTime, Simulator, SpanSink,
+};
 use serde::{Deserialize, Serialize};
 
 /// Operating mode of the chain.
@@ -63,6 +65,8 @@ pub struct RealtimeReport {
     pub mean_latency_s: f64,
     /// Measured steady-state display period, seconds.
     pub period_s: f64,
+    /// Full scan-end → display latency distribution (p50/p90/p99/max).
+    pub latency: Histogram,
 }
 
 // ---- messages --------------------------------------------------------
@@ -89,6 +93,8 @@ struct ChainDriver {
     compute: Option<ComponentId>,
     /// Display log: (scan index, scan end, displayed at).
     displayed: Vec<(usize, SimTime, SimTime)>,
+    /// Span sink for per-stage timelines (disabled by default).
+    spans: SpanSink,
 }
 
 impl ChainDriver {
@@ -104,11 +110,26 @@ impl ChainDriver {
             ChainMode::Sequential => {
                 // The whole chain is one serial service.
                 let total = self.cfg.transfer_s + self.cfg.compute_s + self.cfg.display_s;
+                if self.spans.enabled() {
+                    // The serial chain's internal stage boundaries are
+                    // known at start time; emit them up front.
+                    let t0 = ctx.now();
+                    let t1 = t0 + SimDuration::from_secs_f64(self.cfg.transfer_s);
+                    let t2 = t1 + SimDuration::from_secs_f64(self.cfg.compute_s);
+                    let t3 = t2 + SimDuration::from_secs_f64(self.cfg.display_s);
+                    self.spans.record("chain", "transfer", t0, t1);
+                    self.spans.record("chain", "compute", t1, t2);
+                    self.spans.record("chain", "display", t2, t3);
+                }
                 ctx.timer_in(SimDuration::from_secs_f64(total), msg(SeqDone(k, scan_end)));
             }
             ChainMode::Pipelined => {
                 // This actor is the transfer stage; hand off downstream.
                 let compute = self.compute.expect("pipelined mode wires a compute stage");
+                if self.spans.enabled() {
+                    let t = SimDuration::from_secs_f64(self.cfg.transfer_s);
+                    self.spans.record("transfer", "transfer", ctx.now(), ctx.now() + t);
+                }
                 ctx.send_in(
                     SimDuration::from_secs_f64(self.cfg.transfer_s),
                     compute,
@@ -165,6 +186,7 @@ struct Stage {
     pending: Option<(usize, SimTime)>,
     skipped: usize,
     label: String,
+    spans: SpanSink,
 }
 
 impl Stage {
@@ -177,6 +199,9 @@ impl Stage {
         };
         self.busy = true;
         let d = SimDuration::from_secs_f64(self.service_s);
+        if self.spans.enabled() {
+            self.spans.record(&self.label, &self.label, ctx.now(), ctx.now() + d);
+        }
         let next = self.next;
         if self.terminal {
             ctx.send_in(d, next, msg(Displayed(k, scan_end)));
@@ -208,6 +233,15 @@ impl Component for Stage {
 
 /// Run the chain and measure it.
 pub fn run_chain(cfg: RealtimeConfig, mode: ChainMode) -> RealtimeReport {
+    run_chain_traced(cfg, mode, &SpanSink::disabled())
+}
+
+/// Run the chain with `sink` attached: per-stage spans (`transfer`,
+/// `compute`, `display` — one track each in pipelined mode, a single
+/// `chain` track in sequential mode) plus `acquire` spans on the
+/// `scanner` track. Tracing never changes virtual time; the report is
+/// identical to the untraced run.
+pub fn run_chain_traced(cfg: RealtimeConfig, mode: ChainMode, sink: &SpanSink) -> RealtimeReport {
     let mut sim = Simulator::new();
     let mut driver = ChainDriver {
         cfg,
@@ -217,6 +251,7 @@ pub fn run_chain(cfg: RealtimeConfig, mode: ChainMode) -> RealtimeReport {
         busy: false,
         compute: None,
         displayed: Vec::new(),
+        spans: sink.clone(),
     };
     let (driver_id, stage_skips) = if mode == ChainMode::Pipelined {
         // display <- compute <- driver(transfer)
@@ -229,6 +264,7 @@ pub fn run_chain(cfg: RealtimeConfig, mode: ChainMode) -> RealtimeReport {
             pending: None,
             skipped: 0,
             label: "display".into(),
+            spans: sink.clone(),
         });
         let compute = sim.add_component(Stage {
             service_s: cfg.compute_s,
@@ -238,6 +274,7 @@ pub fn run_chain(cfg: RealtimeConfig, mode: ChainMode) -> RealtimeReport {
             pending: None,
             skipped: 0,
             label: "compute".into(),
+            spans: sink.clone(),
         });
         driver.compute = Some(compute);
         let driver_id = sim.add_component(driver);
@@ -250,6 +287,9 @@ pub fn run_chain(cfg: RealtimeConfig, mode: ChainMode) -> RealtimeReport {
     for k in 0..cfg.scans {
         let at = SimTime::from_secs_f64((k as f64 + 1.0) * cfg.tr_s);
         let ready = at + SimDuration::from_secs_f64(cfg.acquire_s);
+        if sink.enabled() {
+            sink.record("scanner", "acquire", at, ready);
+        }
         sim.send_at(ready, driver_id, msg(RawReady(k, at)));
     }
     sim.run();
@@ -259,6 +299,10 @@ pub fn run_chain(cfg: RealtimeConfig, mode: ChainMode) -> RealtimeReport {
         skipped += sim.component::<Stage>(s).skipped;
     }
     let displayed = &d.displayed;
+    let mut latency = Histogram::new();
+    for &(_, scan_end, shown) in displayed {
+        latency.record(shown.saturating_since(scan_end));
+    }
     let mean_latency_s = if displayed.is_empty() {
         0.0
     } else {
@@ -282,6 +326,7 @@ pub fn run_chain(cfg: RealtimeConfig, mode: ChainMode) -> RealtimeReport {
         skipped,
         mean_latency_s,
         period_s,
+        latency,
     }
 }
 
@@ -345,6 +390,40 @@ mod tests {
         let r = run_chain(cfg, ChainMode::Pipelined);
         assert!(r.skipped > 20, "{r:?}");
         assert!((r.period_s - compute).abs() < 0.5, "{r:?}");
+    }
+
+    #[test]
+    fn traced_chain_matches_untraced_and_exports_valid_trace() {
+        let cfg = paper_256(3.0, 20);
+        let plain = run_chain(cfg, ChainMode::Pipelined);
+        let sink = gtw_desim::SpanSink::recording();
+        let traced = run_chain_traced(cfg, ChainMode::Pipelined, &sink);
+        // Tracing never perturbs the measurement.
+        assert_eq!(plain.displayed, traced.displayed);
+        assert_eq!(plain.skipped, traced.skipped);
+        assert_eq!(plain.mean_latency_s, traced.mean_latency_s);
+        assert_eq!(plain.period_s, traced.period_s);
+        // Every stage shows up as a track, and the export validates.
+        let spans = sink.snapshot();
+        for track in ["scanner", "transfer", "compute", "display"] {
+            assert!(spans.iter().any(|s| s.track == track), "missing track {track}");
+        }
+        let check = gtw_desim::validate_chrome_trace(&sink.to_chrome_trace().dump())
+            .expect("valid Chrome trace");
+        assert!(check.spans >= 20 * 3);
+    }
+
+    #[test]
+    fn latency_histogram_matches_mean_and_analytics() {
+        let r = run_chain(paper_256(3.0, 40), ChainMode::Sequential);
+        assert_eq!(r.latency.count(), r.displayed as u64);
+        // A deterministic chain: every displayed image has the same
+        // latency, so the percentiles collapse onto the mean (within the
+        // histogram's one-bucket relative error).
+        let tol = r.mean_latency_s / 64.0 + 1e-9;
+        assert!((r.latency.p50().as_secs_f64() - r.mean_latency_s).abs() < tol, "{r:?}");
+        assert!((r.latency.p99().as_secs_f64() - r.mean_latency_s).abs() < tol, "{r:?}");
+        assert!((r.latency.max().as_secs_f64() - r.mean_latency_s).abs() < 1e-9, "{r:?}");
     }
 
     #[test]

@@ -93,6 +93,37 @@ impl TraceCollector {
     pub fn summary(&self, n: usize) -> VampirSummary {
         VampirSummary::from_events(&self.events.lock(), n)
     }
+
+    /// Convert the trace to [`gtw_desim::Span`]s: one track per rank, one
+    /// zero-length instant per event, named after the operation
+    /// (`send->1`, `recv<-0`, `barrier`, ...). Zero-length spans render as
+    /// instants in Perfetto and keep the B/E pairing trivially valid.
+    pub fn chrome_spans(&self) -> Vec<gtw_desim::Span> {
+        use gtw_desim::{time::SimTime, Span};
+        self.events
+            .lock()
+            .iter()
+            .map(|e| {
+                let name = match (e.kind, e.peer) {
+                    (EventKind::Send, Some(p)) => format!("send->{p}"),
+                    (EventKind::Send, None) => "send".to_string(),
+                    (EventKind::Recv, Some(p)) => format!("recv<-{p}"),
+                    (EventKind::Recv, None) => "recv".to_string(),
+                    (EventKind::Barrier, _) => "barrier".to_string(),
+                    (EventKind::Collective, _) => "collective".to_string(),
+                    (EventKind::Spawn, _) => "spawn".to_string(),
+                };
+                let at = SimTime::from_secs_f64(e.at_s);
+                Span { track: format!("rank {}", e.rank), name, begin: at, end: at }
+            })
+            .collect()
+    }
+
+    /// Export the trace as a Chrome trace-event JSON document (one `tid`
+    /// per rank), loadable in Perfetto / `chrome://tracing`.
+    pub fn to_chrome_trace(&self) -> gtw_desim::Json {
+        gtw_desim::chrome_trace(&self.chrome_spans())
+    }
 }
 
 /// Aggregated view of a trace (the numbers a VAMPIR message-statistics
@@ -254,6 +285,23 @@ mod tests {
         assert!(j.contains("\"total_messages\":1"), "{j}");
         assert!(j.contains("\"messages\":[[0,1],[0,0]]"), "{j}");
         assert!(j.contains("\"sends\":[1,0]"), "{j}");
+    }
+
+    #[test]
+    fn chrome_export_one_tid_per_rank() {
+        let t = TraceCollector::enabled();
+        t.record(0, EventKind::Send, Some(1), 100);
+        t.record(1, EventKind::Recv, Some(0), 100);
+        t.record(0, EventKind::Barrier, None, 0);
+        t.record(1, EventKind::Barrier, None, 0);
+        let spans = t.chrome_spans();
+        assert_eq!(spans.len(), 4);
+        assert!(spans.iter().any(|s| s.track == "rank 0" && s.name == "send->1"));
+        assert!(spans.iter().any(|s| s.track == "rank 1" && s.name == "recv<-0"));
+        let doc = t.to_chrome_trace().dump();
+        let check = gtw_desim::validate_chrome_trace(&doc).expect("valid Chrome trace");
+        assert_eq!(check.spans, 4);
+        assert_eq!(check.tids, 2);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! applied by the `Medium::Atm` wire-time function, keeping event counts
 //! at packet granularity while preserving exact byte math.
 
-use gtw_desim::{Component, ComponentId, Ctx, Msg, SimDuration, SimTime};
+use gtw_desim::{Component, ComponentId, Ctx, Msg, SimDuration, SimTime, SpanSink};
 use serde::{Deserialize, Serialize};
 
 use crate::aal5;
@@ -134,6 +134,8 @@ pub struct PipeStage {
     pub next: ComponentId,
     /// Counters.
     pub stats: StageStats,
+    /// Span sink for per-hop timelines; disabled (free) by default.
+    pub spans: SpanSink,
     queue: std::collections::VecDeque<Packet>,
     backlog_bytes: u64,
     transmitting: bool,
@@ -147,11 +149,18 @@ impl PipeStage {
             config,
             next,
             stats: StageStats::default(),
+            spans: SpanSink::disabled(),
             queue: std::collections::VecDeque::new(),
             backlog_bytes: 0,
             transmitting: false,
             label: label.into(),
         }
+    }
+
+    /// Attach a span sink (builder form, for wiring time).
+    pub fn with_spans(mut self, sink: SpanSink) -> Self {
+        self.spans = sink;
+        self
     }
 
     fn start_tx(&mut self, ctx: &mut Ctx<'_>) {
@@ -162,6 +171,15 @@ impl PipeStage {
         self.transmitting = true;
         let tx = self.config.per_packet + self.config.medium.wire_time(pkt.ip_bytes);
         self.stats.busy += tx;
+        if self.spans.enabled() {
+            // The transmitter occupies [now, now+tx) with this packet —
+            // the span is fully known at arm time.
+            let name = match pkt.kind {
+                PacketKind::Data => "tx:data",
+                PacketKind::Ack => "tx:ack",
+            };
+            self.spans.record(&self.label, name, ctx.now(), ctx.now() + tx);
+        }
         ctx.timer_in(tx, gtw_desim::component::msg(TxDone));
     }
 }
@@ -188,6 +206,11 @@ impl Component for PipeStage {
             self.backlog_bytes -= pkt.ip_bytes.bytes();
             self.stats.packets_out += 1;
             self.stats.bytes_out += pkt.payload.bytes();
+            if self.spans.enabled() && self.config.propagation > SimDuration::ZERO {
+                // The segment is in flight towards the next hop.
+                let end = ctx.now() + self.config.propagation;
+                self.spans.record(&self.label, "flight", ctx.now(), end);
+            }
             let next = self.next;
             ctx.send_in(self.config.propagation, next, gtw_desim::component::msg(Arrive(pkt)));
             self.start_tx(ctx);

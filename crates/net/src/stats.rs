@@ -10,7 +10,7 @@
 //! is free during wiring and costs nothing during the run — collection
 //! happens once, afterwards.
 
-use gtw_desim::{ComponentId, Json, SimDuration, SimTime, Simulator};
+use gtw_desim::{ComponentId, Histogram, Json, SimDuration, SimTime, Simulator};
 use serde::{Deserialize, Serialize};
 
 use crate::units::{Bandwidth, DataSize};
@@ -68,6 +68,11 @@ pub struct FlowRecorder {
     pub latency_min: Option<SimDuration>,
     /// Maximum one-way latency seen.
     pub latency_max: Option<SimDuration>,
+    /// Log-bucketed latency distribution (p50/p90/p99 come from here).
+    pub hist: Histogram,
+    /// Sum of |latency deltas| between consecutive packets, for jitter.
+    jitter_sum: SimDuration,
+    last_latency: Option<SimDuration>,
 }
 
 impl FlowRecorder {
@@ -80,6 +85,11 @@ impl FlowRecorder {
         self.latency_sum += lat;
         self.latency_min = Some(self.latency_min.map_or(lat, |m| m.min(lat)));
         self.latency_max = Some(self.latency_max.map_or(lat, |m| m.max(lat)));
+        self.hist.record(lat);
+        if let Some(prev) = self.last_latency {
+            self.jitter_sum += if lat >= prev { lat - prev } else { prev - lat };
+        }
+        self.last_latency = Some(lat);
         if self.first_at.is_none() {
             self.first_at = Some(now);
         }
@@ -94,6 +104,15 @@ impl FlowRecorder {
         self.latency_sum / self.packets
     }
 
+    /// Jitter: mean absolute latency delta between consecutive packets
+    /// (the RFC 3550 notion, without the exponential smoothing).
+    pub fn jitter(&self) -> SimDuration {
+        if self.packets < 2 {
+            return SimDuration::ZERO;
+        }
+        self.jitter_sum / (self.packets - 1)
+    }
+
     /// Goodput between first and last arrival (payload bytes / span).
     pub fn goodput(&self) -> Bandwidth {
         match (self.first_at, self.last_at) {
@@ -102,6 +121,21 @@ impl FlowRecorder {
             }
             _ => Bandwidth::from_bps(0.0),
         }
+    }
+
+    /// JSON view: counters, latency spread (min/mean/max/jitter), the
+    /// bucketed distribution, and goodput.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("packets", Json::from(self.packets)),
+            ("bytes", Json::from(self.bytes)),
+            ("mean_latency_s", Json::from(self.mean_latency().as_secs_f64())),
+            ("latency_min_s", self.latency_min.map_or(Json::Null, |m| Json::from(m.as_secs_f64()))),
+            ("latency_max_s", self.latency_max.map_or(Json::Null, |m| Json::from(m.as_secs_f64()))),
+            ("jitter_s", Json::from(self.jitter().as_secs_f64())),
+            ("latency", self.hist.to_json()),
+            ("goodput_mbps", Json::from(self.goodput().mbps())),
+        ])
     }
 }
 
@@ -212,6 +246,7 @@ impl StatsRegistry {
                         segments_in_order: r.segments_in_order,
                         segments_out_of_order: r.segments_out_of_order,
                         acks_sent: r.acks_sent,
+                        recorder: r.recorder.clone(),
                     });
                 }
                 ProbeKind::Sink => {
@@ -285,6 +320,8 @@ pub struct ReceiverReport {
     pub segments_out_of_order: u64,
     /// ACKs emitted.
     pub acks_sent: u64,
+    /// Per-flow one-way latency recorder (fed by data segments).
+    pub recorder: FlowRecorder,
 }
 
 /// Sink flow snapshot.
@@ -385,6 +422,7 @@ impl RunReport {
                     ("segments_in_order", Json::from(r.segments_in_order)),
                     ("segments_out_of_order", Json::from(r.segments_out_of_order)),
                     ("acks_sent", Json::from(r.acks_sent)),
+                    ("flow", r.recorder.to_json()),
                 ])
             })
             .collect();
@@ -392,13 +430,11 @@ impl RunReport {
             .flows
             .iter()
             .map(|f| {
-                Json::obj([
-                    ("label", Json::from(f.label.as_str())),
-                    ("packets", Json::from(f.recorder.packets)),
-                    ("bytes", Json::from(f.recorder.bytes)),
-                    ("mean_latency_s", Json::from(f.recorder.mean_latency().as_secs_f64())),
-                    ("goodput_mbps", Json::from(f.recorder.goodput().mbps())),
-                ])
+                let mut o = f.recorder.to_json();
+                if let Json::Obj(pairs) = &mut o {
+                    pairs.insert(0, ("label".to_string(), Json::from(f.label.as_str())));
+                }
+                o
             })
             .collect();
         Json::obj([
@@ -438,15 +474,25 @@ mod tests {
         assert_eq!(f.mean_latency(), SimDuration::from_millis(15));
         assert_eq!(f.latency_min.unwrap(), SimDuration::from_millis(10));
         assert_eq!(f.latency_max.unwrap(), SimDuration::from_millis(20));
+        // Two samples 10 ms apart: jitter is the mean |delta|.
+        assert_eq!(f.jitter(), SimDuration::from_millis(10));
+        // The histogram sees the same samples.
+        assert_eq!(f.hist.count(), 2);
+        assert_eq!(f.hist.max(), SimDuration::from_millis(20));
         // 2 KiB between t=10ms and t=25ms -> 16384 bits / 15 ms.
         let g = f.goodput().bps();
         assert!((g - 16384.0 / 0.015).abs() / g < 1e-9);
+        let j = f.to_json().dump();
+        for key in ["latency_min_s", "latency_max_s", "jitter_s", "p99_s", "goodput_mbps"] {
+            assert!(j.contains(&format!("\"{key}\":")), "{j}");
+        }
     }
 
     #[test]
     fn empty_flow_is_safe() {
         let f = FlowRecorder::default();
         assert_eq!(f.mean_latency(), SimDuration::ZERO);
+        assert_eq!(f.jitter(), SimDuration::ZERO);
         assert_eq!(f.goodput().bps(), 0.0);
     }
 

@@ -8,7 +8,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use gtw_desim::{Component, ComponentId, Ctx, Msg, SimDuration};
+use gtw_desim::{Component, ComponentId, Ctx, Msg, SimDuration, SpanSink};
 use serde::{Deserialize, Serialize};
 
 use crate::cell::{AtmCell, ATM_CELL_BYTES};
@@ -127,6 +127,8 @@ pub struct AtmSwitch {
     pub fabric_latency: SimDuration,
     /// Counters.
     pub stats: SwitchStats,
+    /// Span sink: per-port `cell` transmission spans; disabled by default.
+    pub spans: SpanSink,
     label: String,
 }
 
@@ -141,8 +143,15 @@ impl AtmSwitch {
                 .collect(),
             fabric_latency: SimDuration::from_micros(10),
             stats: SwitchStats::default(),
+            spans: SpanSink::disabled(),
             label: label.into(),
         }
+    }
+
+    /// Attach a span sink (builder form, for wiring time).
+    pub fn with_spans(mut self, sink: SpanSink) -> Self {
+        self.spans = sink;
+        self
     }
 
     /// Install a PVC: `(in port, vpi, vci)` → `(out port, vpi, vci)`.
@@ -163,6 +172,11 @@ impl AtmSwitch {
         }
         p.transmitting = true;
         let tx = SimDuration::transmission((ATM_CELL_BYTES * 8) as u64, p.cfg.rate.bps());
+        if self.spans.enabled() {
+            // One span per cell on this output port's transmitter.
+            let track = format!("{}/p{port}", self.label);
+            self.spans.record(&track, "cell", ctx.now(), ctx.now() + tx);
+        }
         ctx.timer_in(tx, gtw_desim::component::msg(PortTxDone(port)));
     }
 }

@@ -13,11 +13,12 @@
 //!   chain of [`PipeStage`](crate::link::PipeStage)s, validating the
 //!   analytic bound in full simulation.
 
-use gtw_desim::{Component, ComponentId, Ctx, Msg, SimDuration, SimTime};
+use gtw_desim::{Component, ComponentId, Ctx, Msg, SimDuration, SimTime, SpanSink};
 use serde::{Deserialize, Serialize};
 
 use crate::ip::IpConfig;
 use crate::link::{Arrive, Medium, Packet, PacketKind};
+use crate::stats::FlowRecorder;
 use crate::units::{Bandwidth, DataSize};
 
 /// One hop of a path as seen by the analytic model.
@@ -131,6 +132,8 @@ struct RtoCheck {
     /// The cumulative-ack level when the timer was armed; if unchanged at
     /// expiry, retransmit.
     acked_at_arm: u64,
+    /// When the timer was armed (for the `rto-wait` span on expiry).
+    armed_at: SimTime,
 }
 
 /// Event-driven TCP sender (go-back-N, slow start, cumulative ACKs).
@@ -158,6 +161,8 @@ pub struct TcpSender {
     /// Total RTO watchdog arms (observability; compare against
     /// `segments_sent` to see the watchdog is not per-packet).
     pub rto_armed: u64,
+    /// Span sink: `transfer` and `rto-wait` spans; disabled by default.
+    pub spans: SpanSink,
 }
 
 impl TcpSender {
@@ -175,7 +180,14 @@ impl TcpSender {
             segments_sent: 0,
             rto_outstanding: false,
             rto_armed: 0,
+            spans: SpanSink::disabled(),
         }
+    }
+
+    /// Attach a span sink (builder form, for wiring time).
+    pub fn with_spans(mut self, sink: SpanSink) -> Self {
+        self.spans = sink;
+        self
     }
 
     /// Cumulative bytes acknowledged so far.
@@ -222,7 +234,10 @@ impl TcpSender {
             self.rto_armed += 1;
             ctx.timer_in(
                 self.cfg.rto,
-                gtw_desim::component::msg(RtoCheck { acked_at_arm: self.acked }),
+                gtw_desim::component::msg(RtoCheck {
+                    acked_at_arm: self.acked,
+                    armed_at: ctx.now(),
+                }),
             );
         }
     }
@@ -245,12 +260,16 @@ impl Component for TcpSender {
             if self.acked >= self.cfg.total_bytes {
                 if self.finished_at.is_none() {
                     self.finished_at = Some(ctx.now());
+                    if let Some(started) = self.started_at {
+                        self.spans.record("tcp-sender", "transfer", started, ctx.now());
+                    }
                 }
                 return;
             }
             self.pump(ctx);
         } else {
-            let RtoCheck { acked_at_arm } = *gtw_desim::component::downcast::<RtoCheck>(m);
+            let RtoCheck { acked_at_arm, armed_at } =
+                *gtw_desim::component::downcast::<RtoCheck>(m);
             self.rto_outstanding = false;
             if self.finished_at.is_some() {
                 return;
@@ -261,7 +280,9 @@ impl Component for TcpSender {
                 self.pump(ctx);
                 return;
             }
-            // Timeout: go-back-N from the last cumulative ACK.
+            // Timeout: go-back-N from the last cumulative ACK. The whole
+            // silent interval is an `rto-wait` span on the timeline.
+            self.spans.record("tcp-sender", "rto-wait", armed_at, ctx.now());
             self.retransmits += 1;
             self.next_byte = self.acked;
             self.cwnd = self.cfg.initial_cwnd_bytes;
@@ -293,6 +314,10 @@ pub struct TcpReceiver {
     pub segments_out_of_order: u64,
     /// ACK packets emitted.
     pub acks_sent: u64,
+    /// Per-flow one-way latency/throughput recorder: every in-order data
+    /// segment contributes its `created -> arrival` latency, so traced
+    /// runs can report p50/p90/p99 one-way latency per flow.
+    pub recorder: FlowRecorder,
     since_last_ack: u64,
 }
 
@@ -308,6 +333,7 @@ impl TcpReceiver {
             segments_in_order: 0,
             segments_out_of_order: 0,
             acks_sent: 0,
+            recorder: FlowRecorder::default(),
             since_last_ack: 0,
         }
     }
@@ -338,6 +364,7 @@ impl Component for TcpReceiver {
         let Arrive(pkt) = *gtw_desim::component::downcast::<Arrive>(m);
         debug_assert_eq!(pkt.kind, PacketKind::Data);
         if pkt.seq == self.expected {
+            self.recorder.record(pkt.created, ctx.now(), pkt.payload);
             self.expected += pkt.payload.bytes();
             self.segments_in_order += 1;
             self.since_last_ack += 1;

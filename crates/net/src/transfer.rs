@@ -7,7 +7,7 @@
 //! number the paper's Section 2 measurements quote. `predict()` gives the
 //! closed-form steady-state bound for cross-checking.
 
-use gtw_desim::{ComponentId, SimDuration, SimTime, Simulator};
+use gtw_desim::{ComponentId, SimDuration, SimTime, Simulator, SpanSink};
 use serde::{Deserialize, Serialize};
 
 use crate::ip::{fragment_sizes, IpConfig};
@@ -92,6 +92,7 @@ impl BulkTransfer {
         sim: &mut Simulator,
         terminal: ComponentId,
         reg: &mut StatsRegistry,
+        sink: &SpanSink,
     ) -> ComponentId {
         let mut next = terminal;
         for (i, hop) in self.hops.iter().enumerate().rev() {
@@ -104,7 +105,8 @@ impl BulkTransfer {
                     buffer_bytes: u64::MAX,
                 },
                 next,
-            );
+            )
+            .with_spans(sink.clone());
             next = sim.add_component(stage);
             reg.add_stage(next);
         }
@@ -120,14 +122,26 @@ impl BulkTransfer {
     /// together with the full per-component [`RunReport`] (per-hop
     /// counters, TCP endpoint state, JSON-renderable).
     pub fn run_with_report(&self) -> (TransferReport, RunReport) {
+        self.run_traced(&SpanSink::disabled())
+    }
+
+    /// Like [`run_with_report`](Self::run_with_report), but with `sink`
+    /// attached to every stage and endpoint (per-hop `tx`/`flight`
+    /// spans, TCP `transfer`/`rto-wait` spans) and as the kernel tracer
+    /// (zero-length dispatch spans per component). Tracing never changes
+    /// virtual time: a traced run is bit-identical to an untraced one.
+    pub fn run_traced(&self, sink: &SpanSink) -> (TransferReport, RunReport) {
         match self.protocol {
-            Protocol::Tcp { window_bytes } => self.run_tcp(window_bytes),
-            Protocol::RawStream => self.run_raw(),
+            Protocol::Tcp { window_bytes } => self.run_tcp(window_bytes, sink),
+            Protocol::RawStream => self.run_raw(sink),
         }
     }
 
-    fn run_tcp(&self, window_bytes: u64) -> (TransferReport, RunReport) {
+    fn run_tcp(&self, window_bytes: u64, sink: &SpanSink) -> (TransferReport, RunReport) {
         let mut sim = Simulator::new();
+        if sink.enabled() {
+            sim.set_tracer(Box::new(sink.clone()));
+        }
         let mut reg = StatsRegistry::new();
         // Reverse (ACK) path: same hops in reverse order. ACKs are small,
         // so their service times are cheap but the propagation is real.
@@ -151,7 +165,8 @@ impl BulkTransfer {
                         buffer_bytes: u64::MAX,
                     },
                     next,
-                );
+                )
+                .with_spans(sink.clone());
                 next = sim.add_component(stage);
                 rev_stage_ids.push(next);
             }
@@ -159,8 +174,8 @@ impl BulkTransfer {
         };
         let cfg = TcpConfig::bulk(1, self.bytes, self.ip, window_bytes);
         let receiver = sim.add_component(TcpReceiver::new(1, self.bytes, rev_first));
-        let fwd_first = self.build_stages(&mut sim, receiver, &mut reg);
-        let sender_id = sim.add_component(TcpSender::new(cfg, fwd_first));
+        let fwd_first = self.build_stages(&mut sim, receiver, &mut reg, sink);
+        let sender_id = sim.add_component(TcpSender::new(cfg, fwd_first).with_spans(sink.clone()));
         // Close the cycle: the first-created reverse stage (the one next
         // to the sender) still points at the placeholder. With no reverse
         // hops the receiver ACKs the sender directly.
@@ -189,12 +204,15 @@ impl BulkTransfer {
         (report, run_report)
     }
 
-    fn run_raw(&self) -> (TransferReport, RunReport) {
+    fn run_raw(&self, span_sink: &SpanSink) -> (TransferReport, RunReport) {
         let mut sim = Simulator::new();
+        if span_sink.enabled() {
+            sim.set_tracer(Box::new(span_sink.clone()));
+        }
         let mut reg = StatsRegistry::new();
         let sink = sim.add_component(Sink::default());
         reg.add_sink(sink);
-        let first = self.build_stages(&mut sim, sink, &mut reg);
+        let first = self.build_stages(&mut sim, sink, &mut reg, span_sink);
         let mut sent = 0u64;
         let mut packets = 0u64;
         for frag in fragment_sizes(self.bytes, self.ip.mtu) {
@@ -359,6 +377,47 @@ mod tests {
         assert_eq!(run.hops.len(), 2);
         assert_eq!(run.senders[0].bytes_acked, 256 * 1024);
         assert!(report.goodput.mbps() > 0.0);
+    }
+
+    #[test]
+    fn untraced_runs_match_traced_runs_over_tcp() {
+        // The desim kernel test of the same name covers a toy pinger;
+        // this is the real thing: a full TCP transfer over two WAN hops
+        // with a SpanRecorder attached to every stage, both endpoints and
+        // the kernel tracer hook. Virtual time and event counts must be
+        // bit-identical to the untraced run.
+        let xfer = BulkTransfer {
+            hops: vec![raw_hop(622.0, 250), raw_hop(155.0, 250)],
+            ip: IpConfig { mtu: 9180 },
+            bytes: 2 * 1024 * 1024,
+            protocol: Protocol::Tcp { window_bytes: 1024 * 1024 },
+        };
+        let (plain, plain_run) = xfer.run_with_report();
+        let sink = gtw_desim::SpanSink::recording();
+        let (traced, traced_run) = xfer.run_traced(&sink);
+        assert_eq!(plain.elapsed, traced.elapsed);
+        assert_eq!(plain.packets_sent, traced.packets_sent);
+        assert_eq!(plain_run.elapsed, traced_run.elapsed);
+        assert_eq!(plain_run.events_processed, traced_run.events_processed);
+        for (p, t) in plain_run.hops.iter().zip(&traced_run.hops) {
+            assert_eq!(p.stats.packets_out, t.stats.packets_out, "{}", p.label);
+        }
+        // The traced run actually produced spans, and they export to a
+        // valid Chrome trace.
+        assert!(!sink.is_empty());
+        let spans = sink.snapshot();
+        assert!(spans.iter().any(|s| s.track == "hop0" && s.name == "tx:data"));
+        assert!(spans.iter().any(|s| s.name == "flight"));
+        assert!(spans.iter().any(|s| s.name == "transfer" || s.name == "dispatch"));
+        let check = gtw_desim::validate_chrome_trace(&sink.to_chrome_trace().dump())
+            .expect("traced TCP run exports a valid Chrome trace");
+        assert!(check.spans > 0);
+        // The receiver-side flow recorder now carries percentiles.
+        assert!(traced_run.receivers[0].recorder.hist.count() > 0);
+        assert!(
+            traced_run.receivers[0].recorder.hist.p99()
+                >= traced_run.receivers[0].recorder.hist.p50()
+        );
     }
 
     #[test]

@@ -11,10 +11,16 @@
 //! per-component dispatch/timer/send counts in the dump — the
 //! observability layer end to end.
 //!
+//! Part 3 adds the application layer: the FIRE per-stage latency
+//! breakdown (acquire/transfers/compute/display, summing to the
+//! end-to-end scan-to-display latency) and the measured latency
+//! distribution of the event-driven chain run.
+//!
 //! ```text
 //! cargo run --release --example run_report
 //! ```
 
+use gtw_core::scenario::FmriScenario;
 use gtw_core::testbed::{GigabitTestbedWest, LinkEra};
 use gtw_desim::{ComponentId, EventCounter, Json, SimDuration, Simulator};
 use gtw_net::ip::IpConfig;
@@ -71,8 +77,40 @@ fn main() {
         .downcast::<EventCounter>()
         .expect("EventCounter");
 
+    // ── Part 3: FIRE per-stage latency breakdown ─────────────────────
+    // Stage times derived from the same testbed the transfers above ran
+    // on; the stages must account for the end-to-end latency (within 1%
+    // — here exactly, since the scenario's total is their sum).
+    let fire = FmriScenario::paper(256).run();
+    let stage_sum = fire.acquire_s + fire.transfers_s + fire.compute_s + fire.display_s;
+    assert!(
+        ((stage_sum - fire.total_s) / fire.total_s).abs() < 0.01,
+        "stage breakdown {stage_sum} s does not account for the end-to-end {} s",
+        fire.total_s
+    );
+    let chain_cfg = gtw_fire::realtime::RealtimeConfig {
+        tr_s: 3.0,
+        acquire_s: fire.acquire_s,
+        transfer_s: fire.transfers_s,
+        compute_s: fire.compute_s,
+        display_s: fire.display_s,
+        scans: 40,
+    };
+    let chain = gtw_fire::realtime::run_chain(chain_cfg, gtw_fire::realtime::ChainMode::Pipelined);
+    let fire_json = Json::obj([
+        ("pes", Json::from(fire.pes)),
+        ("acquire_s", Json::from(fire.acquire_s)),
+        ("transfers_s", Json::from(fire.transfers_s)),
+        ("compute_s", Json::from(fire.compute_s)),
+        ("display_s", Json::from(fire.display_s)),
+        ("stage_sum_s", Json::from(stage_sum)),
+        ("total_s", Json::from(fire.total_s)),
+        ("scan_to_display", chain.latency.to_json()),
+    ]);
+
     // One document: the stdout of this example is valid JSON.
     let mut doc = Json::obj([("t3e_to_sp2", run.to_json()), ("traced_pipeline", traced.to_json())]);
     doc.push("kernel_counters", counter.to_json());
+    doc.push("fire_breakdown", fire_json);
     println!("{}", doc.pretty());
 }

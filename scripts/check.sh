@@ -8,3 +8,13 @@ cargo fmt --check
 cargo clippy --all-targets -- -D warnings
 cargo build --release
 cargo test -q
+
+# Trace-export smoke test: the figure bins must emit Chrome trace JSON
+# that parses, keeps per-tid timestamps nondecreasing, and pairs every
+# "B" with a matching "E" (trace_check validates all three).
+trace_tmp="$(mktemp -d)"
+trap 'rm -rf "$trace_tmp"' EXIT
+cargo run --release -q -p gtw-bench --bin fig2_latency -- --trace-out "$trace_tmp/fig2.json"
+cargo run --release -q -p gtw-bench --bin trace_check -- "$trace_tmp/fig2.json"
+cargo run --release -q -p gtw-bench --bin fig1_network -- --trace-out "$trace_tmp/fig1.json"
+cargo run --release -q -p gtw-bench --bin trace_check -- "$trace_tmp/fig1.json"

@@ -108,6 +108,70 @@ fn rt_session_and_scenario_agree_on_period() {
 }
 
 #[test]
+fn traced_fmri_chain_exports_one_cross_layer_timeline() {
+    // The observability layer end to end: the FIRE compute pipeline
+    // (wall-clock stage spans), the event-driven realtime chain
+    // (virtual-time stage spans) and a testbed network transfer (per-hop
+    // spans) each export valid Chrome traces, and the chain's latency
+    // histogram accounts for the scenario's end-to-end budget.
+    use gtw_desim::{validate_chrome_trace, SpanSink};
+    use gtw_fire::realtime::{run_chain_traced, ChainMode, RealtimeConfig};
+    use gtw_net::transfer::{BulkTransfer, Protocol};
+
+    // 1. Compute layer: real FIRE modules with wall-clock spans.
+    let scanner = test_scanner(8, Dims::new(16, 16, 4), 9);
+    let rv = ReferenceVector::canonical(&scanner.config().stimulus);
+    let fire_sink = SpanSink::recording();
+    let mut fire = FirePipeline::new(FireConfig::default(), scanner.config().dims, rv)
+        .with_spans(fire_sink.clone());
+    for t in 0..scanner.scan_count() {
+        fire.process(&scanner.acquire(t));
+    }
+    assert!(fire_sink.snapshot().iter().any(|s| s.name == "filter"));
+    validate_chrome_trace(&fire_sink.to_chrome_trace().dump()).expect("FIRE trace valid");
+
+    // 2. Chain layer: the scenario's stage budget run on the kernel.
+    let scenario = FmriScenario::paper(256).run();
+    let cfg = RealtimeConfig {
+        tr_s: 3.0,
+        acquire_s: scenario.acquire_s,
+        transfer_s: scenario.transfers_s,
+        compute_s: scenario.compute_s,
+        display_s: scenario.display_s,
+        scans: 20,
+    };
+    let chain_sink = SpanSink::recording();
+    let chain = run_chain_traced(cfg, ChainMode::Pipelined, &chain_sink);
+    validate_chrome_trace(&chain_sink.to_chrome_trace().dump()).expect("chain trace valid");
+    // Per-stage breakdown sums (exactly) to the end-to-end latency, and
+    // the measured distribution agrees with the analytic budget.
+    let stage_sum =
+        scenario.acquire_s + scenario.transfers_s + scenario.compute_s + scenario.display_s;
+    assert!(((stage_sum - scenario.total_s) / scenario.total_s).abs() < 0.01);
+    assert_eq!(chain.latency.count(), chain.displayed as u64);
+    assert!((chain.latency.p50().as_secs_f64() - scenario.total_s).abs() < 0.1, "{chain:?}");
+
+    // 3. Network layer: a traced transfer over the real testbed path.
+    let tb = GigabitTestbedWest::build(LinkEra::Oc48Upgrade);
+    let (path, mtu, _) = tb.topology.path(tb.t3e_600, tb.sp2).expect("path");
+    let xfer = BulkTransfer {
+        hops: tb.topology.path_hops(&path, mtu),
+        ip: IpConfig { mtu },
+        bytes: 1024 * 1024,
+        protocol: Protocol::Tcp { window_bytes: 1024 * 1024 },
+    };
+    let net_sink = SpanSink::recording();
+    let (report, run) = xfer.run_traced(&net_sink);
+    let (plain_report, plain_run) = xfer.run_with_report();
+    // Tracing never perturbs virtual time.
+    assert_eq!(report.elapsed, plain_report.elapsed);
+    assert_eq!(run.events_processed, plain_run.events_processed);
+    let check = validate_chrome_trace(&net_sink.to_chrome_trace().dump()).expect("net trace valid");
+    assert!(check.spans > 0 && check.tids > 1);
+    assert!(run.receivers[0].recorder.hist.count() > 0);
+}
+
+#[test]
 fn workbench_stream_over_real_testbed_path() {
     let tb = GigabitTestbedWest::build(LinkEra::Oc48Upgrade);
     let (_, mtu, hops) = tb.topology.path(tb.onyx_gmd, tb.onyx_juelich).expect("path");
