@@ -14,19 +14,37 @@
 //! With `--trace-out <path>` the 9180-byte-MTU transfer is run with span
 //! tracing (per-hop `tx`/`flight` spans, TCP `transfer`/`rto-wait`
 //! spans, kernel dispatch instants) and written as a Chrome trace-event
-//! file loadable in Perfetto.
+//! file loadable in Perfetto. With `--faults <seed>` every transfer runs
+//! under the canonical degraded-WAN fault plan (1% i.i.d. loss plus a
+//! 50 ms outage on the WAN hop); the same seed reproduces the same
+//! output byte for byte, and the reports attribute every drop to its
+//! injected cause.
 
 use gtw_core::testbed::{GigabitTestbedWest, LinkEra};
-use gtw_desim::Json;
+use gtw_desim::{Json, SpanSink};
 use gtw_net::gateway::{ForwardingMode, Gateway};
 use gtw_net::hippi::HippiChannel;
 use gtw_net::ip::IpConfig;
-use gtw_net::transfer::{BulkTransfer, Protocol};
+use gtw_net::transfer::{degraded_plan, BulkTransfer, Protocol};
 use gtw_net::units::DataSize;
+
+/// Run clean, or under the degraded-WAN plan when a seed is given.
+fn run_maybe_faulted(
+    xfer: &BulkTransfer,
+    faults: Option<u64>,
+) -> (gtw_net::transfer::TransferReport, gtw_net::stats::RunReport) {
+    match faults {
+        Some(seed) => {
+            let wan = format!("hop{}", xfer.hops.len() / 2);
+            xfer.run_faulted(&degraded_plan(seed, &wan), &SpanSink::disabled())
+        }
+        None => xfer.run_with_report(),
+    }
+}
 
 /// The MTU sweep as a JSON document: one entry per MTU with the goodput
 /// and the full per-hop run report.
-fn emit_json(tb: &GigabitTestbedWest, bytes: u64) {
+fn emit_json(tb: &GigabitTestbedWest, bytes: u64, faults: Option<u64>) {
     let (path, _, _) = tb.topology.path(tb.t3e_600, tb.e5000).expect("path");
     let mut sweep = Vec::new();
     for mtu in [1500u64, 4352, 9180, 17914, 65535] {
@@ -37,7 +55,7 @@ fn emit_json(tb: &GigabitTestbedWest, bytes: u64) {
             bytes,
             protocol: Protocol::Tcp { window_bytes: 4 * 1024 * 1024 },
         };
-        let (report, run) = xfer.run_with_report();
+        let (report, run) = run_maybe_faulted(&xfer, faults);
         sweep.push(Json::obj([
             ("mtu", Json::from(mtu)),
             ("goodput_mbps", Json::from(report.goodput.mbps())),
@@ -45,11 +63,15 @@ fn emit_json(tb: &GigabitTestbedWest, bytes: u64) {
             ("run", run.to_json()),
         ]));
     }
-    let doc = Json::obj([
+    let mut doc = Json::obj([
         ("experiment", Json::from("mtu_sweep_t3e600_to_e5000")),
         ("bytes", Json::from(bytes)),
-        ("sweep", Json::Arr(sweep)),
     ]);
+    // Conditional: clean-run output stays byte-identical to older builds.
+    if let Some(seed) = faults {
+        doc.push("fault_seed", Json::from(seed));
+    }
+    doc.push("sweep", Json::Arr(sweep));
     println!("{}", doc.pretty());
 }
 
@@ -77,12 +99,46 @@ fn emit_trace(tb: &GigabitTestbedWest, path: &str) {
 fn main() {
     let tb = GigabitTestbedWest::build(LinkEra::Oc48Upgrade);
     let bytes = 32 * 1024 * 1024;
+    let faults: Option<u64> =
+        gtw_bench::arg_value("--faults").map(|s| s.parse().expect("--faults takes a u64 seed"));
     if gtw_bench::has_flag("--json") {
-        emit_json(&tb, bytes);
+        emit_json(&tb, bytes, faults);
         return;
     }
     if let Some(path) = gtw_bench::arg_value("--trace-out") {
         emit_trace(&tb, &path);
+        return;
+    }
+    if let Some(seed) = faults {
+        // Table mode with faults: the degraded T3E -> SP2 transfer, with
+        // per-cause drop attribution.
+        let (path, mtu, _) = tb.topology.path(tb.t3e_600, tb.sp2).expect("path");
+        let xfer = BulkTransfer {
+            hops: tb.topology.path_hops(&path, mtu),
+            ip: IpConfig { mtu },
+            bytes,
+            protocol: Protocol::Tcp { window_bytes: 4 * 1024 * 1024 },
+        };
+        let (report, run) = run_maybe_faulted(&xfer, faults);
+        println!("== Degraded WAN (seed {seed}): T3E -> SP2, 32 MiB ==");
+        println!(
+            "goodput {:.1} Mbit/s, {} retransmits ({} fast, {} timeouts)",
+            report.goodput.mbps(),
+            report.retransmits,
+            run.senders[0].fast_retransmits,
+            run.senders[0].rto_timeouts,
+        );
+        for h in run.hops.iter().filter(|h| h.faults.is_some()) {
+            let f = h.faults.unwrap();
+            println!(
+                "{}: {} injected drops (outage {}, loss {}, burst {})",
+                h.label,
+                f.total(),
+                f.outage,
+                f.loss,
+                f.burst
+            );
+        }
         return;
     }
 

@@ -28,6 +28,7 @@
 //! ```
 
 pub mod component;
+pub mod fault;
 pub mod hist;
 pub mod json;
 pub mod queue;
@@ -38,6 +39,9 @@ pub mod time;
 pub mod trace;
 
 pub use component::{Component, ComponentId, Ctx, Msg};
+pub use fault::{
+    FaultCause, FaultInjector, FaultPlan, FaultSpec, FaultStats, LossModel, Schedule, Window,
+};
 pub use hist::Histogram;
 pub use json::Json;
 pub use queue::{EventQueue, QueuedEvent};

@@ -1,5 +1,6 @@
 //! Property-based tests for the simulation kernel invariants.
 
+use gtw_desim::fault::{FaultInjector, FaultSpec, LossModel, Schedule, Window};
 use gtw_desim::hist::SUB_BUCKETS;
 use gtw_desim::{EventQueue, Histogram, SimDuration, SimTime, Simulator};
 use proptest::prelude::*;
@@ -145,5 +146,102 @@ proptest! {
             prop_assert_eq!(ha.percentile(q), hall.percentile(q));
         }
         prop_assert_eq!(ha.to_json().dump(), hall.to_json().dump());
+    }
+
+    /// Schedule normalization: windows come out sorted and strictly
+    /// disjoint (touching windows merge), and membership is exactly the
+    /// union of the raw input windows.
+    #[test]
+    fn schedule_normalizes_to_disjoint_sorted_union(
+        raw in proptest::collection::vec((0u64..10_000, 0u64..1_000), 0..40),
+        probes in proptest::collection::vec(0u64..12_000, 1..50),
+    ) {
+        let windows: Vec<Window> = raw
+            .iter()
+            .map(|&(s, len)| Window::new(SimTime::from_nanos(s), SimTime::from_nanos(s + len)))
+            .collect();
+        let sched = Schedule::new(windows.clone());
+        for pair in sched.windows().windows(2) {
+            prop_assert!(pair[0].end < pair[1].start, "{pair:?} not disjoint/sorted");
+        }
+        for w in sched.windows() {
+            prop_assert!(!w.is_empty());
+        }
+        // Membership at probe points and at every boundary of the raw
+        // input equals naive union membership.
+        let boundaries = raw.iter().flat_map(|&(s, len)| [s, s + len, (s + len).saturating_sub(1)]);
+        for t in probes.iter().copied().chain(boundaries) {
+            let t = SimTime::from_nanos(t);
+            let naive = windows.iter().any(|w| w.contains(t));
+            prop_assert_eq!(sched.contains(t), naive, "membership diverges at {:?}", t);
+        }
+    }
+
+    /// Merging two schedules is the set union of their windows: a point
+    /// is in the merge iff it is in either operand, and total covered
+    /// time never shrinks below either side's.
+    #[test]
+    fn schedule_merge_is_set_union(
+        raw_a in proptest::collection::vec((0u64..10_000, 0u64..1_000), 0..20),
+        raw_b in proptest::collection::vec((0u64..10_000, 0u64..1_000), 0..20),
+        probes in proptest::collection::vec(0u64..12_000, 1..60),
+    ) {
+        let mk = |raw: &[(u64, u64)]| {
+            Schedule::new(
+                raw.iter()
+                    .map(|&(s, len)| {
+                        Window::new(SimTime::from_nanos(s), SimTime::from_nanos(s + len))
+                    })
+                    .collect(),
+            )
+        };
+        let a = mk(&raw_a);
+        let b = mk(&raw_b);
+        let merged = a.merge(&b);
+        prop_assert_eq!(a.merge(&b), b.merge(&a), "merge must be commutative");
+        prop_assert!(merged.total() >= a.total().max(b.total()));
+        for &t in &probes {
+            let t = SimTime::from_nanos(t);
+            prop_assert_eq!(
+                merged.contains(t),
+                a.contains(t) || b.contains(t),
+                "union semantics diverge at {:?}", t
+            );
+        }
+    }
+
+    /// The Gilbert–Elliott injector's empirical loss rate converges on
+    /// the analytic steady-state rate. Transition probabilities are kept
+    /// moderate so 50k draws mix well past the chain's correlation time.
+    #[test]
+    fn gilbert_elliott_empirical_matches_steady_state(
+        seed in 0u64..1_000_000,
+        p_gb in 0.05f64..0.5,
+        p_bg in 0.05f64..0.5,
+        loss_bad in 0.5f64..1.0,
+        loss_good in 0.0f64..0.05,
+    ) {
+        let model = LossModel::GilbertElliott {
+            p_good_to_bad: p_gb,
+            p_bad_to_good: p_bg,
+            loss_good,
+            loss_bad,
+        };
+        let spec = FaultSpec { loss: model, ..FaultSpec::default() };
+        let mut inj = FaultInjector::new(seed, "ge", spec);
+        let n = 50_000u64;
+        let mut hits = 0u64;
+        for _ in 0..n {
+            if inj.judge(SimTime::ZERO).is_some() {
+                hits += 1;
+            }
+        }
+        let empirical = hits as f64 / n as f64;
+        let expected = model.steady_state_loss();
+        prop_assert!(
+            (empirical - expected).abs() < 0.06,
+            "empirical {empirical} vs steady-state {expected} (p_gb {p_gb}, p_bg {p_bg})"
+        );
+        prop_assert_eq!(inj.faults_injected(), hits);
     }
 }

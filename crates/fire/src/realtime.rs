@@ -12,6 +12,7 @@
 //! too short a TR.
 
 use gtw_desim::component::{downcast, msg};
+use gtw_desim::fault::Schedule;
 use gtw_desim::{
     Component, ComponentId, Ctx, Histogram, Msg, SimDuration, SimTime, Simulator, SpanSink,
 };
@@ -61,6 +62,10 @@ pub struct RealtimeReport {
     pub displayed: usize,
     /// Scans skipped (sequential mode under pressure).
     pub skipped: usize,
+    /// Chain starts deferred by a WAN outage (skip-frame degradation:
+    /// the chain holds the *latest* raw image and resumes when the link
+    /// returns instead of stalling the whole protocol).
+    pub deferred: usize,
     /// Mean scan-end → display latency over displayed images, seconds.
     pub mean_latency_s: f64,
     /// Measured steady-state display period, seconds.
@@ -75,6 +80,8 @@ pub struct RealtimeReport {
 struct RawReady(usize, SimTime); // (scan index, scan end time)
 /// A pipeline stage finished its current image.
 struct StageDone;
+/// The WAN outage that was blocking the transfer ended.
+struct OutageOver;
 
 // ---- the driver ------------------------------------------------------
 
@@ -95,11 +102,34 @@ struct ChainDriver {
     displayed: Vec<(usize, SimTime, SimTime)>,
     /// Span sink for per-stage timelines (disabled by default).
     spans: SpanSink,
+    /// WAN outage windows during which the transfer cannot start.
+    outages: Schedule,
+    /// Starts deferred to an outage-window end.
+    deferred: usize,
+    /// A wake timer for the current outage window is already armed.
+    wake_armed: bool,
 }
 
 impl ChainDriver {
     fn try_start(&mut self, ctx: &mut Ctx<'_>) {
         if self.busy {
+            return;
+        }
+        if self.pending_raw.is_none() {
+            return;
+        }
+        if let Some(end) = self.outages.window_end_at(ctx.now()) {
+            // Link down: leave the image in the latest-wins buffer (newer
+            // scans still replace it — skip, don't queue) and wake exactly
+            // once when the window closes.
+            if !self.wake_armed {
+                self.wake_armed = true;
+                self.deferred += 1;
+                if self.spans.enabled() {
+                    self.spans.record("chain", "outage-hold", ctx.now(), end);
+                }
+                ctx.timer_in(end.saturating_since(ctx.now()), msg(OutageOver));
+            }
             return;
         }
         let Some((k, scan_end)) = self.pending_raw.take() else {
@@ -164,6 +194,10 @@ impl Component for ChainDriver {
         } else if m.is::<StageDone>() {
             let _ = downcast::<StageDone>(m);
             self.busy = false;
+            self.try_start(ctx);
+        } else if m.is::<OutageOver>() {
+            let _ = downcast::<OutageOver>(m);
+            self.wake_armed = false;
             self.try_start(ctx);
         } else {
             let Displayed(k, scan_end) = *downcast::<Displayed>(m);
@@ -242,6 +276,21 @@ pub fn run_chain(cfg: RealtimeConfig, mode: ChainMode) -> RealtimeReport {
 /// `scanner` track. Tracing never changes virtual time; the report is
 /// identical to the untraced run.
 pub fn run_chain_traced(cfg: RealtimeConfig, mode: ChainMode, sink: &SpanSink) -> RealtimeReport {
+    run_chain_faulted(cfg, mode, &Schedule::empty(), sink)
+}
+
+/// Run the chain with WAN `outages` applied to the transfer link: while
+/// a window is open the chain cannot start a new image. Degradation is
+/// graceful — the latest raw image is *held* (and replaced by newer
+/// scans, counted as skips) rather than queued, and the chain resumes at
+/// the window end; the stall shows up in the latency histogram of the
+/// first image transferred after the outage, never as a hang.
+pub fn run_chain_faulted(
+    cfg: RealtimeConfig,
+    mode: ChainMode,
+    outages: &Schedule,
+    sink: &SpanSink,
+) -> RealtimeReport {
     let mut sim = Simulator::new();
     let mut driver = ChainDriver {
         cfg,
@@ -252,6 +301,9 @@ pub fn run_chain_traced(cfg: RealtimeConfig, mode: ChainMode, sink: &SpanSink) -
         compute: None,
         displayed: Vec::new(),
         spans: sink.clone(),
+        outages: outages.clone(),
+        deferred: 0,
+        wake_armed: false,
     };
     let (driver_id, stage_skips) = if mode == ChainMode::Pipelined {
         // display <- compute <- driver(transfer)
@@ -324,6 +376,7 @@ pub fn run_chain_traced(cfg: RealtimeConfig, mode: ChainMode, sink: &SpanSink) -
         scanned: cfg.scans,
         displayed: displayed.len(),
         skipped,
+        deferred: d.deferred,
         mean_latency_s,
         period_s,
         latency,
@@ -411,6 +464,72 @@ mod tests {
         let check = gtw_desim::validate_chrome_trace(&sink.to_chrome_trace().dump())
             .expect("valid Chrome trace");
         assert!(check.spans >= 20 * 3);
+    }
+
+    #[test]
+    fn outage_skips_frames_instead_of_stalling() {
+        use gtw_desim::fault::{Schedule, Window};
+        // TR 3 s, images ready at 4.5, 7.5, 10.5, … A 5 s outage over
+        // [4.0, 9.0) holds image 0, lets image 1 replace it (one skip),
+        // then the chain resumes at 9.0 and catches up — the protocol
+        // finishes, it never hangs.
+        let outages = Schedule::new(vec![Window::new(
+            SimTime::from_secs_f64(4.0),
+            SimTime::from_secs_f64(9.0),
+        )]);
+        let r = run_chain_faulted(
+            paper_256(3.0, 40),
+            ChainMode::Sequential,
+            &outages,
+            &SpanSink::disabled(),
+        );
+        assert_eq!(r.deferred, 1, "{r:?}");
+        assert_eq!(r.skipped, 1, "{r:?}");
+        assert_eq!(r.displayed + r.skipped, r.scanned, "every scan accounted for: {r:?}");
+        // The post-outage image carries the stall in its latency; the
+        // tail of the histogram shows it while the median stays nominal.
+        assert!(r.latency.max() > r.latency.p50(), "{r:?}");
+    }
+
+    #[test]
+    fn outage_before_first_image_changes_nothing() {
+        use gtw_desim::fault::{Schedule, Window};
+        let clean = run_chain(paper_256(3.0, 20), ChainMode::Pipelined);
+        let outages = Schedule::new(vec![Window::new(
+            SimTime::from_secs_f64(0.5),
+            SimTime::from_secs_f64(2.0),
+        )]);
+        let faulted = run_chain_faulted(
+            paper_256(3.0, 20),
+            ChainMode::Pipelined,
+            &outages,
+            &SpanSink::disabled(),
+        );
+        assert_eq!(faulted.deferred, 0);
+        assert_eq!(clean.displayed, faulted.displayed);
+        assert_eq!(clean.skipped, faulted.skipped);
+        assert_eq!(clean.mean_latency_s, faulted.mean_latency_s);
+        assert_eq!(clean.period_s, faulted.period_s);
+    }
+
+    #[test]
+    fn pipelined_outage_recovers_with_bounded_skips() {
+        use gtw_desim::fault::{Schedule, Window};
+        // Two outage windows; the pipelined chain defers twice and loses
+        // only the frames that arrived while its transfer was blocked.
+        let outages = Schedule::new(vec![
+            Window::new(SimTime::from_secs_f64(4.0), SimTime::from_secs_f64(8.0)),
+            Window::new(SimTime::from_secs_f64(20.0), SimTime::from_secs_f64(24.0)),
+        ]);
+        let r = run_chain_faulted(
+            paper_256(3.0, 30),
+            ChainMode::Pipelined,
+            &outages,
+            &SpanSink::disabled(),
+        );
+        assert_eq!(r.deferred, 2, "{r:?}");
+        assert!(r.skipped >= 1 && r.skipped <= 6, "{r:?}");
+        assert_eq!(r.displayed + r.skipped, r.scanned, "{r:?}");
     }
 
     #[test]

@@ -104,13 +104,24 @@ pub enum ReassemblyError {
 }
 
 /// Per-VC AAL5 reassembler.
+///
+/// Corrupted or mutilated PDUs always surface as
+/// `Some(Err(ReassemblyError))` counted in the per-cause error
+/// counters — never a panic — so fault-injection runs can attribute
+/// every discarded PDU.
 #[derive(Default)]
 pub struct Reassembler {
     buf: Vec<u8>,
     /// Completed PDUs delivered.
     pub pdus_ok: u64,
-    /// PDUs discarded due to errors.
+    /// PDUs discarded due to errors (sum of the per-cause counters).
     pub pdus_err: u64,
+    /// PDUs discarded: CRC-32 mismatch.
+    pub errs_crc: u64,
+    /// PDUs discarded: trailer length inconsistent with received size.
+    pub errs_length: u64,
+    /// PDUs discarded: grew beyond the maximum size (lost end cell).
+    pub errs_oversize: u64,
 }
 
 impl Reassembler {
@@ -136,6 +147,7 @@ impl Reassembler {
             if self.buf.len() > max {
                 self.buf.clear();
                 self.pdus_err += 1;
+                self.errs_oversize += 1;
                 return Some(Err(ReassemblyError::Oversize));
             }
             return None;
@@ -145,11 +157,19 @@ impl Reassembler {
     }
 
     fn validate(&mut self, pdu: Vec<u8>) -> Result<Vec<u8>, ReassemblyError> {
-        debug_assert!(pdu.len() % ATM_PAYLOAD_BYTES == 0 && !pdu.is_empty());
+        // A well-formed PDU is a nonzero multiple of the cell payload
+        // size; anything else (e.g. an end cell with no preceding data
+        // from a hand-built cell stream) is an error, not a panic.
+        if pdu.len() < TRAILER_BYTES || pdu.len() % ATM_PAYLOAD_BYTES != 0 {
+            self.pdus_err += 1;
+            self.errs_length += 1;
+            return Err(ReassemblyError::LengthMismatch);
+        }
         let body = &pdu[..pdu.len() - 4];
         let wire_crc = u32::from_be_bytes(pdu[pdu.len() - 4..].try_into().unwrap());
         if crc32_aal5(body) != wire_crc {
             self.pdus_err += 1;
+            self.errs_crc += 1;
             return Err(ReassemblyError::CrcMismatch);
         }
         let len =
@@ -157,6 +177,7 @@ impl Reassembler {
         // The payload must fit in the PDU with pad < 48.
         if cpcs_pdu_len(len) != pdu.len() {
             self.pdus_err += 1;
+            self.errs_length += 1;
             return Err(ReassemblyError::LengthMismatch);
         }
         self.pdus_ok += 1;
@@ -170,7 +191,10 @@ impl Reassembler {
 mod tests {
     use super::*;
 
-    fn roundtrip(payload: &[u8]) -> Vec<u8> {
+    /// Segment and reassemble, surfacing the validation outcome instead
+    /// of panicking on it — corrupted PDUs are an expected result here,
+    /// not a test-harness crash.
+    fn roundtrip(payload: &[u8]) -> Result<Vec<u8>, ReassemblyError> {
         let cells = segment(payload, 1, 100);
         let mut r = Reassembler::new();
         let mut out = None;
@@ -179,7 +203,7 @@ mod tests {
                 None => assert!(i + 1 < cells.len(), "no PDU after last cell"),
                 Some(res) => {
                     assert_eq!(i + 1, cells.len(), "PDU completed early");
-                    out = Some(res.expect("validation failed"));
+                    out = Some(res);
                 }
             }
         }
@@ -190,8 +214,73 @@ mod tests {
     fn roundtrip_various_sizes() {
         for len in [0usize, 1, 39, 40, 41, 47, 48, 88, 89, 96, 1000, 9180, 65535] {
             let payload: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
-            assert_eq!(roundtrip(&payload), payload, "len {len}");
+            assert_eq!(roundtrip(&payload), Ok(payload), "len {len}");
         }
+    }
+
+    #[test]
+    fn corrupt_streams_never_panic_and_count_per_cause() {
+        // Regression for the old `expect("validation failed")` path:
+        // every corruption must come back as a counted `Err`, never a
+        // panic. Corrupt each cell position of a multi-cell PDU in turn.
+        let payload: Vec<u8> = (0..200).map(|i| i as u8).collect();
+        let clean = segment(&payload, 0, 7);
+        let mut r = Reassembler::new();
+        let mut errs = 0u64;
+        for pos in 0..clean.len() {
+            for bit in [0x01u8, 0x80] {
+                let mut cells = clean.clone();
+                cells[pos].payload[17] ^= bit;
+                for c in &cells {
+                    if let Some(res) = r.push(c) {
+                        assert!(res.is_err(), "corrupted PDU delivered as valid");
+                        errs += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(r.pdus_err, errs);
+        assert_eq!(r.pdus_ok, 0);
+        // Conservation: the total equals the per-cause sum.
+        assert_eq!(r.pdus_err, r.errs_crc + r.errs_length + r.errs_oversize);
+        assert!(r.errs_crc > 0);
+        assert_eq!(r.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn corrupt_trailer_length_is_a_counted_error() {
+        // Flip the trailer length field and fix up the CRC so only the
+        // length check can catch it.
+        let payload = vec![5u8; 100];
+        let mut pdu = build_cpcs_pdu(&payload, 0, 0);
+        let n = pdu.len();
+        // Claim a length whose PDU would be a different cell count.
+        pdu[n - 6..n - 4].copy_from_slice(&2000u16.to_be_bytes());
+        let crc = crc32_aal5(&pdu[..n - 4]);
+        pdu[n - 4..].copy_from_slice(&crc.to_be_bytes());
+        let cells: Vec<AtmCell> = pdu
+            .chunks(ATM_PAYLOAD_BYTES)
+            .enumerate()
+            .map(|(i, chunk)| {
+                let mut header = CellHeader::data(0, 7);
+                header.pti = if (i + 1) * ATM_PAYLOAD_BYTES == n {
+                    Pti::USER_DATA_END
+                } else {
+                    Pti::USER_DATA
+                };
+                AtmCell::new(header, chunk)
+            })
+            .collect();
+        let mut r = Reassembler::new();
+        let mut last = None;
+        for c in &cells {
+            if let Some(res) = r.push(c) {
+                last = Some(res);
+            }
+        }
+        assert_eq!(last.unwrap().unwrap_err(), ReassemblyError::LengthMismatch);
+        assert_eq!(r.errs_length, 1);
+        assert_eq!(r.pdus_err, 1);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! applied by the `Medium::Atm` wire-time function, keeping event counts
 //! at packet granularity while preserving exact byte math.
 
+use gtw_desim::fault::{FaultCause, FaultInjector};
 use gtw_desim::{Component, ComponentId, Ctx, Msg, SimDuration, SimTime, SpanSink};
 use serde::{Deserialize, Serialize};
 
@@ -136,6 +137,9 @@ pub struct PipeStage {
     pub stats: StageStats,
     /// Span sink for per-hop timelines; disabled (free) by default.
     pub spans: SpanSink,
+    /// Fault injector judging every arriving packet; `None` (free) by
+    /// default.
+    pub injector: Option<FaultInjector>,
     queue: std::collections::VecDeque<Packet>,
     backlog_bytes: u64,
     transmitting: bool,
@@ -150,6 +154,7 @@ impl PipeStage {
             next,
             stats: StageStats::default(),
             spans: SpanSink::disabled(),
+            injector: None,
             queue: std::collections::VecDeque::new(),
             backlog_bytes: 0,
             transmitting: false,
@@ -161,6 +166,28 @@ impl PipeStage {
     pub fn with_spans(mut self, sink: SpanSink) -> Self {
         self.spans = sink;
         self
+    }
+
+    /// Attach a fault injector (builder form, for wiring time).
+    pub fn with_faults(mut self, injector: FaultInjector) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Buffer limit in effect at `now`: the configured limit scaled by
+    /// the injector's degradation factor, if one is installed.
+    fn effective_buffer_bytes(&self, now: SimTime) -> u64 {
+        match &self.injector {
+            Some(inj) if inj.degrades_buffers() => {
+                let f = inj.capacity_factor(now);
+                if f >= 1.0 {
+                    self.config.buffer_bytes
+                } else {
+                    (self.config.buffer_bytes as f64 * f) as u64
+                }
+            }
+            _ => self.config.buffer_bytes,
+        }
     }
 
     fn start_tx(&mut self, ctx: &mut Ctx<'_>) {
@@ -188,8 +215,20 @@ impl Component for PipeStage {
     fn handle(&mut self, ctx: &mut Ctx<'_>, m: Msg) {
         if m.is::<Arrive>() {
             let Arrive(pkt) = *gtw_desim::component::downcast::<Arrive>(m);
+            if let Some(inj) = self.injector.as_mut() {
+                if let Some(cause) = inj.judge(ctx.now()) {
+                    match cause {
+                        FaultCause::Outage => self.stats.dropped_outage += 1,
+                        FaultCause::Burst => self.stats.dropped_burst += 1,
+                        // At packet granularity a corrupted header is
+                        // indistinguishable from loss.
+                        FaultCause::Loss | FaultCause::HeaderError => self.stats.dropped_loss += 1,
+                    }
+                    return;
+                }
+            }
             let sz = pkt.ip_bytes.bytes();
-            if self.backlog_bytes + sz > self.config.buffer_bytes {
+            if self.backlog_bytes + sz > self.effective_buffer_bytes(ctx.now()) {
                 self.stats.packets_dropped += 1;
                 return;
             }

@@ -12,6 +12,7 @@
 use std::collections::HashMap;
 
 use gtw_desim::component::{downcast, msg};
+use gtw_desim::fault::FaultPlan;
 use gtw_desim::{Component, ComponentId, Ctx, Msg, SimDuration, SimTime, Simulator};
 use serde::{Deserialize, Serialize};
 
@@ -261,6 +262,199 @@ pub fn release_call(sim: &mut Simulator, path: &[ComponentId], call: CallId, at:
     sim.send_at(at, first, msg(Release { call, path: path[1..].to_vec() }));
 }
 
+// ---- resilient routing ------------------------------------------------
+
+/// Notice to a [`ResilientRoute`] that a link on its active path went
+/// down (e.g. the start of a fault-plan outage window).
+pub struct LinkFailure;
+
+/// Kick-off message for a [`ResilientRoute`].
+pub struct StartCall;
+
+/// Self-timer: retry the pending call attempt after a backoff.
+struct RetryCall;
+
+/// A call originator that keeps one VC alive across link failures: it
+/// places the call on the primary path, and on [`LinkFailure`] releases
+/// the circuit and re-SETUPs on the backup path. Rejected attempts are
+/// retried on an exponential-backoff schedule (doubling from
+/// `retry_backoff` up to `backoff_cap`) until `max_retries` consecutive
+/// rejections, after which the route gives up.
+pub struct ResilientRoute {
+    /// The call this route maintains.
+    pub call: CallId,
+    /// Bandwidth to request.
+    pub rate: Bandwidth,
+    /// Primary path (signalling agents, in order).
+    pub primary: Vec<ComponentId>,
+    /// Backup path used after a failure on the active one.
+    pub backup: Vec<ComponentId>,
+    /// Initial delay before retrying a rejected attempt.
+    pub retry_backoff: SimDuration,
+    /// Ceiling for the doubling retry backoff.
+    pub backoff_cap: SimDuration,
+    /// Consecutive rejections tolerated before giving up.
+    pub max_retries: u32,
+    /// The path of the currently connected circuit, if any.
+    pub active: Option<Vec<ComponentId>>,
+    /// Successful failovers (connected again after a link failure).
+    pub reroutes: u64,
+    /// Link failures observed on the active circuit.
+    pub link_failures: u64,
+    /// Rejected attempts that were retried.
+    pub retries: u64,
+    /// True once `max_retries` consecutive rejections exhausted the
+    /// retry budget.
+    pub gave_up: bool,
+    /// Setup latency of every successful connect, in order.
+    pub setup_latencies_s: Vec<f64>,
+    on_backup: bool,
+    rerouting: bool,
+    cur_backoff: SimDuration,
+    retries_left: u32,
+}
+
+impl ResilientRoute {
+    /// New route for `call` over `primary` with `backup` standing by.
+    pub fn new(
+        call: CallId,
+        rate: Bandwidth,
+        primary: Vec<ComponentId>,
+        backup: Vec<ComponentId>,
+    ) -> Self {
+        assert!(!primary.is_empty() && !backup.is_empty(), "paths need at least one hop");
+        let retry_backoff = SimDuration::from_millis(10);
+        ResilientRoute {
+            call,
+            rate,
+            primary,
+            backup,
+            retry_backoff,
+            backoff_cap: retry_backoff * 8,
+            max_retries: 5,
+            active: None,
+            reroutes: 0,
+            link_failures: 0,
+            retries: 0,
+            gave_up: false,
+            setup_latencies_s: Vec::new(),
+            on_backup: false,
+            rerouting: false,
+            cur_backoff: retry_backoff,
+            retries_left: 5,
+        }
+    }
+
+    /// True when the connected circuit runs over the backup path.
+    pub fn on_backup(&self) -> bool {
+        self.on_backup
+    }
+
+    fn target_path(&self) -> &[ComponentId] {
+        if self.on_backup {
+            &self.backup
+        } else {
+            &self.primary
+        }
+    }
+
+    fn attempt(&mut self, ctx: &mut Ctx<'_>) {
+        let path = self.target_path();
+        let first = path[0];
+        let setup = Setup {
+            call: self.call,
+            rate: self.rate,
+            path: path[1..].to_vec(),
+            visited: Vec::new(),
+            origin: ctx.self_id(),
+            sent_at: ctx.now(),
+        };
+        ctx.send_in(SimDuration::ZERO, first, msg(setup));
+    }
+}
+
+impl Component for ResilientRoute {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, m: Msg) {
+        if m.is::<StartCall>() {
+            let _ = downcast::<StartCall>(m);
+            self.attempt(ctx);
+        } else if m.is::<CallResult>() {
+            let CallResult(id, outcome) = *downcast::<CallResult>(m);
+            debug_assert_eq!(id, self.call);
+            if let CallOutcome::Connected { setup_s } = outcome {
+                self.active = Some(self.target_path().to_vec());
+                self.setup_latencies_s.push(setup_s);
+                if self.rerouting {
+                    self.rerouting = false;
+                    self.reroutes += 1;
+                }
+                self.cur_backoff = self.retry_backoff;
+                self.retries_left = self.max_retries;
+            }
+        } else if m.is::<Reject>() {
+            // Roll back the hops that tentatively admitted, then retry
+            // after the current backoff.
+            let r = *downcast::<Reject>(m);
+            for &hop in &r.visited {
+                ctx.send_in(
+                    SimDuration::ZERO,
+                    hop,
+                    msg(Release { call: r.call, path: Vec::new() }),
+                );
+            }
+            if self.retries_left == 0 {
+                self.gave_up = true;
+                return;
+            }
+            self.retries_left -= 1;
+            self.retries += 1;
+            ctx.timer_in(self.cur_backoff, msg(RetryCall));
+            self.cur_backoff = (self.cur_backoff * 2).min(self.backoff_cap);
+        } else if m.is::<RetryCall>() {
+            let _ = downcast::<RetryCall>(m);
+            if !self.gave_up {
+                self.attempt(ctx);
+            }
+        } else {
+            let _ = downcast::<LinkFailure>(m);
+            self.link_failures += 1;
+            if let Some(path) = self.active.take() {
+                // Tear down what is left of the broken circuit and
+                // re-SETUP on the other path.
+                let first = path[0];
+                ctx.send_in(
+                    SimDuration::ZERO,
+                    first,
+                    msg(Release { call: self.call, path: path[1..].to_vec() }),
+                );
+                self.on_backup = !self.on_backup;
+                self.rerouting = true;
+                self.attempt(ctx);
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "resilient-route"
+    }
+}
+
+/// Deliver a [`LinkFailure`] to `route` at the start of every outage
+/// window the fault plan schedules for `target` — the glue between the
+/// data-plane fault layer and control-plane re-routing.
+pub fn schedule_link_failures(
+    sim: &mut Simulator,
+    route: ComponentId,
+    plan: &FaultPlan,
+    target: &str,
+) {
+    if let Some(spec) = plan.specs.get(target) {
+        for w in spec.outages.windows() {
+            sim.send_at(w.start, route, msg(LinkFailure));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -373,6 +567,131 @@ mod tests {
             o.results.iter().filter(|(_, r)| matches!(r, CallOutcome::Connected { .. })).count();
         assert_eq!(connected, 4);
         assert_eq!(o.results.len(), 5);
+    }
+
+    #[test]
+    fn reroutes_onto_backup_path_on_link_failure() {
+        let mut sim = Simulator::new();
+        let (_origin, primary) = chain(&mut sim, &[622.0, 622.0]);
+        let (_o2, backup) = chain(&mut sim, &[622.0, 622.0, 622.0]);
+        let route = sim.add_component(ResilientRoute::new(
+            CallId(7),
+            Bandwidth::from_mbps(270.0),
+            primary.clone(),
+            backup.clone(),
+        ));
+        sim.send_at(SimTime::ZERO, route, msg(StartCall));
+        sim.send_at(SimTime::from_millis(50), route, msg(LinkFailure));
+        sim.run();
+        let r = sim.component::<ResilientRoute>(route);
+        assert_eq!(r.link_failures, 1);
+        assert_eq!(r.reroutes, 1);
+        assert!(r.on_backup());
+        assert_eq!(r.active.as_deref(), Some(&backup[..]));
+        assert_eq!(r.setup_latencies_s.len(), 2, "primary connect + backup connect");
+        // The broken primary circuit was torn down on every hop; the
+        // backup carries the bandwidth now.
+        for &a in &primary {
+            assert_eq!(sim.component::<SignallingAgent>(a).committed_bps(), 0.0);
+        }
+        for &a in &backup {
+            assert!((sim.component::<SignallingAgent>(a).committed_bps() - 270e6).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn reroute_retries_with_backoff_until_capacity_frees() {
+        let mut sim = Simulator::new();
+        let (origin, primary) = chain(&mut sim, &[622.0]);
+        // Backup only fits one call and is occupied until t = 80 ms.
+        let (_o2, backup) = chain(&mut sim, &[300.0]);
+        place_call(
+            &mut sim,
+            origin,
+            &backup,
+            CallId(1),
+            Bandwidth::from_mbps(270.0),
+            SimTime::ZERO,
+        );
+        release_call(&mut sim, &backup, CallId(1), SimTime::from_millis(80));
+        let route = sim.add_component(ResilientRoute::new(
+            CallId(2),
+            Bandwidth::from_mbps(270.0),
+            primary,
+            backup.clone(),
+        ));
+        sim.send_at(SimTime::ZERO, route, msg(StartCall));
+        sim.send_at(SimTime::from_millis(10), route, msg(LinkFailure));
+        sim.run();
+        let r = sim.component::<ResilientRoute>(route);
+        // The first backup attempts are rejected; the backoff schedule
+        // (10, 20, 40, 80 ms...) carries the route past the release.
+        assert!(r.retries >= 2, "expected backoff retries, got {}", r.retries);
+        assert!(!r.gave_up);
+        assert_eq!(r.reroutes, 1);
+        assert_eq!(r.active.as_deref(), Some(&backup[..]));
+    }
+
+    #[test]
+    fn reroute_gives_up_after_max_retries() {
+        let mut sim = Simulator::new();
+        let (origin, primary) = chain(&mut sim, &[622.0]);
+        // Backup permanently full.
+        let (_o2, backup) = chain(&mut sim, &[300.0]);
+        place_call(
+            &mut sim,
+            origin,
+            &backup,
+            CallId(1),
+            Bandwidth::from_mbps(270.0),
+            SimTime::ZERO,
+        );
+        let route = sim.add_component(ResilientRoute::new(
+            CallId(2),
+            Bandwidth::from_mbps(100.0),
+            primary,
+            backup,
+        ));
+        sim.send_at(SimTime::ZERO, route, msg(StartCall));
+        sim.send_at(SimTime::from_millis(10), route, msg(LinkFailure));
+        sim.run();
+        let r = sim.component::<ResilientRoute>(route);
+        assert!(r.gave_up);
+        assert_eq!(r.retries, r.max_retries as u64);
+        assert_eq!(r.reroutes, 0);
+        assert!(r.active.is_none());
+    }
+
+    #[test]
+    fn fault_plan_outages_drive_link_failures() {
+        use gtw_desim::fault::{FaultSpec, Schedule, Window};
+        let mut sim = Simulator::new();
+        let (_origin, primary) = chain(&mut sim, &[622.0]);
+        let (_o2, backup) = chain(&mut sim, &[622.0]);
+        let route = sim.add_component(ResilientRoute::new(
+            CallId(3),
+            Bandwidth::from_mbps(100.0),
+            primary,
+            backup,
+        ));
+        let mut plan = FaultPlan::new(11);
+        plan.add(
+            "hop1",
+            FaultSpec {
+                outages: Schedule::new(vec![Window::new(
+                    SimTime::from_millis(40),
+                    SimTime::from_millis(90),
+                )]),
+                ..FaultSpec::default()
+            },
+        );
+        sim.send_at(SimTime::ZERO, route, msg(StartCall));
+        schedule_link_failures(&mut sim, route, &plan, "hop1");
+        sim.run();
+        let r = sim.component::<ResilientRoute>(route);
+        assert_eq!(r.link_failures, 1);
+        assert_eq!(r.reroutes, 1);
+        assert!(r.on_backup());
     }
 
     #[test]

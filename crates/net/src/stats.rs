@@ -10,6 +10,7 @@
 //! is free during wiring and costs nothing during the run — collection
 //! happens once, afterwards.
 
+use gtw_desim::fault::FaultStats;
 use gtw_desim::{ComponentId, Histogram, Json, SimDuration, SimTime, Simulator};
 use serde::{Deserialize, Serialize};
 
@@ -24,6 +25,12 @@ pub struct StageStats {
     pub packets_out: u64,
     /// Packets dropped on buffer overflow.
     pub packets_dropped: u64,
+    /// Packets dropped by an injected link outage.
+    pub dropped_outage: u64,
+    /// Packets dropped by injected i.i.d. loss.
+    pub dropped_loss: u64,
+    /// Packets dropped by injected burst (bad-state) loss.
+    pub dropped_burst: u64,
     /// Payload bytes delivered downstream.
     pub bytes_out: u64,
     /// Peak queue backlog in bytes.
@@ -41,13 +48,20 @@ impl StageStats {
         self.busy.as_secs_f64() / elapsed.as_secs_f64()
     }
 
-    /// Loss ratio among accepted + dropped packets.
+    /// Total packets removed by injected faults (per-cause counters).
+    pub fn faults_injected(&self) -> u64 {
+        self.dropped_outage + self.dropped_loss + self.dropped_burst
+    }
+
+    /// Loss ratio among accepted + dropped packets (buffer overflow and
+    /// injected faults both count as drops).
     pub fn loss_ratio(&self) -> f64 {
-        let total = self.packets_in + self.packets_dropped;
+        let dropped = self.packets_dropped + self.faults_injected();
+        let total = self.packets_in + dropped;
         if total == 0 {
             return 0.0;
         }
-        self.packets_dropped as f64 / total as f64
+        dropped as f64 / total as f64
     }
 }
 
@@ -217,6 +231,7 @@ impl StatsRegistry {
                         label,
                         medium: st.config.medium.kind_label(),
                         stats: st.stats.clone(),
+                        faults: st.injector.as_ref().map(|i| i.stats()),
                         per_packet: st.config.per_packet,
                         propagation: st.config.propagation,
                         propagation_total: st.config.propagation * st.stats.packets_out,
@@ -224,7 +239,11 @@ impl StatsRegistry {
                 }
                 ProbeKind::Switch => {
                     let sw = sim.component::<crate::switch::AtmSwitch>(id);
-                    report.switches.push(SwitchReport { label, stats: sw.stats.clone() });
+                    report.switches.push(SwitchReport {
+                        label,
+                        stats: sw.stats.clone(),
+                        faults: sw.injector.as_ref().map(|i| i.stats()),
+                    });
                 }
                 ProbeKind::TcpSender => {
                     let s = sim.component::<crate::tcp::TcpSender>(id);
@@ -233,6 +252,9 @@ impl StatsRegistry {
                         bytes_acked: s.bytes_acked(),
                         segments_sent: s.segments_sent,
                         retransmits: s.retransmits,
+                        fast_retransmits: s.fast_retransmits,
+                        rto_timeouts: s.rto_timeouts,
+                        segments_retransmitted: s.segments_retransmitted,
                         rto_armed: s.rto_armed,
                         elapsed: s.elapsed(),
                         goodput: s.goodput(),
@@ -271,6 +293,10 @@ pub struct HopReport {
     pub medium: &'static str,
     /// The stage's counters.
     pub stats: StageStats,
+    /// Ground-truth counters of the stage's fault injector, if one is
+    /// installed. Conservation: these must equal the per-cause
+    /// `dropped_*` fields of `stats`.
+    pub faults: Option<FaultStats>,
     /// Configured fixed per-packet cost.
     pub per_packet: SimDuration,
     /// Configured propagation delay.
@@ -286,6 +312,8 @@ pub struct SwitchReport {
     pub label: String,
     /// The switch's counters.
     pub stats: crate::switch::SwitchStats,
+    /// Ground-truth counters of the switch's fault injector, if any.
+    pub faults: Option<FaultStats>,
 }
 
 /// TCP sender snapshot.
@@ -299,6 +327,12 @@ pub struct SenderReport {
     pub segments_sent: u64,
     /// Go-back-N retransmission events.
     pub retransmits: u64,
+    /// Recovery events triggered by three duplicate ACKs.
+    pub fast_retransmits: u64,
+    /// Recovery events triggered by RTO expiry without progress.
+    pub rto_timeouts: u64,
+    /// Data segments re-sent below the high-water mark.
+    pub segments_retransmitted: u64,
     /// RTO watchdog arms.
     pub rto_armed: u64,
     /// Transfer duration, if finished.
@@ -358,14 +392,25 @@ impl RunReport {
         self.hops.iter().map(|h| h.stats.packets_dropped).sum()
     }
 
+    /// Total faults injected across all registered hops and switches.
+    pub fn faults_injected(&self) -> u64 {
+        self.hops.iter().map(|h| h.stats.faults_injected()).sum::<u64>()
+            + self.switches.iter().map(|s| s.stats.faults_injected()).sum::<u64>()
+    }
+
     /// JSON rendering of the whole report.
+    ///
+    /// Fault-related keys (`faults`, `fast_retransmits`, ...) appear
+    /// only when the corresponding counters are nonzero, so a run with
+    /// no fault plan installed renders byte-identically to a build
+    /// without the fault layer.
     pub fn to_json(&self) -> Json {
         let elapsed = self.elapsed.as_secs_f64();
         let hops: Vec<Json> = self
             .hops
             .iter()
             .map(|h| {
-                Json::obj([
+                let mut o = Json::obj([
                     ("label", Json::from(h.label.as_str())),
                     ("medium", Json::from(h.medium)),
                     ("packets_in", Json::from(h.stats.packets_in)),
@@ -379,14 +424,25 @@ impl RunReport {
                     ("propagation_total_s", Json::from(h.propagation_total.as_secs_f64())),
                     ("utilization", Json::from(h.stats.utilization(self.elapsed))),
                     ("loss_ratio", Json::from(h.stats.loss_ratio())),
-                ])
+                ]);
+                if h.stats.faults_injected() > 0 {
+                    o.push(
+                        "faults",
+                        Json::obj([
+                            ("outage", Json::from(h.stats.dropped_outage)),
+                            ("loss", Json::from(h.stats.dropped_loss)),
+                            ("burst", Json::from(h.stats.dropped_burst)),
+                        ]),
+                    );
+                }
+                o
             })
             .collect();
         let switches: Vec<Json> = self
             .switches
             .iter()
             .map(|s| {
-                Json::obj([
+                let mut o = Json::obj([
                     ("label", Json::from(s.label.as_str())),
                     ("cells_in", Json::from(s.stats.cells_in())),
                     ("switched", Json::from(s.stats.switched)),
@@ -394,14 +450,26 @@ impl RunReport {
                     ("overflow", Json::from(s.stats.overflow)),
                     ("hec_discard", Json::from(s.stats.hec_discard)),
                     ("clp_discard", Json::from(s.stats.clp_discard)),
-                ])
+                ]);
+                if s.stats.faults_injected() > 0 {
+                    o.push(
+                        "faults",
+                        Json::obj([
+                            ("outage", Json::from(s.stats.fault_outage)),
+                            ("loss", Json::from(s.stats.fault_loss)),
+                            ("burst", Json::from(s.stats.fault_burst)),
+                            ("hec", Json::from(s.stats.fault_hec)),
+                        ]),
+                    );
+                }
+                o
             })
             .collect();
         let senders: Vec<Json> = self
             .senders
             .iter()
             .map(|s| {
-                Json::obj([
+                let mut o = Json::obj([
                     ("label", Json::from(s.label.as_str())),
                     ("bytes_acked", Json::from(s.bytes_acked)),
                     ("segments_sent", Json::from(s.segments_sent)),
@@ -409,7 +477,13 @@ impl RunReport {
                     ("rto_armed", Json::from(s.rto_armed)),
                     ("elapsed_s", s.elapsed.map_or(Json::Null, |e| Json::from(e.as_secs_f64()))),
                     ("goodput_mbps", s.goodput.map_or(Json::Null, |g| Json::from(g.mbps()))),
-                ])
+                ]);
+                if s.retransmits > 0 || s.segments_retransmitted > 0 {
+                    o.push("fast_retransmits", Json::from(s.fast_retransmits));
+                    o.push("rto_timeouts", Json::from(s.rto_timeouts));
+                    o.push("segments_retransmitted", Json::from(s.segments_retransmitted));
+                }
+                o
             })
             .collect();
         let receivers: Vec<Json> = self
@@ -437,7 +511,7 @@ impl RunReport {
                 o
             })
             .collect();
-        Json::obj([
+        let mut doc = Json::obj([
             ("elapsed_s", Json::from(elapsed)),
             ("events_processed", Json::from(self.events_processed)),
             ("hops", Json::Arr(hops)),
@@ -445,7 +519,11 @@ impl RunReport {
             ("tcp_senders", Json::Arr(senders)),
             ("tcp_receivers", Json::Arr(receivers)),
             ("flows", Json::Arr(flows)),
-        ])
+        ]);
+        if self.faults_injected() > 0 {
+            doc.push("faults_injected", Json::from(self.faults_injected()));
+        }
+        doc
     }
 }
 

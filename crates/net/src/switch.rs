@@ -8,6 +8,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use gtw_desim::fault::{FaultCause, FaultInjector};
 use gtw_desim::{Component, ComponentId, Ctx, Msg, SimDuration, SpanSink};
 use serde::{Deserialize, Serialize};
 
@@ -108,6 +109,15 @@ pub struct SwitchStats {
     pub hec_discard: u64,
     /// CLP-tagged cells shed by selective discard.
     pub clp_discard: u64,
+    /// Cells removed by an injected link outage.
+    pub fault_outage: u64,
+    /// Cells removed by injected i.i.d. loss.
+    pub fault_loss: u64,
+    /// Cells removed by injected burst (bad-state) loss.
+    pub fault_burst: u64,
+    /// HEC discards caused by injected header corruption — a subset of
+    /// `hec_discard`, not a separate drop class.
+    pub fault_hec: u64,
 }
 
 impl SwitchStats {
@@ -115,7 +125,19 @@ impl SwitchStats {
     /// switched or accounted to exactly one discard counter, so this is
     /// the conservation identity run reports and tests check.
     pub fn cells_in(&self) -> u64 {
-        self.switched + self.unroutable + self.overflow + self.hec_discard + self.clp_discard
+        self.switched
+            + self.unroutable
+            + self.overflow
+            + self.hec_discard
+            + self.clp_discard
+            + self.fault_outage
+            + self.fault_loss
+            + self.fault_burst
+    }
+
+    /// Total cells removed or corrupted by injected faults.
+    pub fn faults_injected(&self) -> u64 {
+        self.fault_outage + self.fault_loss + self.fault_burst + self.fault_hec
     }
 }
 
@@ -129,6 +151,9 @@ pub struct AtmSwitch {
     pub stats: SwitchStats,
     /// Span sink: per-port `cell` transmission spans; disabled by default.
     pub spans: SpanSink,
+    /// Fault injector judging every arriving cell; `None` (free) by
+    /// default.
+    pub injector: Option<FaultInjector>,
     label: String,
 }
 
@@ -144,6 +169,7 @@ impl AtmSwitch {
             fabric_latency: SimDuration::from_micros(10),
             stats: SwitchStats::default(),
             spans: SpanSink::disabled(),
+            injector: None,
             label: label.into(),
         }
     }
@@ -151,6 +177,12 @@ impl AtmSwitch {
     /// Attach a span sink (builder form, for wiring time).
     pub fn with_spans(mut self, sink: SpanSink) -> Self {
         self.spans = sink;
+        self
+    }
+
+    /// Attach a fault injector (builder form, for wiring time).
+    pub fn with_faults(mut self, injector: FaultInjector) -> Self {
+        self.injector = Some(injector);
         self
     }
 
@@ -198,6 +230,27 @@ impl Component for AtmSwitch {
                 let CellArrive { port, cell } = *gtw_desim::component::downcast::<CellArrive>(m);
                 (port, cell)
             };
+            let mut buffer_factor = 1.0;
+            if let Some(inj) = self.injector.as_mut() {
+                if let Some(cause) = inj.judge(ctx.now()) {
+                    match cause {
+                        FaultCause::Outage => self.stats.fault_outage += 1,
+                        FaultCause::Burst => self.stats.fault_burst += 1,
+                        FaultCause::Loss | FaultCause::HeaderError => self.stats.fault_loss += 1,
+                    }
+                    return;
+                }
+                if inj.corrupt_header() {
+                    // A corrupted header fails HEC verification at the
+                    // input stage, like any wire error.
+                    self.stats.hec_discard += 1;
+                    self.stats.fault_hec += 1;
+                    return;
+                }
+                if inj.degrades_buffers() {
+                    buffer_factor = inj.capacity_factor(ctx.now());
+                }
+            }
             let key = VcKey { port, vpi: cell.header.vpi, vci: cell.header.vci };
             let Some(route) = self.routes.get(&key).copied() else {
                 self.stats.unroutable += 1;
@@ -207,11 +260,16 @@ impl Component for AtmSwitch {
             out.header.vpi = route.vpi;
             out.header.vci = route.vci;
             let p = &mut self.ports[route.port];
-            if out.header.clp && p.queue.len() >= p.cfg.clp_threshold {
+            let buffer_cells = if buffer_factor >= 1.0 {
+                p.cfg.buffer_cells
+            } else {
+                (p.cfg.buffer_cells as f64 * buffer_factor) as usize
+            };
+            if out.header.clp && p.queue.len() >= p.cfg.clp_threshold.min(buffer_cells) {
                 self.stats.clp_discard += 1;
                 return;
             }
-            if p.queue.len() >= p.cfg.buffer_cells {
+            if p.queue.len() >= buffer_cells {
                 self.stats.overflow += 1;
                 return;
             }
@@ -246,8 +304,14 @@ pub struct CellEndpoint {
     reassemblers: HashMap<(u8, u16), crate::aal5::Reassembler>,
     /// Completed payloads in arrival order, tagged with their VC.
     pub delivered: Vec<((u8, u16), Vec<u8>)>,
-    /// Reassembly errors observed.
+    /// Reassembly errors observed (sum of the per-cause counters).
     pub errors: u64,
+    /// Reassembly errors: CRC-32 mismatch.
+    pub errors_crc: u64,
+    /// Reassembly errors: trailer length inconsistent.
+    pub errors_length: u64,
+    /// Reassembly errors: PDU oversize (lost end cell).
+    pub errors_oversize: u64,
 }
 
 impl Component for CellEndpoint {
@@ -258,7 +322,14 @@ impl Component for CellEndpoint {
         if let Some(result) = r.push(&cell) {
             match result {
                 Ok(payload) => self.delivered.push((vc, payload)),
-                Err(_) => self.errors += 1,
+                Err(e) => {
+                    self.errors += 1;
+                    match e {
+                        crate::aal5::ReassemblyError::CrcMismatch => self.errors_crc += 1,
+                        crate::aal5::ReassemblyError::LengthMismatch => self.errors_length += 1,
+                        crate::aal5::ReassemblyError::Oversize => self.errors_oversize += 1,
+                    }
+                }
             }
         }
     }

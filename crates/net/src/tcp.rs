@@ -107,20 +107,26 @@ pub struct TcpConfig {
     pub window_bytes: u64,
     /// Initial congestion window, bytes (slow start starts here).
     pub initial_cwnd_bytes: u64,
-    /// Retransmission timeout.
+    /// Base retransmission timeout.
     pub rto: SimDuration,
+    /// Ceiling for the exponentially backed-off RTO: each expiry without
+    /// progress doubles the timeout up to this cap; any advancing ACK
+    /// resets it to `rto`.
+    pub rto_max: SimDuration,
 }
 
 impl TcpConfig {
     /// A sensible default configuration for a bulk transfer.
     pub fn bulk(flow: u64, total_bytes: u64, ip: IpConfig, window_bytes: u64) -> Self {
+        let rto = SimDuration::from_millis(200);
         TcpConfig {
             flow,
             total_bytes,
             ip,
             window_bytes,
             initial_cwnd_bytes: 4 * ip.mss(),
-            rto: SimDuration::from_millis(200),
+            rto,
+            rto_max: rto * 8,
         }
     }
 }
@@ -149,10 +155,27 @@ pub struct TcpSender {
     started_at: Option<SimTime>,
     /// Completion time, set when the final ACK arrives.
     pub finished_at: Option<SimTime>,
-    /// Number of retransmitted segments.
+    /// Go-back-N recovery events (RTO timeouts + fast retransmits).
     pub retransmits: u64,
+    /// Recovery events triggered by three duplicate ACKs.
+    pub fast_retransmits: u64,
+    /// Recovery events triggered by RTO expiry without progress.
+    pub rto_timeouts: u64,
+    /// Data segments re-sent below the high-water mark (i.e. wire
+    /// segments beyond the first copy).
+    pub segments_retransmitted: u64,
     /// Total data segments sent (including retransmits).
     pub segments_sent: u64,
+    /// Consecutive duplicate ACKs at the current cumulative level.
+    dup_acks: u64,
+    /// Current (possibly backed-off) retransmission timeout.
+    rto_current: SimDuration,
+    /// Highest byte offset ever sent; sends below this are retransmits.
+    high_water: u64,
+    /// Fast retransmit is inhibited until the cumulative ACK passes this
+    /// level (the high-water mark at the last fast retransmit), so one
+    /// loss burst triggers one recovery, not one per duplicate ACK.
+    recover_until: u64,
     /// Whether an RTO watchdog timer is currently in flight. At most one
     /// is outstanding at any time; it is re-armed on expiry, not on every
     /// ACK (arming per ACK floods the event queue with O(acked segments)
@@ -177,11 +200,24 @@ impl TcpSender {
             started_at: None,
             finished_at: None,
             retransmits: 0,
+            fast_retransmits: 0,
+            rto_timeouts: 0,
+            segments_retransmitted: 0,
             segments_sent: 0,
+            dup_acks: 0,
+            rto_current: cfg.rto,
+            high_water: 0,
+            recover_until: 0,
             rto_outstanding: false,
             rto_armed: 0,
             spans: SpanSink::disabled(),
         }
+    }
+
+    /// The retransmission timeout currently in effect (base RTO, or the
+    /// backed-off value after expiries without progress).
+    pub fn current_rto(&self) -> SimDuration {
+        self.rto_current
     }
 
     /// Attach a span sink (builder form, for wiring time).
@@ -224,7 +260,11 @@ impl TcpSender {
             };
             let hop = self.first_hop;
             ctx.send_in(SimDuration::ZERO, hop, gtw_desim::component::msg(Arrive(pkt)));
+            if self.next_byte < self.high_water {
+                self.segments_retransmitted += 1;
+            }
             self.next_byte += payload;
+            self.high_water = self.high_water.max(self.next_byte);
             self.segments_sent += 1;
         }
         // Keep exactly one retransmission watchdog in flight while data
@@ -233,7 +273,7 @@ impl TcpSender {
             self.rto_outstanding = true;
             self.rto_armed += 1;
             ctx.timer_in(
-                self.cfg.rto,
+                self.rto_current,
                 gtw_desim::component::msg(RtoCheck {
                     acked_at_arm: self.acked,
                     armed_at: ctx.now(),
@@ -255,7 +295,31 @@ impl Component for TcpSender {
                 // Slow-start growth: one MSS per ACK that advances,
                 // capped at the socket buffer.
                 self.acked = pkt.seq;
+                // During fast-retransmit recovery the cumulative ACK can
+                // overtake the resend point once the original in-flight
+                // segments fill the gap; never resend acked bytes.
+                self.next_byte = self.next_byte.max(self.acked);
                 self.cwnd = (self.cwnd + self.cfg.ip.mss()).min(self.cfg.window_bytes);
+                // Fresh progress: duplicate count and RTO backoff reset.
+                self.dup_acks = 0;
+                self.rto_current = self.cfg.rto;
+            } else if pkt.seq == self.acked && self.next_byte > self.acked {
+                // Duplicate ACK while data is outstanding: the receiver
+                // saw a gap. Three in a row trigger fast retransmit —
+                // go-back-N from the cumulative ACK without waiting out
+                // the RTO — unless a recovery is already under way.
+                self.dup_acks += 1;
+                if self.dup_acks >= 3 && self.acked >= self.recover_until {
+                    self.spans.record("tcp-sender", "fast-rexmit", ctx.now(), ctx.now());
+                    self.fast_retransmits += 1;
+                    self.retransmits += 1;
+                    self.recover_until = self.high_water;
+                    self.next_byte = self.acked;
+                    // Multiplicative decrease, never below the initial
+                    // window.
+                    self.cwnd = (self.cwnd / 2).max(self.cfg.initial_cwnd_bytes);
+                    self.dup_acks = 0;
+                }
             }
             if self.acked >= self.cfg.total_bytes {
                 if self.finished_at.is_none() {
@@ -284,8 +348,13 @@ impl Component for TcpSender {
             // silent interval is an `rto-wait` span on the timeline.
             self.spans.record("tcp-sender", "rto-wait", armed_at, ctx.now());
             self.retransmits += 1;
+            self.rto_timeouts += 1;
             self.next_byte = self.acked;
             self.cwnd = self.cfg.initial_cwnd_bytes;
+            self.dup_acks = 0;
+            // Exponential backoff: each expiry without progress doubles
+            // the timeout, up to the configured cap.
+            self.rto_current = (self.rto_current * 2).min(self.cfg.rto_max);
             self.pump(ctx);
         }
     }
@@ -616,5 +685,181 @@ mod tests {
         // With the BDP window the pipe rate is achieved (within rounding).
         let pipe = (ip.mss() as f64 * 8.0) / filled.bottleneck_service().as_secs_f64() / 1e6;
         assert!((tp - pipe).abs() / pipe < 0.01, "tp {tp} pipe {pipe}");
+    }
+
+    /// Deterministic single-loss harness: forwards every packet except
+    /// the `n`-th *data* segment it sees (1-based), which it swallows.
+    struct DropNth {
+        next: ComponentId,
+        n: u64,
+        seen: u64,
+    }
+
+    impl Component for DropNth {
+        fn handle(&mut self, ctx: &mut Ctx<'_>, m: Msg) {
+            let Arrive(pkt) = *gtw_desim::component::downcast::<Arrive>(m);
+            if pkt.kind == PacketKind::Data {
+                self.seen += 1;
+                if self.seen == self.n {
+                    return;
+                }
+            }
+            ctx.send_in(SimDuration::ZERO, self.next, msg(Arrive(pkt)));
+        }
+        fn name(&self) -> &str {
+            "drop-nth"
+        }
+    }
+
+    /// sender -> DropNth -> fwd stage -> receiver -> rev stage -> sender,
+    /// with the `n`-th data segment deterministically lost.
+    fn run_with_single_drop(cfg: TcpConfig, n: u64) -> (Simulator, ComponentId) {
+        let mut sim = Simulator::new();
+        let cfg_stage = StageConfig {
+            medium: Medium::Raw { rate: Bandwidth::from_mbps(622.0) },
+            per_packet: SimDuration::ZERO,
+            propagation: SimDuration::from_micros(500),
+            buffer_bytes: u64::MAX,
+        };
+        let fwd =
+            sim.add_component(PipeStage::new("fwd", cfg_stage.clone(), ComponentId::placeholder()));
+        let rev = sim.add_component(PipeStage::new("rev", cfg_stage, ComponentId::placeholder()));
+        let dropper = sim.add_component(DropNth { next: fwd, n, seen: 0 });
+        let receiver = sim.add_component(TcpReceiver::new(cfg.flow, cfg.total_bytes, rev));
+        let sender = sim.add_component(TcpSender::new(cfg, dropper));
+        sim.component_mut::<PipeStage>(fwd).next = receiver;
+        sim.component_mut::<PipeStage>(rev).next = sender;
+        sim.send_in(SimDuration::ZERO, sender, msg(StartTransfer));
+        sim.run();
+        (sim, sender)
+    }
+
+    #[test]
+    fn fast_retransmit_fires_on_three_dup_acks() {
+        // Drop one mid-window segment while plenty of later segments are
+        // in flight: the receiver's immediate out-of-order ACKs give the
+        // sender its three duplicates long before the 200 ms RTO, so the
+        // loss is repaired by fast retransmit alone.
+        let ip = IpConfig { mtu: 9180 };
+        let cfg = TcpConfig::bulk(7, 4 * 1024 * 1024, ip, 1024 * 1024);
+        let (sim, sender) = run_with_single_drop(cfg, 30);
+        let s = sim.component::<TcpSender>(sender);
+        assert!(s.finished_at.is_some(), "transfer stalled");
+        assert_eq!(s.fast_retransmits, 1, "exactly one fast retransmit");
+        assert_eq!(s.rto_timeouts, 0, "the RTO never fired");
+        assert!(s.segments_retransmitted >= 1);
+        assert_eq!(s.acked, cfg.total_bytes);
+    }
+
+    #[test]
+    fn last_segment_loss_needs_the_rto_not_dup_acks() {
+        // Drop the final data segment: nothing follows it, so no dup ACKs
+        // ever arrive and only the retransmission timeout can repair it.
+        let ip = IpConfig { mtu: 9180 };
+        let total = 20 * ip.mss();
+        let cfg = TcpConfig::bulk(8, total, ip, 1024 * 1024);
+        let (sim, sender) = run_with_single_drop(cfg, 20);
+        let s = sim.component::<TcpSender>(sender);
+        assert!(s.finished_at.is_some(), "transfer stalled");
+        assert_eq!(s.fast_retransmits, 0, "no third duplicate ever arrives");
+        assert!(s.rto_timeouts >= 1);
+        assert_eq!(s.acked, total);
+    }
+
+    #[test]
+    fn rto_backs_off_exponentially_and_resets_on_fresh_ack() {
+        use gtw_desim::fault::{FaultSpec, Schedule, Window};
+        // A 1.5 s outage on the forward link swallows every retransmission
+        // attempt: each expiry doubles the timeout (200 -> 400 -> 800 ms),
+        // visible as successive `rto-wait` spans; the first ACK after the
+        // link returns resets the RTO to its base value.
+        let ip = IpConfig { mtu: 9180 };
+        let cfg = TcpConfig::bulk(9, 8 * 1024 * 1024, ip, 512 * 1024);
+        let mut sim = Simulator::new();
+        let sink = SpanSink::recording();
+        let outage = FaultSpec {
+            outages: Schedule::new(vec![Window::new(
+                SimTime::ZERO + SimDuration::from_millis(50),
+                SimTime::ZERO + SimDuration::from_millis(1550),
+            )]),
+            ..FaultSpec::default()
+        };
+        let cfg_stage = StageConfig {
+            medium: Medium::Raw { rate: Bandwidth::from_mbps(622.0) },
+            per_packet: SimDuration::ZERO,
+            propagation: SimDuration::from_micros(500),
+            buffer_bytes: u64::MAX,
+        };
+        let fwd = sim.add_component(
+            PipeStage::new("fwd", cfg_stage.clone(), ComponentId::placeholder())
+                .with_faults(gtw_desim::fault::FaultInjector::new(1, "fwd", outage)),
+        );
+        let rev = sim.add_component(PipeStage::new("rev", cfg_stage, ComponentId::placeholder()));
+        let receiver = sim.add_component(TcpReceiver::new(cfg.flow, cfg.total_bytes, rev));
+        let sender = sim.add_component(TcpSender::new(cfg, fwd).with_spans(sink.clone()));
+        sim.component_mut::<PipeStage>(fwd).next = receiver;
+        sim.component_mut::<PipeStage>(rev).next = sender;
+        sim.send_in(SimDuration::ZERO, sender, msg(StartTransfer));
+        sim.run();
+        let s = sim.component::<TcpSender>(sender);
+        assert!(s.finished_at.is_some(), "transfer stalled");
+        assert!(s.rto_timeouts >= 2, "outage must force repeated timeouts: {}", s.rto_timeouts);
+        // Successive silent intervals double (until the cap or the outage
+        // end, whichever comes first).
+        let waits: Vec<SimDuration> = sink
+            .snapshot()
+            .iter()
+            .filter(|sp| sp.name == "rto-wait")
+            .map(|sp| sp.end.saturating_since(sp.begin))
+            .collect();
+        assert!(waits.len() >= 2, "{waits:?}");
+        for pair in waits.windows(2).take(2) {
+            assert_eq!(pair[1], pair[0] * 2, "{waits:?}");
+        }
+        assert!(waits.iter().all(|&w| w <= cfg.rto_max), "{waits:?}");
+        // The fresh post-outage ACK reset the backoff to the base RTO.
+        assert_eq!(s.current_rto(), cfg.rto);
+    }
+
+    #[test]
+    fn retransmissions_cover_every_injected_loss() {
+        use gtw_desim::fault::{FaultInjector, FaultSpec, LossModel};
+        // 2% i.i.d. loss on the forward link: go-back-N must resend at
+        // least one segment per injected drop, and the transfer still
+        // lands every byte exactly once.
+        let ip = IpConfig { mtu: 9180 };
+        let cfg = TcpConfig::bulk(10, 8 * 1024 * 1024, ip, 512 * 1024);
+        let mut sim = Simulator::new();
+        let spec = FaultSpec { loss: LossModel::Iid { p: 0.02 }, ..FaultSpec::default() };
+        let cfg_stage = StageConfig {
+            medium: Medium::Raw { rate: Bandwidth::from_mbps(622.0) },
+            per_packet: SimDuration::ZERO,
+            propagation: SimDuration::from_micros(500),
+            buffer_bytes: u64::MAX,
+        };
+        let fwd = sim.add_component(
+            PipeStage::new("fwd", cfg_stage.clone(), ComponentId::placeholder())
+                .with_faults(FaultInjector::new(11, "fwd", spec)),
+        );
+        let rev = sim.add_component(PipeStage::new("rev", cfg_stage, ComponentId::placeholder()));
+        let receiver = sim.add_component(TcpReceiver::new(cfg.flow, cfg.total_bytes, rev));
+        let sender = sim.add_component(TcpSender::new(cfg, fwd));
+        sim.component_mut::<PipeStage>(fwd).next = receiver;
+        sim.component_mut::<PipeStage>(rev).next = sender;
+        sim.send_in(SimDuration::ZERO, sender, msg(StartTransfer));
+        sim.run();
+        let s = sim.component::<TcpSender>(sender);
+        assert!(s.finished_at.is_some(), "transfer stalled");
+        assert_eq!(s.acked, cfg.total_bytes);
+        let lost = sim.component::<PipeStage>(fwd).injector.as_ref().unwrap().stats().loss;
+        assert!(lost > 0, "2% over ~900 segments must hit something");
+        assert!(
+            s.segments_retransmitted >= lost,
+            "{} resent < {} lost",
+            s.segments_retransmitted,
+            lost
+        );
+        let r = sim.component::<TcpReceiver>(receiver);
+        assert_eq!(r.expected, cfg.total_bytes, "every byte delivered exactly once");
     }
 }

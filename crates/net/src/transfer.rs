@@ -7,6 +7,7 @@
 //! number the paper's Section 2 measurements quote. `predict()` gives the
 //! closed-form steady-state bound for cross-checking.
 
+use gtw_desim::fault::{FaultPlan, FaultSpec, LossModel, Schedule, Window};
 use gtw_desim::{ComponentId, SimDuration, SimTime, Simulator, SpanSink};
 use serde::{Deserialize, Serialize};
 
@@ -93,11 +94,13 @@ impl BulkTransfer {
         terminal: ComponentId,
         reg: &mut StatsRegistry,
         sink: &SpanSink,
+        plan: Option<&FaultPlan>,
     ) -> ComponentId {
         let mut next = terminal;
         for (i, hop) in self.hops.iter().enumerate().rev() {
-            let stage = PipeStage::new(
-                format!("hop{i}"),
+            let label = format!("hop{i}");
+            let mut stage = PipeStage::new(
+                label.clone(),
                 StageConfig {
                     medium: hop.medium,
                     per_packet: hop.per_packet,
@@ -107,6 +110,9 @@ impl BulkTransfer {
                 next,
             )
             .with_spans(sink.clone());
+            if let Some(inj) = plan.and_then(|p| p.injector(&label)) {
+                stage = stage.with_faults(inj);
+            }
             next = sim.add_component(stage);
             reg.add_stage(next);
         }
@@ -132,12 +138,28 @@ impl BulkTransfer {
     /// virtual time: a traced run is bit-identical to an untraced one.
     pub fn run_traced(&self, sink: &SpanSink) -> (TransferReport, RunReport) {
         match self.protocol {
-            Protocol::Tcp { window_bytes } => self.run_tcp(window_bytes, sink),
-            Protocol::RawStream => self.run_raw(sink),
+            Protocol::Tcp { window_bytes } => self.run_tcp(window_bytes, sink, None),
+            Protocol::RawStream => self.run_raw(sink, None),
         }
     }
 
-    fn run_tcp(&self, window_bytes: u64, sink: &SpanSink) -> (TransferReport, RunReport) {
+    /// Run under an installed [`FaultPlan`]: each forward stage `hop{i}`
+    /// and reverse stage `rev{i}` gets the plan's injector for its label
+    /// (if any). Stages without a spec run exactly as in [`run`](Self::run).
+    pub fn run_faulted(&self, plan: &FaultPlan, sink: &SpanSink) -> (TransferReport, RunReport) {
+        let plan = if plan.is_empty() { None } else { Some(plan) };
+        match self.protocol {
+            Protocol::Tcp { window_bytes } => self.run_tcp(window_bytes, sink, plan),
+            Protocol::RawStream => self.run_raw(sink, plan),
+        }
+    }
+
+    fn run_tcp(
+        &self,
+        window_bytes: u64,
+        sink: &SpanSink,
+        plan: Option<&FaultPlan>,
+    ) -> (TransferReport, RunReport) {
         let mut sim = Simulator::new();
         if sink.enabled() {
             sim.set_tracer(Box::new(sink.clone()));
@@ -156,8 +178,9 @@ impl BulkTransfer {
         let rev_first = {
             let mut next = ComponentId::placeholder();
             for (i, hop) in rev_hops.iter().enumerate().rev() {
-                let stage = PipeStage::new(
-                    format!("rev{i}"),
+                let label = format!("rev{i}");
+                let mut stage = PipeStage::new(
+                    label.clone(),
                     StageConfig {
                         medium: hop.medium,
                         per_packet: hop.per_packet,
@@ -167,6 +190,9 @@ impl BulkTransfer {
                     next,
                 )
                 .with_spans(sink.clone());
+                if let Some(inj) = plan.and_then(|p| p.injector(&label)) {
+                    stage = stage.with_faults(inj);
+                }
                 next = sim.add_component(stage);
                 rev_stage_ids.push(next);
             }
@@ -174,7 +200,7 @@ impl BulkTransfer {
         };
         let cfg = TcpConfig::bulk(1, self.bytes, self.ip, window_bytes);
         let receiver = sim.add_component(TcpReceiver::new(1, self.bytes, rev_first));
-        let fwd_first = self.build_stages(&mut sim, receiver, &mut reg, sink);
+        let fwd_first = self.build_stages(&mut sim, receiver, &mut reg, sink, plan);
         let sender_id = sim.add_component(TcpSender::new(cfg, fwd_first).with_spans(sink.clone()));
         // Close the cycle: the first-created reverse stage (the one next
         // to the sender) still points at the placeholder. With no reverse
@@ -204,7 +230,11 @@ impl BulkTransfer {
         (report, run_report)
     }
 
-    fn run_raw(&self, span_sink: &SpanSink) -> (TransferReport, RunReport) {
+    fn run_raw(
+        &self,
+        span_sink: &SpanSink,
+        plan: Option<&FaultPlan>,
+    ) -> (TransferReport, RunReport) {
         let mut sim = Simulator::new();
         if span_sink.enabled() {
             sim.set_tracer(Box::new(span_sink.clone()));
@@ -212,7 +242,7 @@ impl BulkTransfer {
         let mut reg = StatsRegistry::new();
         let sink = sim.add_component(Sink::default());
         reg.add_sink(sink);
-        let first = self.build_stages(&mut sim, sink, &mut reg, span_sink);
+        let first = self.build_stages(&mut sim, sink, &mut reg, span_sink, plan);
         let mut sent = 0u64;
         let mut packets = 0u64;
         for frag in fragment_sizes(self.bytes, self.ip.mtu) {
@@ -242,6 +272,25 @@ impl BulkTransfer {
         };
         (report, run_report)
     }
+}
+
+/// The canonical "degraded WAN" plan used by the examples' `--faults`
+/// mode and the acceptance scenario: 1% i.i.d. cell loss plus a single
+/// 50 ms outage starting at t = 100 ms on `hop_label`.
+pub fn degraded_plan(seed: u64, hop_label: &str) -> FaultPlan {
+    let mut plan = FaultPlan::new(seed);
+    plan.add(
+        hop_label,
+        FaultSpec {
+            outages: Schedule::new(vec![Window::new(
+                SimTime::ZERO + SimDuration::from_millis(100),
+                SimTime::ZERO + SimDuration::from_millis(150),
+            )]),
+            loss: LossModel::Iid { p: 0.01 },
+            ..FaultSpec::default()
+        },
+    );
+    plan
 }
 
 /// Convenience: the effective payload rate of streaming fixed-size frames
@@ -418,6 +467,62 @@ mod tests {
             traced_run.receivers[0].recorder.hist.p99()
                 >= traced_run.receivers[0].recorder.hist.p50()
         );
+    }
+
+    #[test]
+    fn tcp_completes_under_degraded_plan_with_attributed_drops() {
+        let xfer = BulkTransfer {
+            hops: vec![raw_hop(155.0, 250), raw_hop(155.0, 250)],
+            ip: IpConfig { mtu: 9180 },
+            bytes: 8 * 1024 * 1024,
+            protocol: Protocol::Tcp { window_bytes: 1024 * 1024 },
+        };
+        let plan = degraded_plan(7, "hop1");
+        let (report, run) = xfer.run_faulted(&plan, &SpanSink::disabled());
+        // Recovery invariant: every byte still arrives exactly once.
+        assert_eq!(run.receivers[0].bytes_delivered, xfer.bytes);
+        assert_eq!(run.senders[0].bytes_acked, xfer.bytes);
+        assert!(report.retransmits > 0, "1% loss must force retransmission");
+        // Attribution invariant: the hop's drop counters equal the
+        // injector's ground-truth verdict counts, cause by cause.
+        let h = run.hops.iter().find(|h| h.label == "hop1").expect("hop1 reported");
+        let f = h.faults.expect("faulted hop carries injector stats");
+        assert!(f.total() > 0);
+        assert_eq!(h.stats.dropped_outage, f.outage);
+        assert_eq!(h.stats.dropped_loss, f.loss + f.header_error);
+        assert_eq!(h.stats.dropped_burst, f.burst);
+        assert_eq!(run.faults_injected(), f.total());
+        // The clean hop reports no fault block at all.
+        let clean = run.hops.iter().find(|h| h.label == "hop0").unwrap();
+        assert!(clean.faults.is_none());
+    }
+
+    #[test]
+    fn same_master_seed_gives_byte_identical_reports() {
+        let xfer = BulkTransfer {
+            hops: vec![raw_hop(155.0, 250), raw_hop(155.0, 250)],
+            ip: IpConfig { mtu: 9180 },
+            bytes: 4 * 1024 * 1024,
+            protocol: Protocol::Tcp { window_bytes: 512 * 1024 },
+        };
+        let (_, a) = xfer.run_faulted(&degraded_plan(42, "hop0"), &SpanSink::disabled());
+        let (_, b) = xfer.run_faulted(&degraded_plan(42, "hop0"), &SpanSink::disabled());
+        assert_eq!(a.to_json().dump(), b.to_json().dump());
+        let (_, c) = xfer.run_faulted(&degraded_plan(43, "hop0"), &SpanSink::disabled());
+        assert_ne!(a.to_json().dump(), c.to_json().dump(), "different seed, different run");
+    }
+
+    #[test]
+    fn empty_plan_is_bit_identical_to_clean_run() {
+        let xfer = BulkTransfer {
+            hops: vec![raw_hop(622.0, 250), raw_hop(155.0, 250)],
+            ip: IpConfig { mtu: 9180 },
+            bytes: 2 * 1024 * 1024,
+            protocol: Protocol::Tcp { window_bytes: 512 * 1024 },
+        };
+        let (_, clean) = xfer.run_with_report();
+        let (_, faulted) = xfer.run_faulted(&FaultPlan::new(9), &SpanSink::disabled());
+        assert_eq!(clean.to_json().dump(), faulted.to_json().dump());
     }
 
     #[test]

@@ -18,19 +18,38 @@
 //!
 //! ```text
 //! cargo run --release --example run_report
+//! cargo run --release --example run_report -- --faults 1999
 //! ```
+//!
+//! With `--faults <seed>` the Part-1 transfer runs under the canonical
+//! degraded-WAN [`FaultPlan`](gtw_desim::fault::FaultPlan) (1% i.i.d.
+//! loss plus one 50 ms outage on the WAN hop, streams keyed by the
+//! seed): the report then attributes every drop to its injected cause,
+//! and two runs with the same seed print byte-identical JSON.
 
 use gtw_core::scenario::FmriScenario;
 use gtw_core::testbed::{GigabitTestbedWest, LinkEra};
-use gtw_desim::{ComponentId, EventCounter, Json, SimDuration, Simulator};
+use gtw_desim::{ComponentId, EventCounter, Json, SimDuration, Simulator, SpanSink};
 use gtw_net::ip::IpConfig;
 use gtw_net::link::{Medium, PipeStage, StageConfig};
 use gtw_net::stats::StatsRegistry;
 use gtw_net::tcp::{StartTransfer, TcpConfig, TcpReceiver, TcpSender};
-use gtw_net::transfer::{BulkTransfer, Protocol};
+use gtw_net::transfer::{degraded_plan, BulkTransfer, Protocol};
 use gtw_net::units::Bandwidth;
 
+fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
+}
+
 fn main() {
+    let fault_seed: Option<u64> =
+        arg_value("--faults").map(|s| s.parse().expect("--faults takes a u64 seed"));
     // ── Part 1: testbed transfer via the high-level API ──────────────
     let tb = GigabitTestbedWest::build(LinkEra::Oc48Upgrade);
     let (path, mtu, _) = tb.topology.path(tb.t3e_600, tb.sp2).expect("path T3E -> SP2");
@@ -40,12 +59,23 @@ fn main() {
         bytes: 32 * 1024 * 1024,
         protocol: Protocol::Tcp { window_bytes: 4 * 1024 * 1024 },
     };
-    let (summary, run) = xfer.run_with_report();
+    let (summary, run) = match fault_seed {
+        Some(seed) => {
+            // The WAN hop on the FZJ–GMD path sits mid-chain.
+            let wan = format!("hop{}", xfer.hops.len() / 2);
+            xfer.run_faulted(&degraded_plan(seed, &wan), &SpanSink::disabled())
+        }
+        None => xfer.run_with_report(),
+    };
     eprintln!(
-        "T3E -> SP2, 32 MiB over {} hops: {:.1} Mbit/s ({} retransmits)",
+        "T3E -> SP2, 32 MiB over {} hops: {:.1} Mbit/s ({} retransmits{})",
         xfer.hops.len(),
         summary.goodput.mbps(),
         summary.retransmits,
+        match fault_seed {
+            Some(seed) => format!(", degraded WAN, seed {seed}"),
+            None => String::new(),
+        },
     );
 
     // ── Part 2: hand-wired pipeline with the kernel tracer attached ──
@@ -108,9 +138,14 @@ fn main() {
         ("scan_to_display", chain.latency.to_json()),
     ]);
 
-    // One document: the stdout of this example is valid JSON.
+    // One document: the stdout of this example is valid JSON. The
+    // fault_seed key only appears in degraded runs, so clean output is
+    // byte-identical to pre-fault builds.
     let mut doc = Json::obj([("t3e_to_sp2", run.to_json()), ("traced_pipeline", traced.to_json())]);
     doc.push("kernel_counters", counter.to_json());
     doc.push("fire_breakdown", fire_json);
+    if let Some(seed) = fault_seed {
+        doc.push("fault_seed", Json::from(seed));
+    }
     println!("{}", doc.pretty());
 }

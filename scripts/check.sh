@@ -18,3 +18,12 @@ cargo run --release -q -p gtw-bench --bin fig2_latency -- --trace-out "$trace_tm
 cargo run --release -q -p gtw-bench --bin trace_check -- "$trace_tmp/fig2.json"
 cargo run --release -q -p gtw-bench --bin fig1_network -- --trace-out "$trace_tmp/fig1.json"
 cargo run --release -q -p gtw-bench --bin trace_check -- "$trace_tmp/fig1.json"
+
+# Fault-injection gate: the scenario-fuzz suite under the pinned master
+# seed (reproduce any failure locally with the same GTW_FAULT_SEED), then
+# a determinism check — two degraded fig1 runs with one seed must emit
+# byte-identical JSON.
+GTW_FAULT_SEED=1999 cargo test -q -p gtw-core --test fault_recovery
+cargo run --release -q -p gtw-bench --bin fig1_network -- --json --faults 1999 > "$trace_tmp/faulted_a.json"
+cargo run --release -q -p gtw-bench --bin fig1_network -- --json --faults 1999 > "$trace_tmp/faulted_b.json"
+cmp "$trace_tmp/faulted_a.json" "$trace_tmp/faulted_b.json"
