@@ -444,6 +444,200 @@ impl FaultInjector {
     }
 }
 
+// ---- process faults --------------------------------------------------
+//
+// PR 3 made the *network* survivable; the types below describe failures
+// of the *endpoints themselves* — a rank of the metacomputer crashing,
+// hanging, or running slow — for the MPI layer (`gtw-mpi`) and the FIRE
+// chain to inject and recover from. The desim crate only holds the
+// model: what happens to a faulted rank (mailbox poisoning, detector
+// timeouts, revoke/shrink) lives with the consumers.
+
+/// When a [`ProcessFault`] triggers.
+///
+/// Virtual-time triggers fire once the target's virtual clock (in the
+/// MPI layer: its accumulated modeled communication time; in the chain
+/// simulation: kernel time) passes `T`. Operation-count triggers fire on
+/// the `n`-th fault-checked operation the rank performs — useful when a
+/// scenario is phrased as "crash while receiving scan 40" rather than in
+/// seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAt {
+    /// Trigger when virtual time reaches `T`.
+    Time(SimTime),
+    /// Trigger on the `n`-th checked operation (1-based; `Op(1)` fires
+    /// at the first check).
+    Op(u64),
+}
+
+/// What happens to a faulted rank.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProcessFaultKind {
+    /// The process dies: its mailbox is poisoned, peers observe
+    /// `RankFailed` promptly (fail-stop).
+    Crash,
+    /// The process stops making progress but stays "alive": nothing is
+    /// poisoned, peers only notice via timeouts or missed heartbeats.
+    Hang,
+    /// Degraded node: while inside a window the rank's modeled time is
+    /// scaled by `factor` (> 1 = slower). Never fatal.
+    Slow {
+        /// Multiplier on the rank's modeled time inside the windows.
+        factor: f64,
+        /// Windows during which the degradation applies.
+        windows: Schedule,
+    },
+}
+
+/// One rank's scripted fault: what happens and when.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessFault {
+    /// The failure mode.
+    pub kind: ProcessFaultKind,
+    /// The trigger (ignored for `Slow`, which is window-driven).
+    pub at: FaultAt,
+}
+
+/// A seeded process-fault scenario: at most one scripted fault per
+/// global rank id. The `BTreeMap` keeps iteration deterministic so any
+/// derived schedule or report is reproducible from the plan alone.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProcessFaultPlan {
+    /// Seed for `procfault/...` RNG streams of random constructors.
+    pub master_seed: u64,
+    /// Fault per global rank id.
+    pub faults: BTreeMap<usize, ProcessFault>,
+}
+
+impl ProcessFaultPlan {
+    /// An empty plan (faults nobody) with the given master seed.
+    pub fn new(master_seed: u64) -> Self {
+        ProcessFaultPlan { master_seed, faults: BTreeMap::new() }
+    }
+
+    /// True when no rank is scripted to fault.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The scripted fault for `rank`, if any.
+    pub fn fault(&self, rank: usize) -> Option<&ProcessFault> {
+        self.faults.get(&rank)
+    }
+
+    /// Script a crash of `rank` at virtual time `t`.
+    pub fn crash_at(&mut self, rank: usize, t: SimTime) -> &mut Self {
+        self.faults
+            .insert(rank, ProcessFault { kind: ProcessFaultKind::Crash, at: FaultAt::Time(t) });
+        self
+    }
+
+    /// Script a crash of `rank` on its `ops`-th checked operation.
+    pub fn crash_after_ops(&mut self, rank: usize, ops: u64) -> &mut Self {
+        self.faults
+            .insert(rank, ProcessFault { kind: ProcessFaultKind::Crash, at: FaultAt::Op(ops) });
+        self
+    }
+
+    /// Script a hang of `rank` at virtual time `t`.
+    pub fn hang_at(&mut self, rank: usize, t: SimTime) -> &mut Self {
+        self.faults
+            .insert(rank, ProcessFault { kind: ProcessFaultKind::Hang, at: FaultAt::Time(t) });
+        self
+    }
+
+    /// Script a hang of `rank` on its `ops`-th checked operation.
+    pub fn hang_after_ops(&mut self, rank: usize, ops: u64) -> &mut Self {
+        self.faults
+            .insert(rank, ProcessFault { kind: ProcessFaultKind::Hang, at: FaultAt::Op(ops) });
+        self
+    }
+
+    /// Script slow-node degradation of `rank`: time scaled by `factor`
+    /// inside `windows`.
+    pub fn slow(&mut self, rank: usize, windows: Schedule, factor: f64) -> &mut Self {
+        self.faults.insert(
+            rank,
+            ProcessFault {
+                kind: ProcessFaultKind::Slow { factor: factor.max(1.0), windows },
+                at: FaultAt::Time(SimTime::ZERO),
+            },
+        );
+        self
+    }
+
+    /// Seeded random single-crash scenario: one victim drawn uniformly
+    /// from `0..ranks`, crashing at a time drawn uniformly inside
+    /// `window`. All randomness comes from the `procfault/crash` stream,
+    /// so the same seed always scripts the same scenario.
+    pub fn random_crash(master_seed: u64, ranks: usize, window: Window) -> Self {
+        assert!(ranks > 0, "need at least one candidate victim");
+        let mut rng = StreamRng::new(master_seed, "procfault/crash");
+        let victim = rng.below(ranks as u64) as usize;
+        let span = window.end.saturating_since(window.start).as_nanos();
+        let t = window.start + SimDuration::from_nanos(if span == 0 { 0 } else { rng.below(span) });
+        let mut plan = ProcessFaultPlan::new(master_seed);
+        plan.crash_at(victim, t);
+        plan
+    }
+
+    /// Build the runtime injector for `rank`, if the plan scripts one.
+    pub fn injector(&self, rank: usize) -> Option<ProcessFaultInjector> {
+        self.fault(rank).map(|f| ProcessFaultInjector::new(f.clone()))
+    }
+}
+
+/// Per-rank process-fault runtime: counts checked operations, tracks the
+/// rank's virtual clock, and fires the scripted fault exactly once.
+#[derive(Debug, Clone)]
+pub struct ProcessFaultInjector {
+    fault: ProcessFault,
+    ops: u64,
+    fired: bool,
+}
+
+impl ProcessFaultInjector {
+    /// Wrap one rank's scripted fault.
+    pub fn new(fault: ProcessFault) -> Self {
+        ProcessFaultInjector { fault, ops: 0, fired: false }
+    }
+
+    /// Count one checked operation at virtual time `now` and return the
+    /// fatal fault kind if the trigger fires. Fires at most once; `Slow`
+    /// faults never fire (they only scale time, see
+    /// [`ProcessFaultInjector::slow_factor`]).
+    pub fn poll(&mut self, now: SimTime) -> Option<&ProcessFaultKind> {
+        self.ops += 1;
+        if self.fired || matches!(self.fault.kind, ProcessFaultKind::Slow { .. }) {
+            return None;
+        }
+        let due = match self.fault.at {
+            FaultAt::Time(t) => now >= t,
+            FaultAt::Op(n) => self.ops >= n,
+        };
+        if due {
+            self.fired = true;
+            Some(&self.fault.kind)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the scripted fault already fired.
+    pub fn fired(&self) -> bool {
+        self.fired
+    }
+
+    /// Time-scaling factor at `now`: the `Slow` factor inside its
+    /// windows, `1.0` for everything else.
+    pub fn slow_factor(&self, now: SimTime) -> f64 {
+        match &self.fault.kind {
+            ProcessFaultKind::Slow { factor, windows } if windows.contains(now) => *factor,
+            _ => 1.0,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -543,6 +737,64 @@ mod tests {
         // An empty spec yields no injector.
         plan.add("hop2", FaultSpec::default());
         assert!(plan.injector("hop2").is_none());
+    }
+
+    #[test]
+    fn process_fault_time_trigger_fires_once() {
+        let mut plan = ProcessFaultPlan::new(1);
+        plan.crash_at(3, t(100));
+        let mut inj = plan.injector(3).expect("rank 3 is scripted");
+        assert!(plan.injector(0).is_none());
+        assert_eq!(inj.poll(t(50)), None);
+        assert!(!inj.fired());
+        assert_eq!(inj.poll(t(100)), Some(&ProcessFaultKind::Crash));
+        assert!(inj.fired());
+        // Never re-fires, no matter how often it is polled.
+        assert_eq!(inj.poll(t(200)), None);
+        assert_eq!(inj.poll(t(300)), None);
+    }
+
+    #[test]
+    fn process_fault_op_trigger_counts_checks() {
+        let mut plan = ProcessFaultPlan::new(1);
+        plan.hang_after_ops(0, 3);
+        let mut inj = plan.injector(0).unwrap();
+        assert_eq!(inj.poll(t(0)), None);
+        assert_eq!(inj.poll(t(0)), None);
+        assert_eq!(inj.poll(t(0)), Some(&ProcessFaultKind::Hang));
+        assert_eq!(inj.poll(t(0)), None);
+    }
+
+    #[test]
+    fn slow_fault_scales_only_inside_windows() {
+        let mut plan = ProcessFaultPlan::new(1);
+        plan.slow(2, Schedule::new(vec![Window::new(t(10), t(20))]), 4.0);
+        let mut inj = plan.injector(2).unwrap();
+        assert_eq!(inj.slow_factor(t(5)), 1.0);
+        assert_eq!(inj.slow_factor(t(15)), 4.0);
+        assert_eq!(inj.slow_factor(t(25)), 1.0);
+        // Slow is never fatal.
+        for ms in 0..30 {
+            assert_eq!(inj.poll(t(ms)), None);
+        }
+    }
+
+    #[test]
+    fn random_crash_is_reproducible_and_in_window() {
+        let w = Window::new(t(100), t(500));
+        let a = ProcessFaultPlan::random_crash(77, 8, w);
+        let b = ProcessFaultPlan::random_crash(77, 8, w);
+        assert_eq!(a, b, "same seed, same scenario");
+        assert_eq!(a.faults.len(), 1);
+        let (&victim, fault) = a.faults.iter().next().unwrap();
+        assert!(victim < 8);
+        match fault.at {
+            FaultAt::Time(ts) => assert!(w.contains(ts), "{ts:?} outside {w:?}"),
+            FaultAt::Op(_) => panic!("random_crash scripts a time trigger"),
+        }
+        // A different seed scripts a different scenario (victim or time).
+        let c = ProcessFaultPlan::random_crash(78, 8, w);
+        assert_ne!(a, c);
     }
 
     #[test]

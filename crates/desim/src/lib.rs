@@ -40,7 +40,8 @@ pub mod trace;
 
 pub use component::{Component, ComponentId, Ctx, Msg};
 pub use fault::{
-    FaultCause, FaultInjector, FaultPlan, FaultSpec, FaultStats, LossModel, Schedule, Window,
+    FaultAt, FaultCause, FaultInjector, FaultPlan, FaultSpec, FaultStats, LossModel, ProcessFault,
+    ProcessFaultInjector, ProcessFaultKind, ProcessFaultPlan, Schedule, Window,
 };
 pub use hist::Histogram;
 pub use json::Json;

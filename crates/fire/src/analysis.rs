@@ -44,6 +44,44 @@ impl CorrelationState {
         self.n
     }
 
+    /// The running sums, exactly as accumulated — the checkpointable
+    /// state of the incremental analysis: `(n, sum_r, sum_r2, sum_x,
+    /// sum_x2, sum_xr)`.
+    pub(crate) fn snapshot(&self) -> (usize, f64, f64, &[f64], &[f64], &[f64]) {
+        (self.n, self.sum_r, self.sum_r2, &self.sum_x, &self.sum_x2, &self.sum_xr)
+    }
+
+    /// Rebuild a state from checkpointed running sums. The caller
+    /// supplies the protocol's reference vector (it is configuration,
+    /// not state); the sums must carry the exact bits of
+    /// [`CorrelationState::snapshot`] for the restored maps to be
+    /// bit-identical.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        dims: Dims,
+        reference: &ReferenceVector,
+        n: usize,
+        sum_r: f64,
+        sum_r2: f64,
+        sum_x: Vec<f64>,
+        sum_x2: Vec<f64>,
+        sum_xr: Vec<f64>,
+    ) -> Self {
+        assert_eq!(sum_x.len(), dims.len(), "sum_x length mismatch");
+        assert_eq!(sum_x2.len(), dims.len(), "sum_x2 length mismatch");
+        assert_eq!(sum_xr.len(), dims.len(), "sum_xr length mismatch");
+        CorrelationState {
+            dims,
+            reference: reference.values.clone(),
+            n,
+            sum_r,
+            sum_r2,
+            sum_x,
+            sum_x2,
+            sum_xr,
+        }
+    }
+
     /// Incorporate the next scan (must arrive in protocol order).
     pub fn push(&mut self, vol: &Volume) {
         assert_eq!(vol.dims, self.dims, "volume dims mismatch");

@@ -18,6 +18,9 @@
 //!   onto detrending vectors,
 //! * [`analysis`] — incremental correlation of each voxel with the
 //!   reference vector, ROI time courses, clip-level overlays,
+//! * [`checkpoint`] — bit-exact snapshots of the pipeline state, so a
+//!   respawned compute world resumes from the last completed scan
+//!   instead of restarting the protocol,
 //! * [`rvo`] — reference-vector optimization: per-voxel least-squares fit
 //!   of HRF delay and dispersion by rastering the parameter space, plus
 //!   the paper's planned coarse-grid + conjugate-gradient refinement,
@@ -42,6 +45,7 @@
 
 pub mod analysis;
 pub mod biofeedback;
+pub mod checkpoint;
 pub mod decomp;
 pub mod detrend;
 pub mod filters;
@@ -54,5 +58,6 @@ pub mod rvo;
 pub mod t3e;
 
 pub use analysis::{CorrelationState, RoiStats, SlidingCorrelation};
+pub use checkpoint::{Checkpoint, CheckpointError};
 pub use pipeline::{FireConfig, FirePipeline, ProcessedImage};
 pub use t3e::{T3eModel, Table1Row};

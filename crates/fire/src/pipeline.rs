@@ -12,6 +12,7 @@ use gtw_scan::volume::{Dims, Volume};
 use serde::{Deserialize, Serialize};
 
 use crate::analysis::CorrelationState;
+use crate::checkpoint::{Checkpoint, CheckpointError, MotionEntry};
 use crate::detrend::DetrendBasis;
 use crate::filters::{average_filter, median_filter};
 use crate::motion::{MotionCorrector, MotionEstimate};
@@ -178,6 +179,91 @@ impl FirePipeline {
             self.stage_span("smooth", t);
         }
         ProcessedImage { scan, corrected: vol, correlation, motion }
+    }
+
+    /// Snapshot the accumulated state as a portable checkpoint blob.
+    ///
+    /// The blob captures the incremental correlation sums, the stored
+    /// preprocessed series and the motion log with their exact IEEE
+    /// bits; configuration (module switches, reference vector) is *not*
+    /// included — the restoring side supplies it, exactly as the
+    /// RT-client re-sends the protocol setup to a respawned compute
+    /// world.
+    pub fn checkpoint_bytes(&self) -> Vec<u8> {
+        let (n, sum_r, sum_r2, sum_x, sum_x2, sum_xr) = self.state.snapshot();
+        Checkpoint {
+            dims: self.dims,
+            scans: n,
+            sum_r,
+            sum_r2,
+            sum_x: sum_x.to_vec(),
+            sum_x2: sum_x2.to_vec(),
+            sum_xr: sum_xr.to_vec(),
+            series: self.series.iter().map(|v| v.data.clone()).collect(),
+            motion: self
+                .motion_log
+                .iter()
+                .map(|m| MotionEntry {
+                    params: m.transform.params(),
+                    iterations: m.iterations as u32,
+                    residual_rms: m.residual_rms,
+                })
+                .collect(),
+        }
+        .encode()
+    }
+
+    /// Rebuild a pipeline from a checkpoint blob, ready to process the
+    /// next scan. Processing the remaining scans on the restored
+    /// pipeline yields bit-identical maps to an uninterrupted run: the
+    /// sums are restored exactly, and the motion reference is rebuilt
+    /// deterministically from the first stored volume.
+    pub fn restore(
+        config: FireConfig,
+        reference_vector: ReferenceVector,
+        bytes: &[u8],
+    ) -> Result<Self, CheckpointError> {
+        let ck = Checkpoint::decode(bytes)?;
+        let series = ck.series_volumes();
+        let state = CorrelationState::from_parts(
+            ck.dims,
+            &reference_vector,
+            ck.scans,
+            ck.sum_r,
+            ck.sum_r2,
+            ck.sum_x,
+            ck.sum_x2,
+            ck.sum_xr,
+        );
+        let corrector = if config.motion_correction {
+            // The first processed image defined the reference position;
+            // rebuilding from it reproduces the original corrector
+            // exactly (its sampling grid is a pure function of the
+            // reference volume).
+            series.first().map(|first| MotionCorrector::new(first.clone(), 2, 50.0))
+        } else {
+            None
+        };
+        let motion_log = ck
+            .motion
+            .iter()
+            .map(|m| MotionEstimate {
+                transform: RigidTransform::from_params(m.params),
+                iterations: m.iterations as usize,
+                residual_rms: m.residual_rms,
+            })
+            .collect();
+        Ok(FirePipeline {
+            config,
+            dims: ck.dims,
+            reference_vector,
+            corrector,
+            state,
+            series,
+            motion_log,
+            spans: gtw_desim::SpanSink::disabled(),
+            epoch: std::time::Instant::now(),
+        })
     }
 
     /// The current correlation map. With detrending enabled this
@@ -442,6 +528,50 @@ mod tests {
         let p = run_pipeline(FireConfig::workstation(), &scanner);
         assert!(p.motion_log.is_empty());
         assert_eq!(p.scans(), 12);
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_bit_identically() {
+        // Interrupt a full-featured run mid-protocol, restore from the
+        // checkpoint blob, finish on the restored pipeline: every
+        // remaining per-scan map and the final detrended map must carry
+        // the exact bits of the uninterrupted run.
+        let scanner = small_scanner(12, 71);
+        let cfg = FireConfig { detrend: Some(2), ..FireConfig::default() };
+        let rv = ReferenceVector::canonical(&scanner.config().stimulus);
+        let mut unbroken = FirePipeline::new(cfg, scanner.config().dims, rv.clone());
+        let mut first_half = FirePipeline::new(cfg, scanner.config().dims, rv.clone());
+        let cut = 7;
+        for t in 0..cut {
+            unbroken.process(&scanner.acquire(t));
+            first_half.process(&scanner.acquire(t));
+        }
+        let blob = first_half.checkpoint_bytes();
+        drop(first_half); // the "crash"
+        let mut restored = FirePipeline::restore(cfg, rv, &blob).expect("restore");
+        assert_eq!(restored.scans(), cut);
+        for t in cut..scanner.scan_count() {
+            let a = unbroken.process(&scanner.acquire(t));
+            let b = restored.process(&scanner.acquire(t));
+            assert_eq!(a.scan, b.scan);
+            assert_eq!(a.correlation.data, b.correlation.data, "scan {t} map diverged");
+            assert_eq!(a.corrected.data, b.corrected.data, "scan {t} volume diverged");
+        }
+        assert_eq!(unbroken.correlation_map().data, restored.correlation_map().data);
+        assert_eq!(unbroken.motion_log.len(), restored.motion_log.len());
+        // And the checkpoints of the two finished pipelines agree too.
+        assert_eq!(unbroken.checkpoint_bytes(), restored.checkpoint_bytes());
+    }
+
+    #[test]
+    fn restore_rejects_garbage() {
+        use crate::checkpoint::CheckpointError;
+        let scanner = small_scanner(4, 72);
+        let rv = ReferenceVector::canonical(&scanner.config().stimulus);
+        let err = FirePipeline::restore(FireConfig::default(), rv, b"not a checkpoint")
+            .err()
+            .expect("garbage must not restore");
+        assert_eq!(err, CheckpointError::BadMagic);
     }
 
     #[test]

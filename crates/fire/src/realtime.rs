@@ -12,9 +12,11 @@
 //! too short a TR.
 
 use gtw_desim::component::{downcast, msg};
-use gtw_desim::fault::Schedule;
+use gtw_desim::fault::{
+    FaultAt, ProcessFaultInjector, ProcessFaultKind, ProcessFaultPlan, Schedule,
+};
 use gtw_desim::{
-    Component, ComponentId, Ctx, Histogram, Msg, SimDuration, SimTime, Simulator, SpanSink,
+    Component, ComponentId, Ctx, Histogram, Json, Msg, SimDuration, SimTime, Simulator, SpanSink,
 };
 use serde::{Deserialize, Serialize};
 
@@ -51,6 +53,60 @@ impl RealtimeConfig {
     }
 }
 
+/// Recovery parameters of the resilient chain: how long failures take
+/// to detect and how long a compute-world respawn (including the FIRE
+/// checkpoint restore) keeps the chain down.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RecoveryConfig {
+    /// Seconds for the heartbeat detector to declare a *hung* compute
+    /// world (crashes are fail-stop: the broken connection is observed
+    /// promptly, no detection delay).
+    pub detect_s: f64,
+    /// Seconds to respawn the compute world and restore its checkpoint.
+    pub respawn_s: f64,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        // Heartbeat 100 ms × 3 misses; respawn dominated by process
+        // start plus checkpoint transfer.
+        RecoveryConfig { detect_s: 0.3, respawn_s: 5.0 }
+    }
+}
+
+/// Per-cause recovery counters of a process-faulted chain run.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryStats {
+    /// Compute-world crashes injected (fail-stop).
+    pub crashes: usize,
+    /// Compute-world hangs injected (declared by the detector).
+    pub hangs: usize,
+    /// Images processed inside a slow-node window.
+    pub slowdowns: usize,
+    /// In-flight scans re-processed from the checkpoint after a fault.
+    pub recovered_scans: usize,
+    /// In-flight scans superseded by newer data before the respawn
+    /// finished (latest-wins: realtime display never replays stale
+    /// frames).
+    pub lost_scans: usize,
+    /// Total seconds the chain was down (detection + respawn).
+    pub downtime_s: f64,
+}
+
+impl RecoveryStats {
+    /// The counters as a JSON object (for run reports).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("crashes", Json::from(self.crashes)),
+            ("hangs", Json::from(self.hangs)),
+            ("slowdowns", Json::from(self.slowdowns)),
+            ("recovered_scans", Json::from(self.recovered_scans)),
+            ("lost_scans", Json::from(self.lost_scans)),
+            ("downtime_s", Json::from(self.downtime_s)),
+        ])
+    }
+}
+
 /// Measured outcome of a chain run.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct RealtimeReport {
@@ -72,16 +128,26 @@ pub struct RealtimeReport {
     pub period_s: f64,
     /// Full scan-end → display latency distribution (p50/p90/p99/max).
     pub latency: Histogram,
+    /// Recovery counters — present only when a process-fault plan was
+    /// installed, so clean-run reports are identical to pre-resilience
+    /// builds.
+    pub recovery: Option<RecoveryStats>,
 }
 
 // ---- messages --------------------------------------------------------
 
 /// Raw image `k` became available at the RT-server.
 struct RawReady(usize, SimTime); // (scan index, scan end time)
-/// A pipeline stage finished its current image.
-struct StageDone;
+/// A pipeline stage finished its current image. The driver tags its own
+/// completions with the fault epoch so a dead incarnation's completion
+/// is ignored; plain stages pass 0.
+struct StageDone(u64);
 /// The WAN outage that was blocking the transfer ended.
 struct OutageOver;
+/// A time-triggered compute-world fault instant arrived.
+struct ComputeFault;
+/// The respawned compute world is back online.
+struct RespawnDone;
 
 // ---- the driver ------------------------------------------------------
 
@@ -108,11 +174,30 @@ struct ChainDriver {
     deferred: usize,
     /// A wake timer for the current outage window is already armed.
     wake_armed: bool,
+    /// Scripted compute-world faults: (time-triggered, injector). Empty
+    /// on clean runs — every fault branch below is then dead code and
+    /// the legacy event schedule is reproduced exactly.
+    injectors: Vec<(bool, ProcessFaultInjector)>,
+    recovery_cfg: RecoveryConfig,
+    /// Fault epoch: bumped when a fault fires so completions scheduled
+    /// by the dead incarnation are discarded.
+    epoch: u64,
+    /// The image currently in service (sequential: the whole chain;
+    /// pipelined: the transfer stage).
+    in_flight: Option<(usize, SimTime)>,
+    /// The compute world is down, awaiting respawn.
+    down: bool,
+    /// Virtual time at which the pending respawn completes.
+    up_at: SimTime,
+    /// Scan requeued from a crashed incarnation (checkpoint resume): it
+    /// counts as recovered when re-processed, lost if superseded first.
+    requeued: Option<usize>,
+    stats: RecoveryStats,
 }
 
 impl ChainDriver {
     fn try_start(&mut self, ctx: &mut Ctx<'_>) {
-        if self.busy {
+        if self.busy || self.down {
             return;
         }
         if self.pending_raw.is_none() {
@@ -132,46 +217,147 @@ impl ChainDriver {
             }
             return;
         }
+        // Op-entry fault poll: a scripted op-count trigger fires here and
+        // takes the chain down before the image is consumed.
+        if self.poll_faults(ctx, false) {
+            return;
+        }
         let Some((k, scan_end)) = self.pending_raw.take() else {
             return;
         };
+        if self.requeued == Some(k) {
+            // The checkpoint resume: the scan the crashed incarnation was
+            // processing gets re-processed instead of being lost.
+            self.requeued = None;
+            self.stats.recovered_scans += 1;
+        }
         self.busy = true;
+        self.in_flight = Some((k, scan_end));
+        let slow = self.slow_factor(ctx.now());
+        if slow > 1.0 {
+            self.stats.slowdowns += 1;
+        }
         match self.mode {
             ChainMode::Sequential => {
                 // The whole chain is one serial service.
-                let total = self.cfg.transfer_s + self.cfg.compute_s + self.cfg.display_s;
+                let mut total = self.cfg.transfer_s + self.cfg.compute_s + self.cfg.display_s;
+                if slow > 1.0 {
+                    total *= slow;
+                }
                 if self.spans.enabled() {
                     // The serial chain's internal stage boundaries are
                     // known at start time; emit them up front.
+                    let f = if slow > 1.0 { slow } else { 1.0 };
                     let t0 = ctx.now();
-                    let t1 = t0 + SimDuration::from_secs_f64(self.cfg.transfer_s);
-                    let t2 = t1 + SimDuration::from_secs_f64(self.cfg.compute_s);
-                    let t3 = t2 + SimDuration::from_secs_f64(self.cfg.display_s);
+                    let t1 = t0 + SimDuration::from_secs_f64(self.cfg.transfer_s * f);
+                    let t2 = t1 + SimDuration::from_secs_f64(self.cfg.compute_s * f);
+                    let t3 = t2 + SimDuration::from_secs_f64(self.cfg.display_s * f);
                     self.spans.record("chain", "transfer", t0, t1);
                     self.spans.record("chain", "compute", t1, t2);
                     self.spans.record("chain", "display", t2, t3);
                 }
-                ctx.timer_in(SimDuration::from_secs_f64(total), msg(SeqDone(k, scan_end)));
+                ctx.timer_in(
+                    SimDuration::from_secs_f64(total),
+                    msg(SeqDone(k, scan_end, self.epoch)),
+                );
             }
             ChainMode::Pipelined => {
                 // This actor is the transfer stage; hand off downstream.
                 let compute = self.compute.expect("pipelined mode wires a compute stage");
+                let mut transfer = self.cfg.transfer_s;
+                if slow > 1.0 {
+                    transfer *= slow;
+                }
                 if self.spans.enabled() {
-                    let t = SimDuration::from_secs_f64(self.cfg.transfer_s);
+                    let t = SimDuration::from_secs_f64(transfer);
                     self.spans.record("transfer", "transfer", ctx.now(), ctx.now() + t);
                 }
-                ctx.send_in(
-                    SimDuration::from_secs_f64(self.cfg.transfer_s),
-                    compute,
-                    msg(WorkItem(k, scan_end)),
-                );
-                ctx.timer_in(SimDuration::from_secs_f64(self.cfg.transfer_s), msg(StageDone));
+                if self.injectors.is_empty() {
+                    // Clean run: the legacy event schedule, untouched.
+                    ctx.send_in(
+                        SimDuration::from_secs_f64(transfer),
+                        compute,
+                        msg(WorkItem(k, scan_end)),
+                    );
+                    ctx.timer_in(SimDuration::from_secs_f64(transfer), msg(StageDone(0)));
+                } else {
+                    // Faulted run: hand off on completion, so an image in
+                    // a transfer killed by a fault is NOT delivered
+                    // downstream by a dead incarnation.
+                    ctx.timer_in(SimDuration::from_secs_f64(transfer), msg(StageDone(self.epoch)));
+                }
             }
         }
     }
+
+    /// Product slow factor of all scripted slow-node faults at `now`.
+    fn slow_factor(&self, now: SimTime) -> f64 {
+        self.injectors.iter().map(|(_, inj)| inj.slow_factor(now)).product()
+    }
+
+    /// Poll the scripted injectors (`time_only`: just the time-triggered
+    /// ones — used by the scheduled fault timers so idle periods still
+    /// fire, without advancing op counts spuriously). Returns true if a
+    /// fault fired and the chain is now down.
+    fn poll_faults(&mut self, ctx: &mut Ctx<'_>, time_only: bool) -> bool {
+        let now = ctx.now();
+        let mut fired_hang = Vec::new();
+        for (time_based, inj) in &mut self.injectors {
+            if time_only && !*time_based {
+                continue;
+            }
+            match inj.poll(now) {
+                Some(ProcessFaultKind::Crash) => fired_hang.push(false),
+                Some(ProcessFaultKind::Hang) => fired_hang.push(true),
+                Some(ProcessFaultKind::Slow { .. }) | None => {}
+            }
+        }
+        let any = !fired_hang.is_empty();
+        for hang in fired_hang {
+            self.fault_fired(ctx, hang);
+        }
+        any
+    }
+
+    /// A compute-world fault fired: cancel the in-flight image (requeue
+    /// it for the checkpoint resume unless a newer scan superseded it),
+    /// and take the chain down for detection + respawn.
+    fn fault_fired(&mut self, ctx: &mut Ctx<'_>, hang: bool) {
+        let downtime = if hang {
+            self.stats.hangs += 1;
+            self.recovery_cfg.detect_s + self.recovery_cfg.respawn_s
+        } else {
+            self.stats.crashes += 1;
+            self.recovery_cfg.respawn_s
+        };
+        self.epoch += 1;
+        self.busy = false;
+        if let Some((k, scan_end)) = self.in_flight.take() {
+            if self.pending_raw.is_none() {
+                self.pending_raw = Some((k, scan_end));
+                self.requeued = Some(k);
+            } else {
+                // Latest-wins: a newer scan arrived while this one was in
+                // flight; realtime display never replays stale frames.
+                self.stats.lost_scans += 1;
+            }
+        }
+        self.stats.downtime_s += downtime;
+        let d = SimDuration::from_secs_f64(downtime);
+        if self.spans.enabled() {
+            let label = if hang { "hang-detect+respawn" } else { "respawn" };
+            self.spans.record("chain", label, ctx.now(), ctx.now() + d);
+        }
+        let target = ctx.now() + d;
+        if !self.down || target > self.up_at {
+            self.up_at = target;
+        }
+        self.down = true;
+        ctx.timer_in(d, msg(RespawnDone));
+    }
 }
 
-struct SeqDone(usize, SimTime);
+struct SeqDone(usize, SimTime, u64);
 /// An image travelling between pipelined stages.
 struct WorkItem(usize, SimTime);
 /// A displayed image reported back to the driver.
@@ -181,24 +367,56 @@ impl Component for ChainDriver {
     fn handle(&mut self, ctx: &mut Ctx<'_>, m: Msg) {
         if m.is::<RawReady>() {
             let RawReady(k, scan_end) = *downcast::<RawReady>(m);
-            if self.pending_raw.replace((k, scan_end)).is_some() {
-                // An unconsumed raw image was overwritten: skipped.
-                self.skipped += 1;
+            if let Some((old, _)) = self.pending_raw.replace((k, scan_end)) {
+                if self.requeued == Some(old) {
+                    // The crash-requeued scan was superseded before the
+                    // respawn finished: it is lost, not merely skipped.
+                    self.requeued = None;
+                    self.stats.lost_scans += 1;
+                } else {
+                    // An unconsumed raw image was overwritten: skipped.
+                    self.skipped += 1;
+                }
             }
             self.try_start(ctx);
         } else if m.is::<SeqDone>() {
-            let SeqDone(k, scan_end) = *downcast::<SeqDone>(m);
+            let SeqDone(k, scan_end, epoch) = *downcast::<SeqDone>(m);
+            if epoch != self.epoch {
+                return; // a dead incarnation's completion
+            }
             self.displayed.push((k, scan_end, ctx.now()));
             self.busy = false;
+            self.in_flight = None;
             self.try_start(ctx);
         } else if m.is::<StageDone>() {
-            let _ = downcast::<StageDone>(m);
+            let StageDone(epoch) = *downcast::<StageDone>(m);
+            if epoch != self.epoch {
+                return; // a dead incarnation's transfer
+            }
+            if !self.injectors.is_empty() {
+                // Faulted run: the transfer completed under the live
+                // incarnation — deliver downstream now.
+                if let Some((k, scan_end)) = self.in_flight.take() {
+                    let compute = self.compute.expect("pipelined mode wires a compute stage");
+                    ctx.send_in(SimDuration::ZERO, compute, msg(WorkItem(k, scan_end)));
+                }
+            }
             self.busy = false;
+            self.in_flight = None;
             self.try_start(ctx);
         } else if m.is::<OutageOver>() {
             let _ = downcast::<OutageOver>(m);
             self.wake_armed = false;
             self.try_start(ctx);
+        } else if m.is::<ComputeFault>() {
+            let _ = downcast::<ComputeFault>(m);
+            self.poll_faults(ctx, true);
+        } else if m.is::<RespawnDone>() {
+            let _ = downcast::<RespawnDone>(m);
+            if ctx.now() >= self.up_at {
+                self.down = false;
+                self.try_start(ctx);
+            }
         } else {
             let Displayed(k, scan_end) = *downcast::<Displayed>(m);
             self.displayed.push((k, scan_end, ctx.now()));
@@ -242,7 +460,7 @@ impl Stage {
         } else {
             ctx.send_in(d, next, msg(WorkItem(k, scan_end)));
         }
-        ctx.timer_in(d, msg(StageDone));
+        ctx.timer_in(d, msg(StageDone(0)));
     }
 }
 
@@ -291,7 +509,56 @@ pub fn run_chain_faulted(
     outages: &Schedule,
     sink: &SpanSink,
 ) -> RealtimeReport {
+    run_chain_impl(
+        cfg,
+        mode,
+        outages,
+        &ProcessFaultPlan::default(),
+        RecoveryConfig::default(),
+        sink,
+    )
+}
+
+/// Run the chain under a scripted compute-world fault plan: crashes are
+/// detected promptly (fail-stop), hangs after the heartbeat budget, and
+/// each fault takes the chain down for the respawn window while raw
+/// images keep arriving into the latest-wins buffer. The scan in flight
+/// when a fault fires is re-processed from the FIRE checkpoint (counted
+/// in [`RecoveryStats::recovered_scans`]) unless a newer scan supersedes
+/// it first ([`RecoveryStats::lost_scans`]); slow-node windows stretch
+/// service times without killing anything.
+///
+/// With an empty plan the run — including the report — is identical to
+/// [`run_chain_traced`], and `recovery` stays `None`.
+pub fn run_chain_process_faulted(
+    cfg: RealtimeConfig,
+    mode: ChainMode,
+    plan: &ProcessFaultPlan,
+    recovery: RecoveryConfig,
+    sink: &SpanSink,
+) -> RealtimeReport {
+    run_chain_impl(cfg, mode, &Schedule::empty(), plan, recovery, sink)
+}
+
+fn run_chain_impl(
+    cfg: RealtimeConfig,
+    mode: ChainMode,
+    outages: &Schedule,
+    plan: &ProcessFaultPlan,
+    recovery: RecoveryConfig,
+    sink: &SpanSink,
+) -> RealtimeReport {
     let mut sim = Simulator::new();
+    let injectors: Vec<(bool, ProcessFaultInjector)> = plan
+        .faults
+        .iter()
+        .filter_map(|(&rank, fault)| {
+            let time_based = matches!(fault.at, FaultAt::Time(_))
+                && !matches!(fault.kind, ProcessFaultKind::Slow { .. });
+            plan.injector(rank).map(|inj| (time_based, inj))
+        })
+        .collect();
+    let faulted = !plan.is_empty();
     let mut driver = ChainDriver {
         cfg,
         mode,
@@ -304,6 +571,14 @@ pub fn run_chain_faulted(
         outages: outages.clone(),
         deferred: 0,
         wake_armed: false,
+        injectors,
+        recovery_cfg: recovery,
+        epoch: 0,
+        in_flight: None,
+        down: false,
+        up_at: SimTime::ZERO,
+        requeued: None,
+        stats: RecoveryStats::default(),
     };
     let (driver_id, stage_skips) = if mode == ChainMode::Pipelined {
         // display <- compute <- driver(transfer)
@@ -335,6 +610,15 @@ pub fn run_chain_faulted(
     } else {
         (sim.add_component(driver), Vec::new())
     };
+    // Time-triggered faults fire even while the chain is idle: schedule
+    // a poll at each scripted instant.
+    for fault in plan.faults.values() {
+        if let FaultAt::Time(t) = fault.at {
+            if !matches!(fault.kind, ProcessFaultKind::Slow { .. }) {
+                sim.send_at(t, driver_id, msg(ComputeFault));
+            }
+        }
+    }
     // The scanner: raw image k available at (k+1)·TR + acquire.
     for k in 0..cfg.scans {
         let at = SimTime::from_secs_f64((k as f64 + 1.0) * cfg.tr_s);
@@ -380,6 +664,7 @@ pub fn run_chain_faulted(
         mean_latency_s,
         period_s,
         latency,
+        recovery: if faulted { Some(d.stats.clone()) } else { None },
     }
 }
 
@@ -564,5 +849,176 @@ mod tests {
         // display compete).
         let bottleneck = cfg.transfer_s.max(cfg.compute_s).max(cfg.display_s);
         assert!((pipe.period_s - bottleneck).abs() < 0.1, "pipe {pipe:?} vs {bottleneck}");
+    }
+
+    // ---- process-fault recovery -------------------------------------
+
+    fn fast_recovery() -> RecoveryConfig {
+        RecoveryConfig { detect_s: 0.3, respawn_s: 1.0 }
+    }
+
+    #[test]
+    fn crash_mid_protocol_recovers_from_checkpoint() {
+        // T3E crash at t = 20 s: scan 5 is in flight (started 19.5 s).
+        // The respawned compute world restores the checkpoint and
+        // re-processes it — every scan still reaches the display.
+        let cfg = paper_256(3.0, 40);
+        let clean = run_chain(cfg, ChainMode::Sequential);
+        let mut plan = ProcessFaultPlan::new(1999);
+        plan.crash_at(1, SimTime::from_secs_f64(20.0));
+        let r = run_chain_process_faulted(
+            cfg,
+            ChainMode::Sequential,
+            &plan,
+            fast_recovery(),
+            &SpanSink::disabled(),
+        );
+        let stats = r.recovery.as_ref().expect("plan installed → stats present");
+        assert_eq!(stats.crashes, 1, "{r:?}");
+        assert_eq!(stats.hangs, 0);
+        assert_eq!(stats.recovered_scans, 1, "in-flight scan re-processed: {r:?}");
+        assert_eq!(stats.lost_scans, 0, "{r:?}");
+        assert!((stats.downtime_s - 1.0).abs() < 1e-9, "crash = respawn only: {stats:?}");
+        // Exactly-once: all 40 scans displayed, none dropped.
+        assert_eq!(r.displayed, 40, "{r:?}");
+        assert_eq!(r.skipped, 0, "{r:?}");
+        assert_eq!(r.displayed + r.skipped + stats.lost_scans, r.scanned, "{r:?}");
+        // Bounded penalty: the recovered scan pays at most the downtime
+        // plus its restarted service; everything else is nominal.
+        let service = cfg.transfer_s + cfg.compute_s + cfg.display_s;
+        let worst = clean.latency.max().as_secs_f64() + stats.downtime_s + service;
+        assert!(r.latency.max().as_secs_f64() <= worst + 1e-9, "{r:?} vs worst {worst}");
+        assert!(r.mean_latency_s > clean.mean_latency_s, "the recovery is visible: {r:?}");
+    }
+
+    #[test]
+    fn hang_pays_the_detection_delay_on_top_of_the_respawn() {
+        // A hang is only declared after the heartbeat budget, so its
+        // downtime is detect + respawn where a crash pays respawn alone.
+        let cfg = paper_256(3.0, 40);
+        let mut plan = ProcessFaultPlan::new(1999);
+        plan.hang_at(1, SimTime::from_secs_f64(20.0));
+        let r = run_chain_process_faulted(
+            cfg,
+            ChainMode::Sequential,
+            &plan,
+            fast_recovery(),
+            &SpanSink::disabled(),
+        );
+        let stats = r.recovery.as_ref().expect("stats present");
+        assert_eq!((stats.crashes, stats.hangs), (0, 1), "{stats:?}");
+        assert!((stats.downtime_s - 1.3).abs() < 1e-9, "{stats:?}");
+        assert_eq!(r.displayed + r.skipped + stats.lost_scans, r.scanned, "{r:?}");
+    }
+
+    #[test]
+    fn empty_plan_is_invisible_and_reports_no_recovery() {
+        // The resilient entry point with no faults must reproduce the
+        // legacy run event-for-event in both modes.
+        for mode in [ChainMode::Sequential, ChainMode::Pipelined] {
+            let clean = run_chain(paper_256(3.0, 30), mode);
+            let faulted = run_chain_process_faulted(
+                paper_256(3.0, 30),
+                mode,
+                &ProcessFaultPlan::new(7),
+                RecoveryConfig::default(),
+                &SpanSink::disabled(),
+            );
+            assert!(faulted.recovery.is_none(), "{faulted:?}");
+            assert_eq!(format!("{clean:?}"), format!("{faulted:?}"), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn slow_window_stretches_service_without_killing() {
+        // A 3× slow-node window over the first scans: the stretched
+        // service forces latest-wins skips, but nothing dies and no
+        // downtime accrues.
+        use gtw_desim::fault::Window;
+        let mut plan = ProcessFaultPlan::new(1999);
+        plan.slow(
+            1,
+            Schedule::new(vec![Window::new(
+                SimTime::from_secs_f64(4.0),
+                SimTime::from_secs_f64(9.0),
+            )]),
+            3.0,
+        );
+        let r = run_chain_process_faulted(
+            paper_256(3.0, 40),
+            ChainMode::Sequential,
+            &plan,
+            fast_recovery(),
+            &SpanSink::disabled(),
+        );
+        let stats = r.recovery.as_ref().expect("stats present");
+        assert!(stats.slowdowns >= 1, "{stats:?}");
+        assert_eq!((stats.crashes, stats.hangs, stats.recovered_scans), (0, 0, 0), "{stats:?}");
+        assert_eq!(stats.downtime_s, 0.0, "{stats:?}");
+        assert!(r.skipped >= 1, "the 8.1 s service must overrun the TR: {r:?}");
+        assert_eq!(r.displayed + r.skipped + stats.lost_scans, r.scanned, "{r:?}");
+    }
+
+    #[test]
+    fn pipelined_crash_delivers_each_scan_at_most_once() {
+        // The crash kills the transfer in flight; its epoch-tagged
+        // completion is discarded, so the dead incarnation never hands
+        // the image downstream — it is re-sent after the respawn instead
+        // of arriving twice.
+        let cfg = paper_256(3.0, 40);
+        let mut plan = ProcessFaultPlan::new(1999);
+        plan.crash_at(1, SimTime::from_secs_f64(20.0));
+        let r = run_chain_process_faulted(
+            cfg,
+            ChainMode::Pipelined,
+            &plan,
+            fast_recovery(),
+            &SpanSink::disabled(),
+        );
+        let stats = r.recovery.as_ref().expect("stats present");
+        assert_eq!(stats.crashes, 1, "{r:?}");
+        assert_eq!(stats.recovered_scans, 1, "{r:?}");
+        assert_eq!(r.displayed, 40, "recovered scan displayed exactly once: {r:?}");
+        assert_eq!(r.skipped, 0, "{r:?}");
+        assert_eq!(r.displayed + r.skipped + stats.lost_scans, r.scanned, "{r:?}");
+    }
+
+    #[test]
+    fn back_to_back_faults_and_seeded_reruns_are_deterministic() {
+        // A crash, a hang and a slow window in one protocol: the run
+        // completes, every scan is accounted for, and the same plan
+        // reproduces the identical report bit for bit.
+        use gtw_desim::fault::Window;
+        let build = || {
+            let mut plan = ProcessFaultPlan::new(0x6774_7732);
+            plan.crash_at(1, SimTime::from_secs_f64(14.0))
+                .hang_at(2, SimTime::from_secs_f64(44.0))
+                .slow(
+                    3,
+                    Schedule::new(vec![Window::new(
+                        SimTime::from_secs_f64(60.0),
+                        SimTime::from_secs_f64(70.0),
+                    )]),
+                    2.0,
+                );
+            plan
+        };
+        let run = || {
+            run_chain_process_faulted(
+                paper_256(3.0, 40),
+                ChainMode::Sequential,
+                &build(),
+                fast_recovery(),
+                &SpanSink::disabled(),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "seeded rerun must be bit-identical");
+        let stats = a.recovery.as_ref().expect("stats present");
+        assert_eq!((stats.crashes, stats.hangs), (1, 1), "{stats:?}");
+        assert!(stats.slowdowns >= 1, "{stats:?}");
+        assert!((stats.downtime_s - 2.3).abs() < 1e-9, "1.0 + 1.3: {stats:?}");
+        assert_eq!(a.displayed + a.skipped + stats.lost_scans, a.scanned, "{a:?}");
     }
 }

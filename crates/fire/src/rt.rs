@@ -14,7 +14,10 @@
 //! budget, so the session reports both *correct results* (validated
 //! against ground truth) and *paper-comparable delays*.
 
-use gtw_mpi::{FabricSpec, MachineSpec, Tag, ANY_SOURCE};
+use std::time::Duration;
+
+use gtw_desim::fault::ProcessFaultPlan;
+use gtw_mpi::{Comm, FabricSpec, InterComm, MachineSpec, Placement, Tag, Universe, ANY_SOURCE};
 use gtw_scan::acquire::Scanner;
 use gtw_scan::hrf::ReferenceVector;
 use gtw_scan::volume::{Dims, Volume};
@@ -27,6 +30,13 @@ use crate::t3e::T3eModel;
 const TAG_RAW: Tag = Tag(200);
 const TAG_MAP: Tag = Tag(201);
 const TAG_DONE: Tag = Tag(202);
+/// Checkpoint blob (resilient sessions): handshake restore payload and
+/// per-scan acknowledgement.
+const TAG_CKPT: Tag = Tag(203);
+
+/// Per-operation deadline of the resilient session — generous against
+/// the 2 s hung-rank hard cap, so a live-but-slow chain never trips it.
+const RESILIENT_OP_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// Virtual timing of one processed scan.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -137,6 +147,161 @@ pub fn run_rt_session(
     }
 }
 
+/// Result of a resilient realtime session.
+#[derive(Clone, Debug)]
+pub struct ResilientSessionReport {
+    /// Scans processed (every one, exactly once, even across crashes).
+    pub scans: usize,
+    /// The final correlation map (as displayed on the client).
+    pub final_map: Volume,
+    /// Compute-world incarnations spawned beyond the first.
+    pub respawns: usize,
+    /// Scans re-processed from a checkpoint after a failure.
+    pub reprocessed_scans: usize,
+}
+
+/// One compute-world incarnation: restore from the handshake checkpoint
+/// (empty blob = fresh protocol), then serve scans until `TAG_DONE` or
+/// until a fault kills this rank. Every operation goes through the
+/// failure-aware API so a scripted crash/hang fires and the thread
+/// exits instead of deadlocking the session.
+fn spawn_compute_incarnation(client: &Comm, config: FireConfig, rv: &ReferenceVector) -> InterComm {
+    let rv = rv.clone();
+    client.spawn(
+        1,
+        MachineSpec::new("Cray T3E-600 (FZJ)", FabricSpec::t3e_torus()),
+        FabricSpec::wan_testbed(),
+        move |t3e| {
+            let parent = t3e.parent().expect("spawned world has a parent");
+            let Ok((d, _)) = parent.try_recv_f64s(0, TAG_RAW, Some(RESILIENT_OP_TIMEOUT)) else {
+                return;
+            };
+            let dims = Dims::new(d[0] as usize, d[1] as usize, d[2] as usize);
+            let Ok((ckpt, _)) = parent.try_recv_u8s(0, TAG_CKPT, Some(RESILIENT_OP_TIMEOUT)) else {
+                return;
+            };
+            let mut pipeline = if ckpt.is_empty() {
+                FirePipeline::new(config, dims, rv.clone())
+            } else {
+                FirePipeline::restore(config, rv.clone(), &ckpt)
+                    .expect("client sent a checkpoint this build wrote")
+            };
+            loop {
+                let Ok((env, st)) =
+                    parent.recv_timeout(0, gtw_mpi::ANY_TAG, Some(RESILIENT_OP_TIMEOUT))
+                else {
+                    return;
+                };
+                if st.tag == TAG_DONE {
+                    return;
+                }
+                debug_assert_eq!(st.tag, TAG_RAW);
+                let raw = gtw_mpi::envelope::decode_f32s(&env.data);
+                let out = pipeline.process(&Volume::from_vec(dims, raw));
+                if parent.try_send_f32s(0, TAG_MAP, &out.correlation.data).is_err() {
+                    return;
+                }
+                if parent.try_send_u8s(0, TAG_CKPT, &pipeline.checkpoint_bytes()).is_err() {
+                    return;
+                }
+            }
+        },
+    )
+}
+
+/// Run a realtime session that *survives compute-world failures*: the
+/// RT-client keeps the last acknowledged FIRE checkpoint, and when the
+/// T3E world dies mid-protocol (scripted via `plan` — global ids: the
+/// client world is rank 0, the first compute incarnation rank 1,
+/// respawns 2, 3, …) it spawns a fresh world, replays the checkpoint,
+/// and resumes from the first unacknowledged scan. Results are
+/// *state-level exactly-once*: a scan whose map was delivered but whose
+/// checkpoint was lost is re-processed deterministically from a
+/// checkpoint that predates it, so the final map is bit-identical to an
+/// uninterrupted [`run_rt_session`].
+pub fn run_rt_session_resilient(
+    scanner: &Scanner,
+    config: FireConfig,
+    plan: &ProcessFaultPlan,
+) -> ResilientSessionReport {
+    let dims = scanner.config().dims;
+    let scans = scanner.scan_count();
+    let rv = ReferenceVector::canonical(&scanner.config().stimulus);
+    let series: Vec<Volume> = scanner.series();
+
+    let universe = Universe::new();
+    universe.install_process_faults(plan);
+    // Every incarnation a scripted fault can kill, plus slack for the
+    // clean tail — a plan that somehow killed more worlds than it names
+    // is a bug, not a retry loop.
+    let max_respawns = plan.faults.len() + 1;
+    let outputs = universe.launch_and_join(
+        Placement::single(1, MachineSpec::new("RT-client", FabricSpec::smp_shared())),
+        move |client| {
+            let dims_vec = [dims.nx as f64, dims.ny as f64, dims.nz as f64];
+            let mut respawns = 0usize;
+            let mut reprocessed = 0usize;
+            let mut acked = 0usize;
+            let mut last_ckpt: Vec<u8> = Vec::new();
+            let mut last_map = Volume::zeros(dims);
+            'incarnation: loop {
+                let compute = spawn_compute_incarnation(&client, config, &rv);
+                // Handshake: announce geometry, replay the checkpoint.
+                if compute.try_send_f64s(0, TAG_RAW, &dims_vec).is_err()
+                    || compute.try_send_u8s(0, TAG_CKPT, &last_ckpt).is_err()
+                {
+                    respawns += 1;
+                    assert!(respawns <= max_respawns, "compute world keeps dying in handshake");
+                    continue 'incarnation;
+                }
+                while acked < scans {
+                    let vol = &series[acked];
+                    let exchange = compute
+                        .try_send_bytes(
+                            0,
+                            TAG_RAW,
+                            gtw_mpi::Datatype::F32,
+                            gtw_mpi::envelope::encode_f32s(&vol.data),
+                        )
+                        .and_then(|()| {
+                            compute.try_recv_f32s(0, TAG_MAP, Some(RESILIENT_OP_TIMEOUT))
+                        })
+                        .and_then(|(map, _)| {
+                            compute
+                                .try_recv_u8s(0, TAG_CKPT, Some(RESILIENT_OP_TIMEOUT))
+                                .map(|(ckpt, _)| (map, ckpt))
+                        });
+                    match exchange {
+                        Ok((map, ckpt)) => {
+                            last_map = Volume::from_vec(dims, map);
+                            last_ckpt = ckpt;
+                            acked += 1;
+                        }
+                        Err(_) => {
+                            // The in-flight scan was not acknowledged:
+                            // the next incarnation restores the last
+                            // checkpoint and re-processes it.
+                            respawns += 1;
+                            reprocessed += 1;
+                            assert!(respawns <= max_respawns, "compute world keeps dying");
+                            continue 'incarnation;
+                        }
+                    }
+                }
+                let _ = compute.try_send_f64s(0, TAG_DONE, &[]);
+                break;
+            }
+            (last_map, respawns, reprocessed)
+        },
+    );
+    universe
+        .join_spawned_timeout(Duration::from_secs(30))
+        .expect("all compute incarnations exited");
+    let (final_map, respawns, reprocessed_scans) =
+        outputs.into_iter().next().expect("client produced a map");
+    ResilientSessionReport { scans, final_map, respawns, reprocessed_scans }
+}
+
 /// The headline delay statement of the paper: with 256 PEs the total
 /// scan-to-display delay stays under 5 s.
 pub fn paper_headline_delay() -> f64 {
@@ -202,6 +367,75 @@ mod tests {
             last = local.process(&scanner.acquire(t)).correlation;
         }
         assert!(report.final_map.rms_diff(&last) < 1e-6);
+    }
+
+    #[test]
+    fn resilient_session_survives_a_compute_crash_bit_identically() {
+        // Kill the first compute incarnation mid-protocol (global rank 1;
+        // its ops: 2 handshake recvs + 3 per scan, so op 8 is scan 1's
+        // checkpoint send). The client respawns, replays the checkpoint
+        // and re-processes the unacknowledged scan — the final map is
+        // bit-identical to the uninterrupted session.
+        let scanner = tiny_scanner(12);
+        let cfg = FireConfig {
+            median_filter: true,
+            motion_correction: false,
+            detrend: Some(2),
+            smoothing: false,
+            clip_level: 0.5,
+        };
+        let clean = run_rt_session(&scanner, cfg, 64, 1);
+        let mut plan = gtw_desim::fault::ProcessFaultPlan::new(1999);
+        plan.crash_after_ops(1, 8);
+        let r = run_rt_session_resilient(&scanner, cfg, &plan);
+        assert_eq!(r.scans, 12);
+        assert_eq!(r.respawns, 1, "exactly one respawn");
+        assert_eq!(r.reprocessed_scans, 1, "the unacked scan was re-run");
+        assert_eq!(
+            r.final_map.data, clean.final_map.data,
+            "checkpoint restart must be bit-identical"
+        );
+        // Same seed, same plan: the whole recovery replays.
+        let again = run_rt_session_resilient(&scanner, cfg, &plan);
+        assert_eq!(again.respawns, 1);
+        assert_eq!(again.final_map.data, r.final_map.data);
+    }
+
+    #[test]
+    fn resilient_session_with_empty_plan_is_a_clean_run() {
+        let scanner = tiny_scanner(8);
+        let cfg = FireConfig {
+            median_filter: false,
+            motion_correction: false,
+            detrend: None,
+            ..FireConfig::default()
+        };
+        let clean = run_rt_session(&scanner, cfg, 64, 1);
+        let r =
+            run_rt_session_resilient(&scanner, cfg, &gtw_desim::fault::ProcessFaultPlan::new(7));
+        assert_eq!(r.respawns, 0);
+        assert_eq!(r.reprocessed_scans, 0);
+        assert_eq!(r.final_map.data, clean.final_map.data);
+    }
+
+    #[test]
+    fn resilient_session_survives_a_crash_during_handshake() {
+        // Dying on op 2 (the checkpoint recv) exercises the respawn path
+        // before any scan was exchanged: nothing is re-processed, the
+        // protocol simply starts over on the second incarnation.
+        let scanner = tiny_scanner(6);
+        let cfg = FireConfig {
+            median_filter: false,
+            motion_correction: false,
+            detrend: None,
+            ..FireConfig::default()
+        };
+        let clean = run_rt_session(&scanner, cfg, 64, 1);
+        let mut plan = gtw_desim::fault::ProcessFaultPlan::new(42);
+        plan.crash_after_ops(1, 2);
+        let r = run_rt_session_resilient(&scanner, cfg, &plan);
+        assert_eq!(r.respawns, 1, "{r:?}");
+        assert_eq!(r.final_map.data, clean.final_map.data);
     }
 
     #[test]

@@ -2,7 +2,9 @@
 //! creation and inter-communicators.
 
 use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
@@ -11,7 +13,9 @@ use crate::envelope::{
     decode_f32s, decode_f64s, decode_i64s, decode_u64s, encode_f32s, encode_f64s, encode_i64s,
     encode_u64s, Datatype, Envelope, Tag, ANY_SOURCE,
 };
+use crate::error::{CommError, CommResult, FailCause};
 use crate::machine::{CommCost, FabricSpec, MachineSpec, Placement};
+use crate::mailbox::{ClaimOutcome, SrcFilter};
 use crate::trace::EventKind;
 use crate::universe::UniverseInner;
 
@@ -58,6 +62,9 @@ pub(crate) struct CommShared {
     barrier: Mutex<BarrierState>,
     barrier_cv: Condvar,
     costs: Vec<Mutex<CommCost>>,
+    /// ULFM-style revocation flag: once set, every failure-aware
+    /// operation on this communicator fails with [`CommError::Revoked`].
+    revoked: AtomicBool,
 }
 
 impl CommShared {
@@ -66,7 +73,16 @@ impl CommShared {
             barrier: Mutex::new(BarrierState { count: 0, generation: 0 }),
             barrier_cv: Condvar::new(),
             costs: (0..n).map(|_| Mutex::new(CommCost::default())).collect(),
+            revoked: AtomicBool::new(false),
         })
+    }
+}
+
+/// FNV-1a mixing used for derived-communicator keys.
+fn fnv_mix(h: &mut u64, v: u64) {
+    for b in v.to_le_bytes() {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x1000_0000_01b3);
     }
 }
 
@@ -87,6 +103,12 @@ pub struct Comm {
     parent: Option<Arc<ParentLink>>,
     coll_seq: Cell<u64>,
     derive_seq: Cell<u64>,
+    /// Salt mixed into collective tags. Zero for world/split/dup
+    /// communicators (keeping their tags byte-for-byte identical to the
+    /// pre-failure-semantics library); nonzero for shrunk communicators
+    /// so stale contributions from the pre-shrink epoch can never match
+    /// a post-shrink collective.
+    coll_salt: u64,
 }
 
 /// Base of the reserved tag space used by collectives.
@@ -110,6 +132,7 @@ impl Comm {
             parent: parent.map(|(parent_group, wan)| Arc::new(ParentLink { parent_group, wan })),
             coll_seq: Cell::new(0),
             derive_seq: Cell::new(0),
+            coll_salt: 0,
         }
     }
 
@@ -259,7 +282,7 @@ impl Comm {
     fn next_coll_tag(&self) -> Tag {
         let seq = self.coll_seq.get();
         self.coll_seq.set(seq.wrapping_add(1));
-        Tag(COLL_TAG_BASE | ((seq as u32) & 0x7fff_ffff))
+        Tag(COLL_TAG_BASE | (((seq ^ self.coll_salt) as u32) & 0x7fff_ffff))
     }
 
     /// Block until every rank of the communicator arrives.
@@ -665,6 +688,7 @@ impl Comm {
             parent: None,
             coll_seq: Cell::new(0),
             derive_seq: Cell::new(0),
+            coll_salt: 0,
         }
     }
 
@@ -683,6 +707,7 @@ impl Comm {
             parent: None,
             coll_seq: Cell::new(0),
             derive_seq: Cell::new(0),
+            coll_salt: 0,
         }
     }
 
@@ -778,6 +803,492 @@ impl Comm {
             wan,
         }
     }
+
+    /// Like [`Comm::attach`] but with a rendezvous deadline: a partner
+    /// that never shows up (or died before connecting) yields
+    /// [`CommError::Timeout`] instead of blocking on the port forever.
+    pub fn attach_timeout(
+        &self,
+        port_name: &str,
+        wan: FabricSpec,
+        timeout: Duration,
+    ) -> CommResult<InterComm> {
+        let (remote_group, _caller) = self.universe.rendezvous_deadline(
+            port_name,
+            Arc::clone(&self.group),
+            self.global_id(),
+            Some(timeout),
+        )?;
+        Ok(InterComm {
+            universe: Arc::clone(&self.universe),
+            my_global: self.global_id(),
+            remote_group,
+            wan,
+        })
+    }
+
+    // ----- failure-aware operations (ULFM-style) ----------------------------
+    //
+    // Everything below returns `CommResult` instead of blocking forever
+    // on a dead peer. The legacy blocking API above is untouched: with no
+    // process-fault plan installed the only extra cost here is a relaxed
+    // atomic load plus an uncontended map lookup per operation, and the
+    // legacy paths — tags, cost accounting, trace events — stay
+    // byte-identical to the pre-failure-semantics library.
+
+    /// Poll this rank's scripted fault injector and surface already
+    /// declared failures/revocation. Every failure-aware operation calls
+    /// this first, so a `FaultAt::Op(n)` trigger counts failure-aware
+    /// operations issued by the rank.
+    fn check_health(&self) -> CommResult<()> {
+        if self.universe.faults_installed() {
+            match self.universe.poll_fault(self.global_id()) {
+                None => {}
+                Some(FailCause::Crash) => {
+                    self.universe.declare_failed(self.global_id(), FailCause::Crash);
+                    return Err(CommError::RankFailed { rank: self.my_local });
+                }
+                Some(FailCause::Hang) => {
+                    self.hang_until_detected();
+                    return Err(CommError::RankFailed { rank: self.my_local });
+                }
+            }
+        }
+        if self.universe.is_failed(self.global_id()).is_some() {
+            return Err(CommError::RankFailed { rank: self.my_local });
+        }
+        if self.is_revoked() {
+            return Err(CommError::Revoked);
+        }
+        Ok(())
+    }
+
+    /// A hung rank goes silent: it stops sending and receiving until a
+    /// failure detector declares it dead, then its thread returns. The
+    /// hard cap guarantees worlds always join even with no detector
+    /// running.
+    fn hang_until_detected(&self) {
+        let cap = Instant::now() + Duration::from_secs(2);
+        while self.universe.is_failed(self.global_id()).is_none() {
+            if Instant::now() >= cap {
+                self.universe.declare_failed(self.global_id(), FailCause::Hang);
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Local index of the lowest failed member other than this rank.
+    fn first_failed_peer(&self) -> Option<usize> {
+        let failed = self.universe.failed_snapshot();
+        if failed.is_empty() {
+            return None;
+        }
+        (0..self.size())
+            .find(|&l| l != self.my_local && failed.binary_search(&self.group[l]).is_ok())
+    }
+
+    fn any_member_failed(&self) -> bool {
+        let failed = self.universe.failed_snapshot();
+        !failed.is_empty() && self.group.iter().any(|g| failed.binary_search(g).is_ok())
+    }
+
+    fn all_peers_failed(&self) -> bool {
+        let failed = self.universe.failed_snapshot();
+        (0..self.size()).all(|l| l == self.my_local || failed.binary_search(&self.group[l]).is_ok())
+    }
+
+    /// Modeled-cost charge for failure-aware ops: identical to the
+    /// legacy accounting, plus slow-node scaling and virtual-clock
+    /// advancement when a fault plan is installed.
+    fn charge_faulted(&self, peer_local: usize, bytes: u64) {
+        let wan = !self.placement.same_machine(self.my_local, peer_local);
+        let mut t = self.placement.transfer_time(self.my_local, peer_local, bytes);
+        if self.universe.faults_installed() {
+            t *= self.universe.slow_factor(self.global_id());
+            self.universe.advance_clock(self.global_id(), t);
+        }
+        self.shared.costs[self.my_local].lock().charge(t, bytes, wan);
+    }
+
+    fn try_send_internal(
+        &self,
+        dst: usize,
+        tag: Tag,
+        datatype: Datatype,
+        data: Bytes,
+    ) -> CommResult<()> {
+        let bytes = data.len() as u64;
+        let dst_global = self.group[dst];
+        if self.universe.is_failed(dst_global).is_some() {
+            return Err(CommError::RankFailed { rank: dst });
+        }
+        let env = Envelope { src: self.global_id(), dst: dst_global, tag, datatype, data };
+        if !self.universe.mailbox(dst_global).post(env) {
+            return Err(CommError::RankFailed { rank: dst });
+        }
+        self.charge_faulted(dst, bytes);
+        self.universe.trace.record(self.global_id(), EventKind::Send, Some(dst_global), bytes);
+        Ok(())
+    }
+
+    /// Failure-aware send: fails fast with [`CommError::RankFailed`]
+    /// when `dst` is dead instead of filling a poisoned mailbox.
+    pub fn try_send_bytes(
+        &self,
+        dst: usize,
+        tag: Tag,
+        datatype: Datatype,
+        data: Bytes,
+    ) -> CommResult<()> {
+        assert!(dst < self.size(), "destination {dst} out of range");
+        assert!(tag.0 < COLL_TAG_BASE, "tag {tag:?} is in the reserved collective space");
+        self.check_health()?;
+        self.try_send_internal(dst, tag, datatype, data)
+    }
+
+    /// Failure-aware `f64` send.
+    pub fn try_send_f64s(&self, dst: usize, tag: Tag, data: &[f64]) -> CommResult<()> {
+        self.try_send_bytes(dst, tag, Datatype::F64, encode_f64s(data))
+    }
+
+    /// Failure-aware `f32` send.
+    pub fn try_send_f32s(&self, dst: usize, tag: Tag, data: &[f32]) -> CommResult<()> {
+        self.try_send_bytes(dst, tag, Datatype::F32, encode_f32s(data))
+    }
+
+    /// Failure-aware `u64` send.
+    pub fn try_send_u64s(&self, dst: usize, tag: Tag, data: &[u64]) -> CommResult<()> {
+        self.try_send_bytes(dst, tag, Datatype::U64, encode_u64s(data))
+    }
+
+    /// Failure-aware raw-byte send.
+    pub fn try_send_u8s(&self, dst: usize, tag: Tag, data: &[u8]) -> CommResult<()> {
+        self.try_send_bytes(dst, tag, Datatype::U8, Bytes::copy_from_slice(data))
+    }
+
+    /// Translate an aborted claim into the most specific error.
+    fn abort_error(&self, src: Option<usize>) -> CommError {
+        if self.is_revoked() {
+            return CommError::Revoked;
+        }
+        if let Some(s) = src {
+            if self.universe.is_failed(self.group[s]).is_some() {
+                return CommError::RankFailed { rank: s };
+            }
+        }
+        if let Some(l) = self.first_failed_peer() {
+            return CommError::RankFailed { rank: l };
+        }
+        // Own mailbox poisoned: this rank itself was declared dead.
+        CommError::RankFailed { rank: self.my_local }
+    }
+
+    /// Receive with an optional wall-clock timeout and failure
+    /// awareness: returns [`CommError::RankFailed`] when the awaited
+    /// peer dies mid-wait, [`CommError::Timeout`] when the deadline
+    /// passes, [`CommError::Revoked`] when the communicator is revoked.
+    /// Wildcard receives skip envelopes from outside the communicator
+    /// (stale mail from dead worlds) instead of panicking on them.
+    pub fn recv_timeout(
+        &self,
+        src: usize,
+        tag: Tag,
+        timeout: Option<Duration>,
+    ) -> CommResult<(Envelope, Status)> {
+        self.check_health()?;
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mailbox = self.universe.mailbox(self.global_id());
+        let outcome = if src == ANY_SOURCE {
+            mailbox.claim_deadline(SrcFilter::OneOf(&self.group), tag, deadline, || {
+                self.is_revoked() || self.all_peers_failed()
+            })
+        } else {
+            assert!(src < self.size(), "source {src} out of range");
+            let src_global = self.group[src];
+            mailbox.claim_deadline(SrcFilter::Exact(src_global), tag, deadline, || {
+                self.is_revoked() || self.universe.is_failed(src_global).is_some()
+            })
+        };
+        match outcome {
+            ClaimOutcome::Ready(env) => {
+                let source = self
+                    .group
+                    .iter()
+                    .position(|&g| g == env.src)
+                    .expect("SrcFilter only admits group members");
+                self.charge_faulted(source, env.byte_len() as u64);
+                self.universe.trace.record(
+                    self.global_id(),
+                    EventKind::Recv,
+                    Some(env.src),
+                    env.byte_len() as u64,
+                );
+                let status = Status { source, tag: env.tag, bytes: env.byte_len() };
+                Ok((env, status))
+            }
+            ClaimOutcome::TimedOut => Err(CommError::Timeout),
+            ClaimOutcome::Aborted => {
+                Err(self.abort_error(if src == ANY_SOURCE { None } else { Some(src) }))
+            }
+        }
+    }
+
+    /// Failure-aware `f64` receive with timeout.
+    pub fn try_recv_f64s(
+        &self,
+        src: usize,
+        tag: Tag,
+        timeout: Option<Duration>,
+    ) -> CommResult<(Vec<f64>, Status)> {
+        let (env, st) = self.recv_timeout(src, tag, timeout)?;
+        assert_eq!(env.datatype, Datatype::F64, "datatype mismatch");
+        Ok((decode_f64s(&env.data), st))
+    }
+
+    /// Failure-aware `f32` receive with timeout.
+    pub fn try_recv_f32s(
+        &self,
+        src: usize,
+        tag: Tag,
+        timeout: Option<Duration>,
+    ) -> CommResult<(Vec<f32>, Status)> {
+        let (env, st) = self.recv_timeout(src, tag, timeout)?;
+        assert_eq!(env.datatype, Datatype::F32, "datatype mismatch");
+        Ok((decode_f32s(&env.data), st))
+    }
+
+    /// Failure-aware `u64` receive with timeout.
+    pub fn try_recv_u64s(
+        &self,
+        src: usize,
+        tag: Tag,
+        timeout: Option<Duration>,
+    ) -> CommResult<(Vec<u64>, Status)> {
+        let (env, st) = self.recv_timeout(src, tag, timeout)?;
+        assert_eq!(env.datatype, Datatype::U64, "datatype mismatch");
+        Ok((decode_u64s(&env.data), st))
+    }
+
+    /// Failure-aware raw-byte receive with timeout.
+    pub fn try_recv_u8s(
+        &self,
+        src: usize,
+        tag: Tag,
+        timeout: Option<Duration>,
+    ) -> CommResult<(Vec<u8>, Status)> {
+        let (env, st) = self.recv_timeout(src, tag, timeout)?;
+        assert_eq!(env.datatype, Datatype::U8, "datatype mismatch");
+        Ok((env.data.to_vec(), st))
+    }
+
+    /// Failure-aware barrier: completes only if every member arrives;
+    /// errors out (decrementing its own arrival) when a member dies, the
+    /// communicator is revoked, or the deadline passes.
+    pub fn try_barrier(&self, timeout: Option<Duration>) -> CommResult<()> {
+        self.check_health()?;
+        if let Some(r) = self.first_failed_peer() {
+            return Err(CommError::RankFailed { rank: r });
+        }
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mut st = self.shared.barrier.lock();
+        let gen = st.generation;
+        st.count += 1;
+        if st.count == self.size() {
+            st.count = 0;
+            st.generation += 1;
+            self.shared.barrier_cv.notify_all();
+            drop(st);
+            self.universe.trace.record(self.global_id(), EventKind::Barrier, None, 0);
+            return Ok(());
+        }
+        loop {
+            if st.generation != gen {
+                drop(st);
+                self.universe.trace.record(self.global_id(), EventKind::Barrier, None, 0);
+                return Ok(());
+            }
+            let err = if self.is_revoked() {
+                Some(CommError::Revoked)
+            } else if let Some(r) = self.first_failed_peer() {
+                Some(CommError::RankFailed { rank: r })
+            } else {
+                match deadline {
+                    Some(d) if Instant::now() >= d => Some(CommError::Timeout),
+                    _ => None,
+                }
+            };
+            if let Some(e) = err {
+                // Withdraw this rank's arrival so the count stays
+                // consistent for whoever retries after a shrink.
+                st.count = st.count.saturating_sub(1);
+                return Err(e);
+            }
+            let mut wait = Duration::from_millis(10);
+            if let Some(d) = deadline {
+                wait = wait.min(d.saturating_duration_since(Instant::now()));
+            }
+            self.shared.barrier_cv.wait_for(&mut st, wait);
+        }
+    }
+
+    /// Failure-aware allreduce: rank 0 collects every contribution,
+    /// folds them **in rank order** (deterministic float accumulation),
+    /// and distributes the result. Any member death, revocation or
+    /// deadline expiry fails the whole collective on every caller —
+    /// survivors then [`Comm::shrink`] and retry on the new
+    /// communicator.
+    pub fn try_allreduce_f64s(
+        &self,
+        op: ReduceOp,
+        contrib: &[f64],
+        timeout: Option<Duration>,
+    ) -> CommResult<Vec<f64>> {
+        self.check_health()?;
+        let tag = self.next_coll_tag();
+        self.universe.trace.record(self.global_id(), EventKind::Collective, None, 0);
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let root = 0usize;
+        if self.rank() == root {
+            let mut parts: Vec<Option<Vec<f64>>> = vec![None; self.size()];
+            parts[root] = Some(contrib.to_vec());
+            let mailbox = self.universe.mailbox(self.global_id());
+            for _ in 0..self.size() - 1 {
+                let outcome =
+                    mailbox.claim_deadline(SrcFilter::OneOf(&self.group), tag, deadline, || {
+                        self.is_revoked() || self.any_member_failed()
+                    });
+                match outcome {
+                    ClaimOutcome::Ready(env) => {
+                        let src = self
+                            .group
+                            .iter()
+                            .position(|&g| g == env.src)
+                            .expect("SrcFilter only admits group members");
+                        self.charge_faulted(src, env.byte_len() as u64);
+                        let v = decode_f64s(&env.data);
+                        assert_eq!(v.len(), contrib.len(), "allreduce length mismatch");
+                        parts[src] = Some(v);
+                    }
+                    ClaimOutcome::TimedOut => return Err(CommError::Timeout),
+                    ClaimOutcome::Aborted => return Err(self.abort_error(None)),
+                }
+            }
+            let mut iter = parts.into_iter().flatten();
+            let mut acc = iter.next().expect("root contributed");
+            for v in iter {
+                for (a, b) in acc.iter_mut().zip(v) {
+                    *a = op.combine(*a, b);
+                }
+            }
+            for dst in 0..self.size() {
+                if dst != root {
+                    self.try_send_internal(dst, tag, Datatype::F64, encode_f64s(&acc))?;
+                }
+            }
+            Ok(acc)
+        } else {
+            self.try_send_internal(root, tag, Datatype::F64, encode_f64s(contrib))?;
+            let mailbox = self.universe.mailbox(self.global_id());
+            let outcome =
+                mailbox.claim_deadline(SrcFilter::Exact(self.group[root]), tag, deadline, || {
+                    self.is_revoked() || self.any_member_failed()
+                });
+            match outcome {
+                ClaimOutcome::Ready(env) => {
+                    self.charge_faulted(root, env.byte_len() as u64);
+                    Ok(decode_f64s(&env.data))
+                }
+                ClaimOutcome::TimedOut => Err(CommError::Timeout),
+                ClaimOutcome::Aborted => Err(self.abort_error(None)),
+            }
+        }
+    }
+
+    /// Revoke the communicator (like `MPI_Comm_revoke`): every pending
+    /// and future failure-aware operation on it — on any member — fails
+    /// with [`CommError::Revoked`]. Idempotent. Survivors regroup via
+    /// [`Comm::shrink`].
+    pub fn revoke(&self) {
+        self.shared.revoked.store(true, Ordering::SeqCst);
+        for &g in self.group.iter() {
+            self.universe.mailbox(g).wake();
+        }
+        self.shared.barrier_cv.notify_all();
+    }
+
+    /// Whether some member has revoked this communicator.
+    pub fn is_revoked(&self) -> bool {
+        self.shared.revoked.load(Ordering::SeqCst)
+    }
+
+    /// Form the survivor communicator (like `MPI_Comm_shrink`): the
+    /// current group minus every rank declared failed. All survivors
+    /// must call it; each obtains a working communicator with fresh
+    /// collective state and a tag salt that isolates it from stale
+    /// pre-shrink traffic. Errors with [`CommError::RankFailed`] if the
+    /// caller itself has been declared dead.
+    pub fn shrink(&self) -> CommResult<Comm> {
+        let failed = self.universe.failed_snapshot();
+        if failed.binary_search(&self.global_id()).is_ok() {
+            return Err(CommError::RankFailed { rank: self.my_local });
+        }
+        let survivors: Vec<usize> =
+            (0..self.size()).filter(|&l| failed.binary_search(&self.group[l]).is_err()).collect();
+        let new_group: Vec<usize> = survivors.iter().map(|&l| self.group[l]).collect();
+        let my_local = new_group
+            .iter()
+            .position(|&g| g == self.global_id())
+            .expect("survivor belongs to the shrunk group");
+        let machines: Vec<MachineSpec> =
+            survivors.iter().map(|&l| self.placement.machine_of(l).clone()).collect();
+        let machine_of: Vec<usize> = (0..machines.len()).collect();
+        let placement = Placement::custom(machines, machine_of, *self.placement.wan());
+        // Key the shared state by the (old group -> new group) transition
+        // alone: survivors may have diverged in `derive_seq` by the time
+        // they shrink, so the sequence-mixing `derive_key` is unusable.
+        let mut key: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in b"shrink" {
+            fnv_mix(&mut key, *b as u64);
+        }
+        for &g in self.group.iter() {
+            fnv_mix(&mut key, g as u64);
+        }
+        for &g in &new_group {
+            fnv_mix(&mut key, g as u64);
+        }
+        let shared = self.universe.shared_for(key, new_group.len());
+        Ok(Comm {
+            universe: Arc::clone(&self.universe),
+            group: Arc::new(new_group),
+            my_local,
+            placement: Arc::new(placement),
+            shared,
+            parent: None,
+            coll_seq: Cell::new(0),
+            derive_seq: Cell::new(0),
+            coll_salt: key | 1,
+        })
+    }
+
+    /// Record a wall-clock heartbeat for this rank.
+    pub fn heartbeat(&self) {
+        self.universe.heartbeat(self.global_id());
+    }
+
+    /// Declare heartbeating ranks silent for longer than `max_silence`
+    /// dead (cause [`FailCause::Hang`]); returns the local indices of
+    /// members of *this* communicator newly declared.
+    pub fn detect_failures(&self, max_silence: Duration) -> Vec<usize> {
+        let newly = self.universe.detect_failures(max_silence);
+        newly.iter().filter_map(|g| self.group.iter().position(|x| x == g)).collect()
+    }
+
+    /// Local indices of group members declared failed so far, ascending.
+    pub fn failed_ranks(&self) -> Vec<usize> {
+        let failed = self.universe.failed_snapshot();
+        (0..self.size()).filter(|&l| failed.binary_search(&self.group[l]).is_ok()).collect()
+    }
 }
 
 /// An inter-communicator: point-to-point messaging to a remote group
@@ -868,6 +1379,198 @@ impl InterComm {
     pub fn probe(&self, src: usize, tag: Tag) -> bool {
         let src_global = if src == ANY_SOURCE { ANY_SOURCE } else { self.remote_group[src] };
         self.universe.mailbox(self.my_global).probe(src_global, tag)
+    }
+
+    // ----- failure-aware operations -----------------------------------------
+
+    /// Local indices of remote ranks declared failed, ascending.
+    pub fn failed_remote_ranks(&self) -> Vec<usize> {
+        let failed = self.universe.failed_snapshot();
+        (0..self.remote_size())
+            .filter(|&l| failed.binary_search(&self.remote_group[l]).is_ok())
+            .collect()
+    }
+
+    /// Poll this rank's scripted fault injector and surface an already
+    /// declared self-failure. Mirrors [`Comm::check_health`]; an
+    /// inter-communicator has no local index for the caller, so a
+    /// self-failure is reported as [`CommError::RankFailed`] carrying
+    /// this rank's *global* id.
+    fn check_health(&self) -> CommResult<()> {
+        if self.universe.faults_installed() {
+            match self.universe.poll_fault(self.my_global) {
+                None => {}
+                Some(FailCause::Crash) => {
+                    self.universe.declare_failed(self.my_global, FailCause::Crash);
+                    return Err(CommError::RankFailed { rank: self.my_global });
+                }
+                Some(FailCause::Hang) => {
+                    self.hang_until_detected();
+                    return Err(CommError::RankFailed { rank: self.my_global });
+                }
+            }
+        }
+        if self.universe.is_failed(self.my_global).is_some() {
+            return Err(CommError::RankFailed { rank: self.my_global });
+        }
+        Ok(())
+    }
+
+    /// See [`Comm::hang_until_detected`]: go silent until a detector (or
+    /// the hard cap) declares this rank dead.
+    fn hang_until_detected(&self) {
+        let cap = Instant::now() + Duration::from_secs(2);
+        while self.universe.is_failed(self.my_global).is_none() {
+            if Instant::now() >= cap {
+                self.universe.declare_failed(self.my_global, FailCause::Hang);
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Failure-aware send to remote rank `dst`.
+    pub fn try_send_bytes(
+        &self,
+        dst: usize,
+        tag: Tag,
+        datatype: Datatype,
+        data: Bytes,
+    ) -> CommResult<()> {
+        self.check_health()?;
+        let dst_global = self.remote_group[dst];
+        if self.universe.is_failed(dst_global).is_some() {
+            return Err(CommError::RankFailed { rank: dst });
+        }
+        let bytes = data.len() as u64;
+        let env = Envelope { src: self.my_global, dst: dst_global, tag, datatype, data };
+        if !self.universe.mailbox(dst_global).post(env) {
+            return Err(CommError::RankFailed { rank: dst });
+        }
+        self.universe.trace.record(self.my_global, EventKind::Send, Some(dst_global), bytes);
+        Ok(())
+    }
+
+    /// Failure-aware `f32` send.
+    pub fn try_send_f32s(&self, dst: usize, tag: Tag, data: &[f32]) -> CommResult<()> {
+        self.try_send_bytes(dst, tag, Datatype::F32, encode_f32s(data))
+    }
+
+    /// Failure-aware `f64` send.
+    pub fn try_send_f64s(&self, dst: usize, tag: Tag, data: &[f64]) -> CommResult<()> {
+        self.try_send_bytes(dst, tag, Datatype::F64, encode_f64s(data))
+    }
+
+    /// Failure-aware `u64` send.
+    pub fn try_send_u64s(&self, dst: usize, tag: Tag, data: &[u64]) -> CommResult<()> {
+        self.try_send_bytes(dst, tag, Datatype::U64, encode_u64s(data))
+    }
+
+    /// Failure-aware raw-byte send.
+    pub fn try_send_u8s(&self, dst: usize, tag: Tag, data: &[u8]) -> CommResult<()> {
+        self.try_send_bytes(dst, tag, Datatype::U8, Bytes::copy_from_slice(data))
+    }
+
+    /// Receive from the remote group with an optional timeout: errors
+    /// with [`CommError::RankFailed`] when the awaited remote rank (or,
+    /// for wildcard receives, the whole remote group) is dead, and
+    /// [`CommError::Timeout`] on deadline expiry. Wildcard receives skip
+    /// envelopes from outside the remote group.
+    pub fn recv_timeout(
+        &self,
+        src: usize,
+        tag: Tag,
+        timeout: Option<Duration>,
+    ) -> CommResult<(Envelope, Status)> {
+        self.check_health()?;
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mailbox = self.universe.mailbox(self.my_global);
+        let outcome = if src == ANY_SOURCE {
+            mailbox.claim_deadline(SrcFilter::OneOf(&self.remote_group), tag, deadline, || {
+                let failed = self.universe.failed_snapshot();
+                !failed.is_empty()
+                    && self.remote_group.iter().all(|g| failed.binary_search(g).is_ok())
+            })
+        } else {
+            let src_global = self.remote_group[src];
+            mailbox.claim_deadline(SrcFilter::Exact(src_global), tag, deadline, || {
+                self.universe.is_failed(src_global).is_some()
+            })
+        };
+        match outcome {
+            ClaimOutcome::Ready(env) => {
+                let source = self
+                    .remote_group
+                    .iter()
+                    .position(|&g| g == env.src)
+                    .expect("SrcFilter only admits remote-group members");
+                self.universe.trace.record(
+                    self.my_global,
+                    EventKind::Recv,
+                    Some(env.src),
+                    env.byte_len() as u64,
+                );
+                let st = Status { source, tag: env.tag, bytes: env.byte_len() };
+                Ok((env, st))
+            }
+            ClaimOutcome::TimedOut => Err(CommError::Timeout),
+            ClaimOutcome::Aborted => {
+                let rank = if src == ANY_SOURCE {
+                    self.failed_remote_ranks().first().copied().unwrap_or(0)
+                } else {
+                    src
+                };
+                Err(CommError::RankFailed { rank })
+            }
+        }
+    }
+
+    /// Failure-aware `f32` receive with timeout.
+    pub fn try_recv_f32s(
+        &self,
+        src: usize,
+        tag: Tag,
+        timeout: Option<Duration>,
+    ) -> CommResult<(Vec<f32>, Status)> {
+        let (env, st) = self.recv_timeout(src, tag, timeout)?;
+        assert_eq!(env.datatype, Datatype::F32, "datatype mismatch");
+        Ok((decode_f32s(&env.data), st))
+    }
+
+    /// Failure-aware `f64` receive with timeout.
+    pub fn try_recv_f64s(
+        &self,
+        src: usize,
+        tag: Tag,
+        timeout: Option<Duration>,
+    ) -> CommResult<(Vec<f64>, Status)> {
+        let (env, st) = self.recv_timeout(src, tag, timeout)?;
+        assert_eq!(env.datatype, Datatype::F64, "datatype mismatch");
+        Ok((decode_f64s(&env.data), st))
+    }
+
+    /// Failure-aware `u64` receive with timeout.
+    pub fn try_recv_u64s(
+        &self,
+        src: usize,
+        tag: Tag,
+        timeout: Option<Duration>,
+    ) -> CommResult<(Vec<u64>, Status)> {
+        let (env, st) = self.recv_timeout(src, tag, timeout)?;
+        assert_eq!(env.datatype, Datatype::U64, "datatype mismatch");
+        Ok((decode_u64s(&env.data), st))
+    }
+
+    /// Failure-aware raw-byte receive with timeout.
+    pub fn try_recv_u8s(
+        &self,
+        src: usize,
+        tag: Tag,
+        timeout: Option<Duration>,
+    ) -> CommResult<(Vec<u8>, Status)> {
+        let (env, st) = self.recv_timeout(src, tag, timeout)?;
+        assert_eq!(env.datatype, Datatype::U8, "datatype mismatch");
+        Ok((env.data.to_vec(), st))
     }
 }
 

@@ -1,0 +1,169 @@
+//! Heartbeat-based failure detection.
+//!
+//! Two layers:
+//!
+//! * [`HeartbeatMonitor`] — a pure, virtual-time detector: ranks are
+//!   registered, beat at will, and [`HeartbeatMonitor::check`] declares
+//!   any rank silent for longer than `interval × miss_threshold`
+//!   suspected. Deterministic and clock-free, so its detection-time
+//!   bound is directly testable.
+//! * The universe-level wall-clock detector
+//!   ([`crate::Comm::heartbeat`] / [`crate::Comm::detect_failures`])
+//!   reuses the same parameters against real `Instant`s for the
+//!   thread-backed runtime.
+//!
+//! The bound: a rank that goes silent right after a beat at time `t` is
+//! declared suspected by any `check` at or after
+//! `t + interval × miss_threshold`, i.e. detection latency never exceeds
+//! [`HeartbeatConfig::detection_bound`] when the detector is polled at
+//! least once per interval.
+
+use std::collections::BTreeMap;
+
+use gtw_desim::{SimDuration, SimTime};
+
+/// Detector parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HeartbeatConfig {
+    /// Nominal beat period.
+    pub interval: SimDuration,
+    /// Consecutive missed beats before a rank is suspected.
+    pub miss_threshold: u32,
+}
+
+impl HeartbeatConfig {
+    /// Silence longer than this declares a rank suspected.
+    pub fn silence_limit(&self) -> SimDuration {
+        self.interval * self.miss_threshold as u64
+    }
+
+    /// Worst-case detection latency when `check` runs once per interval:
+    /// the silence limit plus one polling period.
+    pub fn detection_bound(&self) -> SimDuration {
+        self.interval * (self.miss_threshold as u64 + 1)
+    }
+}
+
+impl Default for HeartbeatConfig {
+    fn default() -> Self {
+        HeartbeatConfig { interval: SimDuration::from_millis(100), miss_threshold: 3 }
+    }
+}
+
+/// Virtual-time heartbeat bookkeeping for a set of ranks.
+#[derive(Clone, Debug)]
+pub struct HeartbeatMonitor {
+    cfg: HeartbeatConfig,
+    last_beat: BTreeMap<usize, SimTime>,
+    suspected: Vec<usize>,
+}
+
+impl HeartbeatMonitor {
+    /// New monitor with no registered ranks.
+    pub fn new(cfg: HeartbeatConfig) -> Self {
+        HeartbeatMonitor { cfg, last_beat: BTreeMap::new(), suspected: Vec::new() }
+    }
+
+    /// The configured parameters.
+    pub fn config(&self) -> HeartbeatConfig {
+        self.cfg
+    }
+
+    /// Start tracking `rank`, treating `now` as its first beat.
+    pub fn register(&mut self, rank: usize, now: SimTime) {
+        self.last_beat.insert(rank, now);
+    }
+
+    /// Record a beat from `rank`. Beats from unregistered or already
+    /// suspected ranks are ignored (a suspicion is never retracted —
+    /// the fail-stop model has no resurrection).
+    pub fn beat(&mut self, rank: usize, now: SimTime) {
+        if self.suspected.contains(&rank) {
+            return;
+        }
+        if let Some(t) = self.last_beat.get_mut(&rank) {
+            *t = (*t).max(now);
+        }
+    }
+
+    /// Declare every rank silent past the limit suspected; returns the
+    /// ranks *newly* suspected by this check, in ascending order.
+    pub fn check(&mut self, now: SimTime) -> Vec<usize> {
+        let limit = self.cfg.silence_limit();
+        let mut newly = Vec::new();
+        for (&rank, &last) in &self.last_beat {
+            if self.suspected.contains(&rank) {
+                continue;
+            }
+            if now.saturating_since(last) > limit {
+                newly.push(rank);
+            }
+        }
+        self.suspected.extend(newly.iter().copied());
+        newly
+    }
+
+    /// Whether `rank` has been declared suspected.
+    pub fn is_suspected(&self, rank: usize) -> bool {
+        self.suspected.contains(&rank)
+    }
+
+    /// All suspected ranks, ascending.
+    pub fn suspected(&self) -> &[usize] {
+        &self.suspected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(interval_ms: u64, miss: u32) -> HeartbeatConfig {
+        HeartbeatConfig { interval: SimDuration::from_millis(interval_ms), miss_threshold: miss }
+    }
+
+    #[test]
+    fn silent_rank_is_suspected_within_bound() {
+        let mut m = HeartbeatMonitor::new(cfg(100, 3));
+        m.register(0, SimTime::ZERO);
+        m.register(1, SimTime::ZERO);
+        // Rank 0 keeps beating; rank 1 goes silent at t=0.
+        let mut detected_at = None;
+        for step in 1..=10u64 {
+            let now = SimTime::from_millis(step * 100);
+            m.beat(0, now);
+            let newly = m.check(now);
+            if !newly.is_empty() {
+                assert_eq!(newly, vec![1]);
+                detected_at = Some(now);
+                break;
+            }
+        }
+        let t = detected_at.expect("silent rank must be detected");
+        assert!(t.saturating_since(SimTime::ZERO) <= m.config().detection_bound());
+        assert!(m.is_suspected(1));
+        assert!(!m.is_suspected(0));
+    }
+
+    #[test]
+    fn beating_rank_is_never_suspected() {
+        let mut m = HeartbeatMonitor::new(cfg(50, 2));
+        m.register(7, SimTime::ZERO);
+        for step in 1..=100u64 {
+            let now = SimTime::from_millis(step * 50);
+            m.beat(7, now);
+            assert!(m.check(now).is_empty(), "step {step}");
+        }
+    }
+
+    #[test]
+    fn suspicion_is_sticky() {
+        let mut m = HeartbeatMonitor::new(cfg(10, 1));
+        m.register(2, SimTime::ZERO);
+        assert_eq!(m.check(SimTime::from_millis(100)), vec![2]);
+        // A late beat does not resurrect the rank.
+        m.beat(2, SimTime::from_millis(101));
+        assert!(m.is_suspected(2));
+        assert!(m.check(SimTime::from_millis(200)).is_empty(), "no double report");
+    }
+}

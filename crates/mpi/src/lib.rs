@@ -41,14 +41,19 @@
 //! ```
 
 pub mod comm;
+pub mod detector;
 pub mod envelope;
+pub mod error;
 pub mod machine;
 pub mod mailbox;
 pub mod trace;
 pub mod universe;
 
-pub use comm::{Comm, ReduceOp, Status};
+pub use comm::{Comm, InterComm, ReduceOp, Status};
+pub use detector::{HeartbeatConfig, HeartbeatMonitor};
 pub use envelope::{Datatype, Envelope, Tag, ANY_SOURCE, ANY_TAG};
+pub use error::{CommError, CommResult, FailCause};
 pub use machine::{CommCost, FabricSpec, MachineSpec, Placement};
+pub use mailbox::{ClaimOutcome, Mailbox, SrcFilter};
 pub use trace::{EventKind, TraceEvent, VampirSummary};
 pub use universe::Universe;

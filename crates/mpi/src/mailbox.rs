@@ -6,16 +6,28 @@
 //! non-overtaking (FIFO per (src, tag) pair — guaranteed here by scanning
 //! the queue in arrival order); wildcards [`ANY_SOURCE`] / [`ANY_TAG`]
 //! match the earliest arrival.
+//!
+//! For the failure-aware API a mailbox can additionally be **poisoned**
+//! (its owner crashed: posts are silently dropped, queued messages are
+//! discarded) and claimed with a deadline and an abort predicate
+//! ([`Mailbox::claim_deadline`]) so a receive blocked on a dead peer
+//! returns instead of hanging forever.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
 use crate::envelope::{Envelope, Tag, ANY_SOURCE, ANY_TAG};
 
+struct State {
+    queue: VecDeque<Envelope>,
+    poisoned: bool,
+}
+
 struct Inner {
-    queue: Mutex<VecDeque<Envelope>>,
+    state: Mutex<State>,
     available: Condvar,
 }
 
@@ -35,50 +47,155 @@ fn matches(e: &Envelope, src: usize, tag: Tag) -> bool {
     (src == ANY_SOURCE || e.src == src) && (tag == ANY_TAG || e.tag == tag)
 }
 
+/// Source-matching predicate for [`Mailbox::claim_deadline`].
+///
+/// `OneOf` restricts a wildcard receive to a known membership (the
+/// communicator's global ids) so stale envelopes from dead or foreign
+/// worlds are skipped instead of tripping the "message from outside this
+/// communicator" invariant.
+#[derive(Clone, Copy, Debug)]
+pub enum SrcFilter<'a> {
+    /// Any sender.
+    Any,
+    /// Exactly one global id.
+    Exact(usize),
+    /// Any of the listed global ids.
+    OneOf(&'a [usize]),
+}
+
+impl SrcFilter<'_> {
+    fn admits(&self, src: usize) -> bool {
+        match self {
+            SrcFilter::Any => true,
+            SrcFilter::Exact(s) => src == *s,
+            SrcFilter::OneOf(set) => set.contains(&src),
+        }
+    }
+}
+
+/// Result of a deadline-bounded claim.
+#[derive(Debug)]
+pub enum ClaimOutcome {
+    /// A matching envelope arrived.
+    Ready(Envelope),
+    /// The deadline expired with no match.
+    TimedOut,
+    /// The abort predicate fired (peer declared failed, communicator
+    /// revoked, or this mailbox itself was poisoned).
+    Aborted,
+}
+
+/// Backstop wait so abort conditions raised without a matching
+/// `notify` (e.g. a revocation flag flipped elsewhere) are observed
+/// within a bounded delay.
+const WAIT_BACKSTOP: Duration = Duration::from_millis(10);
+
 impl Mailbox {
     /// New empty mailbox.
     pub fn new() -> Self {
         Mailbox {
             inner: Arc::new(Inner {
-                queue: Mutex::new(VecDeque::new()),
+                state: Mutex::new(State { queue: VecDeque::new(), poisoned: false }),
                 available: Condvar::new(),
             }),
         }
     }
 
-    /// Deposit an envelope (non-blocking, eager).
-    pub fn post(&self, e: Envelope) {
-        let mut q = self.inner.queue.lock();
-        q.push_back(e);
+    /// Deposit an envelope (non-blocking, eager). Returns `false` if the
+    /// mailbox is poisoned — the owner is dead and the message is
+    /// silently dropped, like a WAN packet to a vanished host.
+    pub fn post(&self, e: Envelope) -> bool {
+        let mut st = self.inner.state.lock();
+        if st.poisoned {
+            return false;
+        }
+        st.queue.push_back(e);
+        self.inner.available.notify_all();
+        true
+    }
+
+    /// Mark the owner dead: discard queued messages, drop all future
+    /// posts, and wake every blocked claimer.
+    pub fn poison(&self) {
+        let mut st = self.inner.state.lock();
+        st.poisoned = true;
+        st.queue.clear();
+        self.inner.available.notify_all();
+    }
+
+    /// Whether the owner has been declared dead.
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.state.lock().poisoned
+    }
+
+    /// Wake all blocked claimers so they re-evaluate abort conditions.
+    pub fn wake(&self) {
         self.inner.available.notify_all();
     }
 
     /// Blocking receive of the earliest envelope matching `(src, tag)`.
     pub fn claim(&self, src: usize, tag: Tag) -> Envelope {
-        let mut q = self.inner.queue.lock();
+        let mut st = self.inner.state.lock();
         loop {
-            if let Some(pos) = q.iter().position(|e| matches(e, src, tag)) {
-                return q.remove(pos).expect("position was just found");
+            if let Some(pos) = st.queue.iter().position(|e| matches(e, src, tag)) {
+                return st.queue.remove(pos).expect("position was just found");
             }
-            self.inner.available.wait(&mut q);
+            self.inner.available.wait(&mut st);
+        }
+    }
+
+    /// Deadline- and abort-aware receive: blocks until a matching
+    /// envelope arrives ([`ClaimOutcome::Ready`]), `deadline` passes
+    /// ([`ClaimOutcome::TimedOut`]), or `abort()` returns true / the
+    /// mailbox is poisoned ([`ClaimOutcome::Aborted`]).
+    ///
+    /// `abort` is evaluated under the mailbox lock; it must not block on
+    /// another mailbox.
+    pub fn claim_deadline<F: Fn() -> bool>(
+        &self,
+        src: SrcFilter<'_>,
+        tag: Tag,
+        deadline: Option<Instant>,
+        abort: F,
+    ) -> ClaimOutcome {
+        let mut st = self.inner.state.lock();
+        loop {
+            if let Some(pos) =
+                st.queue.iter().position(|e| src.admits(e.src) && (tag == ANY_TAG || e.tag == tag))
+            {
+                let env = st.queue.remove(pos).expect("position was just found");
+                return ClaimOutcome::Ready(env);
+            }
+            if st.poisoned || abort() {
+                return ClaimOutcome::Aborted;
+            }
+            let mut wait = WAIT_BACKSTOP;
+            if let Some(d) = deadline {
+                let now = Instant::now();
+                if now >= d {
+                    return ClaimOutcome::TimedOut;
+                }
+                wait = wait.min(d - now);
+            }
+            self.inner.available.wait_for(&mut st, wait);
         }
     }
 
     /// Non-blocking probe: does a matching message exist?
     pub fn probe(&self, src: usize, tag: Tag) -> bool {
-        self.inner.queue.lock().iter().any(|e| matches(e, src, tag))
+        self.inner.state.lock().queue.iter().any(|e| matches(e, src, tag))
     }
 
     /// Non-blocking receive.
     pub fn try_claim(&self, src: usize, tag: Tag) -> Option<Envelope> {
-        let mut q = self.inner.queue.lock();
-        let pos = q.iter().position(|e| matches(e, src, tag))?;
-        q.remove(pos)
+        let mut st = self.inner.state.lock();
+        let pos = st.queue.iter().position(|e| matches(e, src, tag))?;
+        st.queue.remove(pos)
     }
 
     /// Number of queued (unclaimed) envelopes.
     pub fn len(&self) -> usize {
-        self.inner.queue.lock().len()
+        self.inner.state.lock().queue.len()
     }
 
     /// Whether the mailbox is empty.
@@ -161,5 +278,65 @@ mod tests {
         for i in 0..50u8 {
             assert_eq!(mb.claim(ANY_SOURCE, Tag(3)).data[0], i);
         }
+    }
+
+    #[test]
+    fn poisoned_mailbox_drops_posts_and_aborts_claims() {
+        let mb = Mailbox::new();
+        mb.post(env(1, 1, 9));
+        mb.poison();
+        assert!(mb.is_poisoned());
+        assert!(mb.is_empty(), "poisoning discards queued mail");
+        assert!(!mb.post(env(1, 1, 10)), "posts to the dead are dropped");
+        assert!(mb.is_empty());
+        match mb.claim_deadline(SrcFilter::Any, ANY_TAG, None, || false) {
+            ClaimOutcome::Aborted => {}
+            other => panic!("expected Aborted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn claim_deadline_times_out() {
+        let mb = Mailbox::new();
+        let start = Instant::now();
+        let out = mb.claim_deadline(
+            SrcFilter::Any,
+            ANY_TAG,
+            Some(Instant::now() + Duration::from_millis(30)),
+            || false,
+        );
+        assert!(matches!(out, ClaimOutcome::TimedOut));
+        assert!(start.elapsed() >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn claim_deadline_observes_late_abort() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let mb = Mailbox::new();
+        let flag = Arc::new(AtomicBool::new(false));
+        let (mb2, flag2) = (mb.clone(), Arc::clone(&flag));
+        let h = std::thread::spawn(move || {
+            mb2.claim_deadline(SrcFilter::Any, ANY_TAG, None, || flag2.load(Ordering::Relaxed))
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        flag.store(true, Ordering::Relaxed);
+        mb.wake();
+        assert!(matches!(h.join().unwrap(), ClaimOutcome::Aborted));
+    }
+
+    #[test]
+    fn one_of_filter_skips_foreign_mail() {
+        let mb = Mailbox::new();
+        mb.post(env(9, 4, 90)); // from outside the membership
+        mb.post(env(2, 4, 20));
+        let members = [1usize, 2, 3];
+        match mb.claim_deadline(SrcFilter::OneOf(&members), Tag(4), None, || false) {
+            ClaimOutcome::Ready(e) => {
+                assert_eq!(e.src, 2);
+                assert_eq!(e.data[0], 20);
+            }
+            other => panic!("expected Ready, got {other:?}"),
+        }
+        assert_eq!(mb.len(), 1, "the foreign envelope stays queued");
     }
 }

@@ -92,6 +92,9 @@ pub struct SignallingAgent {
     pub calls_admitted: u64,
     /// Calls this agent refused.
     pub calls_refused: u64,
+    /// Messages of an unknown type dropped instead of crashing the
+    /// simulation (e.g. strays from a torn-down or foreign protocol).
+    pub dropped_msgs: u64,
     label: String,
 }
 
@@ -105,6 +108,7 @@ impl SignallingAgent {
             hop_latency,
             calls_admitted: 0,
             calls_refused: 0,
+            dropped_msgs: 0,
             label: label.into(),
         }
     }
@@ -186,7 +190,9 @@ impl Component for SignallingAgent {
                 ctx.send_in(delay, next, msg(r));
             }
         } else {
-            panic!("unexpected message at signalling agent");
+            // A stray message (torn-down call, foreign protocol) must not
+            // crash the switch: drop it and count it.
+            self.dropped_msgs += 1;
         }
     }
 
@@ -202,6 +208,8 @@ pub struct CallOriginator {
     pub results: Vec<(CallId, CallOutcome)>,
     /// Paths of connected calls (for release).
     pub routes: HashMap<CallId, Vec<ComponentId>>,
+    /// Stray messages dropped instead of crashing the simulation.
+    pub dropped_msgs: u64,
 }
 
 impl Component for CallOriginator {
@@ -221,7 +229,8 @@ impl Component for CallOriginator {
             }
             self.results.push((r.call, CallOutcome::Rejected { at_hop: r.at_hop }));
         } else {
-            panic!("unexpected message at originator");
+            // As at the agent: a stray message is dropped, not fatal.
+            self.dropped_msgs += 1;
         }
     }
 

@@ -19,6 +19,7 @@
 //! ```text
 //! cargo run --release --example run_report
 //! cargo run --release --example run_report -- --faults 1999
+//! cargo run --release --example run_report -- --process-faults 1999
 //! ```
 //!
 //! With `--faults <seed>` the Part-1 transfer runs under the canonical
@@ -26,6 +27,12 @@
 //! loss plus one 50 ms outage on the WAN hop, streams keyed by the
 //! seed): the report then attributes every drop to its injected cause,
 //! and two runs with the same seed print byte-identical JSON.
+//!
+//! With `--process-faults <seed>` the Part-3 chain additionally runs
+//! under a canonical compute-world fault script (a T3E crash at t = 20 s
+//! and a hang at t = 80 s, seeded) with checkpoint-restart recovery; the
+//! `fire_recovery` key then reports the per-cause recovery counters.
+//! Both flags only *add* keys — clean output stays byte-identical.
 
 use gtw_core::scenario::FmriScenario;
 use gtw_core::testbed::{GigabitTestbedWest, LinkEra};
@@ -50,6 +57,8 @@ fn arg_value(flag: &str) -> Option<String> {
 fn main() {
     let fault_seed: Option<u64> =
         arg_value("--faults").map(|s| s.parse().expect("--faults takes a u64 seed"));
+    let process_fault_seed: Option<u64> = arg_value("--process-faults")
+        .map(|s| s.parse().expect("--process-faults takes a u64 seed"));
     // ── Part 1: testbed transfer via the high-level API ──────────────
     let tb = GigabitTestbedWest::build(LinkEra::Oc48Upgrade);
     let (path, mtu, _) = tb.topology.path(tb.t3e_600, tb.sp2).expect("path T3E -> SP2");
@@ -127,6 +136,31 @@ fn main() {
         scans: 40,
     };
     let chain = gtw_fire::realtime::run_chain(chain_cfg, gtw_fire::realtime::ChainMode::Pipelined);
+    // The resilient chain: a scripted T3E crash and hang, recovered by
+    // checkpoint-restart. Only run (and only reported) under the flag.
+    let recovery_json = process_fault_seed.map(|seed| {
+        use gtw_desim::SimTime;
+        let mut plan = gtw_desim::fault::ProcessFaultPlan::new(seed);
+        plan.crash_at(1, SimTime::from_secs_f64(20.0)).hang_at(2, SimTime::from_secs_f64(80.0));
+        // Warm-standby respawn (1 s): short enough that the in-flight
+        // scan is re-processed from the checkpoint instead of being
+        // superseded by the next raw image.
+        let recovery_cfg = gtw_fire::realtime::RecoveryConfig { detect_s: 0.3, respawn_s: 1.0 };
+        let faulted = gtw_fire::realtime::run_chain_process_faulted(
+            chain_cfg,
+            gtw_fire::realtime::ChainMode::Sequential,
+            &plan,
+            recovery_cfg,
+            &SpanSink::disabled(),
+        );
+        let recovery = faulted.recovery.expect("fault plan installed");
+        let mut j = recovery.to_json();
+        j.push("seed", Json::from(seed));
+        j.push("displayed", Json::from(faulted.displayed));
+        j.push("skipped", Json::from(faulted.skipped));
+        j.push("mean_latency_s", Json::from(faulted.mean_latency_s));
+        j
+    });
     let fire_json = Json::obj([
         ("pes", Json::from(fire.pes)),
         ("acquire_s", Json::from(fire.acquire_s)),
@@ -144,6 +178,9 @@ fn main() {
     let mut doc = Json::obj([("t3e_to_sp2", run.to_json()), ("traced_pipeline", traced.to_json())]);
     doc.push("kernel_counters", counter.to_json());
     doc.push("fire_breakdown", fire_json);
+    if let Some(recovery) = recovery_json {
+        doc.push("fire_recovery", recovery);
+    }
     if let Some(seed) = fault_seed {
         doc.push("fault_seed", Json::from(seed));
     }

@@ -27,3 +27,16 @@ GTW_FAULT_SEED=1999 cargo test -q -p gtw-core --test fault_recovery
 cargo run --release -q -p gtw-bench --bin fig1_network -- --json --faults 1999 > "$trace_tmp/faulted_a.json"
 cargo run --release -q -p gtw-bench --bin fig1_network -- --json --faults 1999 > "$trace_tmp/faulted_b.json"
 cmp "$trace_tmp/faulted_a.json" "$trace_tmp/faulted_b.json"
+
+# Rank-failure gate: the process-fault suites (failure semantics in
+# gtw-mpi, checkpoint-restart in gtw-fire) run under a hard timeout —
+# a regression that deadlocks a dead-peer path must FAIL the gate, not
+# hang it. Then the resilient-chain determinism check: two process-
+# faulted run_report runs with one seed must emit byte-identical JSON.
+timeout 300 cargo test -q -p gtw-mpi --test failures
+timeout 300 cargo test -q -p gtw-fire checkpoint
+timeout 300 cargo test -q -p gtw-fire realtime
+timeout 300 cargo test -q -p gtw-fire rt::
+cargo run --release -q -p gtw-core --example run_report -- --process-faults 1999 > "$trace_tmp/pfaulted_a.json"
+cargo run --release -q -p gtw-core --example run_report -- --process-faults 1999 > "$trace_tmp/pfaulted_b.json"
+cmp "$trace_tmp/pfaulted_a.json" "$trace_tmp/pfaulted_b.json"
