@@ -222,7 +222,7 @@ pub fn signal_wan_share(reserved_mbps: f64, concurrent_mbps: &[f64]) -> Result<f
     let o = sim.component::<CallOriginator>(origin);
     match o.results.iter().find(|(id, _)| *id == ours) {
         Some((_, CallOutcome::Connected { setup_s })) => Ok(*setup_s),
-        Some((_, CallOutcome::Rejected { at_hop })) => Err(*at_hop),
+        Some((_, CallOutcome::Rejected { at_hop, .. })) => Err(*at_hop),
         None => unreachable!("call result must exist"),
     }
 }

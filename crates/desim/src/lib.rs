@@ -37,6 +37,7 @@ pub mod sim;
 pub mod span;
 pub mod time;
 pub mod trace;
+pub mod traffic;
 
 pub use component::{Component, ComponentId, Ctx, Msg};
 pub use fault::{
@@ -51,3 +52,4 @@ pub use sim::{RunResult, Simulator};
 pub use span::{chrome_trace, validate_chrome_trace, Span, SpanRecorder, SpanSink, TraceCheck};
 pub use time::{SimDuration, SimTime};
 pub use trace::{EventCounter, Tracer};
+pub use traffic::{BgFlowSpec, TrafficPlan};

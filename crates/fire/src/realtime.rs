@@ -107,6 +107,103 @@ impl RecoveryStats {
     }
 }
 
+/// WAN congestion applied to the transfer stage: while a window is
+/// open, transfers run `slowdown`× slower (the VC's share of the trunk
+/// shrinks under competing background load).
+#[derive(Clone, Debug, Default)]
+pub struct Congestion {
+    /// When the trunk is congested.
+    pub windows: Schedule,
+    /// Transfer slowdown factor while a window is open (`>= 1`).
+    pub slowdown: f64,
+}
+
+impl Congestion {
+    /// Congested over `windows`, transfers stretched by `slowdown`.
+    pub fn new(windows: Schedule, slowdown: f64) -> Self {
+        assert!(slowdown >= 1.0, "a slowdown below 1 would be a speedup");
+        Congestion { windows, slowdown }
+    }
+
+    /// True when no window ever opens (the clean-run case).
+    pub fn is_empty(&self) -> bool {
+        self.windows.windows().is_empty()
+    }
+}
+
+/// The graceful-degradation policy: how the chain trades resolution for
+/// latency when the transfer is congested.
+///
+/// Before consuming a raw image the driver predicts the scan-end →
+/// display latency at each quality level (a level scales the transfer
+/// *and* compute times — a downsampled scan is smaller to ship and
+/// cheaper to reconstruct) and picks the highest level whose prediction
+/// meets `deadline_s`. Downshifts take effect immediately; an upshift
+/// needs `recover_after` consecutive images for which the next-higher
+/// level would also have met the deadline, so quality ratchets back up
+/// only once the backlog has genuinely cleared.
+#[derive(Clone, Debug)]
+pub struct DegradeConfig {
+    /// Scan-end → display latency budget, seconds.
+    pub deadline_s: f64,
+    /// Quality levels as resolution factors, best first (e.g.
+    /// `[1.0, 0.5, 0.25]`). The last level is the floor the chain falls
+    /// back to even when its prediction misses the deadline.
+    pub levels: Vec<f64>,
+    /// Consecutive deadline-safe images before one upshift step.
+    pub recover_after: usize,
+}
+
+impl DegradeConfig {
+    /// The paper's budget: the headline "well below 5 s" delay as the
+    /// deadline, half- and quarter-resolution fallbacks, and a short
+    /// recovery streak.
+    pub fn paper() -> Self {
+        DegradeConfig { deadline_s: 5.0, levels: vec![1.0, 0.5, 0.25], recover_after: 3 }
+    }
+}
+
+/// Counters of the degradation policy over one run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DegradeStats {
+    /// Quality reductions (each may skip several levels at once).
+    pub downshifts: usize,
+    /// Single-step quality recoveries.
+    pub upshifts: usize,
+    /// Images started below full resolution.
+    pub degraded_images: usize,
+    /// Lowest resolution factor the chain fell to.
+    pub min_quality: f64,
+    /// Images started although even the lowest level predicted a
+    /// deadline miss (the chain never stalls — it ships its best).
+    pub predicted_misses: usize,
+}
+
+impl Default for DegradeStats {
+    fn default() -> Self {
+        DegradeStats {
+            downshifts: 0,
+            upshifts: 0,
+            degraded_images: 0,
+            min_quality: 1.0,
+            predicted_misses: 0,
+        }
+    }
+}
+
+impl DegradeStats {
+    /// The counters as a JSON object (for run reports).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("downshifts", Json::from(self.downshifts)),
+            ("upshifts", Json::from(self.upshifts)),
+            ("degraded_images", Json::from(self.degraded_images)),
+            ("min_quality", Json::from(self.min_quality)),
+            ("predicted_misses", Json::from(self.predicted_misses)),
+        ])
+    }
+}
+
 /// Measured outcome of a chain run.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct RealtimeReport {
@@ -132,6 +229,9 @@ pub struct RealtimeReport {
     /// installed, so clean-run reports are identical to pre-resilience
     /// builds.
     pub recovery: Option<RecoveryStats>,
+    /// Degradation counters — present only when a congestion plan was
+    /// installed, for the same clean-run identity reason.
+    pub degrade: Option<DegradeStats>,
 }
 
 // ---- messages --------------------------------------------------------
@@ -193,6 +293,21 @@ struct ChainDriver {
     /// counts as recovered when re-processed, lost if superseded first.
     requeued: Option<usize>,
     stats: RecoveryStats,
+    /// Congestion + degradation policy. `None` on clean runs — every
+    /// degradation branch is then dead code and the legacy schedule is
+    /// reproduced exactly.
+    degrade: Option<DegradeState>,
+}
+
+/// Live state of the degradation policy.
+struct DegradeState {
+    cfg: DegradeConfig,
+    congestion: Congestion,
+    /// Index into `cfg.levels` of the current quality.
+    level: usize,
+    /// Consecutive images for which the next-higher level was safe.
+    ok_streak: usize,
+    stats: DegradeStats,
 }
 
 impl ChainDriver {
@@ -237,10 +352,12 @@ impl ChainDriver {
         if slow > 1.0 {
             self.stats.slowdowns += 1;
         }
+        let (tmul, cmul) = self.pick_quality(ctx.now(), scan_end);
         match self.mode {
             ChainMode::Sequential => {
                 // The whole chain is one serial service.
-                let mut total = self.cfg.transfer_s + self.cfg.compute_s + self.cfg.display_s;
+                let mut total =
+                    self.cfg.transfer_s * tmul + self.cfg.compute_s * cmul + self.cfg.display_s;
                 if slow > 1.0 {
                     total *= slow;
                 }
@@ -249,8 +366,8 @@ impl ChainDriver {
                     // known at start time; emit them up front.
                     let f = if slow > 1.0 { slow } else { 1.0 };
                     let t0 = ctx.now();
-                    let t1 = t0 + SimDuration::from_secs_f64(self.cfg.transfer_s * f);
-                    let t2 = t1 + SimDuration::from_secs_f64(self.cfg.compute_s * f);
+                    let t1 = t0 + SimDuration::from_secs_f64(self.cfg.transfer_s * tmul * f);
+                    let t2 = t1 + SimDuration::from_secs_f64(self.cfg.compute_s * cmul * f);
                     let t3 = t2 + SimDuration::from_secs_f64(self.cfg.display_s * f);
                     self.spans.record("chain", "transfer", t0, t1);
                     self.spans.record("chain", "compute", t1, t2);
@@ -263,8 +380,11 @@ impl ChainDriver {
             }
             ChainMode::Pipelined => {
                 // This actor is the transfer stage; hand off downstream.
+                // Degradation shrinks the bytes shipped, so only the
+                // transfer multiplier applies here — the downstream
+                // stages run at their configured service times.
                 let compute = self.compute.expect("pipelined mode wires a compute stage");
-                let mut transfer = self.cfg.transfer_s;
+                let mut transfer = self.cfg.transfer_s * tmul;
                 if slow > 1.0 {
                     transfer *= slow;
                 }
@@ -293,6 +413,56 @@ impl ChainDriver {
     /// Product slow factor of all scripted slow-node faults at `now`.
     fn slow_factor(&self, now: SimTime) -> f64 {
         self.injectors.iter().map(|(_, inj)| inj.slow_factor(now)).product()
+    }
+
+    /// The congestion-feedback hook: pick the quality for the image
+    /// about to start and return `(transfer multiplier, compute
+    /// multiplier)`. The transfer multiplier folds in the congestion
+    /// slowdown; on clean runs both are exactly `1.0`.
+    fn pick_quality(&mut self, now: SimTime, scan_end: SimTime) -> (f64, f64) {
+        let Some(st) = self.degrade.as_mut() else {
+            return (1.0, 1.0);
+        };
+        let cf = if st.congestion.windows.window_end_at(now).is_some() {
+            st.congestion.slowdown
+        } else {
+            1.0
+        };
+        let elapsed = now.saturating_since(scan_end).as_secs_f64();
+        let (t, c, d) = (self.cfg.transfer_s, self.cfg.compute_s, self.cfg.display_s);
+        let deadline = st.cfg.deadline_s;
+        let fits = |q: f64| elapsed + t * cf * q + c * q + d <= deadline + 1e-12;
+        let floor = st.cfg.levels.len() - 1;
+        let desired = st.cfg.levels.iter().position(|&q| fits(q)).unwrap_or(floor);
+        if desired > st.level {
+            // The prediction misses at the current quality: shed
+            // resolution immediately, possibly several levels at once.
+            st.level = desired;
+            st.stats.downshifts += 1;
+            st.ok_streak = 0;
+        } else if desired < st.level {
+            // Higher quality would fit again; recover one level per
+            // stable streak so a brief lull does not flap the quality.
+            st.ok_streak += 1;
+            if st.ok_streak >= st.cfg.recover_after {
+                st.level -= 1;
+                st.stats.upshifts += 1;
+                st.ok_streak = 0;
+            }
+        } else {
+            st.ok_streak = 0;
+        }
+        let q = st.cfg.levels[st.level];
+        if q < 1.0 {
+            st.stats.degraded_images += 1;
+        }
+        if q < st.stats.min_quality {
+            st.stats.min_quality = q;
+        }
+        if !fits(q) {
+            st.stats.predicted_misses += 1;
+        }
+        (cf * q, q)
     }
 
     /// Poll the scripted injectors (`time_only`: just the time-triggered
@@ -515,6 +685,7 @@ pub fn run_chain_faulted(
         outages,
         &ProcessFaultPlan::default(),
         RecoveryConfig::default(),
+        None,
         sink,
     )
 }
@@ -537,7 +708,39 @@ pub fn run_chain_process_faulted(
     recovery: RecoveryConfig,
     sink: &SpanSink,
 ) -> RealtimeReport {
-    run_chain_impl(cfg, mode, &Schedule::empty(), plan, recovery, sink)
+    run_chain_impl(cfg, mode, &Schedule::empty(), plan, recovery, None, sink)
+}
+
+/// Run the chain under sustained WAN congestion with the graceful-
+/// degradation policy installed: while a congestion window is open,
+/// transfers run `congestion.slowdown`× slower, and before each image
+/// the driver predicts its scan-end → display latency, shedding
+/// resolution (per `degrade.levels`) as needed to stay inside
+/// `degrade.deadline_s` — the chain trades quality for latency, never
+/// the deadline. Quality recovers one level per `recover_after`
+/// deadline-safe images once the backlog clears. The report's `degrade`
+/// field carries the [`DegradeStats`].
+///
+/// With an empty congestion plan the run — including the report — is
+/// identical to [`run_chain_traced`], and `degrade` stays `None`.
+pub fn run_chain_congested(
+    cfg: RealtimeConfig,
+    mode: ChainMode,
+    congestion: &Congestion,
+    degrade: &DegradeConfig,
+    sink: &SpanSink,
+) -> RealtimeReport {
+    let state =
+        if congestion.is_empty() { None } else { Some((congestion.clone(), degrade.clone())) };
+    run_chain_impl(
+        cfg,
+        mode,
+        &Schedule::empty(),
+        &ProcessFaultPlan::default(),
+        RecoveryConfig::default(),
+        state,
+        sink,
+    )
 }
 
 fn run_chain_impl(
@@ -546,6 +749,7 @@ fn run_chain_impl(
     outages: &Schedule,
     plan: &ProcessFaultPlan,
     recovery: RecoveryConfig,
+    congestion: Option<(Congestion, DegradeConfig)>,
     sink: &SpanSink,
 ) -> RealtimeReport {
     let mut sim = Simulator::new();
@@ -579,6 +783,13 @@ fn run_chain_impl(
         up_at: SimTime::ZERO,
         requeued: None,
         stats: RecoveryStats::default(),
+        degrade: congestion.map(|(congestion, cfg)| DegradeState {
+            cfg,
+            congestion,
+            level: 0,
+            ok_streak: 0,
+            stats: DegradeStats::default(),
+        }),
     };
     let (driver_id, stage_skips) = if mode == ChainMode::Pipelined {
         // display <- compute <- driver(transfer)
@@ -665,6 +876,7 @@ fn run_chain_impl(
         period_s,
         latency,
         recovery: if faulted { Some(d.stats.clone()) } else { None },
+        degrade: d.degrade.as_ref().map(|st| st.stats.clone()),
     }
 }
 
@@ -981,6 +1193,117 @@ mod tests {
         assert_eq!(r.displayed, 40, "recovered scan displayed exactly once: {r:?}");
         assert_eq!(r.skipped, 0, "{r:?}");
         assert_eq!(r.displayed + r.skipped + stats.lost_scans, r.scanned, "{r:?}");
+    }
+
+    // ---- congestion + graceful degradation --------------------------
+
+    #[test]
+    fn congestion_sheds_resolution_and_holds_the_deadline() {
+        use gtw_desim::fault::Window;
+        // A 3× transfer slowdown over [10 s, 60 s): at full resolution
+        // the chain would blow the 5 s budget (1.5 + 3.3 + c + 0.6), so
+        // it must downshift — and every displayed image still lands
+        // inside the deadline.
+        let congestion = Congestion::new(
+            Schedule::new(vec![Window::new(
+                SimTime::from_secs_f64(10.0),
+                SimTime::from_secs_f64(60.0),
+            )]),
+            3.0,
+        );
+        let degrade = DegradeConfig::paper();
+        let r = run_chain_congested(
+            paper_256(3.0, 40),
+            ChainMode::Sequential,
+            &congestion,
+            &degrade,
+            &SpanSink::disabled(),
+        );
+        let stats = r.degrade.as_ref().expect("congestion plan installed → stats present");
+        assert!(stats.downshifts >= 1, "{stats:?}");
+        assert!(stats.degraded_images >= 1, "{stats:?}");
+        assert!(stats.min_quality < 1.0, "{stats:?}");
+        assert_eq!(stats.predicted_misses, 0, "the fallback levels must suffice: {stats:?}");
+        // The robustness contract: resolution is shed, the deadline is
+        // not — scan-end → display latency never exceeds the budget.
+        assert!(
+            r.latency.max().as_secs_f64() <= degrade.deadline_s + 1e-9,
+            "deadline missed: {r:?}"
+        );
+        assert_eq!(r.displayed + r.skipped, r.scanned, "every scan accounted for: {r:?}");
+    }
+
+    #[test]
+    fn quality_recovers_after_the_backlog_clears() {
+        use gtw_desim::fault::Window;
+        // Congestion over a window in the middle of the protocol: the
+        // chain downshifts inside it and ratchets back to full quality
+        // once transfers are fast again.
+        let congestion = Congestion::new(
+            Schedule::new(vec![Window::new(
+                SimTime::from_secs_f64(10.0),
+                SimTime::from_secs_f64(40.0),
+            )]),
+            3.0,
+        );
+        let r = run_chain_congested(
+            paper_256(3.0, 40),
+            ChainMode::Sequential,
+            &congestion,
+            &DegradeConfig::paper(),
+            &SpanSink::disabled(),
+        );
+        let stats = r.degrade.as_ref().expect("stats present");
+        assert!(stats.downshifts >= 1, "{stats:?}");
+        assert!(stats.upshifts >= 1, "quality must recover after the window: {stats:?}");
+        // The final images run at full quality again, so not every
+        // image of the protocol is degraded.
+        assert!(stats.degraded_images < r.displayed, "{stats:?} vs {} displayed", r.displayed);
+    }
+
+    #[test]
+    fn empty_congestion_plan_is_invisible() {
+        // The congested entry point with no windows must reproduce the
+        // clean run event-for-event, and report no degrade stats.
+        for mode in [ChainMode::Sequential, ChainMode::Pipelined] {
+            let clean = run_chain(paper_256(3.0, 30), mode);
+            let congested = run_chain_congested(
+                paper_256(3.0, 30),
+                mode,
+                &Congestion::default(),
+                &DegradeConfig::paper(),
+                &SpanSink::disabled(),
+            );
+            assert!(congested.degrade.is_none(), "{congested:?}");
+            assert_eq!(format!("{clean:?}"), format!("{congested:?}"), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn overwhelming_congestion_ships_the_floor_not_a_stall() {
+        use gtw_desim::fault::Window;
+        // A 20× slowdown no level can absorb: the chain reports the
+        // predicted misses, falls to the floor quality, and still
+        // finishes the protocol (degradation, never a hang).
+        let congestion = Congestion::new(
+            Schedule::new(vec![Window::new(
+                SimTime::from_secs_f64(5.0),
+                SimTime::from_secs_f64(200.0),
+            )]),
+            20.0,
+        );
+        let r = run_chain_congested(
+            paper_256(3.0, 40),
+            ChainMode::Sequential,
+            &congestion,
+            &DegradeConfig::paper(),
+            &SpanSink::disabled(),
+        );
+        let stats = r.degrade.as_ref().expect("stats present");
+        assert!(stats.predicted_misses >= 1, "{stats:?}");
+        assert_eq!(stats.min_quality, 0.25, "fell to the floor level: {stats:?}");
+        assert_eq!(r.displayed + r.skipped, r.scanned, "{r:?}");
+        assert!(r.displayed >= 1, "{r:?}");
     }
 
     #[test]

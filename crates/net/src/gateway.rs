@@ -12,11 +12,16 @@
 //! and transmits on the other. Its contribution to a path is therefore a
 //! hop whose service time is routing cost + memory copy + egress framing.
 
-use gtw_desim::SimDuration;
+use std::collections::VecDeque;
+
+use gtw_desim::component::{downcast, msg};
+use gtw_desim::fault::Schedule;
+use gtw_desim::{Component, ComponentId, Ctx, Msg, SimDuration, Simulator};
 use serde::{Deserialize, Serialize};
 
 use crate::link::Medium;
 use crate::sdh::StmLevel;
+use crate::signaling::LinkFailure;
 use crate::tcp::HopModel;
 use crate::units::{Bandwidth, DataSize};
 
@@ -109,6 +114,292 @@ impl Gateway {
     }
 }
 
+// ---- standby pair -----------------------------------------------------
+
+/// A datagram handed to a [`GatewayPair`] for forwarding.
+pub struct GwPacket {
+    /// Sequence number, used by tests to check exactly-once delivery.
+    pub seq: u64,
+    /// Datagram size in bytes.
+    pub bytes: u64,
+}
+
+/// Delivered by the pair to its downstream sink.
+pub struct GwDelivered(pub GwPacket);
+
+/// Kick-off: arm the health-probe timer.
+pub struct StartProbes;
+
+/// Take unit `0` (primary) or `1` (standby) down — the crash is silent;
+/// the pair only reacts once enough health probes go unanswered.
+pub struct GatewayDown(pub usize);
+
+/// Bring unit `0` or `1` back up.
+pub struct GatewayUp(pub usize);
+
+struct ProbeTick;
+
+struct GwTxDone {
+    epoch: u64,
+}
+
+/// A primary/standby gateway pair with health-probe failure detection.
+///
+/// Datagrams queue in the shared upstream buffer and are serviced by the
+/// active unit (routing cost + memory copy). A silent failure of the
+/// active unit is detected after `miss_threshold` consecutive unanswered
+/// probes; failover then discards the one datagram that was mid-copy in
+/// the dead unit (the bounded in-flight loss), promotes the standby, and
+/// notifies every registered [`ResilientRoute`](crate::signaling) with a
+/// [`LinkFailure`] so affected VCs re-signal. Queued datagrams survive —
+/// delivery is exactly-once for everything not mid-copy at the instant
+/// of failure.
+pub struct GatewayPair {
+    units: [Gateway; 2],
+    up: [bool; 2],
+    active: usize,
+    sink: ComponentId,
+    /// Interval between health probes.
+    pub probe_interval: SimDuration,
+    /// Consecutive missed probes before the pair fails over.
+    pub miss_threshold: u32,
+    /// Upstream buffer capacity in datagrams.
+    pub queue_cap: usize,
+    /// Routes to notify (via [`LinkFailure`]) when a failover happens.
+    pub routes: Vec<ComponentId>,
+    queue: VecDeque<GwPacket>,
+    /// True while the active unit is copying the queue head.
+    transmitting: bool,
+    epoch: u64,
+    missed: u32,
+    probing: bool,
+    /// Datagrams delivered downstream.
+    pub forwarded: u64,
+    /// Datagrams lost mid-copy at failover (bounded by one per event).
+    pub inflight_lost: u64,
+    /// Datagrams refused because the upstream buffer was full.
+    pub queue_drops: u64,
+    /// Completed failovers.
+    pub failovers: u64,
+    /// Health probes issued.
+    pub probes_sent: u64,
+    /// Probes the active unit failed to answer.
+    pub probe_misses: u64,
+    /// Stray messages dropped instead of crashing the simulation.
+    pub dropped_msgs: u64,
+}
+
+impl GatewayPair {
+    /// New pair forwarding to `sink`; unit 0 starts active.
+    pub fn new(primary: Gateway, standby: Gateway, sink: ComponentId) -> Self {
+        GatewayPair {
+            units: [primary, standby],
+            up: [true, true],
+            active: 0,
+            sink,
+            probe_interval: SimDuration::from_millis(10),
+            miss_threshold: 3,
+            queue_cap: 64,
+            routes: Vec::new(),
+            queue: VecDeque::new(),
+            transmitting: false,
+            epoch: 0,
+            missed: 0,
+            probing: false,
+            forwarded: 0,
+            inflight_lost: 0,
+            queue_drops: 0,
+            failovers: 0,
+            probes_sent: 0,
+            probe_misses: 0,
+            dropped_msgs: 0,
+        }
+    }
+
+    /// Builder: probe cadence and how many misses trigger failover.
+    pub fn with_probes(mut self, interval: SimDuration, miss_threshold: u32) -> Self {
+        assert!(miss_threshold >= 1);
+        self.probe_interval = interval;
+        self.miss_threshold = miss_threshold;
+        self
+    }
+
+    /// Builder: notify `route` (a `ResilientRoute`) on every failover.
+    pub fn notify_route(mut self, route: ComponentId) -> Self {
+        self.routes.push(route);
+        self
+    }
+
+    /// Index (0 or 1) of the unit currently forwarding.
+    pub fn active_unit(&self) -> usize {
+        self.active
+    }
+
+    /// Time the active unit needs per datagram: routing plus the
+    /// store-and-forward memory copy.
+    fn service(&self, bytes: u64) -> SimDuration {
+        let g = &self.units[self.active];
+        let copy = match g.mode {
+            ForwardingMode::StoreAndForward => g.copy_rate.time_for(DataSize::from_bytes(bytes)),
+            ForwardingMode::CutThrough => SimDuration::ZERO,
+        };
+        g.per_packet + copy
+    }
+
+    fn try_start(&mut self, ctx: &mut Ctx<'_>) {
+        if self.transmitting || !self.up[self.active] {
+            return;
+        }
+        let Some(head) = self.queue.front() else { return };
+        let dt = self.service(head.bytes);
+        self.transmitting = true;
+        ctx.timer_in(dt, msg(GwTxDone { epoch: self.epoch }));
+    }
+
+    /// Arm the next probe tick unless one is already pending. The timer
+    /// is self-limiting: it stops re-arming once the pair is idle with a
+    /// healthy active unit, so a finished scenario drains to quiescence.
+    fn arm_probe(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.probing {
+            self.probing = true;
+            ctx.timer_in(self.probe_interval, msg(ProbeTick));
+        }
+    }
+
+    fn fail_over(&mut self, ctx: &mut Ctx<'_>) {
+        self.epoch += 1; // invalidate the dead unit's pending TxDone
+        self.missed = 0;
+        if self.transmitting {
+            // The datagram mid-copy in the dead unit is gone; everything
+            // still queued upstream survives.
+            self.transmitting = false;
+            self.queue.pop_front();
+            self.inflight_lost += 1;
+        }
+        self.active = 1 - self.active;
+        self.failovers += 1;
+        for &r in &self.routes {
+            ctx.send_in(SimDuration::ZERO, r, msg(LinkFailure));
+        }
+        self.try_start(ctx);
+    }
+}
+
+impl Component for GatewayPair {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, m: Msg) {
+        if m.is::<GwPacket>() {
+            let p = *downcast::<GwPacket>(m);
+            if self.queue.len() >= self.queue_cap {
+                self.queue_drops += 1;
+                return;
+            }
+            self.queue.push_back(p);
+            self.arm_probe(ctx);
+            self.try_start(ctx);
+        } else if m.is::<GwTxDone>() {
+            let d = *downcast::<GwTxDone>(m);
+            if d.epoch != self.epoch {
+                return; // completion from a unit that already failed
+            }
+            self.transmitting = false;
+            if let Some(p) = self.queue.pop_front() {
+                self.forwarded += 1;
+                ctx.send_in(SimDuration::ZERO, self.sink, msg(GwDelivered(p)));
+            }
+            self.try_start(ctx);
+        } else if m.is::<ProbeTick>() {
+            let _ = downcast::<ProbeTick>(m);
+            self.probing = false;
+            self.probes_sent += 1;
+            if self.up[self.active] {
+                self.missed = 0;
+            } else {
+                self.missed += 1;
+                self.probe_misses += 1;
+                if self.missed >= self.miss_threshold && self.up[1 - self.active] {
+                    self.fail_over(ctx);
+                }
+            }
+            if !self.queue.is_empty() || self.transmitting || !self.up[self.active] {
+                self.arm_probe(ctx);
+            }
+        } else if m.is::<StartProbes>() {
+            let _ = downcast::<StartProbes>(m);
+            self.arm_probe(ctx);
+        } else if m.is::<GatewayDown>() {
+            let GatewayDown(unit) = *downcast::<GatewayDown>(m);
+            if unit < 2 {
+                self.up[unit] = false;
+                if unit == self.active && self.transmitting {
+                    // The datagram mid-copy lives in the dead unit's
+                    // memory: it is lost at the crash, and its pending
+                    // completion must not fire.
+                    self.epoch += 1;
+                    self.transmitting = false;
+                    self.queue.pop_front();
+                    self.inflight_lost += 1;
+                }
+                self.arm_probe(ctx);
+            } else {
+                self.dropped_msgs += 1;
+            }
+        } else if m.is::<GatewayUp>() {
+            let GatewayUp(unit) = *downcast::<GatewayUp>(m);
+            if unit < 2 {
+                self.up[unit] = true;
+                self.try_start(ctx);
+            } else {
+                self.dropped_msgs += 1;
+            }
+        } else {
+            self.dropped_msgs += 1;
+        }
+    }
+
+    fn name(&self) -> &str {
+        "gateway-pair"
+    }
+}
+
+/// A sink recording the sequence numbers a [`GatewayPair`] delivers.
+#[derive(Default)]
+pub struct GatewaySink {
+    /// Delivered sequence numbers, in arrival order.
+    pub delivered: Vec<u64>,
+    /// Stray messages dropped instead of crashing the simulation.
+    pub dropped_msgs: u64,
+}
+
+impl Component for GatewaySink {
+    fn handle(&mut self, _ctx: &mut Ctx<'_>, m: Msg) {
+        if m.is::<GwDelivered>() {
+            let GwDelivered(p) = *downcast::<GwDelivered>(m);
+            self.delivered.push(p.seq);
+        } else {
+            self.dropped_msgs += 1;
+        }
+    }
+
+    fn name(&self) -> &str {
+        "gateway-sink"
+    }
+}
+
+/// Deliver [`GatewayDown`]/[`GatewayUp`] to `pair` at the boundaries of
+/// every outage window `schedule` holds for unit `unit` — the glue
+/// between a deterministic fault schedule and the health-probe detector.
+pub fn schedule_gateway_outages(
+    sim: &mut Simulator,
+    pair: ComponentId,
+    unit: usize,
+    schedule: &Schedule,
+) {
+    for w in schedule.windows() {
+        sim.send_at(w.start, pair, msg(GatewayDown(unit)));
+        sim.send_at(w.end, pair, msg(GatewayUp(unit)));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,5 +439,106 @@ mod tests {
     fn presets_have_distinct_egress() {
         assert!(matches!(Gateway::sgi_o200_to_atm().egress, Medium::Atm { .. }));
         assert!(matches!(Gateway::sun_e5000_to_hippi().egress, Medium::Hippi { .. }));
+    }
+
+    use gtw_desim::fault::Window;
+    use gtw_desim::SimTime;
+
+    /// Pair + sink, probes every 1 ms, failover after 3 misses.
+    fn pair(sim: &mut Simulator) -> (ComponentId, ComponentId) {
+        let sink = sim.add_component(GatewaySink::default());
+        let pair = sim.add_component(
+            GatewayPair::new(Gateway::sgi_o200_to_atm(), Gateway::sun_ultra30_to_atm(), sink)
+                .with_probes(SimDuration::from_millis(1), 3),
+        );
+        sim.send_at(SimTime::ZERO, pair, msg(StartProbes));
+        (pair, sink)
+    }
+
+    /// One 8 KiB datagram every 500 µs.
+    fn stream(sim: &mut Simulator, pair: ComponentId, n: u64) {
+        for seq in 0..n {
+            sim.send_at(SimTime::from_micros(500 * seq), pair, msg(GwPacket { seq, bytes: 8192 }));
+        }
+    }
+
+    #[test]
+    fn pair_forwards_in_order_without_failure() {
+        let mut sim = Simulator::new();
+        let (p, s) = pair(&mut sim);
+        stream(&mut sim, p, 20);
+        sim.run();
+        let sink = sim.component::<GatewaySink>(s);
+        assert_eq!(sink.delivered, (0..20).collect::<Vec<_>>());
+        let gp = sim.component::<GatewayPair>(p);
+        assert_eq!(gp.forwarded, 20);
+        assert_eq!(gp.failovers, 0);
+        assert_eq!(gp.active_unit(), 0);
+        assert!(gp.probes_sent > 0);
+    }
+
+    #[test]
+    fn silent_failure_fails_over_with_bounded_loss_and_notifies_routes() {
+        let mut sim = Simulator::new();
+        let (p, s) = pair(&mut sim);
+        // A resilient route that should hear about the failover. Paths
+        // are placeholders; the route never connects, so LinkFailure
+        // only increments its counter.
+        use crate::signaling::{CallId, ResilientRoute, SignallingAgent};
+        let hop = sim.add_component(SignallingAgent::new(
+            "hop",
+            Bandwidth::from_mbps(622.0),
+            SimDuration::from_micros(500),
+        ));
+        let route = sim.add_component(ResilientRoute::new(
+            CallId(1),
+            Bandwidth::from_mbps(100.0),
+            vec![hop],
+            vec![hop],
+        ));
+        {
+            let gp = sim.component_mut::<GatewayPair>(p);
+            gp.routes.push(route);
+        }
+        stream(&mut sim, p, 40);
+        // Primary dies silently at 5 ms and never comes back.
+        sim.send_at(SimTime::from_millis(5), p, msg(GatewayDown(0)));
+        sim.run();
+        let gp = sim.component::<GatewayPair>(p);
+        assert_eq!(gp.failovers, 1);
+        assert_eq!(gp.active_unit(), 1);
+        assert!(gp.inflight_lost <= 1, "at most the mid-copy datagram is lost");
+        assert_eq!(gp.forwarded, 40 - gp.inflight_lost);
+        // Detection took at least miss_threshold probe intervals.
+        assert!(gp.probe_misses >= 3);
+        let sink = sim.component::<GatewaySink>(s);
+        let mut seen = sink.delivered.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), sink.delivered.len(), "exactly-once delivery");
+        assert_eq!(sink.delivered.len() as u64 + gp.inflight_lost, 40);
+        let r = sim.component::<ResilientRoute>(route);
+        assert_eq!(r.link_failures, 1, "failover must re-signal affected VCs");
+    }
+
+    #[test]
+    fn outage_window_on_both_units_stalls_then_recovers() {
+        let mut sim = Simulator::new();
+        let (p, s) = pair(&mut sim);
+        stream(&mut sim, p, 10);
+        // Both units down from 2 ms; unit 1 recovers at 30 ms.
+        let w0 = Schedule::new(vec![Window::new(SimTime::from_millis(2), SimTime::from_secs(60))]);
+        let w1 =
+            Schedule::new(vec![Window::new(SimTime::from_millis(2), SimTime::from_millis(30))]);
+        schedule_gateway_outages(&mut sim, p, 0, &w0);
+        schedule_gateway_outages(&mut sim, p, 1, &w1);
+        sim.run();
+        let gp = sim.component::<GatewayPair>(p);
+        let sink = sim.component::<GatewaySink>(s);
+        // Everything not mid-copy at the crash is delivered after the
+        // standby comes back.
+        assert_eq!(sink.delivered.len() as u64 + gp.inflight_lost, 10);
+        assert!(gp.failovers >= 1);
+        assert_eq!(gp.active_unit(), 1);
     }
 }

@@ -22,6 +22,39 @@ use crate::units::Bandwidth;
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
 pub struct CallId(pub u64);
 
+/// The ATM traffic contract a SETUP carries: peak cell rate and
+/// sustainable cell rate, both as bandwidths. A CBR call has
+/// `pcr == scr`; a VBR call declares a burst peak above its mean.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct TrafficDescriptor {
+    /// Peak cell rate: the instantaneous ceiling the source may hit.
+    pub pcr: Bandwidth,
+    /// Sustainable cell rate: the long-run mean the network reserves.
+    pub scr: Bandwidth,
+}
+
+impl TrafficDescriptor {
+    /// Constant-bit-rate contract: peak equals sustained.
+    pub fn cbr(rate: Bandwidth) -> Self {
+        TrafficDescriptor { pcr: rate, scr: rate }
+    }
+
+    /// Variable-bit-rate contract with `pcr >= scr`.
+    pub fn vbr(pcr: Bandwidth, scr: Bandwidth) -> Self {
+        assert!(pcr.bps() >= scr.bps(), "VBR peak must be at least the sustained rate");
+        TrafficDescriptor { pcr, scr }
+    }
+}
+
+/// Why call admission refused a SETUP.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum RejectCause {
+    /// The sustained-rate budget (link capacity) is exhausted.
+    ScrExceeded,
+    /// The peak-rate budget (`peak_factor × capacity`) is exhausted.
+    PcrExceeded,
+}
+
 /// Outcome of a call attempt.
 #[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
 pub enum CallOutcome {
@@ -34,6 +67,8 @@ pub enum CallOutcome {
     Rejected {
         /// Index of the refusing hop along the path.
         at_hop: usize,
+        /// Which budget the call would have overrun.
+        cause: RejectCause,
     },
 }
 
@@ -41,7 +76,7 @@ pub enum CallOutcome {
 
 struct Setup {
     call: CallId,
-    rate: Bandwidth,
+    td: TrafficDescriptor,
     /// Remaining path after this node (component ids of signalling
     /// agents).
     path: Vec<ComponentId>,
@@ -62,6 +97,7 @@ struct Connect {
 struct Reject {
     call: CallId,
     at_hop: usize,
+    cause: RejectCause,
     /// Hops that already admitted and must roll back.
     visited: Vec<ComponentId>,
     origin: ComponentId,
@@ -82,8 +118,13 @@ struct CallResult(CallId, CallOutcome);
 pub struct SignallingAgent {
     /// Total admissible bandwidth on the transit port.
     pub capacity: Bandwidth,
-    /// Per-call admitted rates.
-    pub admitted: HashMap<CallId, f64>,
+    /// Per-call admitted `(pcr, scr)` in bit/s.
+    pub admitted: HashMap<CallId, (f64, f64)>,
+    /// Peak overbooking factor: the sum of admitted PCRs may reach
+    /// `peak_factor × capacity`. At the default `1.0` the CAC is
+    /// peak-allocating (no statistical multiplexing gain); raising it
+    /// lets bursty VBR calls share headroom.
+    pub peak_factor: f64,
     /// Signalling processing time per message.
     pub processing: SimDuration,
     /// Propagation to the next hop.
@@ -92,6 +133,10 @@ pub struct SignallingAgent {
     pub calls_admitted: u64,
     /// Calls this agent refused.
     pub calls_refused: u64,
+    /// Refusals because the sustained-rate budget was exhausted.
+    pub refused_scr: u64,
+    /// Refusals because the peak-rate budget was exhausted.
+    pub refused_pcr: u64,
     /// Messages of an unknown type dropped instead of crashing the
     /// simulation (e.g. strays from a torn-down or foreign protocol).
     pub dropped_msgs: u64,
@@ -104,18 +149,48 @@ impl SignallingAgent {
         SignallingAgent {
             capacity,
             admitted: HashMap::new(),
+            peak_factor: 1.0,
             processing: SimDuration::from_micros(150),
             hop_latency,
             calls_admitted: 0,
             calls_refused: 0,
+            refused_scr: 0,
+            refused_pcr: 0,
             dropped_msgs: 0,
             label: label.into(),
         }
     }
 
-    /// Bandwidth currently committed.
+    /// Builder: allow the admitted PCR sum to reach
+    /// `factor × capacity`.
+    pub fn with_peak_factor(mut self, factor: f64) -> Self {
+        assert!(factor >= 1.0, "peak factor below 1.0 would refuse calls the SCR budget fits");
+        self.peak_factor = factor;
+        self
+    }
+
+    /// Sustained bandwidth currently committed (the reserved mean).
     pub fn committed_bps(&self) -> f64 {
-        self.admitted.values().sum()
+        self.admitted.values().map(|&(_, scr)| scr).sum()
+    }
+
+    /// Peak bandwidth currently committed.
+    pub fn committed_pcr_bps(&self) -> f64 {
+        self.admitted.values().map(|&(pcr, _)| pcr).sum()
+    }
+
+    /// The CAC decision for a descriptor, without admitting it:
+    /// `Ok(())` when both budgets fit, otherwise the binding cause.
+    /// SCR is checked first, so for CBR (`pcr == scr`) at the default
+    /// peak factor the sustained budget is always the one reported.
+    pub fn admission_check(&self, td: &TrafficDescriptor) -> Result<(), RejectCause> {
+        if self.committed_bps() + td.scr.bps() > self.capacity.bps() {
+            return Err(RejectCause::ScrExceeded);
+        }
+        if self.committed_pcr_bps() + td.pcr.bps() > self.capacity.bps() * self.peak_factor {
+            return Err(RejectCause::PcrExceeded);
+        }
+        Ok(())
     }
 }
 
@@ -124,19 +199,23 @@ impl Component for SignallingAgent {
         let delay = self.processing + self.hop_latency;
         if m.is::<Setup>() {
             let mut s = *downcast::<Setup>(m);
-            // Call admission.
-            if self.committed_bps() + s.rate.bps() > self.capacity.bps() {
+            // Call admission against both contract budgets.
+            if let Err(cause) = self.admission_check(&s.td) {
                 self.calls_refused += 1;
+                match cause {
+                    RejectCause::ScrExceeded => self.refused_scr += 1,
+                    RejectCause::PcrExceeded => self.refused_pcr += 1,
+                }
                 let at_hop = s.visited.len();
                 let origin = s.origin;
                 ctx.send_in(
                     delay,
                     origin,
-                    msg(Reject { call: s.call, at_hop, visited: s.visited, origin }),
+                    msg(Reject { call: s.call, at_hop, cause, visited: s.visited, origin }),
                 );
                 return;
             }
-            self.admitted.insert(s.call, s.rate.bps());
+            self.admitted.insert(s.call, (s.td.pcr.bps(), s.td.scr.bps()));
             self.calls_admitted += 1;
             s.visited.push(ctx.self_id());
             if s.path.is_empty() {
@@ -227,7 +306,7 @@ impl Component for CallOriginator {
                     msg(Release { call: r.call, path: Vec::new() }),
                 );
             }
-            self.results.push((r.call, CallOutcome::Rejected { at_hop: r.at_hop }));
+            self.results.push((r.call, CallOutcome::Rejected { at_hop: r.at_hop, cause: r.cause }));
         } else {
             // As at the agent: a stray message is dropped, not fatal.
             self.dropped_msgs += 1;
@@ -239,7 +318,7 @@ impl Component for CallOriginator {
     }
 }
 
-/// Helper: issue a SETUP for `call` along `path` at `rate`.
+/// Helper: issue a SETUP for `call` along `path` at a CBR `rate`.
 pub fn place_call(
     sim: &mut Simulator,
     origin: ComponentId,
@@ -248,19 +327,24 @@ pub fn place_call(
     rate: Bandwidth,
     at: SimTime,
 ) {
+    place_call_with(sim, origin, path, call, TrafficDescriptor::cbr(rate), at);
+}
+
+/// Helper: issue a SETUP carrying a full traffic descriptor.
+pub fn place_call_with(
+    sim: &mut Simulator,
+    origin: ComponentId,
+    path: &[ComponentId],
+    call: CallId,
+    td: TrafficDescriptor,
+    at: SimTime,
+) {
     assert!(!path.is_empty(), "call needs at least one hop");
     let first = path[0];
     sim.send_at(
         at,
         first,
-        msg(Setup {
-            call,
-            rate,
-            path: path[1..].to_vec(),
-            visited: Vec::new(),
-            origin,
-            sent_at: at,
-        }),
+        msg(Setup { call, td, path: path[1..].to_vec(), visited: Vec::new(), origin, sent_at: at }),
     );
 }
 
@@ -292,8 +376,8 @@ struct RetryCall;
 pub struct ResilientRoute {
     /// The call this route maintains.
     pub call: CallId,
-    /// Bandwidth to request.
-    pub rate: Bandwidth,
+    /// Traffic contract to request (CBR when built via [`Self::new`]).
+    pub td: TrafficDescriptor,
     /// Primary path (signalling agents, in order).
     pub primary: Vec<ComponentId>,
     /// Backup path used after a failure on the active one.
@@ -335,7 +419,7 @@ impl ResilientRoute {
         let retry_backoff = SimDuration::from_millis(10);
         ResilientRoute {
             call,
-            rate,
+            td: TrafficDescriptor::cbr(rate),
             primary,
             backup,
             retry_backoff,
@@ -372,7 +456,7 @@ impl ResilientRoute {
         let first = path[0];
         let setup = Setup {
             call: self.call,
-            rate: self.rate,
+            td: self.td,
             path: path[1..].to_vec(),
             visited: Vec::new(),
             origin: ctx.self_id(),
@@ -524,7 +608,10 @@ mod tests {
         let o = sim.component::<CallOriginator>(origin);
         assert_eq!(o.results.len(), 2);
         assert!(matches!(o.results[0].1, CallOutcome::Connected { .. }));
-        assert_eq!(o.results[1].1, CallOutcome::Rejected { at_hop: 1 });
+        assert_eq!(
+            o.results[1].1,
+            CallOutcome::Rejected { at_hop: 1, cause: RejectCause::ScrExceeded }
+        );
         // The first hop's tentative admission of call 2 was rolled back.
         let first = sim.component::<SignallingAgent>(path[0]);
         assert!((first.committed_bps() - 270e6).abs() < 1.0, "{}", first.committed_bps());
@@ -701,6 +788,88 @@ mod tests {
         assert_eq!(r.link_failures, 1);
         assert_eq!(r.reroutes, 1);
         assert!(r.on_backup());
+    }
+
+    #[test]
+    fn cac_arithmetic_matches_hand_computed_budgets() {
+        // A 622 Mbit/s link with peak factor 1.5:
+        //   SCR budget = 622, PCR budget = 933 Mbit/s.
+        let agent = |admitted: &[(f64, f64)]| {
+            let mut a = SignallingAgent::new(
+                "sw",
+                Bandwidth::from_mbps(622.0),
+                SimDuration::from_micros(500),
+            )
+            .with_peak_factor(1.5);
+            for (k, &(pcr, scr)) in admitted.iter().enumerate() {
+                a.admitted.insert(CallId(k as u64), (pcr * 1e6, scr * 1e6));
+            }
+            a
+        };
+        let vbr =
+            |pcr, scr| TrafficDescriptor::vbr(Bandwidth::from_mbps(pcr), Bandwidth::from_mbps(scr));
+        // Empty link admits anything up to capacity.
+        assert_eq!(agent(&[]).admission_check(&vbr(933.0, 622.0)), Ok(()));
+        // 400 + 300 > 622 sustained: SCR binds.
+        assert_eq!(
+            agent(&[(500.0, 400.0)]).admission_check(&vbr(400.0, 300.0)),
+            Err(RejectCause::ScrExceeded)
+        );
+        // Sustained fits (400 + 200 = 600 <= 622) but peaks overrun
+        // (500 + 600 = 1100 > 933): PCR binds.
+        assert_eq!(
+            agent(&[(500.0, 400.0)]).admission_check(&vbr(600.0, 200.0)),
+            Err(RejectCause::PcrExceeded)
+        );
+        // Both fit exactly at the boundary: 622 - 400 = 222 sustained,
+        // 933 - 500 = 433 peak.
+        assert_eq!(agent(&[(500.0, 400.0)]).admission_check(&vbr(433.0, 222.0)), Ok(()));
+    }
+
+    #[test]
+    fn vbr_calls_multiplex_under_peak_factor() {
+        // Three VBR calls, each PCR 300 / SCR 150 Mbit/s, on a
+        // 622 Mbit/s link. Peak-allocating CAC (factor 1.0) only fits
+        // two (3 × 300 = 900 > 622); factor 1.5 fits all three
+        // (900 <= 933, 450 sustained <= 622).
+        for (factor, want_connected, want_pcr_refusals) in
+            [(1.0, 2), (1.5, 3)].map(|(f, c)| (f, c, 3 - c))
+        {
+            let mut sim = Simulator::new();
+            let origin = sim.add_component(CallOriginator::default());
+            let agent = sim.add_component(
+                SignallingAgent::new(
+                    "trunk",
+                    Bandwidth::from_mbps(622.0),
+                    SimDuration::from_micros(500),
+                )
+                .with_peak_factor(factor),
+            );
+            for k in 0..3u64 {
+                place_call_with(
+                    &mut sim,
+                    origin,
+                    &[agent],
+                    CallId(k),
+                    TrafficDescriptor::vbr(
+                        Bandwidth::from_mbps(300.0),
+                        Bandwidth::from_mbps(150.0),
+                    ),
+                    SimTime::from_millis(10 * k),
+                );
+            }
+            sim.run();
+            let o = sim.component::<CallOriginator>(origin);
+            let connected = o
+                .results
+                .iter()
+                .filter(|(_, r)| matches!(r, CallOutcome::Connected { .. }))
+                .count();
+            assert_eq!(connected, want_connected, "factor {factor}");
+            let a = sim.component::<SignallingAgent>(agent);
+            assert_eq!(a.refused_pcr as usize, want_pcr_refusals, "factor {factor}");
+            assert_eq!(a.refused_scr, 0, "factor {factor}");
+        }
     }
 
     #[test]

@@ -161,6 +161,7 @@ enum ProbeKind {
     TcpSender,
     TcpReceiver,
     Sink,
+    Policer,
 }
 
 /// Records which components of a wired-up simulation should appear in the
@@ -201,6 +202,11 @@ impl StatsRegistry {
         self.probes.push((id, ProbeKind::Sink));
     }
 
+    /// Register a [`UniPolicer`](crate::policing::UniPolicer).
+    pub fn add_policer(&mut self, id: ComponentId) {
+        self.probes.push((id, ProbeKind::Policer));
+    }
+
     /// Number of registered probes.
     pub fn len(&self) -> usize {
         self.probes.len()
@@ -221,6 +227,7 @@ impl StatsRegistry {
             senders: Vec::new(),
             receivers: Vec::new(),
             flows: Vec::new(),
+            policers: Vec::new(),
         };
         for &(id, kind) in &self.probes {
             let label = sim.component_name(id).to_string();
@@ -274,6 +281,14 @@ impl StatsRegistry {
                 ProbeKind::Sink => {
                     let s = sim.component::<crate::link::Sink>(id);
                     report.flows.push(FlowReport { label, recorder: s.recorder.clone() });
+                }
+                ProbeKind::Policer => {
+                    let p = sim.component::<crate::policing::UniPolicer>(id);
+                    report.policers.push(PolicerReport {
+                        label,
+                        per_vc: p.per_vc_counters(),
+                        unpoliced: p.unpoliced,
+                    });
                 }
             }
         }
@@ -367,6 +382,18 @@ pub struct FlowReport {
     pub recorder: FlowRecorder,
 }
 
+/// UNI policer snapshot: verdict counters attributed per virtual
+/// circuit, in VC order.
+#[derive(Debug, Clone)]
+pub struct PolicerReport {
+    /// Policer label.
+    pub label: String,
+    /// `(vpi, vci, conforming, tagged, discarded)` per contracted VC.
+    pub per_vc: Vec<(u8, u16, u64, u64, u64)>,
+    /// Cells forwarded for VCs without a contract.
+    pub unpoliced: u64,
+}
+
 /// A full machine-readable run report.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -384,6 +411,8 @@ pub struct RunReport {
     pub receivers: Vec<ReceiverReport>,
     /// Registered sinks.
     pub flows: Vec<FlowReport>,
+    /// Registered UNI policers.
+    pub policers: Vec<PolicerReport>,
 }
 
 impl RunReport {
@@ -451,6 +480,13 @@ impl RunReport {
                     ("hec_discard", Json::from(s.stats.hec_discard)),
                     ("clp_discard", Json::from(s.stats.clp_discard)),
                 ]);
+                if s.stats.frame_discards() > 0 {
+                    // Frame-level discard counters appear only when EPD
+                    // actually fired, so clean runs (and runs with EPD
+                    // off) render byte-identically to pre-EPD builds.
+                    o.push("epd_discard", Json::from(s.stats.epd_discard));
+                    o.push("ppd_discard", Json::from(s.stats.ppd_discard));
+                }
                 if s.stats.faults_injected() > 0 {
                     o.push(
                         "faults",
@@ -520,6 +556,44 @@ impl RunReport {
             ("tcp_receivers", Json::Arr(receivers)),
             ("flows", Json::Arr(flows)),
         ]);
+        if !self.policers.is_empty() {
+            // The policers key appears only when a policing point was
+            // registered, so reports from pre-policing wirings stay
+            // byte-identical.
+            let policers: Vec<Json> = self
+                .policers
+                .iter()
+                .map(|p| {
+                    let per_vc: Vec<Json> = p
+                        .per_vc
+                        .iter()
+                        .map(|&(vpi, vci, conforming, tagged, discarded)| {
+                            let mut o = Json::obj([
+                                ("vpi", Json::from(u64::from(vpi))),
+                                ("vci", Json::from(u64::from(vci))),
+                                ("conforming", Json::from(conforming)),
+                            ]);
+                            if tagged > 0 {
+                                o.push("tagged", Json::from(tagged));
+                            }
+                            if discarded > 0 {
+                                o.push("discarded", Json::from(discarded));
+                            }
+                            o
+                        })
+                        .collect();
+                    let mut o = Json::obj([
+                        ("label", Json::from(p.label.as_str())),
+                        ("per_vc", Json::Arr(per_vc)),
+                    ]);
+                    if p.unpoliced > 0 {
+                        o.push("unpoliced", Json::from(p.unpoliced));
+                    }
+                    o
+                })
+                .collect();
+            doc.push("policers", Json::Arr(policers));
+        }
         if self.faults_injected() > 0 {
             doc.push("faults_injected", Json::from(self.faults_injected()));
         }
@@ -618,10 +692,54 @@ mod tests {
         assert_eq!(hop.propagation_total, SimDuration::from_millis(4));
         assert_eq!(report.flows[0].recorder.packets, 4);
         assert_eq!(report.total_dropped(), 0);
-        // The JSON rendering carries the same numbers.
+        // The JSON rendering carries the same numbers — and no policer
+        // key, since none was registered (clean-run identity).
         let j = report.to_json().dump();
         assert!(j.contains("\"label\":\"hop0\""), "{j}");
         assert!(j.contains("\"packets_out\":4"), "{j}");
         assert!(j.contains("\"events_processed\":"), "{j}");
+        assert!(!j.contains("\"policers\""), "{j}");
+    }
+
+    #[test]
+    fn registry_attributes_policer_drops_per_vc() {
+        use crate::aal5::segment;
+        use crate::policing::{LeakyBucket, PolicingAction, UniPolicer};
+        use crate::switch::{CellArrive, CellEndpoint};
+        use gtw_desim::component::msg;
+
+        let mut sim = Simulator::new();
+        let sink = sim.add_component(CellEndpoint::default());
+        let mut pol = UniPolicer::new("uni-fzj", sink);
+        pol.add_contract(
+            1,
+            100,
+            LeakyBucket::new(1000.0, SimDuration::ZERO, PolicingAction::Discard),
+        );
+        let pol = sim.add_component(pol);
+        let mut reg = StatsRegistry::new();
+        reg.add_policer(pol);
+        // 2× the contract on the policed VC.
+        for k in 0..100u64 {
+            for cell in segment(b"x", 1, 100) {
+                sim.send_at(SimTime::from_micros(500 * k), pol, msg(CellArrive { port: 0, cell }));
+            }
+        }
+        sim.run();
+        let report = reg.collect(&sim);
+        assert_eq!(report.policers.len(), 1);
+        let p = &report.policers[0];
+        assert_eq!(p.per_vc.len(), 1);
+        let (vpi, vci, conforming, tagged, discarded) = p.per_vc[0];
+        assert_eq!((vpi, vci), (1, 100));
+        assert!(conforming > 0 && discarded > 0 && tagged == 0, "{p:?}");
+        assert_eq!(p.unpoliced, 0);
+        let j = report.to_json().dump();
+        assert!(j.contains("\"policers\":"), "{j}");
+        assert!(j.contains("\"vci\":100"), "{j}");
+        assert!(j.contains("\"discarded\":"), "{j}");
+        // Tag counter is zero, so its key stays out of the report.
+        assert!(!j.contains("\"tagged\""), "{j}");
+        assert!(!j.contains("\"unpoliced\""), "{j}");
     }
 }

@@ -75,6 +75,13 @@ pub struct OutputPort {
     /// `buffer_cells` to disable). Protects contracted traffic when a
     /// policer upstream tagged the excess.
     pub clp_threshold: usize,
+    /// Early-packet-discard threshold: once the queue holds this many
+    /// cells, a *newly starting* AAL5 frame is dropped whole instead of
+    /// being mutilated cell by cell, and any frame that loses a cell to
+    /// overflow has its remaining cells discarded too (partial packet
+    /// discard). `None` (the default) reproduces plain tail-drop
+    /// bit-identically.
+    pub epd_threshold: Option<usize>,
 }
 
 impl OutputPort {
@@ -86,14 +93,47 @@ impl OutputPort {
         propagation: SimDuration,
         buffer_cells: usize,
     ) -> Self {
-        OutputPort { next, next_port, rate, propagation, buffer_cells, clp_threshold: buffer_cells }
+        OutputPort {
+            next,
+            next_port,
+            rate,
+            propagation,
+            buffer_cells,
+            clp_threshold: buffer_cells,
+            epd_threshold: None,
+        }
     }
+
+    /// Enable early packet discard at `threshold` queued cells (builder
+    /// form).
+    pub fn with_epd(mut self, threshold: usize) -> Self {
+        self.epd_threshold = Some(threshold);
+        self
+    }
+}
+
+/// Per-VC frame-discard state of an output port (EPD/PPD bookkeeping;
+/// only populated when the port has an EPD threshold).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum FrameState {
+    /// Mid-frame, cells being admitted normally.
+    Passing,
+    /// The frame was refused at its first cell (EPD): discard it whole,
+    /// end cell included.
+    DropEpd,
+    /// The frame lost a cell after admission started (PPD): discard the
+    /// remainder, but forward the end cell so the reassembler sees the
+    /// frame boundary and the *next* frame is not corrupted too.
+    DropPpd,
 }
 
 struct PortState {
     cfg: OutputPort,
     queue: VecDeque<AtmCell>,
     transmitting: bool,
+    /// Per-VC AAL5 frame state, keyed by the outgoing `(VPI, VCI)`.
+    /// Empty (and never touched) unless `cfg.epd_threshold` is set.
+    frames: HashMap<(u8, u16), FrameState>,
 }
 
 /// Per-switch counters.
@@ -109,6 +149,12 @@ pub struct SwitchStats {
     pub hec_discard: u64,
     /// CLP-tagged cells shed by selective discard.
     pub clp_discard: u64,
+    /// Cells dropped by early packet discard: whole AAL5 frames refused
+    /// at the queue threshold before any of their cells were admitted.
+    pub epd_discard: u64,
+    /// Cells dropped by partial packet discard: the remainder of a frame
+    /// that already lost a cell to overflow or selective discard.
+    pub ppd_discard: u64,
     /// Cells removed by an injected link outage.
     pub fault_outage: u64,
     /// Cells removed by injected i.i.d. loss.
@@ -130,9 +176,16 @@ impl SwitchStats {
             + self.overflow
             + self.hec_discard
             + self.clp_discard
+            + self.epd_discard
+            + self.ppd_discard
             + self.fault_outage
             + self.fault_loss
             + self.fault_burst
+    }
+
+    /// Total cells shed at AAL5 frame granularity (EPD + PPD).
+    pub fn frame_discards(&self) -> u64 {
+        self.epd_discard + self.ppd_discard
     }
 
     /// Total cells removed or corrupted by injected faults.
@@ -154,6 +207,10 @@ pub struct AtmSwitch {
     /// Fault injector judging every arriving cell; `None` (free) by
     /// default.
     pub injector: Option<FaultInjector>,
+    /// Messages the switch could not interpret (unknown type, TxDone for
+    /// a nonexistent port or an empty queue): dropped and counted
+    /// instead of crashing the fabric.
+    pub dropped_msgs: u64,
     label: String,
 }
 
@@ -164,12 +221,18 @@ impl AtmSwitch {
             routes: HashMap::new(),
             ports: ports
                 .into_iter()
-                .map(|cfg| PortState { cfg, queue: VecDeque::new(), transmitting: false })
+                .map(|cfg| PortState {
+                    cfg,
+                    queue: VecDeque::new(),
+                    transmitting: false,
+                    frames: HashMap::new(),
+                })
                 .collect(),
             fabric_latency: SimDuration::from_micros(10),
             stats: SwitchStats::default(),
             spans: SpanSink::disabled(),
             injector: None,
+            dropped_msgs: 0,
             label: label.into(),
         }
     }
@@ -210,6 +273,23 @@ impl AtmSwitch {
             self.spans.record(&track, "cell", ctx.now(), ctx.now() + tx);
         }
         ctx.timer_in(tx, gtw_desim::component::msg(PortTxDone(port)));
+    }
+}
+
+/// After a cell of an admitted frame was dropped (overflow or selective
+/// discard), switch the frame to PPD so its remaining cells are shed
+/// instead of wasting queue space on a frame that can no longer
+/// reassemble. No-op when EPD is off or the dropped cell ended the frame.
+fn mark_ppd(
+    frames: &mut HashMap<(u8, u16), FrameState>,
+    frame_key: Option<((u8, u16), bool, usize)>,
+) {
+    if let Some((vc, end, _)) = frame_key {
+        if end {
+            frames.remove(&vc);
+        } else {
+            frames.insert(vc, FrameState::DropPpd);
+        }
     }
 }
 
@@ -265,22 +345,78 @@ impl Component for AtmSwitch {
             } else {
                 (p.cfg.buffer_cells as f64 * buffer_factor) as usize
             };
+            // EPD/PPD frame-level discard, only when the port opts in —
+            // with `epd_threshold: None` this whole block is one branch
+            // and clean runs are bit-identical to tail-drop builds.
+            let frame_key = p.cfg.epd_threshold.map(|thresh| {
+                ((out.header.vpi, out.header.vci), out.header.pti.is_aal5_end(), thresh)
+            });
+            if let Some((vc, end, thresh)) = frame_key {
+                match p.frames.get(&vc).copied() {
+                    Some(FrameState::DropEpd) => {
+                        self.stats.epd_discard += 1;
+                        if end {
+                            p.frames.remove(&vc);
+                        }
+                        return;
+                    }
+                    Some(FrameState::DropPpd) if !end => {
+                        self.stats.ppd_discard += 1;
+                        return;
+                    }
+                    Some(FrameState::DropPpd) => {
+                        // Forward the end cell of the mutilated frame
+                        // (buffer permitting) to preserve the boundary.
+                        p.frames.remove(&vc);
+                    }
+                    Some(FrameState::Passing) => {
+                        if end {
+                            p.frames.remove(&vc);
+                        }
+                    }
+                    None => {
+                        if p.queue.len() >= thresh {
+                            // EPD: a new frame starts past the threshold
+                            // — refuse it whole, end cell included.
+                            self.stats.epd_discard += 1;
+                            if !end {
+                                p.frames.insert(vc, FrameState::DropEpd);
+                            }
+                            return;
+                        }
+                        if !end {
+                            p.frames.insert(vc, FrameState::Passing);
+                        }
+                    }
+                }
+            }
             if out.header.clp && p.queue.len() >= p.cfg.clp_threshold.min(buffer_cells) {
                 self.stats.clp_discard += 1;
+                mark_ppd(&mut p.frames, frame_key);
                 return;
             }
             if p.queue.len() >= buffer_cells {
                 self.stats.overflow += 1;
+                mark_ppd(&mut p.frames, frame_key);
                 return;
             }
             p.queue.push_back(out);
             self.stats.switched += 1;
             self.start_tx(ctx, route.port);
-        } else {
+        } else if m.is::<PortTxDone>() {
             let PortTxDone(port) = *gtw_desim::component::downcast::<PortTxDone>(m);
-            let p = &mut self.ports[port];
+            // A TxDone for a port that does not exist or has an empty
+            // queue is message-shaped garbage (or a stale timer from a
+            // reconfigured fabric): count it and carry on.
+            let Some(p) = self.ports.get_mut(port) else {
+                self.dropped_msgs += 1;
+                return;
+            };
             p.transmitting = false;
-            let cell = p.queue.pop_front().expect("TxDone with empty port queue");
+            let Some(cell) = p.queue.pop_front() else {
+                self.dropped_msgs += 1;
+                return;
+            };
             let (next, next_port) = (p.cfg.next, p.cfg.next_port);
             let delay = self.fabric_latency + p.cfg.propagation;
             ctx.send_in(
@@ -289,6 +425,10 @@ impl Component for AtmSwitch {
                 gtw_desim::component::msg(CellArrive { port: next_port, cell }),
             );
             self.start_tx(ctx, port);
+        } else {
+            // A stray message of an unknown type must not crash the
+            // fabric: drop it and count it.
+            self.dropped_msgs += 1;
         }
     }
 
@@ -312,10 +452,17 @@ pub struct CellEndpoint {
     pub errors_length: u64,
     /// Reassembly errors: PDU oversize (lost end cell).
     pub errors_oversize: u64,
+    /// Messages of an unknown type dropped instead of crashing the
+    /// endpoint.
+    pub dropped_msgs: u64,
 }
 
 impl Component for CellEndpoint {
     fn handle(&mut self, _ctx: &mut Ctx<'_>, m: Msg) {
+        if !m.is::<CellArrive>() {
+            self.dropped_msgs += 1;
+            return;
+        }
         let CellArrive { cell, .. } = *gtw_desim::component::downcast::<CellArrive>(m);
         let vc = (cell.header.vpi, cell.header.vci);
         let r = self.reassemblers.entry(vc).or_default();
@@ -476,6 +623,7 @@ mod tests {
                 propagation: SimDuration::from_micros(5),
                 buffer_cells: 64,
                 clp_threshold: 8,
+                epd_threshold: None,
             }],
         );
         sw.add_route(VcKey { port: 0, vpi: 1, vci: 100 }, VcRoute { port: 0, vpi: 1, vci: 100 });
@@ -512,6 +660,107 @@ mod tests {
         // Conforming cells survive (no untagged overflow at this load).
         assert_eq!(stats.overflow, 0, "{stats:?}");
         assert_eq!(stats.switched, sent_conforming + (bucket.tagged - stats.clp_discard));
+    }
+
+    /// Offered load for EPD tests: `frames` AAL5 frames of `frame_bytes`
+    /// back to back on VC (1, 100), injected at `interval` per cell.
+    fn blast(sim: &mut Simulator, sw: ComponentId, frames: usize, frame_bytes: usize) {
+        let interval = SimDuration::from_micros(1);
+        let mut t = gtw_desim::SimTime::ZERO;
+        for k in 0..frames {
+            let payload = vec![k as u8; frame_bytes];
+            for cell in segment(&payload, 1, 100) {
+                sim.send_at(t, sw, msg(CellArrive { port: 0, cell }));
+                t += interval;
+            }
+        }
+    }
+
+    fn epd_switch(epd: Option<usize>, buffer: usize) -> (Simulator, ComponentId, ComponentId) {
+        let mut sim = Simulator::new();
+        let ep = sim.add_component(CellEndpoint::default());
+        let mut port =
+            OutputPort::simple(ep, 0, Bandwidth::OC3, SimDuration::from_micros(5), buffer);
+        port.epd_threshold = epd;
+        let mut sw = AtmSwitch::new("epd", vec![port]);
+        sw.add_route(VcKey { port: 0, vpi: 1, vci: 100 }, VcRoute { port: 0, vpi: 1, vci: 100 });
+        let sw = sim.add_component(sw);
+        (sim, sw, ep)
+    }
+
+    #[test]
+    fn epd_drops_whole_frames_tail_drop_mutilates() {
+        // Same overload (20 × 2000-byte frames at ~3× line rate into a
+        // 128-cell buffer): tail drop mutilates most frames, EPD (with
+        // one frame's worth of headroom below the ceiling) delivers
+        // complete ones and never overflows.
+        let (mut sim, sw, ep) = epd_switch(None, 128);
+        blast(&mut sim, sw, 20, 2000);
+        sim.run();
+        let tail_delivered = sim.component::<CellEndpoint>(ep).delivered.len();
+        let tail_errors = sim.component::<CellEndpoint>(ep).errors;
+        assert!(sim.component::<AtmSwitch>(sw).stats.overflow > 0);
+
+        let (mut sim, sw, ep) = epd_switch(Some(64), 128);
+        blast(&mut sim, sw, 20, 2000);
+        sim.run();
+        let s = sim.component::<AtmSwitch>(sw);
+        assert!(s.stats.epd_discard > 0, "{:?}", s.stats);
+        assert_eq!(s.stats.overflow, 0, "EPD headroom must prevent overflow: {:?}", s.stats);
+        let e = sim.component::<CellEndpoint>(ep);
+        assert!(
+            e.delivered.len() > tail_delivered,
+            "EPD {} vs tail-drop {tail_delivered} complete frames",
+            e.delivered.len()
+        );
+        assert!(e.errors <= tail_errors, "EPD must not increase mutilation: {} errors", e.errors);
+    }
+
+    #[test]
+    fn epd_preserves_cell_conservation() {
+        let (mut sim, sw, _ep) = epd_switch(Some(16), 32);
+        blast(&mut sim, sw, 30, 3000);
+        sim.run();
+        let s = sim.component::<AtmSwitch>(sw);
+        let injected: u64 = (0..30).map(|_| segment(&vec![0u8; 3000], 1, 100).len() as u64).sum();
+        assert_eq!(s.stats.cells_in(), injected, "{:?}", s.stats);
+        assert!(s.stats.frame_discards() > 0);
+    }
+
+    #[test]
+    fn ppd_sheds_frame_remainder_after_overflow() {
+        // A tiny buffer with a high EPD threshold: frames get admitted,
+        // overflow mid-frame, and PPD sheds the rest.
+        let (mut sim, sw, _ep) = epd_switch(Some(30), 8);
+        blast(&mut sim, sw, 10, 4000);
+        sim.run();
+        let s = sim.component::<AtmSwitch>(sw);
+        assert!(s.stats.overflow > 0, "{:?}", s.stats);
+        assert!(s.stats.ppd_discard > 0, "{:?}", s.stats);
+    }
+
+    #[test]
+    fn epd_off_has_no_frame_counters() {
+        let (mut sim, sw, _ep) = epd_switch(None, 8);
+        blast(&mut sim, sw, 10, 4000);
+        sim.run();
+        let s = sim.component::<AtmSwitch>(sw);
+        assert_eq!(s.stats.frame_discards(), 0, "{:?}", s.stats);
+    }
+
+    #[test]
+    fn stray_messages_are_counted_not_fatal() {
+        let (mut sim, sw, ep) = one_switch_setup(16);
+        struct Stray;
+        sim.send_in(SimDuration::ZERO, sw, msg(Stray));
+        sim.send_in(SimDuration::ZERO, ep, msg(Stray));
+        for cell in segment(&[5u8; 100], 1, 100) {
+            sim.send_in(SimDuration::from_micros(1), sw, msg(CellArrive { port: 0, cell }));
+        }
+        sim.run();
+        assert_eq!(sim.component::<AtmSwitch>(sw).dropped_msgs, 1);
+        assert_eq!(sim.component::<CellEndpoint>(ep).dropped_msgs, 1);
+        assert_eq!(sim.component::<CellEndpoint>(ep).delivered.len(), 1);
     }
 
     /// Propagation constant for tests: Jülich–Sankt Augustin ≈ 100 km.

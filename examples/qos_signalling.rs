@@ -41,6 +41,7 @@ fn main() {
             propagation: SimDuration::from_micros(5),
             buffer_cells: 96,
             clp_threshold: 12,
+            epd_threshold: None,
         }],
     );
     // VC 10: contracted video; VC 20: greedy bulk flow, policed to a

@@ -32,7 +32,13 @@
 //! under a canonical compute-world fault script (a T3E crash at t = 20 s
 //! and a hang at t = 80 s, seeded) with checkpoint-restart recovery; the
 //! `fire_recovery` key then reports the per-cause recovery counters.
-//! Both flags only *add* keys — clean output stays byte-identical.
+//!
+//! With `--congestion <seed>` the Part-3 chain additionally runs under a
+//! seeded plan of WAN congestion windows (1–3 slowdown episodes, 2–5×)
+//! with graceful degradation enabled: the chain sheds image resolution
+//! to hold the paper's 5 s realtime deadline, and the `fire_congestion`
+//! key reports the [`DegradeStats`](gtw_fire::realtime::DegradeStats).
+//! All flags only *add* keys — clean output stays byte-identical.
 
 use gtw_core::scenario::FmriScenario;
 use gtw_core::testbed::{GigabitTestbedWest, LinkEra};
@@ -59,6 +65,8 @@ fn main() {
         arg_value("--faults").map(|s| s.parse().expect("--faults takes a u64 seed"));
     let process_fault_seed: Option<u64> = arg_value("--process-faults")
         .map(|s| s.parse().expect("--process-faults takes a u64 seed"));
+    let congestion_seed: Option<u64> =
+        arg_value("--congestion").map(|s| s.parse().expect("--congestion takes a u64 seed"));
     // ── Part 1: testbed transfer via the high-level API ──────────────
     let tb = GigabitTestbedWest::build(LinkEra::Oc48Upgrade);
     let (path, mtu, _) = tb.topology.path(tb.t3e_600, tb.sp2).expect("path T3E -> SP2");
@@ -161,6 +169,42 @@ fn main() {
         j.push("mean_latency_s", Json::from(faulted.mean_latency_s));
         j
     });
+    // The congested chain: seeded WAN slowdown windows, survived by
+    // shedding resolution instead of the deadline. Flag-gated, like the
+    // fault runs, so clean output is untouched.
+    let congestion_json = congestion_seed.map(|seed| {
+        use gtw_desim::fault::{Schedule, Window};
+        use gtw_desim::rng::StreamRng;
+        use gtw_desim::SimTime;
+        use gtw_fire::realtime::{run_chain_congested, Congestion, DegradeConfig};
+        let mut rng = StreamRng::new(seed, "report/congestion");
+        let n = 1 + (rng.below(3) as usize);
+        let mut windows = Vec::new();
+        for _ in 0..n {
+            let start = rng.uniform_in(5.0, 90.0);
+            let len = rng.uniform_in(5.0, 30.0);
+            windows.push(Window::new(
+                SimTime::from_secs_f64(start),
+                SimTime::from_secs_f64(start + len),
+            ));
+        }
+        let congestion = Congestion::new(Schedule::new(windows), rng.uniform_in(2.0, 5.0));
+        let degrade = DegradeConfig::paper();
+        let congested = run_chain_congested(
+            chain_cfg,
+            gtw_fire::realtime::ChainMode::Sequential,
+            &congestion,
+            &degrade,
+            &SpanSink::disabled(),
+        );
+        let stats = congested.degrade.expect("congestion installed");
+        let mut j = stats.to_json();
+        j.push("seed", Json::from(seed));
+        j.push("displayed", Json::from(congested.displayed));
+        j.push("skipped", Json::from(congested.skipped));
+        j.push("max_latency_s", Json::from(congested.latency.max().as_secs_f64()));
+        j
+    });
     let fire_json = Json::obj([
         ("pes", Json::from(fire.pes)),
         ("acquire_s", Json::from(fire.acquire_s)),
@@ -180,6 +224,9 @@ fn main() {
     doc.push("fire_breakdown", fire_json);
     if let Some(recovery) = recovery_json {
         doc.push("fire_recovery", recovery);
+    }
+    if let Some(congestion) = congestion_json {
+        doc.push("fire_congestion", congestion);
     }
     if let Some(seed) = fault_seed {
         doc.push("fault_seed", Json::from(seed));

@@ -40,3 +40,14 @@ timeout 300 cargo test -q -p gtw-fire rt::
 cargo run --release -q -p gtw-core --example run_report -- --process-faults 1999 > "$trace_tmp/pfaulted_a.json"
 cargo run --release -q -p gtw-core --example run_report -- --process-faults 1999 > "$trace_tmp/pfaulted_b.json"
 cmp "$trace_tmp/pfaulted_a.json" "$trace_tmp/pfaulted_b.json"
+
+# Overload gate: the congestion scenario-fuzz suite (CAC, EPD vs tail
+# drop, gateway failover, FIRE degradation) under the pinned master seed
+# (reproduce any failure locally with the same GTW_OVERLOAD_SEED) and a
+# hard timeout, then the congested-chain determinism check: two
+# congestion-seeded run_report runs with one seed must emit
+# byte-identical JSON.
+GTW_OVERLOAD_SEED=1999 timeout 300 cargo test -q -p gtw-core --test overload
+cargo run --release -q -p gtw-core --example run_report -- --congestion 1999 > "$trace_tmp/congested_a.json"
+cargo run --release -q -p gtw-core --example run_report -- --congestion 1999 > "$trace_tmp/congested_b.json"
+cmp "$trace_tmp/congested_a.json" "$trace_tmp/congested_b.json"

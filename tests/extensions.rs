@@ -177,6 +177,7 @@ fn switch_and_policer_compose_in_one_simulation() {
             propagation: SimDuration::from_micros(5),
             buffer_cells: 128,
             clp_threshold: 16,
+            epd_threshold: None,
         }],
     );
     sw.add_route(VcKey { port: 0, vpi: 1, vci: 7 }, VcRoute { port: 0, vpi: 1, vci: 7 });
