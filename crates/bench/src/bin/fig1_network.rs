@@ -18,33 +18,39 @@
 //! under the canonical degraded-WAN fault plan (1% i.i.d. loss plus a
 //! 50 ms outage on the WAN hop); the same seed reproduces the same
 //! output byte for byte, and the reports attribute every drop to its
-//! injected cause.
+//! injected cause. With `--shards N` the transfers run on the sharded
+//! parallel kernel, split at the WAN link; the output is byte-identical
+//! to the sequential run (that is the kernel's contract and is gated in
+//! CI). `--shards` cannot be combined with `--trace-out`: span tracing
+//! is only supported on the sequential kernel.
 
 use gtw_core::testbed::{GigabitTestbedWest, LinkEra};
-use gtw_desim::{Json, SpanSink};
+use gtw_desim::Json;
 use gtw_net::gateway::{ForwardingMode, Gateway};
 use gtw_net::hippi::HippiChannel;
 use gtw_net::ip::IpConfig;
 use gtw_net::transfer::{degraded_plan, BulkTransfer, Protocol};
 use gtw_net::units::DataSize;
 
-/// Run clean, or under the degraded-WAN plan when a seed is given.
+/// Run clean, or under the degraded-WAN plan when a seed is given;
+/// `shards == 0` selects the sequential kernel.
 fn run_maybe_faulted(
     xfer: &BulkTransfer,
     faults: Option<u64>,
+    shards: usize,
 ) -> (gtw_net::transfer::TransferReport, gtw_net::stats::RunReport) {
     match faults {
         Some(seed) => {
             let wan = format!("hop{}", xfer.hops.len() / 2);
-            xfer.run_faulted(&degraded_plan(seed, &wan), &SpanSink::disabled())
+            xfer.run_sharded_faulted(shards, &degraded_plan(seed, &wan))
         }
-        None => xfer.run_with_report(),
+        None => xfer.run_sharded(shards),
     }
 }
 
 /// The MTU sweep as a JSON document: one entry per MTU with the goodput
 /// and the full per-hop run report.
-fn emit_json(tb: &GigabitTestbedWest, bytes: u64, faults: Option<u64>) {
+fn emit_json(tb: &GigabitTestbedWest, bytes: u64, faults: Option<u64>, shards: usize) {
     let (path, _, _) = tb.topology.path(tb.t3e_600, tb.e5000).expect("path");
     let mut sweep = Vec::new();
     for mtu in [1500u64, 4352, 9180, 17914, 65535] {
@@ -55,7 +61,7 @@ fn emit_json(tb: &GigabitTestbedWest, bytes: u64, faults: Option<u64>) {
             bytes,
             protocol: Protocol::Tcp { window_bytes: 4 * 1024 * 1024 },
         };
-        let (report, run) = run_maybe_faulted(&xfer, faults);
+        let (report, run) = run_maybe_faulted(&xfer, faults, shards);
         sweep.push(Json::obj([
             ("mtu", Json::from(mtu)),
             ("goodput_mbps", Json::from(report.goodput.mbps())),
@@ -101,11 +107,15 @@ fn main() {
     let bytes = 32 * 1024 * 1024;
     let faults: Option<u64> =
         gtw_bench::arg_value("--faults").map(|s| s.parse().expect("--faults takes a u64 seed"));
+    let shards: usize = gtw_bench::arg_value("--shards")
+        .map(|s| s.parse().expect("--shards takes a shard count"))
+        .unwrap_or(0);
     if gtw_bench::has_flag("--json") {
-        emit_json(&tb, bytes, faults);
+        emit_json(&tb, bytes, faults, shards);
         return;
     }
     if let Some(path) = gtw_bench::arg_value("--trace-out") {
+        assert!(shards == 0, "--trace-out requires the sequential kernel; drop --shards");
         emit_trace(&tb, &path);
         return;
     }
@@ -119,7 +129,7 @@ fn main() {
             bytes,
             protocol: Protocol::Tcp { window_bytes: 4 * 1024 * 1024 },
         };
-        let (report, run) = run_maybe_faulted(&xfer, faults);
+        let (report, run) = run_maybe_faulted(&xfer, faults, shards);
         println!("== Degraded WAN (seed {seed}): T3E -> SP2, 32 MiB ==");
         println!(
             "goodput {:.1} Mbit/s, {} retransmits ({} fast, {} timeouts)",

@@ -1,0 +1,149 @@
+//! Kernel scaling benchmark: the sequential event kernel vs the sharded
+//! parallel kernel on a fig1-scale multi-flow scenario (several
+//! concurrent TCP bulk transfers crossing a 500 µs WAN section).
+//!
+//! ```text
+//! cargo run --release -p gtw-bench --bin kernel_bench
+//! cargo run --release -p gtw-bench --bin kernel_bench -- --check
+//! ```
+//!
+//! The default mode measures wall-clock and event throughput for the
+//! sequential kernel and for 1/2/4 shards, writes the results as
+//! machine-readable `BENCH_kernel.json`, and asserts that every
+//! configuration produced a byte-identical run report. `--check` skips
+//! the timing loop and prints only the deterministic digest (event
+//! count + report), for two-run `cmp` gating in CI.
+
+use std::time::Instant;
+
+use gtw_desim::{Json, SimDuration};
+use gtw_net::ip::IpConfig;
+use gtw_net::link::Medium;
+use gtw_net::tcp::HopModel;
+use gtw_net::transfer::{BulkTransfer, Protocol, TransferSet};
+use gtw_net::units::Bandwidth;
+
+const FLOWS: u64 = 64;
+const BYTES_PER_FLOW: u64 = 4 * 1024 * 1024;
+const REPEATS: usize = 5;
+
+fn raw_hop(rate_mbps: f64, prop_us: u64) -> HopModel {
+    HopModel {
+        medium: Medium::Raw { rate: Bandwidth::from_mbps(rate_mbps) },
+        per_packet: SimDuration::ZERO,
+        propagation: SimDuration::from_micros(prop_us),
+    }
+}
+
+/// Several concurrent transfers over local-WAN-local paths, enough to
+/// keep every shard busy and the sequential event heap deep.
+fn scenario() -> TransferSet {
+    let mut set = TransferSet::new();
+    for k in 0..FLOWS {
+        set.add(BulkTransfer {
+            hops: vec![
+                raw_hop(800.0, 3 + k),
+                raw_hop(622.0, 5 + k),
+                raw_hop(622.0, 8),
+                raw_hop(155.0 + 30.0 * k as f64, 500),
+                raw_hop(622.0, 8),
+                raw_hop(622.0, 5 + k),
+                raw_hop(800.0, 3 + k),
+            ],
+            ip: IpConfig { mtu: 9180 },
+            bytes: BYTES_PER_FLOW,
+            protocol: Protocol::Tcp { window_bytes: 512 * 1024 },
+        });
+    }
+    set
+}
+
+/// Best-of-N wall-clock per kernel configuration. Configurations are
+/// interleaved round-robin inside each repeat so transient load on the
+/// host penalizes all of them equally.
+fn measure(shard_counts: &[usize]) -> Vec<(f64, u64, String)> {
+    let set = scenario();
+    let mut results = vec![(f64::INFINITY, 0u64, String::new()); shard_counts.len()];
+    for _ in 0..REPEATS {
+        for (slot, &shards) in shard_counts.iter().enumerate() {
+            let started = Instant::now();
+            let (_, run) = set.run(shards);
+            let wall = started.elapsed().as_secs_f64();
+            let r = &mut results[slot];
+            r.0 = r.0.min(wall);
+            r.1 = run.events_processed;
+            r.2 = run.to_json().dump();
+        }
+    }
+    results
+}
+
+fn main() {
+    if gtw_bench::has_flag("--check") {
+        // Deterministic digest only: every kernel configuration must
+        // agree, and two invocations of this mode must print identical
+        // bytes.
+        let set = scenario();
+        let (_, seq) = set.run(0);
+        let seq_json = seq.to_json().dump();
+        for shards in [1usize, 2, 4] {
+            let (_, run) = set.run(shards);
+            assert_eq!(run.to_json().dump(), seq_json, "{shards}-shard run diverged");
+        }
+        println!(
+            "{}",
+            Json::obj([
+                ("events_processed", Json::from(seq.events_processed)),
+                ("run", seq.to_json()),
+            ])
+            .pretty()
+        );
+        return;
+    }
+
+    let shard_counts = [0usize, 1, 2, 4];
+    let results = measure(&shard_counts);
+    let (seq_wall, seq_events, ref seq_report) = results[0];
+    let seq_eps = seq_events as f64 / seq_wall;
+    println!("sequential: {seq_events} events in {seq_wall:.3} s ({seq_eps:.0} events/s)");
+
+    let mut configs = vec![Json::obj([
+        ("kernel", Json::from("sequential")),
+        ("shards", Json::from(0u64)),
+        ("wall_s", Json::from(seq_wall)),
+        ("events", Json::from(seq_events)),
+        ("events_per_sec", Json::from(seq_eps)),
+        ("speedup", Json::from(1.0)),
+    ])];
+    for (slot, &shards) in shard_counts.iter().enumerate().skip(1) {
+        let (wall, events, ref report) = results[slot];
+        assert_eq!(events, seq_events, "{shards}-shard event count diverged");
+        assert_eq!(report, seq_report, "{shards}-shard report diverged");
+        let eps = events as f64 / wall;
+        println!(
+            "{shards} shard(s): {events} events in {wall:.3} s ({:.0} events/s, {:.2}x)",
+            eps,
+            eps / seq_eps
+        );
+        configs.push(Json::obj([
+            ("kernel", Json::from("sharded")),
+            ("shards", Json::from(shards as u64)),
+            ("wall_s", Json::from(wall)),
+            ("events", Json::from(events)),
+            ("events_per_sec", Json::from(eps)),
+            ("speedup", Json::from(eps / seq_eps)),
+        ]));
+    }
+
+    let doc = Json::obj([
+        ("benchmark", Json::from("kernel_scaling")),
+        ("scenario", Json::from("64 concurrent TCP flows over a 500us WAN cut")),
+        ("flows", Json::from(FLOWS)),
+        ("bytes_per_flow", Json::from(BYTES_PER_FLOW)),
+        ("repeats", Json::from(REPEATS as u64)),
+        ("configs", Json::Arr(configs)),
+    ]);
+    std::fs::write("BENCH_kernel.json", format!("{}\n", doc.pretty()))
+        .expect("write BENCH_kernel.json");
+    println!("wrote BENCH_kernel.json");
+}

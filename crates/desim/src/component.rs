@@ -8,7 +8,8 @@
 
 use std::any::Any;
 
-use crate::queue::EventQueue;
+use crate::queue::{EventKey, EventQueue};
+use crate::shard::RemoteCtx;
 use crate::sim::Event;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Tracer;
@@ -74,6 +75,11 @@ pub struct Ctx<'a> {
     pub(crate) now: SimTime,
     pub(crate) self_id: ComponentId,
     pub(crate) queue: &'a mut EventQueue<Event>,
+    /// This component's monotone send counter; the `(src, seq)` pair it
+    /// yields gives every scheduled event a kernel-independent identity.
+    pub(crate) src_seq: &'a mut u64,
+    /// Cross-shard routing state; `None` on the sequential kernel.
+    pub(crate) remote: Option<RemoteCtx<'a>>,
     pub(crate) tracer: Option<&'a mut dyn Tracer>,
 }
 
@@ -88,13 +94,16 @@ impl Ctx<'_> {
         self.self_id
     }
 
+    fn next_key(&mut self, at: SimTime) -> EventKey {
+        let seq = *self.src_seq;
+        *self.src_seq += 1;
+        EventKey { time: at, src: self.self_id.0 as u64, seq }
+    }
+
     /// Deliver `m` to `target` after `delay`.
     pub fn send_in(&mut self, delay: SimDuration, target: ComponentId, m: Msg) {
         let t = self.now + delay;
-        if let Some(tr) = self.tracer.as_deref_mut() {
-            tr.on_send(self.now, self.self_id, target, t);
-        }
-        self.queue.push(t, Event::Deliver { target, msg: m });
+        self.send_at(t, target, m);
     }
 
     /// Deliver `m` to `target` at the absolute instant `at` (must not be in
@@ -104,10 +113,18 @@ impl Ctx<'_> {
         if let Some(tr) = self.tracer.as_deref_mut() {
             tr.on_send(self.now, self.self_id, target, at);
         }
-        self.queue.push(at, Event::Deliver { target, msg: m });
+        let key = self.next_key(at);
+        if let Some(r) = self.remote.as_mut() {
+            if !r.is_local(target) {
+                r.forward(self.now, key, target, m);
+                return;
+            }
+        }
+        self.queue.push_keyed(key, Event::Deliver { target, msg: m });
     }
 
     /// Schedule a timer: deliver `m` back to this component after `delay`.
+    /// Timers are always shard-local.
     pub fn timer_in(&mut self, delay: SimDuration, m: Msg) {
         let id = self.self_id;
         let t = self.now + delay;
@@ -115,7 +132,8 @@ impl Ctx<'_> {
             tr.on_timer_armed(self.now, id, t);
             tr.on_send(self.now, id, id, t);
         }
-        self.queue.push(t, Event::Deliver { target: id, msg: m });
+        let key = self.next_key(t);
+        self.queue.push_keyed(key, Event::Deliver { target: id, msg: m });
     }
 }
 

@@ -9,9 +9,11 @@
 //!   [`Component`]s or to one-shot closures,
 //! * [`rng`] — named, reproducible random-number streams.
 //!
-//! Determinism is a design goal throughout: two events scheduled for the
-//! same instant fire in the order they were scheduled (FIFO tie-break on a
-//! monotonically increasing sequence number), and all randomness is drawn
+//! Determinism is a design goal throughout: every event carries a
+//! kernel-independent `(time, source, source_seq)` key ([`queue::EventKey`])
+//! that totally orders same-instant events identically whether a scenario
+//! runs on the sequential [`Simulator`] or is partitioned across a
+//! [`ShardedSimulator`]'s worker shards, and all randomness is drawn
 //! from seedable, stream-named ChaCha generators.
 //!
 //! ## Quick example
@@ -31,8 +33,10 @@ pub mod component;
 pub mod fault;
 pub mod hist;
 pub mod json;
+pub mod partition;
 pub mod queue;
 pub mod rng;
+pub mod shard;
 pub mod sim;
 pub mod span;
 pub mod time;
@@ -46,8 +50,10 @@ pub use fault::{
 };
 pub use hist::Histogram;
 pub use json::Json;
+pub use partition::ShardPlan;
 pub use queue::{EventQueue, QueuedEvent};
 pub use rng::StreamRng;
+pub use shard::{ExecMode, ShardedSimulator};
 pub use sim::{RunResult, Simulator};
 pub use span::{chrome_trace, validate_chrome_trace, Span, SpanRecorder, SpanSink, TraceCheck};
 pub use time::{SimDuration, SimTime};

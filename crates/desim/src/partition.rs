@@ -1,0 +1,132 @@
+//! Shard assignment for parallel runs.
+//!
+//! A [`ShardPlan`] maps every registered component to a shard and
+//! declares the *lookahead*: a lower bound on the delivery delay of any
+//! message that crosses a shard boundary. In the Gigabit Testbed West
+//! topology that bound comes for free — the ~100 km WAN section has an
+//! irreducible propagation delay, so cutting the component graph at the
+//! WAN link gives each side a window of `propagation` virtual time it
+//! can safely simulate without hearing from the other.
+
+use crate::component::ComponentId;
+use crate::time::SimDuration;
+
+/// A partition of the component graph plus the conservative lookahead
+/// bound for messages crossing it.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    n_shards: usize,
+    lookahead: SimDuration,
+    /// Component index -> shard. Components beyond the end default to
+    /// shard 0.
+    assignment: Vec<u32>,
+}
+
+impl ShardPlan {
+    /// A plan with `n_shards` shards (all components on shard 0 until
+    /// [`assign`](Self::assign)ed) and the given cross-shard lookahead.
+    ///
+    /// `lookahead` must lower-bound every cross-shard send delay; the
+    /// sharded kernel asserts this at send time. Use
+    /// [`SimDuration::MAX`] when the partition has no cross-shard edges
+    /// at all (fully independent shards).
+    pub fn new(n_shards: usize, lookahead: SimDuration) -> Self {
+        assert!(n_shards >= 1, "a plan needs at least one shard");
+        assert!(
+            n_shards == 1 || lookahead > SimDuration::ZERO,
+            "multi-shard plans need a positive lookahead (zero would deadlock the window loop)"
+        );
+        ShardPlan { n_shards, lookahead, assignment: Vec::new() }
+    }
+
+    /// Place `id` on `shard`.
+    pub fn assign(&mut self, id: ComponentId, shard: usize) {
+        assert!(shard < self.n_shards, "shard {shard} out of range (n = {})", self.n_shards);
+        let idx = id.index();
+        if idx >= self.assignment.len() {
+            self.assignment.resize(idx + 1, 0);
+        }
+        self.assignment[idx] = shard as u32;
+    }
+
+    /// Shard holding component `id`.
+    pub fn shard_of(&self, id: ComponentId) -> usize {
+        self.assignment.get(id.index()).copied().unwrap_or(0) as usize
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// The declared cross-shard lookahead.
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// The assignment table, padded to `len` components.
+    pub(crate) fn table(&self, len: usize) -> Vec<u32> {
+        let mut t = self.assignment.clone();
+        assert!(
+            t.len() <= len,
+            "plan assigns component {} but only {len} are registered",
+            t.len() - 1
+        );
+        t.resize(len, 0);
+        t
+    }
+
+    /// Convenience for tests and benches: deal components round-robin
+    /// across shards. Only sound when every inter-component send delay is
+    /// at least `lookahead` (true for, e.g., independent per-shard
+    /// component groups or uniformly delayed meshes).
+    pub fn round_robin(n_shards: usize, n_components: usize, lookahead: SimDuration) -> Self {
+        let mut plan = ShardPlan::new(n_shards, lookahead);
+        for i in 0..n_components {
+            plan.assign(ComponentId(i), i % n_shards);
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_to_shard_zero() {
+        let plan = ShardPlan::new(4, SimDuration::from_micros(500));
+        assert_eq!(plan.shard_of(ComponentId(17)), 0);
+        assert_eq!(plan.n_shards(), 4);
+    }
+
+    #[test]
+    fn assign_and_pad() {
+        let mut plan = ShardPlan::new(3, SimDuration::from_micros(1));
+        plan.assign(ComponentId(2), 1);
+        plan.assign(ComponentId(5), 2);
+        assert_eq!(plan.shard_of(ComponentId(2)), 1);
+        assert_eq!(plan.shard_of(ComponentId(5)), 2);
+        assert_eq!(plan.table(8), vec![0, 0, 1, 0, 0, 2, 0, 0]);
+    }
+
+    #[test]
+    fn round_robin_deals_evenly() {
+        let plan = ShardPlan::round_robin(2, 5, SimDuration::MAX);
+        let shards: Vec<_> = (0..5).map(|i| plan.shard_of(ComponentId(i))).collect();
+        assert_eq!(shards, vec![0, 1, 0, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive lookahead")]
+    fn zero_lookahead_rejected_for_multi_shard() {
+        let _ = ShardPlan::new(2, SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn assign_rejects_bad_shard() {
+        let mut plan = ShardPlan::new(2, SimDuration::MAX);
+        plan.assign(ComponentId(0), 2);
+    }
+}

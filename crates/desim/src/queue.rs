@@ -1,34 +1,61 @@
 //! Deterministic time-ordered event queue.
 //!
-//! A thin wrapper over `BinaryHeap` that breaks same-time ties with a
-//! monotonically increasing sequence number, so events scheduled for the
-//! same instant pop in scheduling (FIFO) order. This is what makes whole
-//! simulations bit-for-bit reproducible.
+//! A thin wrapper over `BinaryHeap` keyed by [`EventKey`]: fire time,
+//! then originating component, then that component's send counter. The
+//! key is a *total* order that does not depend on which queue an event
+//! was pushed onto, so the same scenario dispatches identically whether
+//! it runs on the sequential kernel or partitioned across shards — this
+//! is what makes whole simulations bit-for-bit reproducible across
+//! kernels, not just across runs.
+//!
+//! Events injected from outside the component graph (scenario glue,
+//! closures) carry the [`EXTERNAL_SRC`] source and a per-queue FIFO
+//! counter, so external events scheduled for the same instant still pop
+//! in scheduling order.
 
 use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
-/// An entry in the queue: fire time, tie-break sequence, payload.
+/// Source id used for events pushed from outside any component (scenario
+/// setup, `Simulator::send_in`, closures). Sorts after every component
+/// source at the same instant.
+pub const EXTERNAL_SRC: u64 = u64::MAX;
+
+/// The total order on events: fire time, then source component, then the
+/// source's monotone send counter. Identical regardless of how the
+/// simulation is partitioned into shards.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct EventKey {
+    /// Instant at which the event fires.
+    pub time: SimTime,
+    /// Originating component index, or [`EXTERNAL_SRC`].
+    pub src: u64,
+    /// The source's send counter at scheduling time.
+    pub seq: u64,
+}
+
+/// An entry popped from the queue.
 #[derive(Debug)]
 pub struct QueuedEvent<T> {
     /// Instant at which the event fires.
     pub time: SimTime,
-    /// Scheduling order; unique per queue.
+    /// Tie-break remainder of the key: `(source, send counter)`.
+    pub src: u64,
+    /// Scheduling order within the source.
     pub seq: u64,
     /// The event payload.
     pub payload: T,
 }
 
 struct HeapEntry<T> {
-    time: SimTime,
-    seq: u64,
+    key: EventKey,
     payload: T,
 }
 
 impl<T> PartialEq for HeapEntry<T> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.key == other.key
     }
 }
 impl<T> Eq for HeapEntry<T> {}
@@ -41,16 +68,18 @@ impl<T> PartialOrd for HeapEntry<T> {
 
 impl<T> Ord for HeapEntry<T> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // BinaryHeap is a max-heap; invert so earliest (time, seq) pops
-        // first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
+        // BinaryHeap is a max-heap; invert so the smallest key pops first.
+        other.key.cmp(&self.key)
     }
 }
 
-/// Min-queue of timed events with FIFO tie-breaking.
+/// Min-queue of timed events ordered by [`EventKey`].
 pub struct EventQueue<T> {
     heap: BinaryHeap<HeapEntry<T>>,
+    /// FIFO counter for externally pushed events.
     next_seq: u64,
+    /// Total number of events ever pushed (keyed or external).
+    pushed: u64,
 }
 
 impl<T> Default for EventQueue<T> {
@@ -62,7 +91,7 @@ impl<T> Default for EventQueue<T> {
 impl<T> EventQueue<T> {
     /// Create an empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, pushed: 0 }
     }
 
     /// Number of pending events.
@@ -75,28 +104,68 @@ impl<T> EventQueue<T> {
         self.heap.is_empty()
     }
 
-    /// Schedule `payload` at `time`. Returns the sequence number assigned,
-    /// which can be used for debugging/tracing.
+    /// Schedule `payload` at `time` from outside the component graph.
+    /// External events are FIFO among equal times and sort after any
+    /// component-sourced event at the same instant. Returns the FIFO
+    /// sequence number assigned, which can be used for debugging/tracing.
     pub fn push(&mut self, time: SimTime, payload: T) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(HeapEntry { time, seq, payload });
+        self.push_keyed(EventKey { time, src: EXTERNAL_SRC, seq }, payload);
         seq
     }
 
-    /// Pop the earliest event (FIFO among equal times).
+    /// Schedule `payload` under an explicit key (component-sourced
+    /// events; cross-shard arrivals re-inserted with their original key).
+    pub fn push_keyed(&mut self, key: EventKey, payload: T) {
+        self.pushed += 1;
+        self.heap.push(HeapEntry { key, payload });
+    }
+
+    /// Pop the earliest event (smallest key).
     pub fn pop(&mut self) -> Option<QueuedEvent<T>> {
-        self.heap.pop().map(|e| QueuedEvent { time: e.time, seq: e.seq, payload: e.payload })
+        self.heap.pop().map(|e| QueuedEvent {
+            time: e.key.time,
+            src: e.key.src,
+            seq: e.key.seq,
+            payload: e.payload,
+        })
+    }
+
+    /// Pop the earliest event only if it fires strictly before `horizon`.
+    pub(crate) fn pop_before(&mut self, horizon: SimTime) -> Option<QueuedEvent<T>> {
+        if self.heap.peek().is_some_and(|e| e.key.time < horizon) {
+            self.pop()
+        } else {
+            None
+        }
     }
 
     /// Fire time of the next event without removing it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        self.heap.peek().map(|e| e.key.time)
+    }
+
+    /// Remove and return every pending entry with its key (used when
+    /// partitioning a wired simulation into shards).
+    pub(crate) fn drain_entries(&mut self) -> Vec<(EventKey, T)> {
+        self.heap.drain().map(|e| (e.key, e.payload)).collect()
+    }
+
+    /// Restore the external FIFO counter (used when reassembling a
+    /// simulator from shards).
+    pub(crate) fn set_fifo_seq(&mut self, seq: u64) {
+        self.next_seq = seq;
+    }
+
+    /// The external FIFO counter.
+    pub(crate) fn fifo_seq(&self) -> u64 {
+        self.next_seq
     }
 
     /// Total number of events ever scheduled on this queue.
     pub fn scheduled_total(&self) -> u64 {
-        self.next_seq
+        self.pushed
     }
 }
 
@@ -123,6 +192,51 @@ mod tests {
         }
         let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn keyed_order_is_time_then_source_then_seq() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(1);
+        q.push_keyed(EventKey { time: t, src: 2, seq: 0 }, "c0");
+        q.push_keyed(EventKey { time: t, src: 1, seq: 1 }, "b1");
+        q.push_keyed(EventKey { time: t, src: 1, seq: 0 }, "b0");
+        q.push(t, "ext"); // EXTERNAL_SRC sorts after all components.
+        q.push_keyed(EventKey { time: SimTime::ZERO, src: 9, seq: 0 }, "early");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["early", "b0", "b1", "c0", "ext"]);
+    }
+
+    #[test]
+    fn key_order_does_not_depend_on_push_order() {
+        let keys: Vec<EventKey> = (0..24)
+            .map(|i| EventKey {
+                time: SimTime::from_nanos([5, 1, 5, 3][i % 4]),
+                src: [0, 3, 1][i % 3],
+                seq: i as u64,
+            })
+            .collect();
+        let mut forward = EventQueue::new();
+        let mut reverse = EventQueue::new();
+        for &k in &keys {
+            forward.push_keyed(k, k);
+        }
+        for &k in keys.iter().rev() {
+            reverse.push_keyed(k, k);
+        }
+        for _ in 0..keys.len() {
+            assert_eq!(forward.pop().unwrap().payload, reverse.pop().unwrap().payload);
+        }
+    }
+
+    #[test]
+    fn pop_before_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(10), "a");
+        q.push(SimTime::from_nanos(20), "b");
+        assert_eq!(q.pop_before(SimTime::from_nanos(20)).unwrap().payload, "a");
+        assert!(q.pop_before(SimTime::from_nanos(20)).is_none());
+        assert_eq!(q.pop_before(SimTime::from_nanos(21)).unwrap().payload, "b");
     }
 
     #[test]

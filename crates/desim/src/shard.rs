@@ -1,0 +1,622 @@
+//! Conservative-window parallel event kernel.
+//!
+//! [`ShardedSimulator`] partitions a fully wired [`Simulator`] into
+//! shards — one event queue, clock and component subset each — and runs
+//! them concurrently under the classic conservative synchronization
+//! scheme: in each round every shard publishes the time of its earliest
+//! pending event, the global minimum `gm` is folded over a shared atomic,
+//! and every shard may then safely process all events strictly before
+//! `gm + lookahead`, where `lookahead` lower-bounds the delivery delay of
+//! any cross-shard message. Messages that cross a shard boundary are
+//! staged in per-destination buffers and exchanged once per window —
+//! directly between queues on the cooperative path, as one channel batch
+//! per destination on the threaded path — each carrying its full
+//! [`EventKey`], so arrivals are re-inserted under exactly the key they
+//! would have had on the sequential kernel.
+//!
+//! ## Determinism
+//!
+//! The event key `(time, source component, source send counter)` is a
+//! total order independent of the partition. Within one timestamp a
+//! component's same-time cascade is always shard-local (cross-shard
+//! messages arrive at least `lookahead > 0` later), so restricting the
+//! sequential kernel's pop-min order to one shard's events yields
+//! precisely that shard's local pop-min order. By induction every
+//! component sees the identical message sequence — and therefore produces
+//! identical state and identical reports — on the sequential kernel, a
+//! 1-shard run, and an N-shard run.
+//!
+//! ## Limits
+//!
+//! * `Event::Call` closures need `&mut Simulator` and cannot be
+//!   partitioned; scenarios must drain them (or not use them) before
+//!   converting. [`ShardedSimulator::from_simulator`] panics otherwise.
+//! * Tracing and event budgets are sequential-kernel features.
+//! * Events scheduled at exactly [`SimTime::MAX`] are indistinguishable
+//!   from "no event" in the min-reduction and are left unprocessed (the
+//!   run then reports [`RunResult::HorizonReached`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Barrier};
+
+use crate::component::{Component, ComponentId, Ctx, Msg};
+use crate::partition::ShardPlan;
+use crate::queue::{EventKey, EventQueue, QueuedEvent};
+use crate::sim::{Event, RunResult, SimParts, Simulator};
+use crate::time::{SimDuration, SimTime};
+
+/// A message in flight between shards, carrying the key it was assigned
+/// at the sender so the destination queue orders it exactly as the
+/// sequential kernel would.
+pub(crate) struct RemoteEvent {
+    key: EventKey,
+    target: ComponentId,
+    msg: Msg,
+}
+
+/// Cross-shard routing state borrowed into a [`Ctx`] during dispatch on
+/// the sharded kernel.
+pub(crate) struct RemoteCtx<'a> {
+    pub(crate) shard_of: &'a [u32],
+    pub(crate) my_shard: u32,
+    pub(crate) lookahead: SimDuration,
+    pub(crate) staged: &'a mut [Vec<RemoteEvent>],
+}
+
+impl RemoteCtx<'_> {
+    /// Whether `target` lives on the sending shard.
+    pub(crate) fn is_local(&self, target: ComponentId) -> bool {
+        self.shard_of[target.index()] == self.my_shard
+    }
+
+    /// Stage a cross-shard event for delivery at the end of the window.
+    /// The conservative window is only sound if the arrival is at least
+    /// `lookahead` in the future, so that is asserted here — a violation
+    /// means the [`ShardPlan`] declared a lookahead larger than some cut
+    /// edge's real delay.
+    pub(crate) fn forward(&mut self, now: SimTime, key: EventKey, target: ComponentId, msg: Msg) {
+        let bound = now.as_nanos().saturating_add(self.lookahead.as_nanos());
+        assert!(
+            key.time.as_nanos() >= bound,
+            "cross-shard send violates the declared lookahead: \
+             arrival {:?} < now {:?} + lookahead {:?}",
+            key.time,
+            now,
+            self.lookahead,
+        );
+        self.staged[self.shard_of[target.index()] as usize].push(RemoteEvent { key, target, msg });
+    }
+}
+
+/// How [`ShardedSimulator::run`] executes its shards.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ExecMode {
+    /// Worker threads when the host has more than one core, otherwise a
+    /// single-thread round-robin over the shards. Identical results
+    /// either way.
+    #[default]
+    Auto,
+    /// Always spawn one worker thread per shard.
+    Threaded,
+    /// Always multiplex the shards on the calling thread.
+    Cooperative,
+}
+
+/// One partition: a queue, a clock, and the components assigned here.
+struct Shard {
+    index: u32,
+    queue: EventQueue<Event>,
+    /// Full-length slot vector; `None` for components owned elsewhere.
+    components: Vec<Option<Box<dyn Component>>>,
+    send_seqs: Vec<u64>,
+    dispatch_counts: Vec<u64>,
+    now: SimTime,
+    processed: u64,
+    shard_of: Arc<Vec<u32>>,
+    lookahead: SimDuration,
+    /// Per-destination buffers for cross-shard sends staged inside the
+    /// current window; exchanged once per round.
+    staged: Vec<Vec<RemoteEvent>>,
+    /// Channel endpoints, used only by the threaded executor: one batch
+    /// per (source, destination) pair per window round.
+    outbox: Vec<Sender<Vec<RemoteEvent>>>,
+    inbox: Receiver<Vec<RemoteEvent>>,
+}
+
+impl Shard {
+    /// Fire time of the earliest local event, in ns, or `u64::MAX`.
+    fn next_time_ns(&self) -> u64 {
+        self.queue.peek_time().map_or(u64::MAX, |t| t.as_nanos())
+    }
+
+    /// Process every local event strictly before `horizon`, including
+    /// events generated inside the window.
+    fn process_window(&mut self, horizon: SimTime) {
+        while let Some(ev) = self.queue.pop_before(horizon) {
+            self.dispatch(ev);
+        }
+    }
+
+    #[inline(always)]
+    fn dispatch(&mut self, ev: QueuedEvent<Event>) {
+        match ev.payload {
+            Event::Deliver { target, msg } => {
+                let t = target.index();
+                debug_assert_eq!(
+                    self.shard_of[t], self.index,
+                    "event for a foreign component reached shard {}",
+                    self.index
+                );
+                self.now = ev.time;
+                self.processed += 1;
+                self.dispatch_counts[t] += 1;
+                let mut comp = self.components[t]
+                    .take()
+                    .unwrap_or_else(|| panic!("re-entrant dispatch to {target:?}"));
+                // A solitary shard has nowhere to forward to; skipping
+                // the remote context spares every send the locality
+                // check on the hot path.
+                let remote = (self.staged.len() > 1).then(|| RemoteCtx {
+                    shard_of: &self.shard_of,
+                    my_shard: self.index,
+                    lookahead: self.lookahead,
+                    staged: &mut self.staged,
+                });
+                let mut ctx = Ctx {
+                    now: ev.time,
+                    self_id: target,
+                    queue: &mut self.queue,
+                    src_seq: &mut self.send_seqs[t],
+                    remote,
+                    tracer: None,
+                };
+                comp.handle(&mut ctx, msg);
+                self.components[t] = Some(comp);
+            }
+            Event::Call(_) => unreachable!("Call events are rejected at partition time"),
+        }
+    }
+
+    /// Ship this window's staged batches to their destination shards
+    /// (threaded executor only).
+    fn flush_staged(&mut self) {
+        for (dst, batch) in self.staged.iter_mut().enumerate() {
+            if !batch.is_empty() {
+                self.outbox[dst]
+                    .send(std::mem::take(batch))
+                    .expect("destination shard disconnected");
+            }
+        }
+    }
+
+    /// Move cross-shard arrivals into the local queue. The event queue
+    /// orders entries by their full key, so batch arrival order between
+    /// source shards is irrelevant.
+    fn drain_inbox(&mut self) {
+        while let Ok(batch) = self.inbox.try_recv() {
+            for r in batch {
+                self.queue.push_keyed(r.key, Event::Deliver { target: r.target, msg: r.msg });
+            }
+        }
+    }
+}
+
+/// The parallel event kernel: a set of [`Shard`]s advancing in
+/// conservative lookahead windows. Built from a wired [`Simulator`] and
+/// dissolved back into one for stats collection, so every existing
+/// report path works unchanged.
+pub struct ShardedSimulator {
+    shards: Vec<Shard>,
+    names: Vec<String>,
+    lookahead: SimDuration,
+    /// External FIFO counter carried through so a reassembled simulator
+    /// keeps scheduling externals deterministically.
+    fifo_seq: u64,
+    base_processed: u64,
+    mode: ExecMode,
+}
+
+impl ShardedSimulator {
+    /// Partition a wired simulator according to `plan`.
+    ///
+    /// Panics if a tracer is attached, if the plan references unknown
+    /// components, or if `Call` events are pending (closures cannot cross
+    /// shard boundaries).
+    pub fn from_simulator(sim: Simulator, plan: &ShardPlan) -> Self {
+        assert!(!sim.has_tracer(), "tracing is only supported on the sequential kernel");
+        let n = plan.n_shards();
+        let mut parts = sim.into_parts();
+        let len = parts.components.len();
+        let table = Arc::new(plan.table(len));
+        let lookahead = plan.lookahead();
+
+        let mut txs = Vec::with_capacity(n);
+        let mut rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = channel();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+
+        let fifo_seq = parts.queue.fifo_seq();
+        let entries = parts.queue.drain_entries();
+
+        let mut shards: Vec<Shard> = rxs
+            .into_iter()
+            .enumerate()
+            .map(|(i, rx)| Shard {
+                index: i as u32,
+                queue: EventQueue::new(),
+                components: (0..len).map(|_| None).collect(),
+                send_seqs: vec![0; len],
+                dispatch_counts: vec![0; len],
+                now: parts.now,
+                processed: 0,
+                shard_of: Arc::clone(&table),
+                lookahead,
+                staged: (0..n).map(|_| Vec::new()).collect(),
+                outbox: txs.clone(),
+                inbox: rx,
+            })
+            .collect();
+
+        for (i, slot) in parts.components.drain(..).enumerate() {
+            let dest = table[i] as usize;
+            shards[dest].components[i] = slot;
+            shards[dest].send_seqs[i] = parts.send_seqs[i];
+            shards[dest].dispatch_counts[i] = parts.dispatch_counts[i];
+        }
+        for (key, payload) in entries {
+            match payload {
+                Event::Deliver { target, msg } => {
+                    let dest = table[target.index()] as usize;
+                    shards[dest].queue.push_keyed(key, Event::Deliver { target, msg });
+                }
+                Event::Call(_) => panic!(
+                    "pending Call events cannot be partitioned; \
+                     drain them on the sequential kernel first"
+                ),
+            }
+        }
+
+        ShardedSimulator {
+            shards,
+            names: parts.names,
+            lookahead,
+            fifo_seq,
+            base_processed: parts.processed,
+            mode: ExecMode::Auto,
+        }
+    }
+
+    /// Choose how shards execute (defaults to [`ExecMode::Auto`]).
+    pub fn set_mode(&mut self, mode: ExecMode) {
+        self.mode = mode;
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Events processed so far, summed over shards.
+    pub fn events_processed(&self) -> u64 {
+        self.base_processed + self.shards.iter().map(|s| s.processed).sum::<u64>()
+    }
+
+    /// The latest shard clock (the merged clock a reassembled simulator
+    /// will report).
+    pub fn now(&self) -> SimTime {
+        self.shards.iter().map(|s| s.now).max().unwrap_or(SimTime::ZERO)
+    }
+
+    /// Run every shard until all queues drain.
+    pub fn run(&mut self) -> RunResult {
+        if self.shards.len() == 1 {
+            // Single shard: no windows, no synchronization — just drain.
+            let shard = &mut self.shards[0];
+            while let Some(ev) = shard.queue.pop() {
+                shard.dispatch(ev);
+            }
+            return RunResult::Drained;
+        }
+        let threaded = match self.mode {
+            ExecMode::Threaded => true,
+            ExecMode::Cooperative => false,
+            ExecMode::Auto => std::thread::available_parallelism().map_or(1, |n| n.get()) > 1,
+        };
+        if threaded {
+            self.run_threaded()
+        } else {
+            self.run_cooperative()
+        }
+    }
+
+    /// One worker thread per shard; three barriers per window round
+    /// (min-reduction, send-completion, inbox-reset).
+    fn run_threaded(&mut self) -> RunResult {
+        let n = self.shards.len();
+        let barrier = Barrier::new(n);
+        let min_slot = AtomicU64::new(u64::MAX);
+        let lookahead = self.lookahead;
+        std::thread::scope(|scope| {
+            for (i, shard) in self.shards.iter_mut().enumerate() {
+                let barrier = &barrier;
+                let min_slot = &min_slot;
+                let leader = i == 0;
+                scope.spawn(move || loop {
+                    // A: the leader has reset the min slot.
+                    barrier.wait();
+                    min_slot.fetch_min(shard.next_time_ns(), Ordering::SeqCst);
+                    // B: every shard's minimum is folded in.
+                    barrier.wait();
+                    let gm = min_slot.load(Ordering::SeqCst);
+                    if gm == u64::MAX {
+                        break;
+                    }
+                    let horizon = SimTime::from_nanos(gm.saturating_add(lookahead.as_nanos()));
+                    shard.process_window(horizon);
+                    shard.flush_staged();
+                    // C: all cross-shard batches of this window are sent.
+                    barrier.wait();
+                    shard.drain_inbox();
+                    if leader {
+                        min_slot.store(u64::MAX, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        self.finish_result()
+    }
+
+    /// Round-robin the shards on the calling thread — the same window
+    /// algorithm without barriers, for single-core hosts and for tests
+    /// that want panics to propagate synchronously.
+    fn run_cooperative(&mut self) -> RunResult {
+        loop {
+            let gm = self.shards.iter().map(Shard::next_time_ns).min().unwrap_or(u64::MAX);
+            if gm == u64::MAX {
+                break;
+            }
+            let horizon = SimTime::from_nanos(gm.saturating_add(self.lookahead.as_nanos()));
+            for s in &mut self.shards {
+                s.process_window(horizon);
+            }
+            // Exchange staged batches queue-to-queue — no channels on the
+            // single-thread path. Buffers are swapped back afterwards so
+            // their capacity is reused across rounds.
+            let n = self.shards.len();
+            for src in 0..n {
+                for dst in 0..n {
+                    let mut batch = std::mem::take(&mut self.shards[src].staged[dst]);
+                    if !batch.is_empty() {
+                        let queue = &mut self.shards[dst].queue;
+                        for r in batch.drain(..) {
+                            queue
+                                .push_keyed(r.key, Event::Deliver { target: r.target, msg: r.msg });
+                        }
+                    }
+                    self.shards[src].staged[dst] = batch;
+                }
+            }
+        }
+        self.finish_result()
+    }
+
+    fn finish_result(&self) -> RunResult {
+        if self.shards.iter().all(|s| s.queue.is_empty()) {
+            RunResult::Drained
+        } else {
+            RunResult::HorizonReached
+        }
+    }
+
+    /// Merge the shards back into a sequential [`Simulator`] so existing
+    /// stats collectors, component accessors and report builders work
+    /// unchanged: clocks merge to the maximum, per-component counters to
+    /// their (owner-shard) values, leftover events to one queue.
+    pub fn into_simulator(self) -> Simulator {
+        let len = self.names.len();
+        let mut components: Vec<Option<Box<dyn Component>>> = (0..len).map(|_| None).collect();
+        let mut dispatch_counts = vec![0u64; len];
+        let mut send_seqs = vec![0u64; len];
+        let mut queue = EventQueue::new();
+        let mut now = SimTime::ZERO;
+        let mut processed = self.base_processed;
+        for shard in self.shards {
+            let Shard {
+                queue: mut sq,
+                components: scomps,
+                send_seqs: sseqs,
+                dispatch_counts: sdisp,
+                now: snow,
+                processed: sproc,
+                ..
+            } = shard;
+            now = now.max(snow);
+            processed += sproc;
+            for (i, slot) in scomps.into_iter().enumerate() {
+                if let Some(c) = slot {
+                    components[i] = Some(c);
+                }
+            }
+            for i in 0..len {
+                // Foreign slots hold zeros, so summing recovers the
+                // owner-shard values.
+                dispatch_counts[i] += sdisp[i];
+                send_seqs[i] += sseqs[i];
+            }
+            for (key, payload) in sq.drain_entries() {
+                queue.push_keyed(key, payload);
+            }
+        }
+        queue.set_fifo_seq(self.fifo_seq);
+        Simulator::from_parts(SimParts {
+            now,
+            queue,
+            components,
+            names: self.names,
+            dispatch_counts,
+            send_seqs,
+            processed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{downcast, msg};
+
+    /// Ping-pong pair: each side echoes with a fixed delay until `limit`
+    /// messages have been seen, then stops.
+    struct Pinger {
+        peer: ComponentId,
+        delay: SimDuration,
+        seen: u32,
+        limit: u32,
+    }
+
+    struct Ball;
+
+    impl Component for Pinger {
+        fn handle(&mut self, ctx: &mut Ctx<'_>, m: Msg) {
+            let _ = downcast::<Ball>(m);
+            self.seen += 1;
+            if self.seen < self.limit {
+                ctx.send_in(self.delay, self.peer, msg(Ball));
+            }
+        }
+        fn name(&self) -> &str {
+            "pinger"
+        }
+    }
+
+    fn pingpong_sim(delay: SimDuration, limit: u32) -> (Simulator, ComponentId, ComponentId) {
+        let mut sim = Simulator::new();
+        let a =
+            sim.add_component(Pinger { peer: ComponentId::placeholder(), delay, seen: 0, limit });
+        let b = sim.add_component(Pinger { peer: a, delay, seen: 0, limit });
+        sim.component_mut::<Pinger>(a).peer = b;
+        sim.send_in(SimDuration::ZERO, a, msg(Ball));
+        (sim, a, b)
+    }
+
+    fn run_split(mode: ExecMode) -> (SimTime, u64, Vec<(String, u64)>) {
+        let delay = SimDuration::from_micros(500);
+        let (sim, a, b) = pingpong_sim(delay, 10);
+        let mut plan = ShardPlan::new(2, delay);
+        plan.assign(a, 0);
+        plan.assign(b, 1);
+        let mut sharded = ShardedSimulator::from_simulator(sim, &plan);
+        sharded.set_mode(mode);
+        assert_eq!(sharded.run(), RunResult::Drained);
+        let merged = sharded.into_simulator();
+        let profile =
+            merged.dispatch_profile().into_iter().map(|(n, c)| (n.to_string(), c)).collect();
+        (merged.now(), merged.events_processed(), profile)
+    }
+
+    #[test]
+    fn two_shard_pingpong_matches_sequential() {
+        let delay = SimDuration::from_micros(500);
+        let (mut seq, _, _) = pingpong_sim(delay, 10);
+        seq.run();
+        let expect_profile: Vec<(String, u64)> =
+            seq.dispatch_profile().into_iter().map(|(n, c)| (n.to_string(), c)).collect();
+        for mode in [ExecMode::Cooperative, ExecMode::Threaded, ExecMode::Auto] {
+            let (now, processed, profile) = run_split(mode);
+            assert_eq!(now, seq.now(), "{mode:?}");
+            assert_eq!(processed, seq.events_processed(), "{mode:?}");
+            assert_eq!(profile, expect_profile, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn single_shard_matches_sequential() {
+        let delay = SimDuration::from_micros(10);
+        let (mut seq, _, _) = pingpong_sim(delay, 7);
+        seq.run();
+        let (sim, _, _) = pingpong_sim(delay, 7);
+        let mut sharded = ShardedSimulator::from_simulator(sim, &ShardPlan::new(1, delay));
+        assert_eq!(sharded.run(), RunResult::Drained);
+        let merged = sharded.into_simulator();
+        assert_eq!(merged.now(), seq.now());
+        assert_eq!(merged.events_processed(), seq.events_processed());
+    }
+
+    #[test]
+    fn independent_shards_use_infinite_lookahead() {
+        // Two pairs that never talk to each other: lookahead MAX, one
+        // window round drains everything.
+        let mut sim = Simulator::new();
+        let mut ids = Vec::new();
+        for _ in 0..2 {
+            let a = sim.add_component(Pinger {
+                peer: ComponentId::placeholder(),
+                delay: SimDuration::from_nanos(3),
+                seen: 0,
+                limit: 5,
+            });
+            let b = sim.add_component(Pinger {
+                peer: a,
+                delay: SimDuration::from_nanos(3),
+                seen: 0,
+                limit: 5,
+            });
+            sim.component_mut::<Pinger>(a).peer = b;
+            sim.send_in(SimDuration::ZERO, a, msg(Ball));
+            ids.push((a, b));
+        }
+        let mut plan = ShardPlan::new(2, SimDuration::MAX);
+        plan.assign(ids[1].0, 1);
+        plan.assign(ids[1].1, 1);
+        let mut sharded = ShardedSimulator::from_simulator(sim, &plan);
+        sharded.set_mode(ExecMode::Cooperative);
+        assert_eq!(sharded.run(), RunResult::Drained);
+        assert_eq!(sharded.events_processed(), 18);
+    }
+
+    #[test]
+    #[should_panic(expected = "violates the declared lookahead")]
+    fn lookahead_violation_is_detected() {
+        let delay = SimDuration::from_nanos(1);
+        let (sim, a, b) = pingpong_sim(delay, 10);
+        // Declare far more lookahead than the real 1 ns edge delay.
+        let mut plan = ShardPlan::new(2, SimDuration::from_secs(1));
+        plan.assign(a, 0);
+        plan.assign(b, 1);
+        let mut sharded = ShardedSimulator::from_simulator(sim, &plan);
+        sharded.set_mode(ExecMode::Cooperative);
+        sharded.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "Call events cannot be partitioned")]
+    fn pending_call_events_are_rejected() {
+        let mut sim = Simulator::new();
+        sim.call_in(SimDuration::from_secs(1), |_| {});
+        let _ = ShardedSimulator::from_simulator(sim, &ShardPlan::new(2, SimDuration::MAX));
+    }
+
+    #[test]
+    fn merge_preserves_component_state_and_pending_events() {
+        let delay = SimDuration::from_micros(500);
+        let (sim, a, b) = pingpong_sim(delay, 10);
+        let mut plan = ShardPlan::new(2, delay);
+        plan.assign(a, 0);
+        plan.assign(b, 1);
+        let mut sharded = ShardedSimulator::from_simulator(sim, &plan);
+        sharded.set_mode(ExecMode::Cooperative);
+        sharded.run();
+        let merged = sharded.into_simulator();
+        // The rally stops when the receiving side reaches its limit: a
+        // sees 10 balls, b sees 9.
+        assert_eq!(merged.component::<Pinger>(a).seen, 10);
+        assert_eq!(merged.component::<Pinger>(b).seen, 9);
+        assert_eq!(merged.events_pending(), 0);
+        // The merged simulator is a normal simulator again.
+        assert_eq!(merged.component_name(a), "pinger");
+    }
+}

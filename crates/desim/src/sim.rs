@@ -44,6 +44,9 @@ pub struct Simulator {
     components: Vec<Option<Box<dyn Component>>>,
     names: Vec<String>,
     dispatch_counts: Vec<u64>,
+    /// Per-component send counters: the `seq` half of each scheduled
+    /// event's `(src, seq)` identity.
+    send_seqs: Vec<u64>,
     processed: u64,
     /// Hard cap on processed events, guarding against accidental infinite
     /// self-scheduling loops in models. Default: effectively unlimited.
@@ -69,6 +72,7 @@ impl Simulator {
             components: Vec::new(),
             names: Vec::new(),
             dispatch_counts: Vec::new(),
+            send_seqs: Vec::new(),
             processed: 0,
             event_budget: u64::MAX,
             tracer: None,
@@ -118,6 +122,7 @@ impl Simulator {
         self.components.push(Some(c));
         self.names.push(name);
         self.dispatch_counts.push(0);
+        self.send_seqs.push(0);
         id
     }
 
@@ -223,6 +228,8 @@ impl Simulator {
                     now: self.now,
                     self_id: target,
                     queue: &mut self.queue,
+                    src_seq: &mut self.send_seqs[target.0],
+                    remote: None,
                     tracer: self.tracer.as_deref_mut(),
                 };
                 comp.handle(&mut ctx, msg);
@@ -266,6 +273,52 @@ impl Simulator {
         let horizon = self.now + span;
         self.run_until(horizon)
     }
+
+    /// Decompose into raw state for partitioning across shards. The
+    /// tracer (if any) is dropped: tracing is a sequential-kernel feature.
+    pub(crate) fn into_parts(self) -> SimParts {
+        SimParts {
+            now: self.now,
+            queue: self.queue,
+            components: self.components,
+            names: self.names,
+            dispatch_counts: self.dispatch_counts,
+            send_seqs: self.send_seqs,
+            processed: self.processed,
+        }
+    }
+
+    /// Reassemble a simulator from shard-merged state.
+    pub(crate) fn from_parts(p: SimParts) -> Simulator {
+        Simulator {
+            now: p.now,
+            queue: p.queue,
+            components: p.components,
+            names: p.names,
+            dispatch_counts: p.dispatch_counts,
+            send_seqs: p.send_seqs,
+            processed: p.processed,
+            event_budget: u64::MAX,
+            tracer: None,
+        }
+    }
+
+    /// Whether a tracer is currently attached.
+    pub fn has_tracer(&self) -> bool {
+        self.tracer.is_some()
+    }
+}
+
+/// Raw simulator state passed between the sequential kernel and
+/// [`ShardedSimulator`](crate::ShardedSimulator).
+pub(crate) struct SimParts {
+    pub(crate) now: SimTime,
+    pub(crate) queue: EventQueue<Event>,
+    pub(crate) components: Vec<Option<Box<dyn Component>>>,
+    pub(crate) names: Vec<String>,
+    pub(crate) dispatch_counts: Vec<u64>,
+    pub(crate) send_seqs: Vec<u64>,
+    pub(crate) processed: u64,
 }
 
 #[cfg(test)]

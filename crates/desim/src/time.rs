@@ -10,6 +10,20 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
 use serde::{Deserialize, Serialize};
 
+/// Kernel-wide float→nanosecond conversion policy: round to nearest.
+///
+/// NaN and negative inputs are programming errors — they panic in debug
+/// builds; in release the `as` cast clamps them to 0 rather than
+/// producing an arbitrary bit pattern. Values beyond `u64::MAX`
+/// nanoseconds (including `+inf`) saturate explicitly at `u64::MAX`.
+#[inline]
+fn secs_to_nanos(s: f64) -> u64 {
+    debug_assert!(!s.is_nan(), "virtual time from NaN seconds");
+    debug_assert!(s >= 0.0, "virtual time cannot be negative: {s}");
+    // `as` saturates: NaN/negative -> 0, above-range/+inf -> u64::MAX.
+    (s * 1e9).round() as u64
+}
+
 /// An absolute instant of virtual time, in nanoseconds since simulation
 /// start.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
@@ -31,29 +45,30 @@ impl SimTime {
         SimTime(ns)
     }
 
-    /// Construct from whole microseconds.
+    /// Construct from whole microseconds (saturates at [`SimTime::MAX`]).
     #[inline]
     pub const fn from_micros(us: u64) -> Self {
-        SimTime(us * 1_000)
+        SimTime(us.saturating_mul(1_000))
     }
 
-    /// Construct from whole milliseconds.
+    /// Construct from whole milliseconds (saturates at [`SimTime::MAX`]).
     #[inline]
     pub const fn from_millis(ms: u64) -> Self {
-        SimTime(ms * 1_000_000)
+        SimTime(ms.saturating_mul(1_000_000))
     }
 
-    /// Construct from whole seconds.
+    /// Construct from whole seconds (saturates at [`SimTime::MAX`]).
     #[inline]
     pub const fn from_secs(s: u64) -> Self {
-        SimTime(s * 1_000_000_000)
+        SimTime(s.saturating_mul(1_000_000_000))
     }
 
-    /// Construct from fractional seconds (rounds to nearest nanosecond).
+    /// Construct from fractional seconds: rounds to the nearest
+    /// nanosecond, saturates at [`SimTime::MAX`], and debug-panics on NaN
+    /// or negative input (clamped to zero in release).
     #[inline]
     pub fn from_secs_f64(s: f64) -> Self {
-        debug_assert!(s >= 0.0, "SimTime cannot be negative");
-        SimTime((s * 1e9).round() as u64)
+        SimTime(secs_to_nanos(s))
     }
 
     /// Raw nanoseconds since the epoch.
@@ -106,41 +121,47 @@ impl SimDuration {
         SimDuration(ns)
     }
 
-    /// Construct from whole microseconds.
+    /// Construct from whole microseconds (saturates at
+    /// [`SimDuration::MAX`]).
     #[inline]
     pub const fn from_micros(us: u64) -> Self {
-        SimDuration(us * 1_000)
+        SimDuration(us.saturating_mul(1_000))
     }
 
-    /// Construct from whole milliseconds.
+    /// Construct from whole milliseconds (saturates at
+    /// [`SimDuration::MAX`]).
     #[inline]
     pub const fn from_millis(ms: u64) -> Self {
-        SimDuration(ms * 1_000_000)
+        SimDuration(ms.saturating_mul(1_000_000))
     }
 
-    /// Construct from whole seconds.
+    /// Construct from whole seconds (saturates at [`SimDuration::MAX`]).
     #[inline]
     pub const fn from_secs(s: u64) -> Self {
-        SimDuration(s * 1_000_000_000)
+        SimDuration(s.saturating_mul(1_000_000_000))
     }
 
-    /// Construct from fractional seconds (rounds to nearest nanosecond).
+    /// Construct from fractional seconds: rounds to the nearest
+    /// nanosecond, saturates at [`SimDuration::MAX`], and debug-panics on
+    /// NaN or negative input (clamped to zero in release).
     #[inline]
     pub fn from_secs_f64(s: f64) -> Self {
-        debug_assert!(s >= 0.0, "SimDuration cannot be negative");
-        SimDuration((s * 1e9).round() as u64)
+        SimDuration(secs_to_nanos(s))
     }
 
     /// Time to serialize `bits` onto a line of `bits_per_sec` capacity.
     ///
     /// This is the workhorse of the network simulator: the transmission
-    /// delay of a frame/cell. Rounds up to the next nanosecond so that a
-    /// positive number of bits on a finite-rate line never takes zero time.
+    /// delay of a frame/cell. Follows the kernel-wide round-to-nearest
+    /// policy, with an explicit floor of 1 ns so a positive number of
+    /// bits on a finite-rate line never takes zero time (a zero-length
+    /// service would let a single stage loop at one instant forever).
     #[inline]
     pub fn transmission(bits: u64, bits_per_sec: f64) -> Self {
-        assert!(bits_per_sec > 0.0, "line rate must be positive");
-        let ns = (bits as f64) * 1e9 / bits_per_sec;
-        SimDuration(ns.ceil() as u64)
+        // NaN fails this comparison too, so bad rates cannot slip through.
+        assert!(bits_per_sec > 0.0, "line rate must be positive ({bits_per_sec})");
+        let ns = ((bits as f64) * 1e9 / bits_per_sec).round() as u64;
+        SimDuration(if bits > 0 { ns.max(1) } else { ns })
     }
 
     /// Raw nanoseconds.
@@ -173,10 +194,11 @@ impl SimDuration {
         SimDuration(self.0.saturating_sub(other.0))
     }
 
-    /// Multiply by an integer count (e.g. `n` cells of equal length).
+    /// Multiply by an integer count (e.g. `n` cells of equal length),
+    /// saturating at [`SimDuration::MAX`].
     #[inline]
     pub const fn times(self, n: u64) -> SimDuration {
-        SimDuration(self.0 * n)
+        SimDuration(self.0.saturating_mul(n))
     }
 }
 
@@ -366,5 +388,60 @@ mod tests {
         assert!(SimTime::from_secs(1) < SimTime::from_secs(2));
         assert!(SimDuration::from_nanos(1) > SimDuration::ZERO);
         assert_eq!(SimTime::ZERO, SimTime::default());
+    }
+
+    #[test]
+    fn integer_constructors_saturate() {
+        assert_eq!(SimTime::from_secs(u64::MAX), SimTime::MAX);
+        assert_eq!(SimTime::from_millis(u64::MAX), SimTime::MAX);
+        assert_eq!(SimTime::from_micros(u64::MAX), SimTime::MAX);
+        assert_eq!(SimDuration::from_secs(u64::MAX), SimDuration::MAX);
+        assert_eq!(SimDuration::from_millis(u64::MAX), SimDuration::MAX);
+        assert_eq!(SimDuration::from_micros(u64::MAX), SimDuration::MAX);
+        assert_eq!(SimDuration::from_nanos(3).times(u64::MAX), SimDuration::MAX);
+        // In-range values are unaffected.
+        assert_eq!(SimTime::from_secs(5).as_nanos(), 5_000_000_000);
+    }
+
+    #[test]
+    fn float_constructors_saturate_out_of_range() {
+        assert_eq!(SimTime::from_secs_f64(f64::INFINITY), SimTime::MAX);
+        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY), SimDuration::MAX);
+        // Just beyond the representable range (u64::MAX ns ~ 584.9 years).
+        assert_eq!(SimTime::from_secs_f64(1e12), SimTime::MAX);
+        assert_eq!(SimDuration::from_secs_f64(1e12), SimDuration::MAX);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "NaN")]
+    fn nan_seconds_panic_in_debug() {
+        let _ = SimTime::from_secs_f64(f64::NAN);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "cannot be negative")]
+    fn negative_seconds_panic_in_debug() {
+        let _ = SimDuration::from_secs_f64(-1.0e-9);
+    }
+
+    #[test]
+    fn rounding_policy_is_uniform() {
+        // from_secs_f64 and transmission share round-to-nearest: 1 bit at
+        // 3 bit/s is 333_333_333.3 ns and must round the same way as the
+        // equivalent fractional-second construction.
+        let via_rate = SimDuration::transmission(1, 3.0);
+        let via_secs = SimDuration::from_secs_f64(1.0 / 3.0);
+        assert_eq!(via_rate, via_secs);
+        assert_eq!(via_rate.as_nanos(), 333_333_333);
+        // Half-way cases round away from zero (f64::round semantics).
+        assert_eq!(SimDuration::from_secs_f64(1.5e-9).as_nanos(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn transmission_rejects_nan_rate() {
+        let _ = SimDuration::transmission(100, f64::NAN);
     }
 }

@@ -50,5 +50,5 @@ pub mod units;
 pub use cell::{AtmCell, CellHeader, ATM_CELL_BYTES, ATM_PAYLOAD_BYTES};
 pub use stats::{RunReport, StatsRegistry};
 pub use topology::{LinkSpec, NodeId, NodeKind, Topology};
-pub use transfer::{BulkTransfer, Protocol, TransferReport};
+pub use transfer::{BulkTransfer, Protocol, TransferReport, TransferSet};
 pub use units::{Bandwidth, DataSize};

@@ -8,7 +8,9 @@
 //! closed-form steady-state bound for cross-checking.
 
 use gtw_desim::fault::{FaultPlan, FaultSpec, LossModel, Schedule, Window};
-use gtw_desim::{ComponentId, SimDuration, SimTime, Simulator, SpanSink};
+use gtw_desim::{
+    ComponentId, ShardPlan, ShardedSimulator, SimDuration, SimTime, Simulator, SpanSink,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::ip::{fragment_sizes, IpConfig};
@@ -86,8 +88,9 @@ impl BulkTransfer {
     }
 
     /// Build the forward stage chain in `sim`, registering every stage
-    /// with `reg` and returning the first stage. Stages are created back
-    /// to front so each knows its successor.
+    /// with `reg` and returning the stage ids indexed by hop (so
+    /// `ids[0]` is the first stage). Stages are created back to front so
+    /// each knows its successor.
     fn build_stages(
         &self,
         sim: &mut Simulator,
@@ -95,10 +98,12 @@ impl BulkTransfer {
         reg: &mut StatsRegistry,
         sink: &SpanSink,
         plan: Option<&FaultPlan>,
-    ) -> ComponentId {
+        prefix: &str,
+    ) -> Vec<ComponentId> {
         let mut next = terminal;
+        let mut ids = Vec::with_capacity(self.hops.len());
         for (i, hop) in self.hops.iter().enumerate().rev() {
-            let label = format!("hop{i}");
+            let label = format!("{prefix}hop{i}");
             let mut stage = PipeStage::new(
                 label.clone(),
                 StageConfig {
@@ -115,8 +120,23 @@ impl BulkTransfer {
             }
             next = sim.add_component(stage);
             reg.add_stage(next);
+            ids.push(next);
         }
-        next
+        ids.reverse();
+        ids
+    }
+
+    /// Index and propagation of the widest-propagation hop: the natural
+    /// cut point for a two-shard split, because every packet crossing it
+    /// is in flight for at least that long — the conservative lookahead.
+    /// `None` when no hop has positive propagation (nothing to cut).
+    fn wan_cut(&self) -> Option<(usize, SimDuration)> {
+        let (w, hop) = self
+            .hops
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, h)| (h.propagation, std::cmp::Reverse(*i)))?;
+        (hop.propagation > SimDuration::ZERO).then_some((w, hop.propagation))
     }
 
     /// Run the event-driven simulation and report.
@@ -154,17 +174,21 @@ impl BulkTransfer {
         }
     }
 
-    fn run_tcp(
+    /// Wire one TCP transfer into `sim` (stages, endpoints, registry
+    /// entries, start event) and derive its shard split. Labels and the
+    /// [`FaultPlan`] lookup keys are prefixed with `prefix` so several
+    /// transfers can share one simulation.
+    #[allow(clippy::too_many_arguments)]
+    fn wire_tcp(
         &self,
-        window_bytes: u64,
+        sim: &mut Simulator,
+        reg: &mut StatsRegistry,
         sink: &SpanSink,
         plan: Option<&FaultPlan>,
-    ) -> (TransferReport, RunReport) {
-        let mut sim = Simulator::new();
-        if sink.enabled() {
-            sim.set_tracer(Box::new(sink.clone()));
-        }
-        let mut reg = StatsRegistry::new();
+        prefix: &str,
+        flow: u64,
+        window_bytes: u64,
+    ) -> TcpWiring {
         // Reverse (ACK) path: same hops in reverse order. ACKs are small,
         // so their service times are cheap but the propagation is real.
         let mut rev_hops: Vec<HopModel> = self.hops.clone();
@@ -178,7 +202,7 @@ impl BulkTransfer {
         let rev_first = {
             let mut next = ComponentId::placeholder();
             for (i, hop) in rev_hops.iter().enumerate().rev() {
-                let label = format!("rev{i}");
+                let label = format!("{prefix}rev{i}");
                 let mut stage = PipeStage::new(
                     label.clone(),
                     StageConfig {
@@ -198,51 +222,137 @@ impl BulkTransfer {
             }
             next
         };
-        let cfg = TcpConfig::bulk(1, self.bytes, self.ip, window_bytes);
-        let receiver = sim.add_component(TcpReceiver::new(1, self.bytes, rev_first));
-        let fwd_first = self.build_stages(&mut sim, receiver, &mut reg, sink, plan);
-        let sender_id = sim.add_component(TcpSender::new(cfg, fwd_first).with_spans(sink.clone()));
+        let cfg = TcpConfig::bulk(flow, self.bytes, self.ip, window_bytes);
+        let receiver = sim.add_component(TcpReceiver::new(flow, self.bytes, rev_first));
+        let fwd_ids = self.build_stages(sim, receiver, reg, sink, plan, prefix);
+        let sender = sim.add_component(TcpSender::new(cfg, fwd_ids[0]).with_spans(sink.clone()));
         // Close the cycle: the first-created reverse stage (the one next
         // to the sender) still points at the placeholder. With no reverse
         // hops the receiver ACKs the sender directly.
         match rev_stage_ids.first() {
-            Some(&last_rev) => sim.component_mut::<PipeStage>(last_rev).next = sender_id,
-            None => sim.component_mut::<TcpReceiver>(receiver).ack_path = sender_id,
+            Some(&last_rev) => sim.component_mut::<PipeStage>(last_rev).next = sender,
+            None => sim.component_mut::<TcpReceiver>(receiver).ack_path = sender,
         }
-        reg.add_tcp_sender(sender_id);
+        reg.add_tcp_sender(sender);
         reg.add_tcp_receiver(receiver);
         for &id in rev_stage_ids.iter().rev() {
             reg.add_stage(id);
         }
-        sim.send_in(SimDuration::ZERO, sender_id, gtw_desim::component::msg(StartTransfer));
+        sim.send_in(SimDuration::ZERO, sender, gtw_desim::component::msg(StartTransfer));
+
+        // Split both directions at the widest-propagation (WAN) hop: the
+        // forward cut edge hop{w} → hop{w+1} and its mirror on the ACK
+        // path both deliver after that hop's propagation, which becomes
+        // the conservative lookahead.
+        let n = self.hops.len();
+        let cut = self.wan_cut();
+        let w = cut.map_or(n, |(w, _)| w);
+        let mut sender_side = vec![sender];
+        let mut receiver_side = vec![receiver];
+        for (i, &id) in fwd_ids.iter().enumerate() {
+            if i <= w { &mut sender_side } else { &mut receiver_side }.push(id);
+        }
+        for (j, &id) in rev_stage_ids.iter().rev().enumerate() {
+            // rev{j} models hops[n-1-j]; the receiver side runs through
+            // the mirror of the WAN hop, rev{n-1-w}.
+            if n - 1 - j >= w { &mut receiver_side } else { &mut sender_side }.push(id);
+        }
+        TcpWiring { sender, sender_side, receiver_side, cut_lookahead: cut.map(|c| c.1) }
+    }
+
+    fn run_tcp(
+        &self,
+        window_bytes: u64,
+        sink: &SpanSink,
+        plan: Option<&FaultPlan>,
+    ) -> (TransferReport, RunReport) {
+        let mut sim = Simulator::new();
+        if sink.enabled() {
+            sim.set_tracer(Box::new(sink.clone()));
+        }
+        let mut reg = StatsRegistry::new();
+        let wiring = self.wire_tcp(&mut sim, &mut reg, sink, plan, "", 1, window_bytes);
         sim.run();
         let run_report = reg.collect(&sim);
-        let s = sim.component::<TcpSender>(sender_id);
+        (self.collect_tcp(&sim, wiring.sender), run_report)
+    }
+
+    /// Extract the per-transfer summary from a finished simulation.
+    fn collect_tcp(&self, sim: &Simulator, sender: ComponentId) -> TransferReport {
+        let s = sim.component::<TcpSender>(sender);
         let elapsed =
             s.elapsed().expect("TCP transfer did not complete — check for loss without retransmit");
-        let report = TransferReport {
+        TransferReport {
             bytes: self.bytes,
             elapsed,
             goodput: crate::units::throughput(DataSize::from_bytes(self.bytes), elapsed),
             packets_sent: s.segments_sent,
             retransmits: s.retransmits,
-        };
-        (report, run_report)
+        }
     }
 
-    fn run_raw(
+    /// Run on the parallel kernel with `shards` shards (`0` = sequential
+    /// kernel). Same-seed reports are byte-identical to
+    /// [`run_with_report`](Self::run_with_report) for every shard count —
+    /// the equivalence the ordering key exists to guarantee.
+    pub fn run_sharded(&self, shards: usize) -> (TransferReport, RunReport) {
+        self.run_sharded_impl(shards, None)
+    }
+
+    /// [`run_sharded`](Self::run_sharded) under a fault plan.
+    pub fn run_sharded_faulted(
         &self,
-        span_sink: &SpanSink,
+        shards: usize,
+        plan: &FaultPlan,
+    ) -> (TransferReport, RunReport) {
+        self.run_sharded_impl(shards, if plan.is_empty() { None } else { Some(plan) })
+    }
+
+    fn run_sharded_impl(
+        &self,
+        shards: usize,
         plan: Option<&FaultPlan>,
     ) -> (TransferReport, RunReport) {
+        let sink = SpanSink::disabled();
         let mut sim = Simulator::new();
-        if span_sink.enabled() {
-            sim.set_tracer(Box::new(span_sink.clone()));
-        }
         let mut reg = StatsRegistry::new();
+        match self.protocol {
+            Protocol::Tcp { window_bytes } => {
+                let wiring = self.wire_tcp(&mut sim, &mut reg, &sink, plan, "", 1, window_bytes);
+                let sim = run_partitioned(sim, shards, std::slice::from_ref(&wiring.split()));
+                let run_report = reg.collect(&sim);
+                (self.collect_tcp(&sim, wiring.sender), run_report)
+            }
+            Protocol::RawStream => {
+                let wiring = self.wire_raw(&mut sim, &mut reg, &sink, plan, "");
+                let sim = run_partitioned(sim, shards, std::slice::from_ref(&wiring.split));
+                let run_report = reg.collect(&sim);
+                let elapsed = sim.now().saturating_since(SimTime::ZERO);
+                let report = TransferReport {
+                    bytes: self.bytes,
+                    elapsed,
+                    goodput: crate::units::throughput(DataSize::from_bytes(self.bytes), elapsed),
+                    packets_sent: wiring.packets,
+                    retransmits: 0,
+                };
+                (report, run_report)
+            }
+        }
+    }
+
+    /// Wire one raw-stream transfer into `sim`: the terminal [`Sink`],
+    /// the stage chain, and the pre-scheduled fragment arrivals.
+    fn wire_raw(
+        &self,
+        sim: &mut Simulator,
+        reg: &mut StatsRegistry,
+        span_sink: &SpanSink,
+        plan: Option<&FaultPlan>,
+        prefix: &str,
+    ) -> RawWiring {
         let sink = sim.add_component(Sink::default());
         reg.add_sink(sink);
-        let first = self.build_stages(&mut sim, sink, &mut reg, span_sink, plan);
+        let fwd_ids = self.build_stages(sim, sink, reg, span_sink, plan, prefix);
         let mut sent = 0u64;
         let mut packets = 0u64;
         for frag in fragment_sizes(self.bytes, self.ip.mtu) {
@@ -255,11 +365,33 @@ impl BulkTransfer {
                 created: SimTime::ZERO,
                 kind: PacketKind::Data,
             };
-            sim.send_in(SimDuration::ZERO, first, gtw_desim::component::msg(Arrive(pkt)));
+            sim.send_in(SimDuration::ZERO, fwd_ids[0], gtw_desim::component::msg(Arrive(pkt)));
             sent += payload;
             packets += 1;
         }
         debug_assert_eq!(sent, self.bytes);
+        let n = self.hops.len();
+        let cut = self.wan_cut();
+        let w = cut.map_or(n, |(w, _)| w);
+        let mut near = Vec::new();
+        let mut far = vec![sink];
+        for (i, &id) in fwd_ids.iter().enumerate() {
+            if i <= w { &mut near } else { &mut far }.push(id);
+        }
+        RawWiring { packets, split: (near, far, cut.map(|c| c.1)) }
+    }
+
+    fn run_raw(
+        &self,
+        span_sink: &SpanSink,
+        plan: Option<&FaultPlan>,
+    ) -> (TransferReport, RunReport) {
+        let mut sim = Simulator::new();
+        if span_sink.enabled() {
+            sim.set_tracer(Box::new(span_sink.clone()));
+        }
+        let mut reg = StatsRegistry::new();
+        let wiring = self.wire_raw(&mut sim, &mut reg, span_sink, plan, "");
         sim.run();
         let run_report = reg.collect(&sim);
         let elapsed = sim.now().saturating_since(SimTime::ZERO);
@@ -267,10 +399,155 @@ impl BulkTransfer {
             bytes: self.bytes,
             elapsed,
             goodput: crate::units::throughput(DataSize::from_bytes(self.bytes), elapsed),
-            packets_sent: packets,
+            packets_sent: wiring.packets,
             retransmits: 0,
         };
         (report, run_report)
+    }
+}
+
+/// The two shard sides of one wired transfer plus the cut edge's
+/// propagation (`None` when the path has no positive-propagation hop and
+/// therefore must stay on one shard).
+type ShardSplit = (Vec<ComponentId>, Vec<ComponentId>, Option<SimDuration>);
+
+/// Ids produced by wiring one TCP transfer.
+struct TcpWiring {
+    sender: ComponentId,
+    /// Sender, forward stages up to the WAN hop, and the ACK stages past
+    /// its mirror.
+    sender_side: Vec<ComponentId>,
+    /// Everything past the WAN cut: later forward stages, the receiver,
+    /// and the near ACK stages.
+    receiver_side: Vec<ComponentId>,
+    cut_lookahead: Option<SimDuration>,
+}
+
+impl TcpWiring {
+    fn split(&self) -> ShardSplit {
+        (self.sender_side.clone(), self.receiver_side.clone(), self.cut_lookahead)
+    }
+}
+
+/// Ids produced by wiring one raw-stream transfer.
+struct RawWiring {
+    packets: u64,
+    split: ShardSplit,
+}
+
+/// Place each transfer's two sides on shards `(2t) % n` and `(2t+1) % n`,
+/// take the minimum cut propagation as the global lookahead, and run on
+/// the kernel selected by `shards` (`0` = sequential). Transfers whose
+/// split has no cut edge are collapsed onto one shard.
+fn run_partitioned(mut sim: Simulator, shards: usize, splits: &[ShardSplit]) -> Simulator {
+    if shards == 0 {
+        sim.run();
+        return sim;
+    }
+    let mut lookahead = SimDuration::MAX;
+    let mut placements: Vec<(ComponentId, usize)> = Vec::new();
+    for (t, (near, far, cut)) in splits.iter().enumerate() {
+        let sa = (2 * t) % shards;
+        let mut sb = (2 * t + 1) % shards;
+        match cut {
+            Some(c) if sa != sb => lookahead = lookahead.min(*c),
+            _ => sb = sa,
+        }
+        placements.extend(near.iter().map(|&id| (id, sa)));
+        placements.extend(far.iter().map(|&id| (id, sb)));
+    }
+    let mut plan = ShardPlan::new(shards, lookahead);
+    for (id, s) in placements {
+        plan.assign(id, s);
+    }
+    let mut sharded = ShardedSimulator::from_simulator(sim, &plan);
+    sharded.run();
+    sharded.into_simulator()
+}
+
+/// Several transfers sharing one simulation — the multi-flow workload
+/// the sharded kernel exists for. Each transfer gets a `t{k}.` label
+/// prefix and flow id `k + 1`; fault plans are looked up under the
+/// prefixed labels.
+#[derive(Default)]
+pub struct TransferSet {
+    items: Vec<(BulkTransfer, Option<FaultPlan>)>,
+}
+
+impl TransferSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a clean transfer. Only TCP transfers are supported in sets
+    /// (raw streams report elapsed time from the global clock, which is
+    /// ambiguous with concurrent flows).
+    pub fn add(&mut self, xfer: BulkTransfer) {
+        assert!(
+            matches!(xfer.protocol, Protocol::Tcp { .. }),
+            "TransferSet supports TCP transfers only"
+        );
+        self.items.push((xfer, None));
+    }
+
+    /// Add a transfer with its own fault plan (labels must carry the
+    /// transfer's `t{k}.` prefix).
+    pub fn add_faulted(&mut self, xfer: BulkTransfer, plan: FaultPlan) {
+        assert!(
+            matches!(xfer.protocol, Protocol::Tcp { .. }),
+            "TransferSet supports TCP transfers only"
+        );
+        let plan = (!plan.is_empty()).then_some(plan);
+        self.items.push((xfer, plan));
+    }
+
+    /// Number of transfers.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Run every transfer in one simulation on `shards` shards (`0` =
+    /// sequential kernel), returning per-transfer summaries in insertion
+    /// order plus the combined report. Byte-identical across shard
+    /// counts for the same input.
+    pub fn run(&self, shards: usize) -> (Vec<TransferReport>, RunReport) {
+        assert!(!self.items.is_empty(), "cannot run an empty TransferSet");
+        let sink = SpanSink::disabled();
+        let mut sim = Simulator::new();
+        let mut reg = StatsRegistry::new();
+        let mut wirings = Vec::with_capacity(self.items.len());
+        for (k, (xfer, plan)) in self.items.iter().enumerate() {
+            let Protocol::Tcp { window_bytes } = xfer.protocol else {
+                unreachable!("add() rejects non-TCP transfers");
+            };
+            let prefix = format!("t{k}.");
+            let wiring = xfer.wire_tcp(
+                &mut sim,
+                &mut reg,
+                &sink,
+                plan.as_ref(),
+                &prefix,
+                (k + 1) as u64,
+                window_bytes,
+            );
+            wirings.push(wiring);
+        }
+        let splits: Vec<ShardSplit> = wirings.iter().map(TcpWiring::split).collect();
+        let sim = run_partitioned(sim, shards, &splits);
+        let run_report = reg.collect(&sim);
+        let reports = self
+            .items
+            .iter()
+            .zip(&wirings)
+            .map(|((xfer, _), wiring)| xfer.collect_tcp(&sim, wiring.sender))
+            .collect();
+        (reports, run_report)
     }
 }
 
@@ -523,6 +800,114 @@ mod tests {
         let (_, clean) = xfer.run_with_report();
         let (_, faulted) = xfer.run_faulted(&FaultPlan::new(9), &SpanSink::disabled());
         assert_eq!(clean.to_json().dump(), faulted.to_json().dump());
+    }
+
+    #[test]
+    fn sharded_tcp_report_is_byte_identical_to_sequential() {
+        let xfer = BulkTransfer {
+            hops: vec![raw_hop(622.0, 250), raw_hop(155.0, 500), raw_hop(622.0, 250)],
+            ip: IpConfig { mtu: 9180 },
+            bytes: 4 * 1024 * 1024,
+            protocol: Protocol::Tcp { window_bytes: 1024 * 1024 },
+        };
+        let (seq_report, seq_run) = xfer.run_with_report();
+        let seq_json = seq_run.to_json().dump();
+        for shards in [1, 2, 4] {
+            let (report, run) = xfer.run_sharded(shards);
+            assert_eq!(report.elapsed, seq_report.elapsed, "{shards} shards");
+            assert_eq!(report.packets_sent, seq_report.packets_sent, "{shards} shards");
+            assert_eq!(run.to_json().dump(), seq_json, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn sharded_faulted_tcp_matches_sequential() {
+        let xfer = BulkTransfer {
+            hops: vec![raw_hop(155.0, 250), raw_hop(155.0, 250)],
+            ip: IpConfig { mtu: 9180 },
+            bytes: 4 * 1024 * 1024,
+            protocol: Protocol::Tcp { window_bytes: 512 * 1024 },
+        };
+        let plan = degraded_plan(42, "hop0");
+        let (_, seq_run) = xfer.run_faulted(&plan, &SpanSink::disabled());
+        let seq_json = seq_run.to_json().dump();
+        for shards in [1, 2] {
+            let (_, run) = xfer.run_sharded_faulted(shards, &plan);
+            assert_eq!(run.to_json().dump(), seq_json, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn sharded_raw_stream_matches_sequential() {
+        let xfer = BulkTransfer {
+            hops: vec![raw_hop(622.0, 10), raw_hop(155.0, 400)],
+            ip: IpConfig { mtu: 9180 },
+            bytes: 2 * 1024 * 1024,
+            protocol: Protocol::RawStream,
+        };
+        let (seq_report, seq_run) = xfer.run_with_report();
+        for shards in [1, 2] {
+            let (report, run) = xfer.run_sharded(shards);
+            assert_eq!(report.elapsed, seq_report.elapsed, "{shards} shards");
+            assert_eq!(run.to_json().dump(), seq_run.to_json().dump(), "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn transfer_set_reports_match_across_shard_counts() {
+        let mut set = TransferSet::new();
+        for k in 0..3u64 {
+            set.add(BulkTransfer {
+                hops: vec![
+                    raw_hop(622.0, 50),
+                    raw_hop(155.0 + 100.0 * k as f64, 500),
+                    raw_hop(622.0, 50),
+                ],
+                ip: IpConfig { mtu: 9180 },
+                bytes: (1 + k) * 1024 * 1024,
+                protocol: Protocol::Tcp { window_bytes: 512 * 1024 },
+            });
+        }
+        let (seq_reports, seq_run) = set.run(0);
+        assert_eq!(seq_reports.len(), 3);
+        let seq_json = seq_run.to_json().dump();
+        for shards in [1, 2, 4] {
+            let (reports, run) = set.run(shards);
+            for (r, s) in reports.iter().zip(&seq_reports) {
+                assert_eq!(r.elapsed, s.elapsed, "{shards} shards");
+            }
+            assert_eq!(run.to_json().dump(), seq_json, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn transfer_set_prefixed_fault_plans_apply_per_flow() {
+        let base = BulkTransfer {
+            hops: vec![raw_hop(155.0, 250), raw_hop(155.0, 250)],
+            ip: IpConfig { mtu: 9180 },
+            bytes: 2 * 1024 * 1024,
+            protocol: Protocol::Tcp { window_bytes: 512 * 1024 },
+        };
+        let mut set = TransferSet::new();
+        set.add(base.clone());
+        set.add_faulted(base, degraded_plan(7, "t1.hop1"));
+        let (_, seq_run) = set.run(0);
+        let faulted = seq_run.hops.iter().find(|h| h.label == "t1.hop1").unwrap();
+        assert!(faulted.faults.expect("injector stats present").total() > 0);
+        let clean = seq_run.hops.iter().find(|h| h.label == "t0.hop1").unwrap();
+        assert!(clean.faults.is_none());
+        // And the faulted set still splits deterministically.
+        let mut set2 = TransferSet::new();
+        let base2 = BulkTransfer {
+            hops: vec![raw_hop(155.0, 250), raw_hop(155.0, 250)],
+            ip: IpConfig { mtu: 9180 },
+            bytes: 2 * 1024 * 1024,
+            protocol: Protocol::Tcp { window_bytes: 512 * 1024 },
+        };
+        set2.add(base2.clone());
+        set2.add_faulted(base2, degraded_plan(7, "t1.hop1"));
+        let (_, sharded_run) = set2.run(2);
+        assert_eq!(sharded_run.to_json().dump(), seq_run.to_json().dump());
     }
 
     #[test]

@@ -51,3 +51,17 @@ GTW_OVERLOAD_SEED=1999 timeout 300 cargo test -q -p gtw-core --test overload
 cargo run --release -q -p gtw-core --example run_report -- --congestion 1999 > "$trace_tmp/congested_a.json"
 cargo run --release -q -p gtw-core --example run_report -- --congestion 1999 > "$trace_tmp/congested_b.json"
 cmp "$trace_tmp/congested_a.json" "$trace_tmp/congested_b.json"
+
+# Parallel-kernel gate: the cross-kernel equivalence suite (random
+# topologies, fault plans, and transfer sets must produce byte-identical
+# reports on the sequential kernel and on 1/2/4 shards), then two
+# independent byte-identity checks: a sharded fig1 MTU sweep must match
+# the sequential sweep exactly, and two kernel_bench digest runs must
+# agree with each other.
+timeout 600 cargo test -q -p gtw-core --test kernel_equivalence
+cargo run --release -q -p gtw-bench --bin fig1_network -- --json > "$trace_tmp/kernel_seq.json"
+cargo run --release -q -p gtw-bench --bin fig1_network -- --json --shards 2 > "$trace_tmp/kernel_2shard.json"
+cmp "$trace_tmp/kernel_seq.json" "$trace_tmp/kernel_2shard.json"
+cargo run --release -q -p gtw-bench --bin kernel_bench -- --check > "$trace_tmp/kbench_a.json"
+cargo run --release -q -p gtw-bench --bin kernel_bench -- --check > "$trace_tmp/kbench_b.json"
+cmp "$trace_tmp/kbench_a.json" "$trace_tmp/kbench_b.json"

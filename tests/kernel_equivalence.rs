@@ -1,0 +1,187 @@
+//! Cross-kernel equivalence: the sharded parallel kernel must be
+//! observationally identical to the sequential one. For any topology,
+//! traffic mix, and fault plan, the same seed must produce a
+//! byte-identical `RunReport` JSON whether the scenario runs on the
+//! sequential kernel or on 1, 2, or 4 shards — that is the whole
+//! point of the `(time, source, source_seq)` total order on events.
+
+use gtw_desim::component::{msg, Component, ComponentId, Ctx, Msg};
+use gtw_desim::shard::{ExecMode, ShardedSimulator};
+use gtw_desim::{ShardPlan, SimDuration, Simulator};
+use gtw_net::ip::IpConfig;
+use gtw_net::tcp::HopModel;
+use gtw_net::transfer::{degraded_plan, BulkTransfer, Protocol, TransferSet};
+use gtw_net::units::Bandwidth;
+use proptest::prelude::*;
+
+fn raw_hop(rate_mbps: f64, prop_us: u64) -> HopModel {
+    HopModel {
+        medium: gtw_net::link::Medium::Raw { rate: Bandwidth::from_mbps(rate_mbps) },
+        per_packet: SimDuration::ZERO,
+        propagation: SimDuration::from_micros(prop_us),
+    }
+}
+
+/// Run the transfer on every kernel configuration and demand identical
+/// report bytes.
+fn assert_kernels_agree(xfer: &BulkTransfer) {
+    let (_, seq) = xfer.run_with_report();
+    let seq_json = seq.to_json().dump();
+    for shards in [1usize, 2, 4] {
+        let (_, run) = xfer.run_sharded(shards);
+        assert_eq!(run.to_json().dump(), seq_json, "{shards}-shard run diverged");
+    }
+    // Two sequential runs must also agree with themselves (determinism
+    // of the baseline, not just of the parallel kernel).
+    let (_, again) = xfer.run_with_report();
+    assert_eq!(again.to_json().dump(), seq_json, "sequential kernel is nondeterministic");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random 2–4 hop TCP paths: rates, propagations, MTUs, windows and
+    /// payload sizes all fuzzed; every kernel must emit the same bytes.
+    #[test]
+    fn random_tcp_paths_are_kernel_invariant(
+        seed in any::<u64>(),
+        n_hops in 2usize..=4,
+        wan_prop_us in 100u64..2_000,
+        rate_sel in 0usize..3,
+        window_kib in 64u64..1024,
+        payload_kib in 128u64..2048,
+    ) {
+        let rate = [155.0, 622.0, 800.0][rate_sel];
+        let mut hops = Vec::new();
+        for i in 0..n_hops {
+            // One WAN hop in the middle, short local hops elsewhere.
+            let prop = if i == n_hops / 2 { wan_prop_us } else { 5 + (seed % 20) };
+            hops.push(raw_hop(rate, prop));
+        }
+        let xfer = BulkTransfer {
+            hops,
+            ip: IpConfig { mtu: if seed % 2 == 0 { 9180 } else { 65535 } },
+            bytes: payload_kib * 1024,
+            protocol: Protocol::Tcp { window_bytes: window_kib * 1024 },
+        };
+        assert_kernels_agree(&xfer);
+    }
+
+    /// Seeded fault plans (outages + loss + degradation) on a random
+    /// hop: recovery dynamics are timing-sensitive, so this is the
+    /// strongest determinism probe we have.
+    #[test]
+    fn faulted_runs_are_kernel_invariant(
+        seed in any::<u64>(),
+        wan_prop_us in 200u64..1_000,
+        faulted_hop in 0usize..2,
+    ) {
+        let xfer = BulkTransfer {
+            hops: vec![raw_hop(622.0, 10), raw_hop(155.0, wan_prop_us), raw_hop(622.0, 10)],
+            ip: IpConfig { mtu: 9180 },
+            bytes: 2 * 1024 * 1024,
+            protocol: Protocol::Tcp { window_bytes: 512 * 1024 },
+        };
+        let plan = degraded_plan(seed, &format!("hop{faulted_hop}"));
+        let (_, seq) = xfer.run_faulted(&plan, &gtw_desim::SpanSink::disabled());
+        let seq_json = seq.to_json().dump();
+        for shards in [1usize, 2, 4] {
+            let (_, run) = xfer.run_sharded_faulted(shards, &plan);
+            prop_assert_eq!(run.to_json().dump(), seq_json.clone(), "{} shards diverged", shards);
+        }
+    }
+
+    /// Multi-flow sets place different transfers on different shards;
+    /// the merged report must still match the sequential ordering.
+    #[test]
+    fn transfer_sets_are_kernel_invariant(
+        n_flows in 1usize..=4,
+        wan_prop_us in 250u64..1_500,
+    ) {
+        let mut set = TransferSet::new();
+        for k in 0..n_flows as u64 {
+            set.add(BulkTransfer {
+                hops: vec![
+                    raw_hop(622.0, 20),
+                    raw_hop(155.0 + 50.0 * k as f64, wan_prop_us),
+                    raw_hop(622.0, 20),
+                ],
+                ip: IpConfig { mtu: 9180 },
+                bytes: (1 + k) * 512 * 1024,
+                protocol: Protocol::Tcp { window_bytes: 256 * 1024 },
+            });
+        }
+        let (_, seq) = set.run(0);
+        let seq_json = seq.to_json().dump();
+        for shards in [1usize, 2, 4] {
+            let (_, run) = set.run(shards);
+            prop_assert_eq!(run.to_json().dump(), seq_json.clone(), "{} shards diverged", shards);
+        }
+    }
+}
+
+/// A ping-pong pair for exercising the raw desim sharded kernel in both
+/// execution modes.
+struct Pinger {
+    peer: ComponentId,
+    delay: SimDuration,
+    remaining: u64,
+    seen: u64,
+}
+
+struct Ball;
+
+impl Component for Pinger {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, m: Msg) {
+        debug_assert!(m.is::<Ball>());
+        self.seen += 1;
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            let peer = self.peer;
+            let delay = self.delay;
+            ctx.send_in(delay, peer, msg(Ball));
+        }
+    }
+    fn name(&self) -> &str {
+        "pinger"
+    }
+}
+
+fn pingpong_sim(pairs: usize, delay: SimDuration) -> Simulator {
+    let mut sim = Simulator::new();
+    for _ in 0..pairs {
+        let a = sim.add_component(Pinger {
+            peer: ComponentId::placeholder(),
+            delay,
+            remaining: 25,
+            seen: 0,
+        });
+        let b = sim.add_component(Pinger { peer: a, delay, remaining: 25, seen: 0 });
+        sim.component_mut::<Pinger>(a).peer = b;
+        sim.send_in(SimDuration::ZERO, a, msg(Ball));
+    }
+    sim
+}
+
+#[test]
+fn threaded_and_cooperative_modes_agree_with_sequential() {
+    let delay = SimDuration::from_micros(500);
+    let mut baseline = pingpong_sim(4, delay);
+    baseline.run();
+    let base_now = baseline.now();
+    let base_processed = baseline.events_processed();
+    let base_profile = baseline.dispatch_profile();
+
+    for mode in [ExecMode::Auto, ExecMode::Threaded, ExecMode::Cooperative] {
+        for n_shards in [1usize, 2, 4] {
+            let plan = ShardPlan::round_robin(n_shards, 8, delay);
+            let mut sharded = ShardedSimulator::from_simulator(pingpong_sim(4, delay), &plan);
+            sharded.set_mode(mode);
+            sharded.run();
+            let merged = sharded.into_simulator();
+            assert_eq!(merged.now(), base_now, "{mode:?}/{n_shards}");
+            assert_eq!(merged.events_processed(), base_processed, "{mode:?}/{n_shards}");
+            assert_eq!(merged.dispatch_profile(), base_profile, "{mode:?}/{n_shards}");
+        }
+    }
+}
