@@ -21,11 +21,18 @@
 //! injected cause. With `--shards N` the transfers run on the sharded
 //! parallel kernel, split at the WAN link; the output is byte-identical
 //! to the sequential run (that is the kernel's contract and is gated in
-//! CI). `--shards` cannot be combined with `--trace-out`: span tracing
-//! is only supported on the sequential kernel.
+//! CI). Combining `--shards N` with `--trace-out` writes a *counter*
+//! trace instead of spans: the per-shard kernel metrics (events per
+//! window, queue depth, lookahead utilization, cross-shard batches)
+//! sampled at each conservative-window boundary, rendered by Perfetto
+//! as counter tracks. Adding `--kernel-metrics` to `--json --shards N`
+//! appends the `kernel_metrics` summary block to each run report (and a
+//! host `meta` block to the document); the flag exists so the default
+//! sharded output stays byte-identical to the sequential sweep.
 
+use gtw_bench::BenchArgs;
 use gtw_core::testbed::{GigabitTestbedWest, LinkEra};
-use gtw_desim::Json;
+use gtw_desim::{Json, MetricsSink, Span};
 use gtw_net::gateway::{ForwardingMode, Gateway};
 use gtw_net::hippi::HippiChannel;
 use gtw_net::ip::IpConfig;
@@ -50,7 +57,12 @@ fn run_maybe_faulted(
 
 /// The MTU sweep as a JSON document: one entry per MTU with the goodput
 /// and the full per-hop run report.
-fn emit_json(tb: &GigabitTestbedWest, bytes: u64, faults: Option<u64>, shards: usize) {
+fn emit_json(tb: &GigabitTestbedWest, bytes: u64, args: &BenchArgs) {
+    let instrument = args.kernel_metrics && args.shards > 0;
+    if args.kernel_metrics {
+        assert!(args.shards > 0, "--kernel-metrics instruments the sharded kernel; add --shards N");
+        assert!(args.faults.is_none(), "--kernel-metrics cannot be combined with --faults");
+    }
     let (path, _, _) = tb.topology.path(tb.t3e_600, tb.e5000).expect("path");
     let mut sweep = Vec::new();
     for mtu in [1500u64, 4352, 9180, 17914, 65535] {
@@ -61,7 +73,11 @@ fn emit_json(tb: &GigabitTestbedWest, bytes: u64, faults: Option<u64>, shards: u
             bytes,
             protocol: Protocol::Tcp { window_bytes: 4 * 1024 * 1024 },
         };
-        let (report, run) = run_maybe_faulted(&xfer, faults, shards);
+        let (report, run) = if instrument {
+            xfer.run_sharded_metrics(args.shards, &MetricsSink::recording())
+        } else {
+            run_maybe_faulted(&xfer, args.faults, args.shards)
+        };
         sweep.push(Json::obj([
             ("mtu", Json::from(mtu)),
             ("goodput_mbps", Json::from(report.goodput.mbps())),
@@ -74,8 +90,11 @@ fn emit_json(tb: &GigabitTestbedWest, bytes: u64, faults: Option<u64>, shards: u
         ("bytes", Json::from(bytes)),
     ]);
     // Conditional: clean-run output stays byte-identical to older builds.
-    if let Some(seed) = faults {
+    if let Some(seed) = args.faults {
         doc.push("fault_seed", Json::from(seed));
+    }
+    if instrument {
+        doc.push("meta", gtw_bench::meta_json(args.shards));
     }
     doc.push("sweep", Json::Arr(sweep));
     println!("{}", doc.pretty());
@@ -83,7 +102,14 @@ fn emit_json(tb: &GigabitTestbedWest, bytes: u64, faults: Option<u64>, shards: u
 
 /// Trace one transfer (the MTU-argument configuration at 9180 bytes)
 /// and write the Chrome trace to `path`.
-fn emit_trace(tb: &GigabitTestbedWest, path: &str) {
+///
+/// On the sequential kernel (`shards == 0`) the trace carries per-hop
+/// and per-sender spans. On the sharded kernel it carries the per-shard
+/// kernel-metric counter tracks instead: span tracing is sequential-
+/// only, but the metrics subsystem samples every conservative window,
+/// so the sharded trace shows queue depth, events per window, lookahead
+/// utilization and cross-shard traffic as Perfetto counter tracks.
+fn emit_trace(tb: &GigabitTestbedWest, path: &str, shards: usize) {
     let (net_path, _, _) = tb.topology.path(tb.t3e_600, tb.e5000).expect("path");
     let mtu = 9180;
     let xfer = BulkTransfer {
@@ -92,6 +118,23 @@ fn emit_trace(tb: &GigabitTestbedWest, path: &str) {
         bytes: 4 * 1024 * 1024,
         protocol: Protocol::Tcp { window_bytes: 4 * 1024 * 1024 },
     };
+    if shards > 0 {
+        let metrics = MetricsSink::recording();
+        let (report, _) = xfer.run_sharded_metrics(shards, &metrics);
+        println!(
+            "traced T3E-600 -> E5000 transfer on {shards} shard(s): {:.1} Mbit/s, {} retransmits",
+            report.goodput.mbps(),
+            report.retransmits
+        );
+        let counters = metrics.counter_series();
+        let doc = gtw_desim::chrome_trace_with_counters(std::iter::empty::<&Span>(), &counters);
+        std::fs::write(path, doc.pretty()).expect("write trace file");
+        eprintln!(
+            "chrome trace ({} counter tracks) written to {path} — open in Perfetto",
+            counters.len()
+        );
+        return;
+    }
     let sink = gtw_desim::SpanSink::recording();
     let (report, _) = xfer.run_traced(&sink);
     println!(
@@ -105,18 +148,14 @@ fn emit_trace(tb: &GigabitTestbedWest, path: &str) {
 fn main() {
     let tb = GigabitTestbedWest::build(LinkEra::Oc48Upgrade);
     let bytes = 32 * 1024 * 1024;
-    let faults: Option<u64> =
-        gtw_bench::arg_value("--faults").map(|s| s.parse().expect("--faults takes a u64 seed"));
-    let shards: usize = gtw_bench::arg_value("--shards")
-        .map(|s| s.parse().expect("--shards takes a shard count"))
-        .unwrap_or(0);
-    if gtw_bench::has_flag("--json") {
-        emit_json(&tb, bytes, faults, shards);
+    let args = BenchArgs::parse();
+    let (faults, shards) = (args.faults, args.shards);
+    if args.json {
+        emit_json(&tb, bytes, &args);
         return;
     }
-    if let Some(path) = gtw_bench::arg_value("--trace-out") {
-        assert!(shards == 0, "--trace-out requires the sequential kernel; drop --shards");
-        emit_trace(&tb, &path);
+    if let Some(path) = &args.trace_out {
+        emit_trace(&tb, path, shards);
         return;
     }
     if let Some(seed) = faults {

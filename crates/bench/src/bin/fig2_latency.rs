@@ -76,11 +76,12 @@ fn emit_json() {
 }
 
 fn main() {
-    if gtw_bench::has_flag("--json") {
+    let args = gtw_bench::BenchArgs::parse();
+    if args.json {
         emit_json();
         return;
     }
-    if let Some(path) = gtw_bench::arg_value("--trace-out") {
+    if let Some(path) = args.trace_out {
         let sink = SpanSink::recording();
         for (mode, m) in run_chains(&sink) {
             println!(

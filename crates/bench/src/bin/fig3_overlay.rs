@@ -23,7 +23,7 @@ use gtw_scan::phantom::Phantom;
 use gtw_viz::overlay::render_montage;
 
 fn main() {
-    let json = gtw_bench::has_flag("--json");
+    let json = gtw_bench::BenchArgs::parse().json;
     let cfg = ScannerConfig::paper_default(48, 33);
     let scanner = Scanner::new(cfg, Phantom::standard());
     let rv = ReferenceVector::canonical(&scanner.config().stimulus);

@@ -61,7 +61,7 @@ fn main() {
     let t0 = Instant::now();
     let frame = renderer.render(&RenderParams { width: 512, height: 512, ..Default::default() });
     let render_ms = t0.elapsed().as_secs_f64() * 1e3;
-    if gtw_bench::has_flag("--json") {
+    if gtw_bench::BenchArgs::parse().json {
         let ratio = measured_compression(&frame);
         emit_json(render_ms, frame.coverage(), ratio);
         return;

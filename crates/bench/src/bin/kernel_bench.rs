@@ -79,7 +79,7 @@ fn measure(shard_counts: &[usize]) -> Vec<(f64, u64, String)> {
 }
 
 fn main() {
-    if gtw_bench::has_flag("--check") {
+    if gtw_bench::BenchArgs::parse().check {
         // Deterministic digest only: every kernel configuration must
         // agree, and two invocations of this mode must print identical
         // bytes.
@@ -141,6 +141,7 @@ fn main() {
         ("flows", Json::from(FLOWS)),
         ("bytes_per_flow", Json::from(BYTES_PER_FLOW)),
         ("repeats", Json::from(REPEATS as u64)),
+        ("meta", gtw_bench::meta_json(4)),
         ("configs", Json::Arr(configs)),
     ]);
     std::fs::write("BENCH_kernel.json", format!("{}\n", doc.pretty()))

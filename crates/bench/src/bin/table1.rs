@@ -143,7 +143,7 @@ fn emit_json() {
 }
 
 fn main() {
-    if gtw_bench::has_flag("--json") {
+    if gtw_bench::BenchArgs::parse().json {
         emit_json();
         return;
     }

@@ -1,7 +1,8 @@
 //! Validate a Chrome trace-event file produced by `--trace-out` (or any
 //! `traceEvents` document): it must parse, every `B` must have a
-//! matching `E` on the same tid, and timestamps must be nondecreasing
-//! per tid. Used by `scripts/check.sh` as the trace-export smoke test.
+//! matching `E` on the same tid, every `C` (counter) must carry a
+//! numeric `args.value`, and timestamps must be nondecreasing per tid.
+//! Used by `scripts/check.sh` as the trace-export smoke test.
 //!
 //! ```text
 //! cargo run --release -p gtw-bench --bin trace_check -- trace.json
@@ -14,8 +15,8 @@ fn main() {
     match gtw_desim::validate_chrome_trace(&text) {
         Ok(check) => {
             println!(
-                "{path}: OK — {} events, {} spans, {} tracks",
-                check.events, check.spans, check.tids
+                "{path}: OK — {} events, {} spans, {} counters, {} tracks",
+                check.events, check.spans, check.counters, check.tids
             );
         }
         Err(e) => {

@@ -16,6 +16,67 @@
 //! Criterion microbenchmarks (`cargo bench`) cover the FIRE modules, the
 //! network stack primitives and the linear-algebra kit.
 
+use gtw_desim::Json;
+
+/// The flags shared by the fig/table bench bins, parsed once from
+/// `std::env::args` instead of hand-rolled per binary. Unknown flags are
+/// ignored — each bin may still read its own extras with
+/// [`has_flag`]/[`arg_value`].
+#[derive(Debug, Clone, Default)]
+pub struct BenchArgs {
+    /// `--json`: emit machine-readable output instead of tables.
+    pub json: bool,
+    /// `--trace-out <path>`: write a Chrome trace-event file.
+    pub trace_out: Option<String>,
+    /// `--shards <n>`: run on the sharded kernel (`0` = sequential).
+    pub shards: usize,
+    /// `--faults <seed>`: run under the canonical degraded-WAN plan.
+    pub faults: Option<u64>,
+    /// `--check`: self-check mode (digest print or baseline diff).
+    pub check: bool,
+    /// `--kernel-metrics`: include the `kernel_metrics` block in JSON
+    /// reports (sharded runs only).
+    pub kernel_metrics: bool,
+}
+
+impl BenchArgs {
+    /// Parse the shared flags from the process arguments.
+    pub fn parse() -> Self {
+        BenchArgs {
+            json: has_flag("--json"),
+            trace_out: arg_value("--trace-out"),
+            shards: arg_value("--shards")
+                .map(|s| s.parse().expect("--shards takes a shard count"))
+                .unwrap_or(0),
+            faults: arg_value("--faults").map(|s| s.parse().expect("--faults takes a u64 seed")),
+            check: has_flag("--check"),
+            kernel_metrics: has_flag("--kernel-metrics"),
+        }
+    }
+}
+
+/// The host/run `meta` block bench JSON carries: core count, the exec
+/// mode the sharded kernel would pick, and the requested shard count.
+///
+/// This is *bench-output-only* context — it must never be folded into
+/// `RunReport` (whose JSON is determinism-gated byte-for-byte), and the
+/// trajectory harness strips it before its two-run `cmp`.
+pub fn meta_json(shards: usize) -> Json {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let exec_mode = if shards <= 1 {
+        "sequential"
+    } else if cores > 1 {
+        "threaded"
+    } else {
+        "cooperative"
+    };
+    Json::obj([
+        ("host_cores", Json::from(cores as u64)),
+        ("exec_mode", Json::from(exec_mode)),
+        ("shards", Json::from(shards as u64)),
+    ])
+}
+
 /// Print a horizontal rule sized to a header line.
 pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));

@@ -33,6 +33,7 @@ pub mod component;
 pub mod fault;
 pub mod hist;
 pub mod json;
+pub mod metrics;
 pub mod partition;
 pub mod queue;
 pub mod rng;
@@ -50,12 +51,19 @@ pub use fault::{
 };
 pub use hist::Histogram;
 pub use json::Json;
+pub use metrics::{
+    CounterId, CounterSeries, GaugeId, MetricKind, MetricsRegistry, MetricsSink, TimeSeries,
+    TimerId,
+};
 pub use partition::ShardPlan;
 pub use queue::{EventQueue, QueuedEvent};
 pub use rng::StreamRng;
 pub use shard::{ExecMode, ShardedSimulator};
 pub use sim::{RunResult, Simulator};
-pub use span::{chrome_trace, validate_chrome_trace, Span, SpanRecorder, SpanSink, TraceCheck};
+pub use span::{
+    chrome_trace, chrome_trace_with_counters, validate_chrome_trace, Span, SpanRecorder, SpanSink,
+    TraceCheck,
+};
 pub use time::{SimDuration, SimTime};
 pub use trace::{EventCounter, Tracer};
 pub use traffic::{BgFlowSpec, TrafficPlan};

@@ -41,6 +41,7 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Barrier};
 
 use crate::component::{Component, ComponentId, Ctx, Msg};
+use crate::metrics::{CounterId, GaugeId, MetricsRegistry, MetricsSink, TimerId};
 use crate::partition::ShardPlan;
 use crate::queue::{EventKey, EventQueue, QueuedEvent};
 use crate::sim::{Event, RunResult, SimParts, Simulator};
@@ -103,6 +104,56 @@ pub enum ExecMode {
     Cooperative,
 }
 
+/// Kernel instrumentation for one shard: a [`MetricsRegistry`] plus the
+/// pre-registered handles the window loop bumps. Allocated only when a
+/// recording [`MetricsSink`] is attached — the uninstrumented kernel pays
+/// one `Option` branch per window.
+///
+/// Everything here except `barrier_wait_ns` (wall-clock) is a function of
+/// the deterministic window structure, so two runs of the same scenario —
+/// on either executor — produce identical counters, gauges and series.
+struct ShardMetrics {
+    reg: MetricsRegistry,
+    /// Events executed (cumulative).
+    events: CounterId,
+    /// Window rounds in which this shard participated.
+    windows: CounterId,
+    /// Non-empty cross-shard batches staged.
+    xshard_batches: CounterId,
+    /// Events forwarded across shard boundaries.
+    xshard_events: CounterId,
+    /// Approximate bytes forwarded across shard boundaries.
+    xshard_bytes: CounterId,
+    /// Events executed in the last window.
+    window_events: GaugeId,
+    /// Local queue depth at the start of the last window.
+    queue_depth: GaugeId,
+    /// Fraction of the lookahead window covered by executed events, in
+    /// parts per million.
+    lookahead_util_ppm: GaugeId,
+    /// Wall-clock time spent blocked on synchronization barriers
+    /// (threaded executor only; the cooperative executor never waits).
+    barrier_wait: TimerId,
+}
+
+impl ShardMetrics {
+    fn new(index: u32) -> Box<Self> {
+        let mut reg = MetricsRegistry::new(format!("shard{index}"));
+        Box::new(ShardMetrics {
+            events: reg.counter("events"),
+            windows: reg.counter("windows"),
+            xshard_batches: reg.counter("xshard_batches"),
+            xshard_events: reg.counter("xshard_events"),
+            xshard_bytes: reg.counter("xshard_bytes"),
+            window_events: reg.gauge("window_events"),
+            queue_depth: reg.gauge("queue_depth"),
+            lookahead_util_ppm: reg.gauge("lookahead_util_ppm"),
+            barrier_wait: reg.timer("barrier_wait_ns"),
+            reg,
+        })
+    }
+}
+
 /// One partition: a queue, a clock, and the components assigned here.
 struct Shard {
     index: u32,
@@ -122,6 +173,8 @@ struct Shard {
     /// per (source, destination) pair per window round.
     outbox: Vec<Sender<Vec<RemoteEvent>>>,
     inbox: Receiver<Vec<RemoteEvent>>,
+    /// Live instrumentation; `None` runs the kernel uninstrumented.
+    metrics: Option<Box<ShardMetrics>>,
 }
 
 impl Shard {
@@ -131,10 +184,73 @@ impl Shard {
     }
 
     /// Process every local event strictly before `horizon`, including
-    /// events generated inside the window.
-    fn process_window(&mut self, horizon: SimTime) {
+    /// events generated inside the window. `gm` is the round's global
+    /// minimum in nanoseconds (the window base, used only by the
+    /// instrumented path).
+    fn process_window(&mut self, gm: u64, horizon: SimTime) {
+        if self.metrics.is_none() {
+            while let Some(ev) = self.queue.pop_before(horizon) {
+                self.dispatch(ev);
+            }
+            return;
+        }
+        let depth = self.queue.len() as u64;
+        let mut executed = 0u64;
+        let mut last_ns = gm;
         while let Some(ev) = self.queue.pop_before(horizon) {
+            last_ns = ev.time.as_nanos();
             self.dispatch(ev);
+            executed += 1;
+        }
+        self.account_window(gm, depth, executed, last_ns);
+    }
+
+    /// Fold one finished window into the metrics registry and sample
+    /// every series at the window base `gm`. Runs after local processing
+    /// and *before* the staged batches leave the shard, so cross-shard
+    /// accounting sees exactly this window's traffic on both executors.
+    fn account_window(&mut self, gm: u64, depth: u64, executed: u64, last_ns: u64) {
+        let mut staged_batches = 0u64;
+        let mut staged_events = 0u64;
+        for batch in &self.staged {
+            if !batch.is_empty() {
+                staged_batches += 1;
+                staged_events += batch.len() as u64;
+            }
+        }
+        let lookahead_ns = self.lookahead.as_nanos();
+        let m = self.metrics.as_mut().expect("instrumented path");
+        m.reg.set(m.queue_depth, depth);
+        m.reg.inc(m.events, executed);
+        m.reg.inc(m.windows, 1);
+        m.reg.set(m.window_events, executed);
+        let util_ppm = if executed == 0 || lookahead_ns == 0 {
+            0
+        } else {
+            // Span of the window actually covered by executed events,
+            // as ppm of the declared lookahead (capped: the last event
+            // fires strictly *before* gm + lookahead).
+            let used = last_ns.saturating_sub(gm) as u128;
+            ((used * 1_000_000 / lookahead_ns as u128) as u64).min(1_000_000)
+        };
+        m.reg.set(m.lookahead_util_ppm, util_ppm);
+        m.reg.inc(m.xshard_batches, staged_batches);
+        m.reg.inc(m.xshard_events, staged_events);
+        m.reg.inc(m.xshard_bytes, staged_events * std::mem::size_of::<RemoteEvent>() as u64);
+        m.reg.sample(gm);
+    }
+
+    /// Barrier wait with stall accounting when instrumented.
+    fn wait_at(&mut self, barrier: &Barrier) {
+        match &mut self.metrics {
+            Some(m) => {
+                let t0 = std::time::Instant::now();
+                barrier.wait();
+                m.reg.add_time(m.barrier_wait, t0.elapsed());
+            }
+            None => {
+                barrier.wait();
+            }
         }
     }
 
@@ -215,6 +331,9 @@ pub struct ShardedSimulator {
     fifo_seq: u64,
     base_processed: u64,
     mode: ExecMode,
+    /// Where shard registries are published at teardown; disabled by
+    /// default.
+    metrics_sink: MetricsSink,
 }
 
 impl ShardedSimulator {
@@ -258,6 +377,7 @@ impl ShardedSimulator {
                 staged: (0..n).map(|_| Vec::new()).collect(),
                 outbox: txs.clone(),
                 inbox: rx,
+                metrics: None,
             })
             .collect();
 
@@ -287,12 +407,25 @@ impl ShardedSimulator {
             fifo_seq,
             base_processed: parts.processed,
             mode: ExecMode::Auto,
+            metrics_sink: MetricsSink::disabled(),
         }
     }
 
     /// Choose how shards execute (defaults to [`ExecMode::Auto`]).
     pub fn set_mode(&mut self, mode: ExecMode) {
         self.mode = mode;
+    }
+
+    /// Attach a metrics sink. When `sink` is recording, every shard is
+    /// instrumented (per-window counters, queue-depth gauges, barrier
+    /// stall timers — see [`MetricsRegistry`]) and publishes its registry
+    /// to the sink at [`into_simulator`](Self::into_simulator) time. A
+    /// disabled sink detaches the instrumentation.
+    pub fn set_metrics(&mut self, sink: &MetricsSink) {
+        self.metrics_sink = sink.clone();
+        for shard in &mut self.shards {
+            shard.metrics = sink.enabled().then(|| ShardMetrics::new(shard.index));
+        }
     }
 
     /// Number of shards.
@@ -316,8 +449,29 @@ impl ShardedSimulator {
         if self.shards.len() == 1 {
             // Single shard: no windows, no synchronization — just drain.
             let shard = &mut self.shards[0];
-            while let Some(ev) = shard.queue.pop() {
-                shard.dispatch(ev);
+            if shard.metrics.is_some() {
+                // Instrumented drain: no window structure, so sample the
+                // depth series every fixed number of events at the event's
+                // (monotone) virtual time instead of at window bases.
+                const SAMPLE_EVERY: u64 = 1024;
+                let mut since_sample = 0u64;
+                while let Some(ev) = shard.queue.pop() {
+                    let depth = shard.queue.len() as u64 + 1;
+                    let t_ns = ev.time.as_nanos();
+                    shard.dispatch(ev);
+                    let m = shard.metrics.as_mut().expect("instrumented path");
+                    m.reg.set(m.queue_depth, depth);
+                    m.reg.inc(m.events, 1);
+                    since_sample += 1;
+                    if since_sample == SAMPLE_EVERY {
+                        since_sample = 0;
+                        m.reg.sample(t_ns);
+                    }
+                }
+            } else {
+                while let Some(ev) = shard.queue.pop() {
+                    shard.dispatch(ev);
+                }
             }
             return RunResult::Drained;
         }
@@ -347,19 +501,19 @@ impl ShardedSimulator {
                 let leader = i == 0;
                 scope.spawn(move || loop {
                     // A: the leader has reset the min slot.
-                    barrier.wait();
+                    shard.wait_at(barrier);
                     min_slot.fetch_min(shard.next_time_ns(), Ordering::SeqCst);
                     // B: every shard's minimum is folded in.
-                    barrier.wait();
+                    shard.wait_at(barrier);
                     let gm = min_slot.load(Ordering::SeqCst);
                     if gm == u64::MAX {
                         break;
                     }
                     let horizon = SimTime::from_nanos(gm.saturating_add(lookahead.as_nanos()));
-                    shard.process_window(horizon);
+                    shard.process_window(gm, horizon);
                     shard.flush_staged();
                     // C: all cross-shard batches of this window are sent.
-                    barrier.wait();
+                    shard.wait_at(barrier);
                     shard.drain_inbox();
                     if leader {
                         min_slot.store(u64::MAX, Ordering::SeqCst);
@@ -381,7 +535,7 @@ impl ShardedSimulator {
             }
             let horizon = SimTime::from_nanos(gm.saturating_add(self.lookahead.as_nanos()));
             for s in &mut self.shards {
-                s.process_window(horizon);
+                s.process_window(gm, horizon);
             }
             // Exchange staged batches queue-to-queue — no channels on the
             // single-thread path. Buffers are swapped back afterwards so
@@ -432,8 +586,12 @@ impl ShardedSimulator {
                 dispatch_counts: sdisp,
                 now: snow,
                 processed: sproc,
+                metrics,
                 ..
             } = shard;
+            if let Some(m) = metrics {
+                self.metrics_sink.publish(m.reg);
+            }
             now = now.max(snow);
             processed += sproc;
             for (i, slot) in scomps.into_iter().enumerate() {
@@ -576,6 +734,95 @@ mod tests {
         sharded.set_mode(ExecMode::Cooperative);
         assert_eq!(sharded.run(), RunResult::Drained);
         assert_eq!(sharded.events_processed(), 18);
+    }
+
+    #[test]
+    fn kernel_metrics_are_deterministic_across_executors() {
+        use crate::metrics::MetricsSink;
+
+        let collect = |mode: ExecMode| {
+            let delay = SimDuration::from_micros(500);
+            let (sim, a, b) = pingpong_sim(delay, 10);
+            let mut plan = ShardPlan::new(2, delay);
+            plan.assign(a, 0);
+            plan.assign(b, 1);
+            let mut sharded = ShardedSimulator::from_simulator(sim, &plan);
+            sharded.set_mode(mode);
+            let sink = MetricsSink::recording();
+            sharded.set_metrics(&sink);
+            assert_eq!(sharded.run(), RunResult::Drained);
+            let _ = sharded.into_simulator();
+            sink.registries()
+        };
+
+        let coop = collect(ExecMode::Cooperative);
+        let thr = collect(ExecMode::Threaded);
+        assert_eq!(coop.len(), 2);
+        for (c, t) in coop.iter().zip(&thr) {
+            // Everything but the wall-clock barrier timer must agree —
+            // same windows, same queues, same cross-shard traffic.
+            assert_eq!(c.summary_json().dump(), t.summary_json().dump());
+            for (name, _) in c.names() {
+                if name != "barrier_wait_ns" {
+                    assert_eq!(c.series(name), t.series(name), "{name}");
+                }
+            }
+        }
+        // The ping-pong run executes 19 dispatches split across shards,
+        // every one of which crosses the boundary.
+        let events: u64 = coop.iter().map(|r| r.value("events").expect("events")).sum();
+        assert_eq!(events, 19);
+        let forwarded: u64 =
+            coop.iter().map(|r| r.value("xshard_events").expect("xshard_events")).sum();
+        assert_eq!(forwarded, 18, "every ball but the kickoff crosses shards");
+        assert!(coop[0].value("windows").expect("windows") > 0);
+        assert!(coop[0].series("events").expect("series").is_monotone());
+        assert!(coop[0].hwm("queue_depth").expect("hwm") >= 1);
+    }
+
+    #[test]
+    fn uninstrumented_run_matches_instrumented_run() {
+        use crate::metrics::MetricsSink;
+
+        let run = |with_metrics: bool| {
+            let delay = SimDuration::from_micros(500);
+            let (sim, a, b) = pingpong_sim(delay, 10);
+            let mut plan = ShardPlan::new(2, delay);
+            plan.assign(a, 0);
+            plan.assign(b, 1);
+            let mut sharded = ShardedSimulator::from_simulator(sim, &plan);
+            sharded.set_mode(ExecMode::Cooperative);
+            let sink =
+                if with_metrics { MetricsSink::recording() } else { MetricsSink::disabled() };
+            sharded.set_metrics(&sink);
+            sharded.run();
+            let merged = sharded.into_simulator();
+            (merged.now(), merged.events_processed(), sink.registries().len())
+        };
+        let (now_off, events_off, regs_off) = run(false);
+        let (now_on, events_on, regs_on) = run(true);
+        assert_eq!(now_off, now_on);
+        assert_eq!(events_off, events_on);
+        assert_eq!(regs_off, 0);
+        assert_eq!(regs_on, 2);
+    }
+
+    #[test]
+    fn single_shard_instrumented_run_samples_depth() {
+        use crate::metrics::MetricsSink;
+
+        let delay = SimDuration::from_micros(10);
+        let (sim, _, _) = pingpong_sim(delay, 7);
+        let mut sharded = ShardedSimulator::from_simulator(sim, &ShardPlan::new(1, delay));
+        let sink = MetricsSink::recording();
+        sharded.set_metrics(&sink);
+        assert_eq!(sharded.run(), RunResult::Drained);
+        let _ = sharded.into_simulator();
+        let regs = sink.registries();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].value("events"), Some(13));
+        assert!(regs[0].hwm("queue_depth").expect("depth tracked") >= 1);
+        assert_eq!(regs[0].value("xshard_events"), Some(0), "one shard never forwards");
     }
 
     #[test]

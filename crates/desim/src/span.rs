@@ -22,6 +22,7 @@ use std::sync::{Arc, Mutex};
 
 use crate::component::ComponentId;
 use crate::json::Json;
+use crate::metrics::CounterSeries;
 use crate::time::SimTime;
 use crate::trace::Tracer;
 
@@ -226,6 +227,21 @@ impl Tracer for SpanSink {
 /// properly nested, time-ordered `B`/`E` sequence. A `"M"` (metadata)
 /// `thread_name` event labels each lane with its track name.
 pub fn chrome_trace<'a>(spans: impl IntoIterator<Item = &'a Span>) -> Json {
+    chrome_trace_with_counters(spans, &[])
+}
+
+/// Render spans plus sampled metric series as Chrome trace-event JSON.
+///
+/// Spans are laid out exactly as in [`chrome_trace`]; each entry of
+/// `counters` then gets its own `tid` after the span lanes, labelled with
+/// the series name, carrying one `"C"` (counter) event per sample with
+/// the value in `args.value`. Perfetto renders these as live counter
+/// tracks — queue depth, window occupancy and stall time over virtual
+/// time.
+pub fn chrome_trace_with_counters<'a>(
+    spans: impl IntoIterator<Item = &'a Span>,
+    counters: &[CounterSeries],
+) -> Json {
     let mut sorted: Vec<&Span> = spans.into_iter().collect();
     sorted.sort_by(|a, b| (a.begin, a.end, &a.track).cmp(&(b.begin, b.end, &b.track)));
 
@@ -279,6 +295,26 @@ pub fn chrome_trace<'a>(spans: impl IntoIterator<Item = &'a Span>) -> Json {
             tid += 1;
         }
     }
+    for counter in counters {
+        events.push(Json::obj([
+            ("name", Json::from("thread_name")),
+            ("ph", Json::from("M")),
+            ("pid", Json::from(0u64)),
+            ("tid", Json::from(tid)),
+            ("args", Json::obj([("name", Json::from(counter.name.as_str()))])),
+        ]));
+        for &(t_ns, value) in counter.series.points() {
+            events.push(Json::obj([
+                ("name", Json::from(counter.name.as_str())),
+                ("ph", Json::from("C")),
+                ("ts", Json::from(SimTime::from_nanos(t_ns).as_micros_f64())),
+                ("pid", Json::from(0u64)),
+                ("tid", Json::from(tid)),
+                ("args", Json::obj([("value", Json::from(value))])),
+            ]));
+        }
+        tid += 1;
+    }
     Json::Arr(events)
 }
 
@@ -289,13 +325,16 @@ pub struct TraceCheck {
     pub events: usize,
     /// Completed `B`/`E` pairs.
     pub spans: usize,
-    /// Distinct `tid`s carrying spans.
+    /// Distinct `tid`s carrying spans or counter samples.
     pub tids: usize,
+    /// `C` (counter) sample events.
+    pub counters: usize,
 }
 
 /// Validate Chrome trace-event JSON text: it must parse, `ts` must be
-/// nondecreasing per `tid`, and every `B` must have a matching `E` (same
-/// `tid`, LIFO, same name). Accepts both a bare event array and the
+/// nondecreasing per `tid`, every `B` must have a matching `E` (same
+/// `tid`, LIFO, same name), and every `C` must carry a numeric
+/// `args.value`. Accepts both a bare event array and the
 /// `{"traceEvents": [...]}` wrapper.
 pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
     let doc = Json::parse(text)?;
@@ -310,6 +349,7 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
     let mut last_ts: std::collections::HashMap<i128, f64> = std::collections::HashMap::new();
     let mut stacks: std::collections::HashMap<i128, Vec<String>> = std::collections::HashMap::new();
     let mut spans = 0usize;
+    let mut counters = 0usize;
     for (i, ev) in events.iter().enumerate() {
         let ph = ev
             .get("ph")
@@ -318,7 +358,7 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
         if ph == "M" {
             continue;
         }
-        if ph != "B" && ph != "E" {
+        if ph != "B" && ph != "E" && ph != "C" {
             return Err(format!("event {i}: unsupported phase {ph:?}"));
         }
         let ts = ev
@@ -339,6 +379,17 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
             }
         }
         last_ts.insert(tid, ts);
+        if ph == "C" {
+            ev.get("args")
+                .and_then(|a| a.get("value"))
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("event {i}: counter lacks numeric args.value"))?;
+            counters += 1;
+            // Counter tracks carry no B/E nesting, but still count as a
+            // tid so `tids` reflects every timeline row in the viewer.
+            stacks.entry(tid).or_default();
+            continue;
+        }
         let stack = stacks.entry(tid).or_default();
         match ph {
             "B" => stack.push(name.to_string()),
@@ -357,7 +408,7 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
         }
     }
     let tids = stacks.len();
-    Ok(TraceCheck { events: events.len(), spans, tids })
+    Ok(TraceCheck { events: events.len(), spans, tids, counters })
 }
 
 #[cfg(test)]
@@ -464,6 +515,50 @@ mod tests {
         assert_eq!(spans[0].track, format!("nop#{}", id.index()));
         assert_eq!(spans[0].begin, t(7));
         validate_chrome_trace(&sink.to_chrome_trace().dump()).expect("valid");
+    }
+
+    #[test]
+    fn counter_events_export_and_validate() {
+        use crate::metrics::MetricsRegistry;
+
+        let mut r = SpanRecorder::default();
+        r.record("shard0", "window", t(0), t(10));
+        let mut reg = MetricsRegistry::new("shard0");
+        let g = reg.gauge("queue_depth");
+        reg.set(g, 4);
+        reg.sample(2_000); // 2 µs
+        reg.set(g, 9);
+        reg.sample(8_000);
+        let spans: Vec<Span> = r.spans().cloned().collect();
+        let doc = chrome_trace_with_counters(spans.iter(), &reg.counter_series());
+        let check = validate_chrome_trace(&doc.dump()).expect("valid trace with counters");
+        assert_eq!(check.spans, 1);
+        assert_eq!(check.counters, 2);
+        assert_eq!(check.tids, 2, "one span lane + one counter track");
+        let text = doc.dump();
+        assert!(text.contains("\"shard0/queue_depth\""), "{text}");
+        assert!(text.contains("\"ph\":\"C\""), "{text}");
+        assert!(text.contains("\"value\":9"), "{text}");
+    }
+
+    #[test]
+    fn validator_rejects_bad_counter_events() {
+        // C without args.value.
+        let bad = r#"[{"name":"c","ph":"C","ts":1.0,"pid":0,"tid":0}]"#;
+        assert!(validate_chrome_trace(bad).is_err());
+        // C with non-numeric value.
+        let bad = r#"[{"name":"c","ph":"C","ts":1.0,"pid":0,"tid":0,"args":{"value":"x"}}]"#;
+        assert!(validate_chrome_trace(bad).is_err());
+        // Counter ts must still be nondecreasing per tid.
+        let bad = r#"[{"name":"c","ph":"C","ts":2.0,"pid":0,"tid":0,"args":{"value":1}},
+                      {"name":"c","ph":"C","ts":1.0,"pid":0,"tid":0,"args":{"value":2}}]"#;
+        assert!(validate_chrome_trace(bad).is_err());
+        // A well-formed counter-only trace passes.
+        let good = r#"[{"name":"c","ph":"C","ts":1.0,"pid":0,"tid":0,"args":{"value":1}}]"#;
+        let check = validate_chrome_trace(good).expect("valid");
+        assert_eq!(check.counters, 1);
+        assert_eq!(check.tids, 1);
+        assert_eq!(check.spans, 0);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use gtw_desim::fault::{FaultInjector, FaultSpec, LossModel, Schedule, Window};
 use gtw_desim::hist::SUB_BUCKETS;
-use gtw_desim::{EventQueue, Histogram, SimDuration, SimTime, Simulator};
+use gtw_desim::{EventQueue, Histogram, MetricsRegistry, SimDuration, SimTime, Simulator};
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -243,5 +243,63 @@ proptest! {
             "empirical {empirical} vs steady-state {expected} (p_gb {p_gb}, p_bg {p_bg})"
         );
         prop_assert_eq!(inj.faults_injected(), hits);
+    }
+
+    /// A counter's sampled time series is always monotone — in instants
+    /// by construction, in values because counters only go up — no
+    /// matter how increments and sample points interleave.
+    #[test]
+    fn counter_series_is_monotone(
+        steps in proptest::collection::vec((0u64..1_000, 0u64..100, 0u64..2), 1..100),
+    ) {
+        let mut reg = MetricsRegistry::new("shard0");
+        let c = reg.counter("events");
+        let mut t = 0u64;
+        for &(dt, by, take_sample) in &steps {
+            reg.inc(c, by);
+            t += dt;
+            if take_sample == 1 {
+                reg.sample(t);
+            }
+        }
+        let series = reg.series("events").expect("series");
+        prop_assert!(series.is_monotone());
+        prop_assert!(series.points().windows(2).all(|w| w[0].0 <= w[1].0));
+        let total: u64 = steps.iter().map(|&(_, by, _)| by).sum();
+        prop_assert_eq!(reg.value("events"), Some(total));
+    }
+
+    /// Merging a registry with a later continuation of itself (every
+    /// sample instant ≥ the first segment's last) is exactly series
+    /// concatenation, and the merged counter is the sum of both finals.
+    #[test]
+    fn registry_merge_of_continuation_equals_concat(
+        seg_a in proptest::collection::vec((0u64..500, 0u64..50), 1..60),
+        seg_b in proptest::collection::vec((0u64..500, 0u64..50), 1..60),
+    ) {
+        let record = |steps: &[(u64, u64)], start: u64| {
+            let mut reg = MetricsRegistry::new("s");
+            let c = reg.counter("n");
+            let g = reg.gauge("depth");
+            let mut t = start;
+            for &(dt, by) in steps {
+                reg.inc(c, by);
+                reg.set(g, by);
+                t += dt;
+                reg.sample(t);
+            }
+            (reg, t)
+        };
+        let (mut a, a_end) = record(&seg_a, 0);
+        // The continuation starts where the first segment ended.
+        let (b, _) = record(&seg_b, a_end);
+        let mut concat: Vec<(u64, u64)> = a.series("n").expect("series").points().to_vec();
+        concat.extend_from_slice(b.series("n").expect("series").points());
+        let (fa, fb) = (a.value("n").expect("n"), b.value("n").expect("n"));
+        a.merge(&b);
+        prop_assert_eq!(a.series("n").expect("series").points(), concat.as_slice());
+        prop_assert_eq!(a.value("n"), Some(fa + fb), "counters add on merge");
+        let hwm = seg_a.iter().chain(&seg_b).map(|&(_, by)| by).max().unwrap_or(0);
+        prop_assert_eq!(a.hwm("depth"), Some(hwm), "gauge hwm is the max over both segments");
     }
 }

@@ -11,7 +11,7 @@
 //! happens once, afterwards.
 
 use gtw_desim::fault::FaultStats;
-use gtw_desim::{ComponentId, Histogram, Json, SimDuration, SimTime, Simulator};
+use gtw_desim::{ComponentId, Histogram, Json, MetricsRegistry, SimDuration, SimTime, Simulator};
 use serde::{Deserialize, Serialize};
 
 use crate::units::{Bandwidth, DataSize};
@@ -228,6 +228,7 @@ impl StatsRegistry {
             receivers: Vec::new(),
             flows: Vec::new(),
             policers: Vec::new(),
+            kernel_metrics: Vec::new(),
         };
         for &(id, kind) in &self.probes {
             let label = sim.component_name(id).to_string();
@@ -250,6 +251,7 @@ impl StatsRegistry {
                         label,
                         stats: sw.stats.clone(),
                         faults: sw.injector.as_ref().map(|i| i.stats()),
+                        dropped_msgs: sw.dropped_msgs,
                     });
                 }
                 ProbeKind::TcpSender => {
@@ -288,6 +290,7 @@ impl StatsRegistry {
                         label,
                         per_vc: p.per_vc_counters(),
                         unpoliced: p.unpoliced,
+                        dropped_msgs: p.dropped_msgs,
                     });
                 }
             }
@@ -329,6 +332,8 @@ pub struct SwitchReport {
     pub stats: crate::switch::SwitchStats,
     /// Ground-truth counters of the switch's fault injector, if any.
     pub faults: Option<FaultStats>,
+    /// Stray messages the switch dropped instead of crashing.
+    pub dropped_msgs: u64,
 }
 
 /// TCP sender snapshot.
@@ -392,6 +397,8 @@ pub struct PolicerReport {
     pub per_vc: Vec<(u8, u16, u64, u64, u64)>,
     /// Cells forwarded for VCs without a contract.
     pub unpoliced: u64,
+    /// Stray messages the policer dropped instead of crashing.
+    pub dropped_msgs: u64,
 }
 
 /// A full machine-readable run report.
@@ -413,6 +420,11 @@ pub struct RunReport {
     pub flows: Vec<FlowReport>,
     /// Registered UNI policers.
     pub policers: Vec<PolicerReport>,
+    /// Per-shard kernel metrics registries, when the run was executed on
+    /// an instrumented [`ShardedSimulator`](gtw_desim::ShardedSimulator)
+    /// with a recording sink attached. Empty (and absent from the JSON)
+    /// otherwise.
+    pub kernel_metrics: Vec<MetricsRegistry>,
 }
 
 impl RunReport {
@@ -475,17 +487,23 @@ impl RunReport {
                     ("label", Json::from(s.label.as_str())),
                     ("cells_in", Json::from(s.stats.cells_in())),
                     ("switched", Json::from(s.stats.switched)),
-                    ("unroutable", Json::from(s.stats.unroutable)),
-                    ("overflow", Json::from(s.stats.overflow)),
-                    ("hec_discard", Json::from(s.stats.hec_discard)),
-                    ("clp_discard", Json::from(s.stats.clp_discard)),
                 ]);
-                if s.stats.frame_discards() > 0 {
-                    // Frame-level discard counters appear only when EPD
-                    // actually fired, so clean runs (and runs with EPD
-                    // off) render byte-identically to pre-EPD builds.
-                    o.push("epd_discard", Json::from(s.stats.epd_discard));
-                    o.push("ppd_discard", Json::from(s.stats.ppd_discard));
+                // Every discard class follows the same convention: its
+                // key appears only when the counter fired, so a clean
+                // run renders byte-identically to a build predating the
+                // counter.
+                for (key, count) in [
+                    ("unroutable", s.stats.unroutable),
+                    ("overflow", s.stats.overflow),
+                    ("hec_discard", s.stats.hec_discard),
+                    ("clp_discard", s.stats.clp_discard),
+                    ("epd_discard", s.stats.epd_discard),
+                    ("ppd_discard", s.stats.ppd_discard),
+                    ("dropped_msgs", s.dropped_msgs),
+                ] {
+                    if count > 0 {
+                        o.push(key, Json::from(count));
+                    }
                 }
                 if s.stats.faults_injected() > 0 {
                     o.push(
@@ -589,6 +607,9 @@ impl RunReport {
                     if p.unpoliced > 0 {
                         o.push("unpoliced", Json::from(p.unpoliced));
                     }
+                    if p.dropped_msgs > 0 {
+                        o.push("dropped_msgs", Json::from(p.dropped_msgs));
+                    }
                     o
                 })
                 .collect();
@@ -596,6 +617,14 @@ impl RunReport {
         }
         if self.faults_injected() > 0 {
             doc.push("faults_injected", Json::from(self.faults_injected()));
+        }
+        if !self.kernel_metrics.is_empty() {
+            // Deterministic summaries only (counter finals and gauge
+            // high-water marks) — the wall-clock timers stay out so the
+            // report remains byte-reproducible across runs and hosts.
+            let regs: Vec<Json> =
+                self.kernel_metrics.iter().map(MetricsRegistry::summary_json).collect();
+            doc.push("kernel_metrics", Json::Arr(regs));
         }
         doc
     }
@@ -699,6 +728,69 @@ mod tests {
         assert!(j.contains("\"packets_out\":4"), "{j}");
         assert!(j.contains("\"events_processed\":"), "{j}");
         assert!(!j.contains("\"policers\""), "{j}");
+    }
+
+    #[test]
+    fn switch_json_omits_zero_valued_discard_keys() {
+        let clean = SwitchReport {
+            label: "sw".into(),
+            stats: crate::switch::SwitchStats { switched: 5, ..Default::default() },
+            faults: None,
+            dropped_msgs: 0,
+        };
+        let report = RunReport {
+            elapsed: SimDuration::from_secs(1),
+            events_processed: 5,
+            hops: Vec::new(),
+            switches: vec![clean.clone()],
+            senders: Vec::new(),
+            receivers: Vec::new(),
+            flows: Vec::new(),
+            policers: Vec::new(),
+            kernel_metrics: Vec::new(),
+        };
+        let j = report.to_json().dump();
+        for absent in
+            ["unroutable", "overflow", "hec_discard", "clp_discard", "dropped_msgs", "epd_discard"]
+        {
+            assert!(!j.contains(&format!("\"{absent}\"")), "{absent} leaked into {j}");
+        }
+        assert!(j.contains("\"switched\":5"), "{j}");
+        // Fired counters surface under their own keys.
+        let mut busy = clean;
+        busy.stats.unroutable = 2;
+        busy.dropped_msgs = 1;
+        let mut report2 = report.clone();
+        report2.switches = vec![busy];
+        let j2 = report2.to_json().dump();
+        assert!(j2.contains("\"unroutable\":2"), "{j2}");
+        assert!(j2.contains("\"dropped_msgs\":1"), "{j2}");
+        assert!(!j2.contains("\"overflow\""), "{j2}");
+    }
+
+    #[test]
+    fn kernel_metrics_block_appears_only_when_collected() {
+        let mut report = RunReport {
+            elapsed: SimDuration::from_secs(1),
+            events_processed: 1,
+            hops: Vec::new(),
+            switches: Vec::new(),
+            senders: Vec::new(),
+            receivers: Vec::new(),
+            flows: Vec::new(),
+            policers: Vec::new(),
+            kernel_metrics: Vec::new(),
+        };
+        assert!(!report.to_json().dump().contains("kernel_metrics"));
+        let mut reg = MetricsRegistry::new("shard0");
+        let c = reg.counter("events");
+        let t = reg.timer("barrier_wait_ns");
+        reg.inc(c, 7);
+        reg.add_time(t, std::time::Duration::from_millis(3));
+        report.kernel_metrics.push(reg);
+        let j = report.to_json().dump();
+        assert!(j.contains("\"kernel_metrics\":[{\"label\":\"shard0\",\"events\":7}]"), "{j}");
+        assert!(!j.contains("barrier_wait_ns"), "wall-clock timer leaked into report: {j}");
     }
 
     #[test]

@@ -9,7 +9,8 @@
 
 use gtw_desim::fault::{FaultPlan, FaultSpec, LossModel, Schedule, Window};
 use gtw_desim::{
-    ComponentId, ShardPlan, ShardedSimulator, SimDuration, SimTime, Simulator, SpanSink,
+    ComponentId, MetricsSink, ShardPlan, ShardedSimulator, SimDuration, SimTime, Simulator,
+    SpanSink,
 };
 use serde::{Deserialize, Serialize};
 
@@ -296,7 +297,7 @@ impl BulkTransfer {
     /// [`run_with_report`](Self::run_with_report) for every shard count —
     /// the equivalence the ordering key exists to guarantee.
     pub fn run_sharded(&self, shards: usize) -> (TransferReport, RunReport) {
-        self.run_sharded_impl(shards, None)
+        self.run_sharded_impl(shards, None, &MetricsSink::disabled())
     }
 
     /// [`run_sharded`](Self::run_sharded) under a fault plan.
@@ -305,13 +306,32 @@ impl BulkTransfer {
         shards: usize,
         plan: &FaultPlan,
     ) -> (TransferReport, RunReport) {
-        self.run_sharded_impl(shards, if plan.is_empty() { None } else { Some(plan) })
+        self.run_sharded_impl(
+            shards,
+            if plan.is_empty() { None } else { Some(plan) },
+            &MetricsSink::disabled(),
+        )
+    }
+
+    /// [`run_sharded`](Self::run_sharded) with kernel instrumentation:
+    /// when `metrics` is recording, every shard publishes its registry
+    /// into the sink and the returned [`RunReport`] carries the
+    /// deterministic summaries in its `kernel_metrics` block.
+    /// Instrumentation never changes virtual time — everything but the
+    /// `kernel_metrics` block is byte-identical to an uninstrumented run.
+    pub fn run_sharded_metrics(
+        &self,
+        shards: usize,
+        metrics: &MetricsSink,
+    ) -> (TransferReport, RunReport) {
+        self.run_sharded_impl(shards, None, metrics)
     }
 
     fn run_sharded_impl(
         &self,
         shards: usize,
         plan: Option<&FaultPlan>,
+        metrics: &MetricsSink,
     ) -> (TransferReport, RunReport) {
         let sink = SpanSink::disabled();
         let mut sim = Simulator::new();
@@ -319,14 +339,18 @@ impl BulkTransfer {
         match self.protocol {
             Protocol::Tcp { window_bytes } => {
                 let wiring = self.wire_tcp(&mut sim, &mut reg, &sink, plan, "", 1, window_bytes);
-                let sim = run_partitioned(sim, shards, std::slice::from_ref(&wiring.split()));
-                let run_report = reg.collect(&sim);
+                let sim =
+                    run_partitioned(sim, shards, std::slice::from_ref(&wiring.split()), metrics);
+                let mut run_report = reg.collect(&sim);
+                run_report.kernel_metrics = metrics.registries();
                 (self.collect_tcp(&sim, wiring.sender), run_report)
             }
             Protocol::RawStream => {
                 let wiring = self.wire_raw(&mut sim, &mut reg, &sink, plan, "");
-                let sim = run_partitioned(sim, shards, std::slice::from_ref(&wiring.split));
-                let run_report = reg.collect(&sim);
+                let sim =
+                    run_partitioned(sim, shards, std::slice::from_ref(&wiring.split), metrics);
+                let mut run_report = reg.collect(&sim);
+                run_report.kernel_metrics = metrics.registries();
                 let elapsed = sim.now().saturating_since(SimTime::ZERO);
                 let report = TransferReport {
                     bytes: self.bytes,
@@ -438,8 +462,15 @@ struct RawWiring {
 /// Place each transfer's two sides on shards `(2t) % n` and `(2t+1) % n`,
 /// take the minimum cut propagation as the global lookahead, and run on
 /// the kernel selected by `shards` (`0` = sequential). Transfers whose
-/// split has no cut edge are collapsed onto one shard.
-fn run_partitioned(mut sim: Simulator, shards: usize, splits: &[ShardSplit]) -> Simulator {
+/// split has no cut edge are collapsed onto one shard. A recording
+/// `metrics` sink instruments every shard (ignored on the sequential
+/// kernel, which has no shards to instrument).
+fn run_partitioned(
+    mut sim: Simulator,
+    shards: usize,
+    splits: &[ShardSplit],
+    metrics: &MetricsSink,
+) -> Simulator {
     if shards == 0 {
         sim.run();
         return sim;
@@ -461,6 +492,7 @@ fn run_partitioned(mut sim: Simulator, shards: usize, splits: &[ShardSplit]) -> 
         plan.assign(id, s);
     }
     let mut sharded = ShardedSimulator::from_simulator(sim, &plan);
+    sharded.set_metrics(metrics);
     sharded.run();
     sharded.into_simulator()
 }
@@ -517,6 +549,18 @@ impl TransferSet {
     /// order plus the combined report. Byte-identical across shard
     /// counts for the same input.
     pub fn run(&self, shards: usize) -> (Vec<TransferReport>, RunReport) {
+        self.run_metrics(shards, &MetricsSink::disabled())
+    }
+
+    /// [`run`](Self::run) with kernel instrumentation: a recording
+    /// `metrics` sink collects per-shard registries (sharded runs only)
+    /// and their deterministic summaries land in the report's
+    /// `kernel_metrics` block.
+    pub fn run_metrics(
+        &self,
+        shards: usize,
+        metrics: &MetricsSink,
+    ) -> (Vec<TransferReport>, RunReport) {
         assert!(!self.items.is_empty(), "cannot run an empty TransferSet");
         let sink = SpanSink::disabled();
         let mut sim = Simulator::new();
@@ -539,8 +583,9 @@ impl TransferSet {
             wirings.push(wiring);
         }
         let splits: Vec<ShardSplit> = wirings.iter().map(TcpWiring::split).collect();
-        let sim = run_partitioned(sim, shards, &splits);
-        let run_report = reg.collect(&sim);
+        let sim = run_partitioned(sim, shards, &splits, metrics);
+        let mut run_report = reg.collect(&sim);
+        run_report.kernel_metrics = metrics.registries();
         let reports = self
             .items
             .iter()
@@ -817,6 +862,43 @@ mod tests {
             assert_eq!(report.elapsed, seq_report.elapsed, "{shards} shards");
             assert_eq!(report.packets_sent, seq_report.packets_sent, "{shards} shards");
             assert_eq!(run.to_json().dump(), seq_json, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn instrumented_sharded_run_adds_only_the_kernel_metrics_block() {
+        let xfer = BulkTransfer {
+            hops: vec![raw_hop(622.0, 250), raw_hop(155.0, 500), raw_hop(622.0, 250)],
+            ip: IpConfig { mtu: 9180 },
+            bytes: 2 * 1024 * 1024,
+            protocol: Protocol::Tcp { window_bytes: 1024 * 1024 },
+        };
+        let (_, plain) = xfer.run_sharded(2);
+        let plain_json = plain.to_json().dump();
+        assert!(!plain_json.contains("kernel_metrics"), "{plain_json}");
+        let metrics = MetricsSink::recording();
+        let (report, instrumented) = xfer.run_sharded_metrics(2, &metrics);
+        assert_eq!(report.bytes, xfer.bytes);
+        let j = instrumented.to_json().dump();
+        assert!(j.contains("\"kernel_metrics\":["), "{j}");
+        assert!(j.contains("\"label\":\"shard0\""), "{j}");
+        assert!(j.contains("\"queue_depth_hwm\":"), "{j}");
+        // Instrumentation is additive: stripping the block restores the
+        // uninstrumented report byte for byte.
+        let mut stripped = instrumented.clone();
+        stripped.kernel_metrics.clear();
+        assert_eq!(stripped.to_json().dump(), plain_json);
+        // The sink saw one registry per shard, and both executors'
+        // deterministic counters sum to the sequential event count.
+        let regs = metrics.registries();
+        assert_eq!(regs.len(), 2);
+        let kernel_events: u64 = regs.iter().map(|r| r.value("events").expect("events")).sum();
+        assert_eq!(kernel_events, instrumented.events_processed);
+        // Instrumented registries also repeat identically across runs.
+        let metrics2 = MetricsSink::recording();
+        let _ = xfer.run_sharded_metrics(2, &metrics2);
+        for (a, b) in regs.iter().zip(&metrics2.registries()) {
+            assert_eq!(a.summary_json().dump(), b.summary_json().dump());
         }
     }
 

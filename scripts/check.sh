@@ -18,6 +18,10 @@ cargo run --release -q -p gtw-bench --bin fig2_latency -- --trace-out "$trace_tm
 cargo run --release -q -p gtw-bench --bin trace_check -- "$trace_tmp/fig2.json"
 cargo run --release -q -p gtw-bench --bin fig1_network -- --trace-out "$trace_tmp/fig1.json"
 cargo run --release -q -p gtw-bench --bin trace_check -- "$trace_tmp/fig1.json"
+# The sharded variant writes per-shard kernel-metric counter tracks
+# ("C" events) instead of spans; the validator checks those too.
+cargo run --release -q -p gtw-bench --bin fig1_network -- --trace-out "$trace_tmp/fig1_sharded.json" --shards 2
+cargo run --release -q -p gtw-bench --bin trace_check -- "$trace_tmp/fig1_sharded.json"
 
 # Fault-injection gate: the scenario-fuzz suite under the pinned master
 # seed (reproduce any failure locally with the same GTW_FAULT_SEED), then
@@ -65,3 +69,12 @@ cmp "$trace_tmp/kernel_seq.json" "$trace_tmp/kernel_2shard.json"
 cargo run --release -q -p gtw-bench --bin kernel_bench -- --check > "$trace_tmp/kbench_a.json"
 cargo run --release -q -p gtw-bench --bin kernel_bench -- --check > "$trace_tmp/kbench_b.json"
 cmp "$trace_tmp/kbench_a.json" "$trace_tmp/kbench_b.json"
+
+# Trajectory gate: the benchmark-trajectory harness's deterministic
+# fields (virtual-time latency percentiles, event counts, model outputs)
+# must be stable across two runs, and must match the committed
+# BENCH_trajectory.json baseline within tolerance.
+cargo run --release -q -p gtw-bench --bin trajectory -- --deterministic > "$trace_tmp/traj_a.json"
+cargo run --release -q -p gtw-bench --bin trajectory -- --deterministic > "$trace_tmp/traj_b.json"
+cmp "$trace_tmp/traj_a.json" "$trace_tmp/traj_b.json"
+cargo run --release -q -p gtw-bench --bin trajectory -- --check
