@@ -28,7 +28,12 @@
 //! as counter tracks. Adding `--kernel-metrics` to `--json --shards N`
 //! appends the `kernel_metrics` summary block to each run report (and a
 //! host `meta` block to the document); the flag exists so the default
-//! sharded output stays byte-identical to the sequential sweep.
+//! sharded output stays byte-identical to the sequential sweep. With
+//! `--stripes N` every transfer is carried on N parallel TCP streams
+//! (MPWide-style WAN striping); JSON reports then gain the per-flow
+//! demux attribution block and a top-level `stripes` key, and table
+//! mode prints the striping comparison instead of the figure — output
+//! without the flag is unchanged either way.
 
 use gtw_bench::BenchArgs;
 use gtw_core::testbed::{GigabitTestbedWest, LinkEra};
@@ -36,6 +41,7 @@ use gtw_desim::{Json, MetricsSink, Span};
 use gtw_net::gateway::{ForwardingMode, Gateway};
 use gtw_net::hippi::HippiChannel;
 use gtw_net::ip::IpConfig;
+use gtw_net::stripe::{adaptive_streams, StripedTransfer};
 use gtw_net::transfer::{degraded_plan, BulkTransfer, Protocol};
 use gtw_net::units::DataSize;
 
@@ -56,17 +62,39 @@ fn run_maybe_faulted(
 }
 
 /// The MTU sweep as a JSON document: one entry per MTU with the goodput
-/// and the full per-hop run report.
+/// and the full per-hop run report. With `--stripes N` every transfer is
+/// carried on N parallel TCP streams and the reports gain the demux
+/// attribution block (single-stream output is untouched).
 fn emit_json(tb: &GigabitTestbedWest, bytes: u64, args: &BenchArgs) {
     let instrument = args.kernel_metrics && args.shards > 0;
     if args.kernel_metrics {
         assert!(args.shards > 0, "--kernel-metrics instruments the sharded kernel; add --shards N");
         assert!(args.faults.is_none(), "--kernel-metrics cannot be combined with --faults");
     }
+    if args.stripes > 0 {
+        assert!(args.faults.is_none(), "--stripes cannot be combined with --faults");
+        assert!(!args.kernel_metrics, "--stripes cannot be combined with --kernel-metrics");
+    }
     let (path, _, _) = tb.topology.path(tb.t3e_600, tb.e5000).expect("path");
     let mut sweep = Vec::new();
     for mtu in [1500u64, 4352, 9180, 17914, 65535] {
         let hops = tb.topology.path_hops(&path, mtu);
+        if args.stripes > 0 {
+            let xfer = StripedTransfer {
+                hops,
+                ip: IpConfig { mtu },
+                bytes,
+                window_bytes: 4 * 1024 * 1024,
+                streams: args.stripes,
+            };
+            let (report, run) = xfer.run_with_report(args.shards);
+            sweep.push(Json::obj([
+                ("mtu", Json::from(mtu)),
+                ("goodput_mbps", Json::from(report.goodput.mbps())),
+                ("run", run.to_json()),
+            ]));
+            continue;
+        }
         let xfer = BulkTransfer {
             hops,
             ip: IpConfig { mtu },
@@ -93,11 +121,48 @@ fn emit_json(tb: &GigabitTestbedWest, bytes: u64, args: &BenchArgs) {
     if let Some(seed) = args.faults {
         doc.push("fault_seed", Json::from(seed));
     }
+    if args.stripes > 0 {
+        doc.push("stripes", Json::from(args.stripes as u64));
+    }
     if instrument {
         doc.push("meta", gtw_bench::meta_json(args.shards));
     }
     doc.push("sweep", Json::Arr(sweep));
     println!("{}", doc.pretty());
+}
+
+/// Table mode for `--stripes`: the WAN striping argument on the
+/// T3E-600 → E5000 path — single stream vs N stripes vs the adaptive
+/// stream count the path's BDP asks for.
+fn stripes_table(tb: &GigabitTestbedWest, bytes: u64, streams: usize, shards: usize) {
+    let (path, _, _) = tb.topology.path(tb.t3e_600, tb.e5000).expect("path");
+    let mtu = 9180;
+    let hops = tb.topology.path_hops(&path, mtu);
+    // Each socket stuck at the classic small socket window — the MPWide
+    // scenario: one stream is window-limited on the long-haul path, so
+    // every extra stream adds another window's worth of pipe coverage.
+    let per_stream = 16 * 1024u64;
+    println!(
+        "== WAN striping (T3E-600 -> E5000, {} MiB, {} KiB window per stream) ==",
+        bytes >> 20,
+        per_stream >> 10
+    );
+    println!("{:>8} {:>14} {:>12}", "streams", "goodput", "slowest");
+    let adaptive = adaptive_streams(&hops, IpConfig { mtu }, per_stream);
+    for n in [1usize, streams] {
+        let xfer = StripedTransfer {
+            hops: hops.clone(),
+            ip: IpConfig { mtu },
+            bytes,
+            window_bytes: per_stream * n as u64,
+            streams: n,
+        };
+        let (report, _) = xfer.run_with_report(shards);
+        let slowest =
+            report.stripes.iter().filter_map(|s| s.elapsed).max().map_or(0.0, |e| e.as_secs_f64());
+        println!("{:>8} {:>9.1} Mb/s {:>10.3} s", n, report.goodput.mbps(), slowest);
+    }
+    println!("streams needed to cover this path's BDP at that window: {adaptive}");
 }
 
 /// Trace one transfer (the MTU-argument configuration at 9180 bytes)
@@ -188,6 +253,13 @@ fn main() {
                 f.burst
             );
         }
+        return;
+    }
+
+    if args.stripes > 0 {
+        // Table mode with striping: the MPWide-style WAN striping
+        // argument, isolated from the default figure output.
+        stripes_table(&tb, bytes, args.stripes, shards);
         return;
     }
 

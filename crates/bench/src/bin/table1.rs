@@ -118,7 +118,54 @@ fn real_scaling() {
     println!("(motion estimation is mostly serial per image — matching the paper's flat column)");
 }
 
-fn emit_json() {
+/// Flat vs topology-aware allreduce cost when Table 1's processing is
+/// spread over the metacomputer (two sites joined by the testbed WAN)
+/// instead of one T3E: the per-scan collective overhead each path adds
+/// to the 256-PE row. Deterministic — every number is a model output.
+fn topo_collectives_delta() -> (u64, u64, f64, f64) {
+    use gtw_mpi::{FabricSpec, MachineSpec, Placement, ReduceOp, Universe};
+    let placement = Placement::split(
+        8,
+        4,
+        MachineSpec::new("T3E", FabricSpec::t3e_torus()),
+        MachineSpec::new("SP2", FabricSpec::sp2_switch()),
+        FabricSpec::wan_testbed(),
+    );
+    let run = |topo: bool| -> (u64, f64) {
+        let costs = Universe::run_placed(placement.clone(), move |comm| {
+            let contrib = [comm.rank() as f64, 1.0, -0.5];
+            if topo {
+                comm.allreduce_topo_f64s(ReduceOp::Sum, &contrib);
+            } else {
+                comm.allreduce_f64s(ReduceOp::Sum, &contrib);
+            }
+            let c = comm.comm_cost();
+            (c.wan_messages, c.wan_seconds)
+        });
+        (costs.iter().map(|&(m, _)| m).sum(), costs.iter().map(|&(_, s)| s).fold(0.0, f64::max))
+    };
+    let (flat_msgs, flat_s) = run(false);
+    let (topo_msgs, topo_s) = run(true);
+    (flat_msgs, topo_msgs, flat_s, topo_s)
+}
+
+fn topo_collectives_table(model: &T3eModel) {
+    let (flat_msgs, topo_msgs, flat_s, topo_s) = topo_collectives_delta();
+    let base = model.row(256, Dims::EPI).total_s;
+    println!(
+        "\n== Distributed allreduce: flat vs topology-aware (8 ranks, 2 sites, testbed WAN) =="
+    );
+    println!(
+        "{:>6} {:>10} {:>14} {:>22}",
+        "path", "WAN msgs", "WAN seconds", "256-PE total + coll."
+    );
+    for (name, msgs, s) in [("flat", flat_msgs, flat_s), ("topo", topo_msgs, topo_s)] {
+        println!("{name:>6} {msgs:>10} {s:>12.4} s {:>20.2} s", base + s);
+    }
+    println!("(one allreduce per processed scan; topo pays one WAN crossing per site, flat one per rank)");
+}
+
+fn emit_json(topo_collectives: bool) {
     use gtw_desim::Json;
     let model = T3eModel::t3e_600();
     let mut rows = Vec::new();
@@ -135,19 +182,38 @@ fn emit_json() {
             ("paper_speedup", Json::from(p_speed)),
         ]));
     }
-    let doc = Json::obj([
+    let mut doc = Json::obj([
         ("experiment", Json::from("table1_t3e_module_times")),
         ("rows", Json::Arr(rows)),
     ]);
+    // Conditional: output without the flag stays byte-identical.
+    if topo_collectives {
+        let (flat_msgs, topo_msgs, flat_s, topo_s) = topo_collectives_delta();
+        doc.push(
+            "topo_collectives",
+            Json::obj([
+                ("ranks", Json::from(8u64)),
+                ("sites", Json::from(2u64)),
+                ("flat_wan_messages", Json::from(flat_msgs)),
+                ("topo_wan_messages", Json::from(topo_msgs)),
+                ("flat_wan_seconds", Json::from(flat_s)),
+                ("topo_wan_seconds", Json::from(topo_s)),
+            ]),
+        );
+    }
     println!("{}", doc.pretty());
 }
 
 fn main() {
-    if gtw_bench::BenchArgs::parse().json {
-        emit_json();
+    let args = gtw_bench::BenchArgs::parse();
+    if args.json {
+        emit_json(args.topo_collectives);
         return;
     }
     model_table();
+    if args.topo_collectives {
+        topo_collectives_table(&T3eModel::t3e_600());
+    }
     if gtw_bench::has_flag("--real") {
         real_scaling();
     } else {

@@ -1,5 +1,6 @@
 //! The benchmark **trajectory** harness: one reduced-workload pass over
-//! every paper artifact (fig1–fig4, table1) plus the kernel shard sweep,
+//! every paper artifact (fig1–fig4, table1), the flat-vs-topology
+//! collectives comparison, and the kernel shard sweep,
 //! emitted as a single machine-readable `BENCH_trajectory.json` so the
 //! repo's performance story can be tracked commit over commit.
 //!
@@ -157,6 +158,57 @@ fn bench_table1() -> Json {
     ])
 }
 
+/// Collectives reduced: the same 8-rank/2-site allreduce on the flat
+/// and the topology-aware path. WAN crossings scale with ranks on the
+/// flat path and with sites on the topo path; the virtual WAN seconds
+/// follow the same ratio. Everything but `wall_s` is deterministic.
+fn bench_collectives() -> Json {
+    use gtw_mpi::{CommTopology, FabricSpec, MachineSpec, Placement, ReduceOp, Universe};
+    const ROUNDS: usize = 4;
+    let placement = Placement::split(
+        8,
+        4,
+        MachineSpec::new("T3E", FabricSpec::t3e_torus()),
+        MachineSpec::new("SP2", FabricSpec::sp2_switch()),
+        FabricSpec::wan_testbed(),
+    );
+    let model = CommTopology::from_placement(&placement);
+    let run = |topo: bool| -> (u64, f64) {
+        let costs = Universe::run_placed(placement.clone(), move |comm| {
+            let contrib = [0.25 * comm.rank() as f64, 1.0];
+            for _ in 0..ROUNDS {
+                if topo {
+                    comm.allreduce_topo_f64s(ReduceOp::Sum, &contrib);
+                } else {
+                    comm.allreduce_f64s(ReduceOp::Sum, &contrib);
+                }
+            }
+            let c = comm.comm_cost();
+            (c.wan_messages, c.wan_seconds)
+        });
+        let wan_messages = costs.iter().map(|&(m, _)| m).sum();
+        let wan_seconds = costs.iter().map(|&(_, s)| s).fold(0.0, f64::max);
+        (wan_messages, wan_seconds)
+    };
+    let started = Instant::now();
+    let (flat_wan, flat_s) = run(false);
+    let (topo_wan, topo_s) = run(true);
+    let wall = started.elapsed().as_secs_f64();
+    Json::obj([
+        ("scenario", Json::from("collectives")),
+        ("ranks", Json::from(8u64)),
+        ("sites", Json::from(model.num_sites() as u64)),
+        ("rounds", Json::from(ROUNDS as u64)),
+        ("model_flat_crossings", Json::from(model.flat_allreduce_wan_crossings())),
+        ("model_topo_crossings", Json::from(model.topo_allreduce_wan_crossings())),
+        ("flat_wan_messages", Json::from(flat_wan)),
+        ("topo_wan_messages", Json::from(topo_wan)),
+        ("flat_wan_seconds", Json::from(flat_s)),
+        ("topo_wan_seconds", Json::from(topo_s)),
+        ("wall_s", Json::from(wall)),
+    ])
+}
+
 fn raw_hop(rate_mbps: f64, prop_us: u64) -> HopModel {
     HopModel {
         medium: Medium::Raw { rate: Bandwidth::from_mbps(rate_mbps) },
@@ -281,7 +333,14 @@ fn main() {
         .map(|s| s.parse().expect("--tolerance takes a float"))
         .unwrap_or(0.02);
 
-    let benches = vec![bench_fig1(), bench_fig2(), bench_fig3(), bench_fig4(), bench_table1()];
+    let benches = vec![
+        bench_fig1(),
+        bench_fig2(),
+        bench_fig3(),
+        bench_fig4(),
+        bench_table1(),
+        bench_collectives(),
+    ];
     let sweep = bench_shard_sweep();
     let mut doc = Json::obj([
         ("benchmark", Json::from("trajectory")),

@@ -37,6 +37,13 @@ pub struct BenchArgs {
     /// `--kernel-metrics`: include the `kernel_metrics` block in JSON
     /// reports (sharded runs only).
     pub kernel_metrics: bool,
+    /// `--stripes <n>`: carry bulk transfers on `n` parallel TCP
+    /// streams (MPWide-style WAN striping; `0` = single stream).
+    pub stripes: usize,
+    /// `--topo-collectives`: use the topology-aware multi-level
+    /// collectives instead of the flat ones where a bench runs MPI
+    /// worlds.
+    pub topo_collectives: bool,
 }
 
 impl BenchArgs {
@@ -51,6 +58,10 @@ impl BenchArgs {
             faults: arg_value("--faults").map(|s| s.parse().expect("--faults takes a u64 seed")),
             check: has_flag("--check"),
             kernel_metrics: has_flag("--kernel-metrics"),
+            stripes: arg_value("--stripes")
+                .map(|s| s.parse().expect("--stripes takes a stream count"))
+                .unwrap_or(0),
+            topo_collectives: has_flag("--topo-collectives"),
         }
     }
 }

@@ -16,6 +16,7 @@ use crate::envelope::{
 use crate::error::{CommError, CommResult, FailCause};
 use crate::machine::{CommCost, FabricSpec, MachineSpec, Placement};
 use crate::mailbox::{ClaimOutcome, SrcFilter};
+use crate::topology::CommTopology;
 use crate::trace::EventKind;
 use crate::universe::UniverseInner;
 
@@ -43,7 +44,7 @@ pub enum ReduceOp {
 }
 
 impl ReduceOp {
-    fn combine(self, a: f64, b: f64) -> f64 {
+    pub(crate) fn combine(self, a: f64, b: f64) -> f64 {
         match self {
             ReduceOp::Sum => a + b,
             ReduceOp::Min => a.min(b),
@@ -343,11 +344,20 @@ impl Comm {
 
     /// Reduce elementwise to `root`; `Some(result)` at root, `None`
     /// elsewhere. All contributions must have equal length.
+    ///
+    /// Contributions are gathered by rank and folded along the canonical
+    /// site tree ([`CommTopology::canonical_fold`]): rank order within a
+    /// site, site order across sites. Claims still happen in arrival
+    /// order, but the fold no longer does — which both makes the result
+    /// independent of thread scheduling and keeps it bit-identical to
+    /// the topology-aware collectives that fold the same tree with a
+    /// different message pattern.
     pub fn reduce_f64s(&self, root: usize, op: ReduceOp, contrib: &[f64]) -> Option<Vec<f64>> {
         let tag = self.next_coll_tag();
         self.universe.trace.record(self.global_id(), EventKind::Collective, None, 0);
         if self.rank() == root {
-            let mut acc = contrib.to_vec();
+            let mut parts: Vec<Option<Vec<f64>>> = vec![None; self.size()];
+            parts[root] = Some(contrib.to_vec());
             for _ in 0..self.size() - 1 {
                 let env = self.universe.mailbox(self.global_id()).claim(ANY_SOURCE, tag);
                 let src = self
@@ -357,12 +367,12 @@ impl Comm {
                     .expect("reduce contribution from outside the communicator");
                 self.charge(src, env.byte_len() as u64);
                 let v = decode_f64s(&env.data);
-                assert_eq!(v.len(), acc.len(), "reduce length mismatch");
-                for (a, b) in acc.iter_mut().zip(v) {
-                    *a = op.combine(*a, b);
-                }
+                assert_eq!(v.len(), contrib.len(), "reduce length mismatch");
+                parts[src] = Some(v);
             }
-            Some(acc)
+            let parts: Vec<Vec<f64>> =
+                parts.into_iter().map(|p| p.expect("every rank contributed")).collect();
+            Some(self.topology().canonical_fold(op, &parts))
         } else {
             self.send_internal(root, tag, Datatype::F64, encode_f64s(contrib));
             None
@@ -447,86 +457,97 @@ impl Comm {
 
     // ----- metacomputing-aware collectives ----------------------------------
 
+    /// The site topology of this communicator: ranks grouped by machine,
+    /// lowest rank of each site as leader, sites in leader-rank order.
+    /// This is the structure every topology-aware collective routes on
+    /// and the tree [`CommTopology::canonical_fold`] reduces along.
+    pub fn topology(&self) -> CommTopology {
+        CommTopology::from_placement(&self.placement)
+    }
+
     /// Hierarchical broadcast: the payload crosses the WAN **once per
     /// machine** instead of once per rank — the defining optimization of
     /// a metacomputing-aware MPI ("the communication both inside and
     /// between the machines that form the metacomputer should be
-    /// efficient"). The root sends to one *leader* rank on each other
-    /// machine; leaders re-broadcast locally over the fast fabric.
+    /// efficient"). Kept as the historical name; routing now lives in
+    /// [`Comm::bcast_topo_f64s`] on the [`CommTopology`].
     pub fn bcast_hierarchical_f64s(&self, root: usize, data: &[f64]) -> Vec<f64> {
+        self.bcast_topo_f64s(root, data)
+    }
+
+    /// Hierarchical allreduce(sum). Kept as the historical name; the
+    /// general operation is [`Comm::allreduce_topo_f64s`].
+    pub fn allreduce_hierarchical_f64s(&self, contrib: &[f64]) -> Vec<f64> {
+        self.allreduce_topo_f64s(ReduceOp::Sum, contrib)
+    }
+
+    /// Topology-aware broadcast: the root sends one copy per foreign
+    /// site to that site's leader (the only WAN crossings) plus direct
+    /// copies to its own site; foreign leaders re-broadcast over their
+    /// fast local fabric. Returns the payload on every rank, bit-
+    /// identical to [`Comm::bcast_f64s`].
+    pub fn bcast_topo_f64s(&self, root: usize, data: &[f64]) -> Vec<f64> {
         let tag = self.next_coll_tag();
         self.universe.trace.record(self.global_id(), EventKind::Collective, None, 0);
-        // Deterministic leader per machine: the lowest rank placed there.
-        let my_machine = self.placement.machine_of(self.rank()).name.clone();
-        let leader_of = |rank: usize| -> usize {
-            let m = self.placement.machine_of(rank).name.clone();
-            (0..self.size())
-                .find(|&r| self.placement.machine_of(r).name == m)
-                .expect("every machine has a lowest rank")
-        };
-        let my_leader = leader_of(self.rank());
-        let root_machine = self.placement.machine_of(root).name.clone();
-        if self.rank() == root {
+        let topo = self.topology();
+        let me = self.rank();
+        let root_site = topo.site_of(root);
+        let my_site = topo.site_of(me);
+        if me == root {
             let payload = encode_f64s(data);
-            // One WAN send per foreign machine's leader...
-            let mut sent_machines = vec![root_machine.clone()];
-            for r in 0..self.size() {
-                let m = self.placement.machine_of(r).name.clone();
-                if !sent_machines.contains(&m) {
-                    sent_machines.push(m);
-                    self.send_internal(leader_of(r), tag, Datatype::F64, payload.clone());
+            // One WAN send per foreign site's leader...
+            for (s, site) in topo.sites().iter().enumerate() {
+                if s != root_site {
+                    self.send_internal(site.leader, tag, Datatype::F64, payload.clone());
                 }
             }
-            // ...and local re-broadcast on the root's own machine.
-            for r in 0..self.size() {
-                if r != root && self.placement.machine_of(r).name == root_machine {
+            // ...and local re-broadcast on the root's own site.
+            for &r in &topo.sites()[root_site].members {
+                if r != root {
                     self.send_internal(r, tag, Datatype::F64, payload.clone());
                 }
             }
             return data.to_vec();
         }
-        // Non-root: leaders of foreign machines receive from the root and
-        // re-broadcast locally; everyone else receives from their leader
-        // (or from the root if they share its machine).
-        let i_am_leader = self.rank() == my_leader && my_machine != root_machine;
-        if i_am_leader {
+        if my_site != root_site && topo.is_leader(me) {
             let env = self.universe.mailbox(self.global_id()).claim(self.group[root], tag);
             self.charge(root, env.byte_len() as u64);
             let payload = env.data.clone();
-            for r in 0..self.size() {
-                if r != self.rank() && self.placement.machine_of(r).name == my_machine {
+            for &r in &topo.sites()[my_site].members {
+                if r != me {
                     self.send_internal(r, tag, Datatype::F64, payload.clone());
                 }
             }
             decode_f64s(&env.data)
         } else {
-            let from = if my_machine == root_machine { root } else { my_leader };
+            let from = if my_site == root_site { root } else { topo.leader_of(me) };
             let env = self.universe.mailbox(self.global_id()).claim(self.group[from], tag);
             self.charge(from, env.byte_len() as u64);
             decode_f64s(&env.data)
         }
     }
 
-    /// Hierarchical allreduce(sum): reduce locally on each machine, let
-    /// the machine leaders exchange partial sums over the WAN (one
-    /// message per machine pair direction via rank-0 accumulation), then
-    /// re-broadcast locally. WAN crossings: `2·(machines−1)` instead of
-    /// `2·(ranks−1)` for the naive reduce+bcast.
-    pub fn allreduce_hierarchical_f64s(&self, contrib: &[f64]) -> Vec<f64> {
+    /// Topology-aware allreduce: intra-site reduce to each leader, one
+    /// WAN crossing per foreign site up to the global leader and one
+    /// back down, then intra-site re-broadcast. WAN crossings:
+    /// `2·(sites−1)` instead of `2·(off-site ranks)` for the flat
+    /// reduce+bcast — while the *result* stays bit-identical to
+    /// [`Comm::allreduce_f64s`], because both fold the canonical site
+    /// tree; only the message pattern differs.
+    pub fn allreduce_topo_f64s(&self, op: ReduceOp, contrib: &[f64]) -> Vec<f64> {
         let tag = self.next_coll_tag();
         self.universe.trace.record(self.global_id(), EventKind::Collective, None, 0);
-        let machine_name = |r: usize| self.placement.machine_of(r).name.clone();
-        let my_machine = machine_name(self.rank());
-        let my_leader = (0..self.size())
-            .find(|&r| machine_name(r) == my_machine)
-            .expect("machine has a lowest rank");
-        // Phase 1: local reduce to the machine leader.
-        let local_sum: Vec<f64> = if self.rank() == my_leader {
-            let locals: Vec<usize> = (0..self.size())
-                .filter(|&r| r != self.rank() && machine_name(r) == my_machine)
-                .collect();
-            let mut acc = contrib.to_vec();
-            for _ in &locals {
+        let topo = self.topology();
+        let me = self.rank();
+        let my_site = topo.site_of(me);
+        let my_leader = topo.leader_of(me);
+        // Phase 1: intra-site reduce to the site leader, folding member
+        // contributions in rank order (the canonical tree's inner level).
+        let site_partial: Vec<f64> = if me == my_leader {
+            let members = &topo.sites()[my_site].members;
+            let mut parts: Vec<Option<Vec<f64>>> = vec![None; self.size()];
+            parts[me] = Some(contrib.to_vec());
+            for _ in 1..members.len() {
                 let env = self.universe.mailbox(self.global_id()).claim(ANY_SOURCE, tag);
                 let src = self
                     .group
@@ -534,32 +555,27 @@ impl Comm {
                     .position(|&g| g == env.src)
                     .expect("contribution from outside the communicator");
                 self.charge(src, env.byte_len() as u64);
-                for (a, b) in acc.iter_mut().zip(decode_f64s(&env.data)) {
-                    *a += b;
-                }
+                let v = decode_f64s(&env.data);
+                assert_eq!(v.len(), contrib.len(), "allreduce length mismatch");
+                parts[src] = Some(v);
             }
-            acc
+            crate::topology::fold_in_order(
+                op,
+                members.iter().map(|&m| parts[m].take().expect("member contributed")),
+            )
         } else {
             self.send_internal(my_leader, tag, Datatype::F64, encode_f64s(contrib));
             Vec::new()
         };
-        // Phase 2: leaders send partials to the global leader (rank of
-        // the first machine), which combines and returns the total.
-        let global_leader = 0; // rank 0 is always its machine's leader
+        // Phase 2: leaders exchange partials with the global leader,
+        // which folds them in site order (the tree's outer level).
+        let global_leader = topo.global_leader();
         let tag2 = self.next_coll_tag();
-        let total: Vec<f64> = if self.rank() == my_leader {
-            if self.rank() == global_leader {
-                let mut acc = local_sum;
-                let foreign_leaders: Vec<usize> = (0..self.size())
-                    .filter(|&r| {
-                        r != global_leader
-                            && (0..self.size())
-                                .find(|&q| machine_name(q) == machine_name(r))
-                                .unwrap()
-                                == r
-                    })
-                    .collect();
-                for _ in &foreign_leaders {
+        let total: Vec<f64> = if me == my_leader {
+            if me == global_leader {
+                let mut partials: Vec<Option<Vec<f64>>> = vec![None; topo.num_sites()];
+                partials[my_site] = Some(site_partial);
+                for _ in 1..topo.num_sites() {
                     let env = self.universe.mailbox(self.global_id()).claim(ANY_SOURCE, tag2);
                     let src = self
                         .group
@@ -567,16 +583,18 @@ impl Comm {
                         .position(|&g| g == env.src)
                         .expect("partial from outside the communicator");
                     self.charge(src, env.byte_len() as u64);
-                    for (a, b) in acc.iter_mut().zip(decode_f64s(&env.data)) {
-                        *a += b;
-                    }
+                    partials[topo.site_of(src)] = Some(decode_f64s(&env.data));
                 }
-                for &l in &foreign_leaders {
-                    self.send_internal(l, tag2, Datatype::F64, encode_f64s(&acc));
+                let total = crate::topology::fold_in_order(
+                    op,
+                    partials.into_iter().map(|p| p.expect("every site reported")),
+                );
+                for site in &topo.sites()[1..] {
+                    self.send_internal(site.leader, tag2, Datatype::F64, encode_f64s(&total));
                 }
-                acc
+                total
             } else {
-                self.send_internal(global_leader, tag2, Datatype::F64, encode_f64s(&local_sum));
+                self.send_internal(global_leader, tag2, Datatype::F64, encode_f64s(&site_partial));
                 let env =
                     self.universe.mailbox(self.global_id()).claim(self.group[global_leader], tag2);
                 self.charge(global_leader, env.byte_len() as u64);
@@ -585,11 +603,11 @@ impl Comm {
         } else {
             Vec::new()
         };
-        // Phase 3: local re-broadcast from each leader.
+        // Phase 3: intra-site re-broadcast from each leader.
         let tag3 = self.next_coll_tag();
-        if self.rank() == my_leader {
-            for r in 0..self.size() {
-                if r != self.rank() && machine_name(r) == my_machine {
+        if me == my_leader {
+            for &r in &topo.sites()[my_site].members {
+                if r != me {
                     self.send_internal(r, tag3, Datatype::F64, encode_f64s(&total));
                 }
             }
@@ -599,6 +617,65 @@ impl Comm {
             self.charge(my_leader, env.byte_len() as u64);
             decode_f64s(&env.data)
         }
+    }
+
+    /// Topology-aware barrier: a message-based tree barrier — members
+    /// report to their site leader, leaders to the global leader, then
+    /// the release fans back out the same way. Crosses the WAN twice per
+    /// foreign site. Unlike [`Comm::barrier`] (an in-memory condvar with
+    /// zero modeled messages), this barrier accounts what synchronizing
+    /// a metacomputer actually costs on the wire, which is why the
+    /// trajectory bench reports it.
+    pub fn barrier_topo(&self) {
+        let topo = self.topology();
+        let up = self.next_coll_tag();
+        let up2 = self.next_coll_tag();
+        let down = self.next_coll_tag();
+        let me = self.rank();
+        let my_site = topo.site_of(me);
+        let my_leader = topo.leader_of(me);
+        if me == my_leader {
+            let members = topo.sites()[my_site].members.len();
+            for _ in 1..members {
+                let env = self.universe.mailbox(self.global_id()).claim(ANY_SOURCE, up);
+                let src = self
+                    .group
+                    .iter()
+                    .position(|&g| g == env.src)
+                    .expect("barrier arrival from outside the communicator");
+                self.charge(src, env.byte_len() as u64);
+            }
+            let global_leader = topo.global_leader();
+            if me == global_leader {
+                for _ in 1..topo.num_sites() {
+                    let env = self.universe.mailbox(self.global_id()).claim(ANY_SOURCE, up2);
+                    let src = self
+                        .group
+                        .iter()
+                        .position(|&g| g == env.src)
+                        .expect("barrier arrival from outside the communicator");
+                    self.charge(src, env.byte_len() as u64);
+                }
+                for site in &topo.sites()[1..] {
+                    self.send_internal(site.leader, down, Datatype::U8, Bytes::new());
+                }
+            } else {
+                self.send_internal(global_leader, up2, Datatype::U8, Bytes::new());
+                let env =
+                    self.universe.mailbox(self.global_id()).claim(self.group[global_leader], down);
+                self.charge(global_leader, env.byte_len() as u64);
+            }
+            for &r in &topo.sites()[my_site].members {
+                if r != me {
+                    self.send_internal(r, down, Datatype::U8, Bytes::new());
+                }
+            }
+        } else {
+            self.send_internal(my_leader, up, Datatype::U8, Bytes::new());
+            let env = self.universe.mailbox(self.global_id()).claim(self.group[my_leader], down);
+            self.charge(my_leader, env.byte_len() as u64);
+        }
+        self.universe.trace.record(self.global_id(), EventKind::Barrier, None, 0);
     }
 
     // ----- nonblocking receives -------------------------------------------
@@ -863,6 +940,21 @@ impl Comm {
         Ok(())
     }
 
+    /// Last-instant liveness recheck before a collective posts into a
+    /// peer's mailbox. [`Comm::check_health`] at operation entry is the
+    /// only *counted* injector poll, but a failure detector on another
+    /// thread can declare this rank dead between that poll and the post
+    /// — and a contribution posted by a dead rank is an envelope the
+    /// survivors will never claim (their collective aborts on the
+    /// failure), leaking a mailbox slot. This recheck is deliberately
+    /// poll-free so fault-plan op counts are unchanged.
+    fn recheck_alive_before_post(&self) -> CommResult<()> {
+        if self.universe.is_failed(self.global_id()).is_some() {
+            return Err(CommError::RankFailed { rank: self.my_local });
+        }
+        Ok(())
+    }
+
     /// A hung rank goes silent: it stops sending and receiving until a
     /// failure detector declares it dead, then its thread returns. The
     /// hard cap guarantees worlds always join even with no detector
@@ -965,6 +1057,52 @@ impl Comm {
     /// Failure-aware raw-byte send.
     pub fn try_send_u8s(&self, dst: usize, tag: Tag, data: &[u8]) -> CommResult<()> {
         self.try_send_bytes(dst, tag, Datatype::U8, Bytes::copy_from_slice(data))
+    }
+
+    /// Deadline-bounded any-source claim for collectives: aborts when
+    /// the communicator is revoked or any member dies. Returns the local
+    /// source rank alongside the envelope, with cost charged.
+    fn try_claim_any(&self, tag: Tag, deadline: Option<Instant>) -> CommResult<(usize, Envelope)> {
+        let mailbox = self.universe.mailbox(self.global_id());
+        let outcome = mailbox.claim_deadline(SrcFilter::OneOf(&self.group), tag, deadline, || {
+            self.is_revoked() || self.any_member_failed()
+        });
+        match outcome {
+            ClaimOutcome::Ready(env) => {
+                let src = self
+                    .group
+                    .iter()
+                    .position(|&g| g == env.src)
+                    .expect("SrcFilter only admits group members");
+                self.charge_faulted(src, env.byte_len() as u64);
+                Ok((src, env))
+            }
+            ClaimOutcome::TimedOut => Err(CommError::Timeout),
+            ClaimOutcome::Aborted => Err(self.abort_error(None)),
+        }
+    }
+
+    /// Deadline-bounded exact-source claim for collectives; same abort
+    /// semantics as [`Comm::try_claim_any`].
+    fn try_claim_exact(
+        &self,
+        src: usize,
+        tag: Tag,
+        deadline: Option<Instant>,
+    ) -> CommResult<Envelope> {
+        let mailbox = self.universe.mailbox(self.global_id());
+        let outcome =
+            mailbox.claim_deadline(SrcFilter::Exact(self.group[src]), tag, deadline, || {
+                self.is_revoked() || self.any_member_failed()
+            });
+        match outcome {
+            ClaimOutcome::Ready(env) => {
+                self.charge_faulted(src, env.byte_len() as u64);
+                Ok(env)
+            }
+            ClaimOutcome::TimedOut => Err(CommError::Timeout),
+            ClaimOutcome::Aborted => Err(self.abort_error(Some(src))),
+        }
     }
 
     /// Translate an aborted claim into the most specific error.
@@ -1133,11 +1271,12 @@ impl Comm {
     }
 
     /// Failure-aware allreduce: rank 0 collects every contribution,
-    /// folds them **in rank order** (deterministic float accumulation),
-    /// and distributes the result. Any member death, revocation or
-    /// deadline expiry fails the whole collective on every caller —
-    /// survivors then [`Comm::shrink`] and retry on the new
-    /// communicator.
+    /// folds them along the **canonical site tree** (deterministic float
+    /// accumulation, bit-identical to [`Comm::allreduce_f64s`] and to
+    /// the topology-aware [`Comm::try_allreduce_topo_f64s`]), and
+    /// distributes the result. Any member death, revocation or deadline
+    /// expiry fails the whole collective on every caller — survivors
+    /// then [`Comm::shrink`] and retry on the new communicator.
     pub fn try_allreduce_f64s(
         &self,
         op: ReduceOp,
@@ -1174,13 +1313,10 @@ impl Comm {
                     ClaimOutcome::Aborted => return Err(self.abort_error(None)),
                 }
             }
-            let mut iter = parts.into_iter().flatten();
-            let mut acc = iter.next().expect("root contributed");
-            for v in iter {
-                for (a, b) in acc.iter_mut().zip(v) {
-                    *a = op.combine(*a, b);
-                }
-            }
+            let parts: Vec<Vec<f64>> =
+                parts.into_iter().map(|p| p.expect("every member contributed")).collect();
+            let acc = self.topology().canonical_fold(op, &parts);
+            self.recheck_alive_before_post()?;
             for dst in 0..self.size() {
                 if dst != root {
                     self.try_send_internal(dst, tag, Datatype::F64, encode_f64s(&acc))?;
@@ -1188,6 +1324,7 @@ impl Comm {
             }
             Ok(acc)
         } else {
+            self.recheck_alive_before_post()?;
             self.try_send_internal(root, tag, Datatype::F64, encode_f64s(contrib))?;
             let mailbox = self.universe.mailbox(self.global_id());
             let outcome =
@@ -1203,6 +1340,195 @@ impl Comm {
                 ClaimOutcome::Aborted => Err(self.abort_error(None)),
             }
         }
+    }
+
+    /// Failure-aware topology-aware allreduce: the message pattern of
+    /// [`Comm::allreduce_topo_f64s`] with the failure semantics of
+    /// [`Comm::try_allreduce_f64s`]. Polls the fault injector exactly
+    /// once (at entry), like the flat variant, so a seeded fault plan
+    /// fires at the same collective on either path. The result is
+    /// bit-identical to both blocking paths — same canonical tree.
+    pub fn try_allreduce_topo_f64s(
+        &self,
+        op: ReduceOp,
+        contrib: &[f64],
+        timeout: Option<Duration>,
+    ) -> CommResult<Vec<f64>> {
+        self.check_health()?;
+        let tag = self.next_coll_tag();
+        let tag2 = self.next_coll_tag();
+        let tag3 = self.next_coll_tag();
+        self.universe.trace.record(self.global_id(), EventKind::Collective, None, 0);
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let topo = self.topology();
+        let me = self.rank();
+        let my_site = topo.site_of(me);
+        let my_leader = topo.leader_of(me);
+        // Phase 1: intra-site reduce to the site leader.
+        let site_partial: Vec<f64> = if me == my_leader {
+            let members = topo.sites()[my_site].members.clone();
+            let mut parts: Vec<Option<Vec<f64>>> = vec![None; self.size()];
+            parts[me] = Some(contrib.to_vec());
+            for _ in 1..members.len() {
+                let (src, env) = self.try_claim_any(tag, deadline)?;
+                let v = decode_f64s(&env.data);
+                assert_eq!(v.len(), contrib.len(), "allreduce length mismatch");
+                parts[src] = Some(v);
+            }
+            crate::topology::fold_in_order(
+                op,
+                members.iter().map(|&m| parts[m].take().expect("member contributed")),
+            )
+        } else {
+            self.recheck_alive_before_post()?;
+            self.try_send_internal(my_leader, tag, Datatype::F64, encode_f64s(contrib))?;
+            Vec::new()
+        };
+        // Phase 2: leaders exchange partials with the global leader.
+        let global_leader = topo.global_leader();
+        let total: Vec<f64> = if me == my_leader {
+            if me == global_leader {
+                let mut partials: Vec<Option<Vec<f64>>> = vec![None; topo.num_sites()];
+                partials[my_site] = Some(site_partial);
+                for _ in 1..topo.num_sites() {
+                    let (src, env) = self.try_claim_any(tag2, deadline)?;
+                    partials[topo.site_of(src)] = Some(decode_f64s(&env.data));
+                }
+                let total = crate::topology::fold_in_order(
+                    op,
+                    partials.into_iter().map(|p| p.expect("every site reported")),
+                );
+                self.recheck_alive_before_post()?;
+                for site in &topo.sites()[1..] {
+                    self.try_send_internal(site.leader, tag2, Datatype::F64, encode_f64s(&total))?;
+                }
+                total
+            } else {
+                self.recheck_alive_before_post()?;
+                self.try_send_internal(
+                    global_leader,
+                    tag2,
+                    Datatype::F64,
+                    encode_f64s(&site_partial),
+                )?;
+                let env = self.try_claim_exact(global_leader, tag2, deadline)?;
+                decode_f64s(&env.data)
+            }
+        } else {
+            Vec::new()
+        };
+        // Phase 3: intra-site re-broadcast from each leader.
+        if me == my_leader {
+            self.recheck_alive_before_post()?;
+            for &r in &topo.sites()[my_site].members {
+                if r != me {
+                    self.try_send_internal(r, tag3, Datatype::F64, encode_f64s(&total))?;
+                }
+            }
+            Ok(total)
+        } else {
+            let env = self.try_claim_exact(my_leader, tag3, deadline)?;
+            Ok(decode_f64s(&env.data))
+        }
+    }
+
+    /// Failure-aware topology-aware broadcast: the message pattern of
+    /// [`Comm::bcast_topo_f64s`] with whole-collective failure semantics
+    /// (any member death, revocation or deadline expiry fails every
+    /// caller). Single injector poll at entry.
+    pub fn try_bcast_topo_f64s(
+        &self,
+        root: usize,
+        data: &[f64],
+        timeout: Option<Duration>,
+    ) -> CommResult<Vec<f64>> {
+        self.check_health()?;
+        let tag = self.next_coll_tag();
+        self.universe.trace.record(self.global_id(), EventKind::Collective, None, 0);
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let topo = self.topology();
+        let me = self.rank();
+        let root_site = topo.site_of(root);
+        let my_site = topo.site_of(me);
+        if me == root {
+            self.recheck_alive_before_post()?;
+            let payload = encode_f64s(data);
+            for (s, site) in topo.sites().iter().enumerate() {
+                if s != root_site {
+                    self.try_send_internal(site.leader, tag, Datatype::F64, payload.clone())?;
+                }
+            }
+            for &r in &topo.sites()[root_site].members {
+                if r != root {
+                    self.try_send_internal(r, tag, Datatype::F64, payload.clone())?;
+                }
+            }
+            return Ok(data.to_vec());
+        }
+        if my_site != root_site && topo.is_leader(me) {
+            let env = self.try_claim_exact(root, tag, deadline)?;
+            let payload = env.data.clone();
+            self.recheck_alive_before_post()?;
+            for &r in &topo.sites()[my_site].members {
+                if r != me {
+                    self.try_send_internal(r, tag, Datatype::F64, payload.clone())?;
+                }
+            }
+            Ok(decode_f64s(&env.data))
+        } else {
+            let from = if my_site == root_site { root } else { topo.leader_of(me) };
+            let env = self.try_claim_exact(from, tag, deadline)?;
+            Ok(decode_f64s(&env.data))
+        }
+    }
+
+    /// Failure-aware topology-aware barrier: the message-based tree of
+    /// [`Comm::barrier_topo`] with whole-collective failure semantics.
+    /// Single injector poll at entry.
+    pub fn try_barrier_topo(&self, timeout: Option<Duration>) -> CommResult<()> {
+        self.check_health()?;
+        if let Some(r) = self.first_failed_peer() {
+            return Err(CommError::RankFailed { rank: r });
+        }
+        let up = self.next_coll_tag();
+        let up2 = self.next_coll_tag();
+        let down = self.next_coll_tag();
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let topo = self.topology();
+        let me = self.rank();
+        let my_site = topo.site_of(me);
+        let my_leader = topo.leader_of(me);
+        if me == my_leader {
+            for _ in 1..topo.sites()[my_site].members.len() {
+                self.try_claim_any(up, deadline)?;
+            }
+            let global_leader = topo.global_leader();
+            if me == global_leader {
+                for _ in 1..topo.num_sites() {
+                    self.try_claim_any(up2, deadline)?;
+                }
+                self.recheck_alive_before_post()?;
+                for site in &topo.sites()[1..] {
+                    self.try_send_internal(site.leader, down, Datatype::U8, Bytes::new())?;
+                }
+            } else {
+                self.recheck_alive_before_post()?;
+                self.try_send_internal(global_leader, up2, Datatype::U8, Bytes::new())?;
+                self.try_claim_exact(global_leader, down, deadline)?;
+            }
+            self.recheck_alive_before_post()?;
+            for &r in &topo.sites()[my_site].members {
+                if r != me {
+                    self.try_send_internal(r, down, Datatype::U8, Bytes::new())?;
+                }
+            }
+        } else {
+            self.recheck_alive_before_post()?;
+            self.try_send_internal(my_leader, up, Datatype::U8, Bytes::new())?;
+            self.try_claim_exact(my_leader, down, deadline)?;
+        }
+        self.universe.trace.record(self.global_id(), EventKind::Barrier, None, 0);
+        Ok(())
     }
 
     /// Revoke the communicator (like `MPI_Comm_revoke`): every pending

@@ -46,6 +46,7 @@ pub mod envelope;
 pub mod error;
 pub mod machine;
 pub mod mailbox;
+pub mod topology;
 pub mod trace;
 pub mod universe;
 
@@ -55,5 +56,6 @@ pub use envelope::{Datatype, Envelope, Tag, ANY_SOURCE, ANY_TAG};
 pub use error::{CommError, CommResult, FailCause};
 pub use machine::{CommCost, FabricSpec, MachineSpec, Placement};
 pub use mailbox::{ClaimOutcome, Mailbox, SrcFilter};
+pub use topology::{CommTopology, Site};
 pub use trace::{EventKind, TraceEvent, VampirSummary};
 pub use universe::Universe;

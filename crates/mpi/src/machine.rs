@@ -120,6 +120,18 @@ impl Placement {
         &self.machines[self.machine_of[rank]]
     }
 
+    /// Index (into the machine list) of the machine hosting `rank`.
+    /// Distinguishes machines that happen to share a display name, which
+    /// is what the topology layer groups sites by.
+    pub fn machine_index(&self, rank: usize) -> usize {
+        self.machine_of[rank]
+    }
+
+    /// Number of distinct machines in the placement.
+    pub fn machine_count(&self) -> usize {
+        self.machines.len()
+    }
+
     /// Whether two ranks share a machine.
     pub fn same_machine(&self, a: usize, b: usize) -> bool {
         self.machine_of[a] == self.machine_of[b]
@@ -156,6 +168,9 @@ pub struct CommCost {
     pub wan_seconds: f64,
     /// Messages sent or received.
     pub messages: u64,
+    /// Messages that crossed the WAN (the metric topology-aware
+    /// collectives exist to shrink: O(ranks) crossings become O(sites)).
+    pub wan_messages: u64,
     /// Payload bytes moved.
     pub bytes: u64,
 }
@@ -166,6 +181,7 @@ impl CommCost {
         self.seconds += seconds;
         if wan {
             self.wan_seconds += seconds;
+            self.wan_messages += 1;
         } else {
             self.intra_seconds += seconds;
         }
@@ -222,6 +238,7 @@ mod tests {
         assert!((c.intra_seconds - 0.5).abs() < 1e-12);
         assert!((c.wan_seconds - 1.5).abs() < 1e-12);
         assert_eq!(c.messages, 2);
+        assert_eq!(c.wan_messages, 1);
         assert_eq!(c.bytes, 3000);
     }
 

@@ -345,6 +345,15 @@ impl Universe {
         self.inner.is_failed(global)
     }
 
+    /// Number of unclaimed envelopes sitting in `global`'s mailbox.
+    /// Test introspection: after an aborted collective, a dead rank must
+    /// not have leaked a contribution anywhere (its own mailbox is
+    /// drained by poisoning, and the poll-before-post rule keeps its
+    /// mail out of the survivors' mailboxes).
+    pub fn pending_messages(&self, global: usize) -> usize {
+        self.inner.mailbox(global).len()
+    }
+
     /// Externally declare a global rank dead (e.g. an operator decision
     /// after repeated timeouts).
     pub fn declare_failed(&self, global: usize, cause: FailCause) {

@@ -429,3 +429,67 @@ proptest! {
         prop_assert!(!mon.is_suspected(0), "the beating rank is never suspected");
     }
 }
+
+#[test]
+fn crash_at_op_rank_leaks_no_contribution_into_survivor_mailboxes() {
+    // Regression for the poll-before-post rule: the allreduce entry
+    // health check must poll the fault injector *before* the rank's
+    // contribution is posted. A victim that posted first and then died
+    // would leave an envelope in the root's mailbox that no survivor
+    // ever claims — their collective aborts on the failure instead —
+    // leaking the mailbox slot across every later epoch.
+    let mut plan = ProcessFaultPlan::new(master_seed());
+    plan.crash_after_ops(2, 1); // global rank 2 dies at its first try-op poll
+    let u = Universe::new();
+    u.install_process_faults(&plan);
+    let leaked = u.launch_and_join(smp(4), |comm| {
+        let r = comm.try_allreduce_f64s(ReduceOp::Sum, &[comm.rank() as f64], Some(OP_TIMEOUT));
+        assert!(r.is_err(), "allreduce with a dead member must fail on every rank");
+        // After the abort, nothing claimable from the victim may remain.
+        comm.rank() == 0 && comm.probe(2, gtw_mpi::ANY_TAG)
+    });
+    assert!(leaked.iter().all(|&l| !l), "victim contribution leaked into the root's mailbox");
+    // The victim's own mailbox is drained by poisoning, and the
+    // poll-before-post recheck keeps its mail out of everyone else's.
+    assert_eq!(u.pending_messages(2), 0, "poisoned mailbox must drain");
+}
+
+#[test]
+fn topo_try_collectives_fail_cleanly_with_a_dead_member() {
+    // The topology-aware try-variants poll the injector once at entry —
+    // the same count as their flat counterparts — so one seeded plan
+    // fires at the same collective on either path, and survivors see
+    // clean RankFailed/Revoked errors rather than hangs.
+    let wan = Placement::split(
+        6,
+        2,
+        MachineSpec::new("T3E", FabricSpec::t3e_torus()),
+        MachineSpec::new("SP2", FabricSpec::sp2_switch()),
+        FabricSpec::wan_testbed(),
+    );
+    let mut plan = ProcessFaultPlan::new(master_seed());
+    plan.crash_after_ops(3, 1);
+    let u = Universe::new();
+    u.install_process_faults(&plan);
+    let outs = u.launch_and_join(wan, |comm| {
+        let r =
+            comm.try_allreduce_topo_f64s(ReduceOp::Sum, &[comm.rank() as f64], Some(OP_TIMEOUT));
+        match &r {
+            Err(CommError::RankFailed { .. }) | Err(CommError::Revoked) => {}
+            other => panic!("expected clean failure, got {other:?}"),
+        }
+        // Follow-up topo collectives on the broken communicator keep
+        // failing fast instead of deadlocking. A barrier can never
+        // complete with a dead member; a bcast may still succeed for
+        // ranks the payload reaches before the dead rank is on the path
+        // (failure knowledge is not global in ULFM), so only the dead
+        // rank's site must see the error.
+        assert!(comm.try_barrier_topo(Some(OP_TIMEOUT)).is_err());
+        let b = comm.try_bcast_topo_f64s(0, &[1.0], Some(OP_TIMEOUT));
+        if comm.rank() >= 2 {
+            assert!(b.is_err(), "the victim's site must observe the failure");
+        }
+        true
+    });
+    assert_eq!(outs.len(), 6);
+}

@@ -23,7 +23,10 @@
 //! * [`gateway`], [`host`] — HiPPI↔ATM IP gateways and host adapters with
 //!   per-device I/O caps (the SP2 microchannel bottleneck of the paper),
 //! * [`topology`], [`transfer`] — the node/link graph of Figure 1 and
-//!   high-level bulk-transfer experiments over it.
+//!   high-level bulk-transfer experiments over it,
+//! * [`stripe`] — MPWide-style WAN striping: one logical transfer over
+//!   N parallel TCP streams with per-stream pacing and an adaptive
+//!   stream count driven by the path's bandwidth-delay product.
 //!
 //! All timing flows through `gtw-desim` virtual time, so every throughput
 //! number the paper quotes (430 Mbit/s local HiPPI TCP at 64 KB MTU,
@@ -41,6 +44,7 @@ pub mod policing;
 pub mod sdh;
 pub mod signaling;
 pub mod stats;
+pub mod stripe;
 pub mod switch;
 pub mod tcp;
 pub mod topology;
@@ -49,6 +53,7 @@ pub mod units;
 
 pub use cell::{AtmCell, CellHeader, ATM_CELL_BYTES, ATM_PAYLOAD_BYTES};
 pub use stats::{RunReport, StatsRegistry};
+pub use stripe::{StripedReport, StripedTransfer, MAX_STRIPES};
 pub use topology::{LinkSpec, NodeId, NodeKind, Topology};
 pub use transfer::{BulkTransfer, Protocol, TransferReport, TransferSet};
 pub use units::{Bandwidth, DataSize};

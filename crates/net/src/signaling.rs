@@ -192,6 +192,30 @@ impl SignallingAgent {
         }
         Ok(())
     }
+
+    /// How many of `requested` virtual circuits with descriptor `td`
+    /// this agent would admit, stopping at the first that fails the CAC.
+    /// A trial-admission loop over [`admission_check`]'s arithmetic —
+    /// nothing is actually admitted. Drives the stream count of striped
+    /// WAN transfers ([`adaptive_streams_with_cac`]
+    /// (crate::stripe::adaptive_streams_with_cac)): each stripe is one
+    /// VC, so the aggregate must fit both contract budgets.
+    pub fn admissible_streams(&self, td: &TrafficDescriptor, requested: usize) -> usize {
+        let mut scr = self.committed_bps();
+        let mut pcr = self.committed_pcr_bps();
+        let mut granted = 0;
+        while granted < requested {
+            if scr + td.scr.bps() > self.capacity.bps()
+                || pcr + td.pcr.bps() > self.capacity.bps() * self.peak_factor
+            {
+                break;
+            }
+            scr += td.scr.bps();
+            pcr += td.pcr.bps();
+            granted += 1;
+        }
+        granted
+    }
 }
 
 impl Component for SignallingAgent {
@@ -588,6 +612,26 @@ mod tests {
             let agent = sim.component::<SignallingAgent>(a);
             assert!((agent.committed_bps() - 270e6).abs() < 1.0);
         }
+    }
+
+    #[test]
+    fn admissible_streams_counts_without_admitting() {
+        let mut agent =
+            SignallingAgent::new("sw", Bandwidth::from_mbps(622.0), SimDuration::from_micros(500));
+        let td = TrafficDescriptor::cbr(Bandwidth::from_mbps(100.0));
+        // 6 × 100 fit a 622 port, the 7th does not; the cap respects an
+        // already-committed call; nothing is ever actually admitted.
+        assert_eq!(agent.admissible_streams(&td, 8), 6);
+        assert_eq!(agent.admissible_streams(&td, 4), 4);
+        agent.admitted.insert(CallId(9), (300e6, 300e6));
+        assert_eq!(agent.admissible_streams(&td, 8), 3);
+        assert!((agent.committed_bps() - 300e6).abs() < 1.0, "trial admission must not commit");
+        // VBR under an overbooked peak budget: the PCR check binds.
+        let agent =
+            SignallingAgent::new("sw2", Bandwidth::from_mbps(200.0), SimDuration::from_micros(500))
+                .with_peak_factor(1.5);
+        let vbr = TrafficDescriptor::vbr(Bandwidth::from_mbps(100.0), Bandwidth::from_mbps(50.0));
+        assert_eq!(agent.admissible_streams(&vbr, 8), 3);
     }
 
     #[test]

@@ -162,6 +162,7 @@ enum ProbeKind {
     TcpReceiver,
     Sink,
     Policer,
+    Demux,
 }
 
 /// Records which components of a wired-up simulation should appear in the
@@ -207,6 +208,11 @@ impl StatsRegistry {
         self.probes.push((id, ProbeKind::Policer));
     }
 
+    /// Register a [`FlowDemux`](crate::stripe::FlowDemux).
+    pub fn add_demux(&mut self, id: ComponentId) {
+        self.probes.push((id, ProbeKind::Demux));
+    }
+
     /// Number of registered probes.
     pub fn len(&self) -> usize {
         self.probes.len()
@@ -228,6 +234,7 @@ impl StatsRegistry {
             receivers: Vec::new(),
             flows: Vec::new(),
             policers: Vec::new(),
+            demuxes: Vec::new(),
             kernel_metrics: Vec::new(),
         };
         for &(id, kind) in &self.probes {
@@ -291,6 +298,14 @@ impl StatsRegistry {
                         per_vc: p.per_vc_counters(),
                         unpoliced: p.unpoliced,
                         dropped_msgs: p.dropped_msgs,
+                    });
+                }
+                ProbeKind::Demux => {
+                    let d = sim.component::<crate::stripe::FlowDemux>(id);
+                    report.demuxes.push(DemuxReport {
+                        label,
+                        routed: d.routed(),
+                        unroutable: d.unroutable,
                     });
                 }
             }
@@ -401,6 +416,18 @@ pub struct PolicerReport {
     pub dropped_msgs: u64,
 }
 
+/// Flow-demultiplexer snapshot: per-stripe packet attribution at the
+/// point where a shared chain fans back out into per-flow endpoints.
+#[derive(Debug, Clone)]
+pub struct DemuxReport {
+    /// Demux label.
+    pub label: String,
+    /// `(flow, packets routed)` per registered route, in route order.
+    pub routed: Vec<(u64, u64)>,
+    /// Packets dropped for want of a route.
+    pub unroutable: u64,
+}
+
 /// A full machine-readable run report.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -420,6 +447,9 @@ pub struct RunReport {
     pub flows: Vec<FlowReport>,
     /// Registered UNI policers.
     pub policers: Vec<PolicerReport>,
+    /// Registered flow demultiplexers (striped transfers only). Empty —
+    /// and absent from the JSON — for single-stream wirings.
+    pub demuxes: Vec<DemuxReport>,
     /// Per-shard kernel metrics registries, when the run was executed on
     /// an instrumented [`ShardedSimulator`](gtw_desim::ShardedSimulator)
     /// with a recording sink attached. Empty (and absent from the JSON)
@@ -615,6 +645,36 @@ impl RunReport {
                 .collect();
             doc.push("policers", Json::Arr(policers));
         }
+        if !self.demuxes.is_empty() {
+            // The demux key appears only when a striped wiring registered
+            // demultiplexers, so single-stream reports stay byte-identical
+            // to builds predating the striping layer.
+            let demuxes: Vec<Json> = self
+                .demuxes
+                .iter()
+                .map(|d| {
+                    let routed: Vec<Json> = d
+                        .routed
+                        .iter()
+                        .map(|&(flow, packets)| {
+                            Json::obj([
+                                ("flow", Json::from(flow)),
+                                ("packets", Json::from(packets)),
+                            ])
+                        })
+                        .collect();
+                    let mut o = Json::obj([
+                        ("label", Json::from(d.label.as_str())),
+                        ("routed", Json::Arr(routed)),
+                    ]);
+                    if d.unroutable > 0 {
+                        o.push("unroutable", Json::from(d.unroutable));
+                    }
+                    o
+                })
+                .collect();
+            doc.push("demux", Json::Arr(demuxes));
+        }
         if self.faults_injected() > 0 {
             doc.push("faults_injected", Json::from(self.faults_injected()));
         }
@@ -747,6 +807,7 @@ mod tests {
             receivers: Vec::new(),
             flows: Vec::new(),
             policers: Vec::new(),
+            demuxes: Vec::new(),
             kernel_metrics: Vec::new(),
         };
         let j = report.to_json().dump();
@@ -779,6 +840,7 @@ mod tests {
             receivers: Vec::new(),
             flows: Vec::new(),
             policers: Vec::new(),
+            demuxes: Vec::new(),
             kernel_metrics: Vec::new(),
         };
         assert!(!report.to_json().dump().contains("kernel_metrics"));
@@ -791,6 +853,33 @@ mod tests {
         let j = report.to_json().dump();
         assert!(j.contains("\"kernel_metrics\":[{\"label\":\"shard0\",\"events\":7}]"), "{j}");
         assert!(!j.contains("barrier_wait_ns"), "wall-clock timer leaked into report: {j}");
+    }
+
+    #[test]
+    fn demux_block_appears_only_when_registered() {
+        let mut report = RunReport {
+            elapsed: SimDuration::from_secs(1),
+            events_processed: 1,
+            hops: Vec::new(),
+            switches: Vec::new(),
+            senders: Vec::new(),
+            receivers: Vec::new(),
+            flows: Vec::new(),
+            policers: Vec::new(),
+            demuxes: Vec::new(),
+            kernel_metrics: Vec::new(),
+        };
+        assert!(!report.to_json().dump().contains("\"demux\""));
+        report.demuxes.push(DemuxReport {
+            label: "data-demux".into(),
+            routed: vec![(1, 10), (2, 12)],
+            unroutable: 0,
+        });
+        let j = report.to_json().dump();
+        assert!(j.contains("\"demux\":[{\"label\":\"data-demux\""), "{j}");
+        assert!(j.contains("\"flow\":2,\"packets\":12"), "{j}");
+        // Zero unroutable stays out of the rendering.
+        assert!(!j.contains("\"unroutable\""), "{j}");
     }
 
     #[test]

@@ -92,7 +92,7 @@ impl BulkTransfer {
     /// with `reg` and returning the stage ids indexed by hop (so
     /// `ids[0]` is the first stage). Stages are created back to front so
     /// each knows its successor.
-    fn build_stages(
+    pub(crate) fn build_stages(
         &self,
         sim: &mut Simulator,
         terminal: ComponentId,
@@ -131,7 +131,7 @@ impl BulkTransfer {
     /// cut point for a two-shard split, because every packet crossing it
     /// is in flight for at least that long — the conservative lookahead.
     /// `None` when no hop has positive propagation (nothing to cut).
-    fn wan_cut(&self) -> Option<(usize, SimDuration)> {
+    pub(crate) fn wan_cut(&self) -> Option<(usize, SimDuration)> {
         let (w, hop) = self
             .hops
             .iter()
@@ -433,7 +433,7 @@ impl BulkTransfer {
 /// The two shard sides of one wired transfer plus the cut edge's
 /// propagation (`None` when the path has no positive-propagation hop and
 /// therefore must stay on one shard).
-type ShardSplit = (Vec<ComponentId>, Vec<ComponentId>, Option<SimDuration>);
+pub(crate) type ShardSplit = (Vec<ComponentId>, Vec<ComponentId>, Option<SimDuration>);
 
 /// Ids produced by wiring one TCP transfer.
 struct TcpWiring {
@@ -465,7 +465,7 @@ struct RawWiring {
 /// split has no cut edge are collapsed onto one shard. A recording
 /// `metrics` sink instruments every shard (ignored on the sequential
 /// kernel, which has no shards to instrument).
-fn run_partitioned(
+pub(crate) fn run_partitioned(
     mut sim: Simulator,
     shards: usize,
     splits: &[ShardSplit],

@@ -78,3 +78,19 @@ cargo run --release -q -p gtw-bench --bin trajectory -- --deterministic > "$trac
 cargo run --release -q -p gtw-bench --bin trajectory -- --deterministic > "$trace_tmp/traj_b.json"
 cmp "$trace_tmp/traj_a.json" "$trace_tmp/traj_b.json"
 cargo run --release -q -p gtw-bench --bin trajectory -- --check
+
+# Collectives gate: the flat-vs-topology equivalence suite (bit-identical
+# reductions incl. NaN/-0.0 payloads, try_* trajectory matching under
+# seeded crash plans, WAN crossings O(sites) not O(ranks)) under a hard
+# timeout — a deadlocked collective must fail, not hang.
+timeout 600 cargo test -q -p gtw-core --test collectives
+
+# Striping gate: two striped fig1 MTU sweeps (4 parallel TCP streams per
+# transfer) must emit byte-identical JSON — the stripe split, per-flow
+# demux attribution, and merge order are all deterministic — and the
+# striped sweep must also be shard-invariant.
+cargo run --release -q -p gtw-bench --bin fig1_network -- --json --stripes 4 > "$trace_tmp/striped_a.json"
+cargo run --release -q -p gtw-bench --bin fig1_network -- --json --stripes 4 > "$trace_tmp/striped_b.json"
+cmp "$trace_tmp/striped_a.json" "$trace_tmp/striped_b.json"
+cargo run --release -q -p gtw-bench --bin fig1_network -- --json --stripes 4 --shards 2 > "$trace_tmp/striped_2shard.json"
+cmp "$trace_tmp/striped_a.json" "$trace_tmp/striped_2shard.json"
