@@ -1,6 +1,7 @@
 //! The benchmark **trajectory** harness: one reduced-workload pass over
 //! every paper artifact (fig1–fig4, table1), the flat-vs-topology
-//! collectives comparison, and the kernel shard sweep,
+//! collectives comparison, the replicated-control-plane availability
+//! scenario, and the kernel shard sweep,
 //! emitted as a single machine-readable `BENCH_trajectory.json` so the
 //! repo's performance story can be tracked commit over commit.
 //!
@@ -209,6 +210,33 @@ fn bench_collectives() -> Json {
     ])
 }
 
+/// Control plane reduced: the canonical partitioned-control-plane
+/// scenario — a 3-replica signalling group under a seeded leader crash,
+/// a minority partition and a blip storm, with 200 calls offered
+/// through it. Availability, fail-over and convergence fields are
+/// virtual-time deterministic; only `wall_s` is measured.
+fn bench_control_plane() -> Json {
+    let started = Instant::now();
+    let report = gtw_net::replica::control_fault_report(1999);
+    let wall = started.elapsed().as_secs_f64();
+    let pick = |k: &str| report.get(k).cloned().unwrap_or_else(|| panic!("report key {k}"));
+    Json::obj([
+        ("scenario", Json::from("control_plane")),
+        ("seed", pick("seed")),
+        ("offered", pick("offered")),
+        ("placed", pick("placed")),
+        ("availability", pick("availability")),
+        ("placed_during_faults", pick("placed_during_faults")),
+        ("max_place_latency_s", pick("max_place_latency_s")),
+        ("elections", pick("elections")),
+        ("redirects", pick("redirects")),
+        ("retries", pick("retries")),
+        ("states_converged", pick("states_converged")),
+        ("committed_mbps", pick("committed_mbps")),
+        ("wall_s", Json::from(wall)),
+    ])
+}
+
 fn raw_hop(rate_mbps: f64, prop_us: u64) -> HopModel {
     HopModel {
         medium: Medium::Raw { rate: Bandwidth::from_mbps(rate_mbps) },
@@ -340,6 +368,7 @@ fn main() {
         bench_fig4(),
         bench_table1(),
         bench_collectives(),
+        bench_control_plane(),
     ];
     let sweep = bench_shard_sweep();
     let mut doc = Json::obj([

@@ -137,6 +137,23 @@ impl Schedule {
     pub fn total(&self) -> SimDuration {
         self.windows.iter().fold(SimDuration::ZERO, |acc, w| acc + w.duration())
     }
+
+    /// A train of `count` short outages ("blips"): blip `k` covers
+    /// `[period * (k + 1), period * (k + 1) + duration)`.
+    ///
+    /// The first blip starts one full period in, so a scenario always
+    /// has a clean warm-up interval. The result is normalized like any
+    /// other schedule — when `duration >= period` the blips touch or
+    /// overlap and collapse into one long window.
+    pub fn blips(period: SimDuration, duration: SimDuration, count: u32) -> Self {
+        let windows = (0..count as u64)
+            .map(|k| {
+                let start = SimTime::ZERO + period * (k + 1);
+                Window::new(start, start + duration)
+            })
+            .collect();
+        Schedule::new(windows)
+    }
 }
 
 /// Per-packet (or per-cell) loss process.
@@ -343,6 +360,34 @@ impl FaultPlan {
             out.add(target, spec.clone());
         }
         out
+    }
+
+    /// Partition the labelled endpoints in `groups` from each other for
+    /// the given windows: every *cross-group* directed pair `(a, b)`
+    /// gets an outage spec on the target `link/<a>/<b>`, the label
+    /// convention the control-plane components use for their pairwise
+    /// links. Traffic inside a group is untouched; outages merge with
+    /// any windows already planned for the same link.
+    pub fn partition(&mut self, groups: &[Vec<String>], windows: Schedule) -> &mut Self {
+        if windows.is_empty() {
+            return self;
+        }
+        for (gi, ga) in groups.iter().enumerate() {
+            for (gj, gb) in groups.iter().enumerate() {
+                if gi == gj {
+                    continue;
+                }
+                for a in ga {
+                    for b in gb {
+                        self.add(
+                            &format!("link/{a}/{b}"),
+                            FaultSpec { outages: windows.clone(), ..FaultSpec::default() },
+                        );
+                    }
+                }
+            }
+        }
+        self
     }
 }
 
@@ -673,6 +718,48 @@ mod tests {
         for ms in 0..40 {
             assert_eq!(m.contains(t(ms)), a.contains(t(ms)) || b.contains(t(ms)), "at {ms} ms");
         }
+    }
+
+    #[test]
+    fn blips_lay_out_a_train_and_collapse_when_touching() {
+        let s = Schedule::blips(SimDuration::from_millis(100), SimDuration::from_millis(10), 3);
+        assert_eq!(
+            s.windows(),
+            &[
+                Window::new(t(100), t(110)),
+                Window::new(t(200), t(210)),
+                Window::new(t(300), t(310)),
+            ]
+        );
+        // duration == period: blips touch end-to-start and merge into one window.
+        let merged = Schedule::blips(SimDuration::from_millis(50), SimDuration::from_millis(50), 4);
+        assert_eq!(merged.windows(), &[Window::new(t(50), t(250))]);
+        assert!(Schedule::blips(SimDuration::from_millis(10), SimDuration::ZERO, 5).is_empty());
+        assert!(Schedule::blips(SimDuration::from_millis(10), SimDuration::from_millis(1), 0)
+            .is_empty());
+    }
+
+    #[test]
+    fn partition_cuts_cross_group_links_both_ways_only() {
+        let mut plan = FaultPlan::new(3);
+        let groups = vec![vec!["g/r0".to_string(), "g/r1".to_string()], vec!["g/r2".to_string()]];
+        let windows = Schedule::new(vec![Window::new(t(10), t(20))]);
+        plan.partition(&groups, windows.clone());
+        for (a, b) in [("g/r0", "g/r2"), ("g/r2", "g/r0"), ("g/r1", "g/r2"), ("g/r2", "g/r1")] {
+            let spec = plan.specs.get(&format!("link/{a}/{b}")).expect("cross pair cut");
+            assert_eq!(spec.outages, windows);
+        }
+        // Intra-group links stay up.
+        assert!(plan.injector("link/g/r0/g/r1").is_none());
+        assert!(plan.injector("link/g/r1/g/r0").is_none());
+        // A second partition call merges windows instead of replacing them.
+        plan.partition(&groups, Schedule::new(vec![Window::new(t(15), t(30))]));
+        let spec = plan.specs.get("link/g/r0/g/r2").unwrap();
+        assert_eq!(spec.outages.windows(), &[Window::new(t(10), t(30))]);
+        // An empty window set is a no-op.
+        let before = plan.clone();
+        plan.partition(&groups, Schedule::empty());
+        assert_eq!(plan, before);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Property-based tests for the simulation kernel invariants.
 
-use gtw_desim::fault::{FaultInjector, FaultSpec, LossModel, Schedule, Window};
+use gtw_desim::fault::{FaultInjector, FaultPlan, FaultSpec, LossModel, Schedule, Window};
 use gtw_desim::hist::SUB_BUCKETS;
 use gtw_desim::{EventQueue, Histogram, MetricsRegistry, SimDuration, SimTime, Simulator};
 use proptest::prelude::*;
@@ -207,6 +207,84 @@ proptest! {
                 a.contains(t) || b.contains(t),
                 "union semantics diverge at {:?}", t
             );
+        }
+    }
+
+    /// A blip train is exactly the normalized union of its analytic
+    /// windows: membership at any probe equals "inside blip k for some
+    /// k", and the normalization invariants (sorted, disjoint,
+    /// non-empty) hold even when blips touch or overlap.
+    #[test]
+    fn blip_train_matches_analytic_windows(
+        period_ns in 1u64..2_000,
+        dur_ns in 0u64..4_000,
+        count in 0u32..20,
+        probes in proptest::collection::vec(0u64..50_000, 1..60),
+    ) {
+        let period = SimDuration::from_nanos(period_ns);
+        let dur = SimDuration::from_nanos(dur_ns);
+        let sched = Schedule::blips(period, dur, count);
+        for pair in sched.windows().windows(2) {
+            prop_assert!(pair[0].end < pair[1].start);
+        }
+        for w in sched.windows() {
+            prop_assert!(!w.is_empty());
+        }
+        for &p in &probes {
+            let t = SimTime::from_nanos(p);
+            let naive = (0..count as u64).any(|k| {
+                let start = period_ns * (k + 1);
+                start <= p && p < start + dur_ns
+            });
+            prop_assert_eq!(sched.contains(t), naive, "membership diverges at {} ns", p);
+        }
+        prop_assert!(sched.total() <= dur * count as u64, "union can only shrink total");
+    }
+
+    /// Partitioning cuts exactly the directed cross-group link targets:
+    /// every cross pair gets the window union (merged with anything
+    /// already planned), intra-group pairs are untouched, and the
+    /// resulting plan is independent of group declaration order.
+    #[test]
+    fn partition_cuts_exactly_cross_group_pairs(
+        sizes in proptest::collection::vec(1usize..4, 2..4),
+        raw in proptest::collection::vec((0u64..10_000, 1u64..1_000), 1..8),
+        probes in proptest::collection::vec(0u64..12_000, 1..30),
+    ) {
+        let groups: Vec<Vec<String>> = sizes
+            .iter()
+            .enumerate()
+            .map(|(g, &n)| (0..n).map(|i| format!("g{g}/r{i}")).collect())
+            .collect();
+        let windows = Schedule::new(
+            raw.iter()
+                .map(|&(s, len)| Window::new(SimTime::from_nanos(s), SimTime::from_nanos(s + len)))
+                .collect(),
+        );
+        let mut plan = FaultPlan::new(7);
+        plan.partition(&groups, windows.clone());
+        let mut reversed = FaultPlan::new(7);
+        let rev: Vec<Vec<String>> = groups.iter().rev().cloned().collect();
+        reversed.partition(&rev, windows.clone());
+        prop_assert_eq!(&plan, &reversed, "group order must not matter");
+        let all: Vec<(usize, &String)> =
+            groups.iter().enumerate().flat_map(|(g, m)| m.iter().map(move |l| (g, l))).collect();
+        for &(ga, a) in &all {
+            for &(gb, b) in &all {
+                if a == b {
+                    continue;
+                }
+                let target = format!("link/{a}/{b}");
+                if ga == gb {
+                    prop_assert!(!plan.specs.contains_key(&target), "{target} should be up");
+                } else {
+                    let spec = plan.specs.get(&target).expect("cross pair cut");
+                    for &p in &probes {
+                        let t = SimTime::from_nanos(p);
+                        prop_assert_eq!(spec.outages.contains(t), windows.contains(t));
+                    }
+                }
+            }
         }
     }
 

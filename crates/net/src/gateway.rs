@@ -143,6 +143,12 @@ struct GwTxDone {
     epoch: u64,
 }
 
+/// Published to control-plane listeners when the pair fails over: the
+/// new forwarding epoch. A replicated signalling group logs this as a
+/// `GatewayEpoch` command so every replica agrees which unit's
+/// completions are still valid after recovery.
+pub struct GatewayEpochUpdate(pub u64);
+
 /// A primary/standby gateway pair with health-probe failure detection.
 ///
 /// Datagrams queue in the shared upstream buffer and are serviced by the
@@ -167,6 +173,9 @@ pub struct GatewayPair {
     pub queue_cap: usize,
     /// Routes to notify (via [`LinkFailure`]) when a failover happens.
     pub routes: Vec<ComponentId>,
+    /// Control-plane listeners to notify (via [`GatewayEpochUpdate`])
+    /// when a failover bumps the forwarding epoch.
+    pub listeners: Vec<ComponentId>,
     queue: VecDeque<GwPacket>,
     /// True while the active unit is copying the queue head.
     transmitting: bool,
@@ -185,7 +194,12 @@ pub struct GatewayPair {
     pub probes_sent: u64,
     /// Probes the active unit failed to answer.
     pub probe_misses: u64,
-    /// Stray messages dropped instead of crashing the simulation.
+    /// Completions from an already-failed unit, invalidated by epoch.
+    pub dropped_stale_done: u64,
+    /// Up/down commands naming a unit index other than 0 or 1.
+    pub dropped_bad_unit: u64,
+    /// Messages of an unknown type dropped instead of crashing the
+    /// simulation.
     pub dropped_msgs: u64,
 }
 
@@ -201,6 +215,7 @@ impl GatewayPair {
             miss_threshold: 3,
             queue_cap: 64,
             routes: Vec::new(),
+            listeners: Vec::new(),
             queue: VecDeque::new(),
             transmitting: false,
             epoch: 0,
@@ -212,6 +227,8 @@ impl GatewayPair {
             failovers: 0,
             probes_sent: 0,
             probe_misses: 0,
+            dropped_stale_done: 0,
+            dropped_bad_unit: 0,
             dropped_msgs: 0,
         }
     }
@@ -227,6 +244,13 @@ impl GatewayPair {
     /// Builder: notify `route` (a `ResilientRoute`) on every failover.
     pub fn notify_route(mut self, route: ComponentId) -> Self {
         self.routes.push(route);
+        self
+    }
+
+    /// Builder: publish [`GatewayEpochUpdate`] to `listener` (e.g. a
+    /// replicated signalling proxy) on every failover.
+    pub fn notify_control(mut self, listener: ComponentId) -> Self {
+        self.listeners.push(listener);
         self
     }
 
@@ -281,6 +305,9 @@ impl GatewayPair {
         for &r in &self.routes {
             ctx.send_in(SimDuration::ZERO, r, msg(LinkFailure));
         }
+        for &l in &self.listeners {
+            ctx.send_in(SimDuration::ZERO, l, msg(GatewayEpochUpdate(self.epoch)));
+        }
         self.try_start(ctx);
     }
 }
@@ -299,7 +326,10 @@ impl Component for GatewayPair {
         } else if m.is::<GwTxDone>() {
             let d = *downcast::<GwTxDone>(m);
             if d.epoch != self.epoch {
-                return; // completion from a unit that already failed
+                // Completion from a unit that already failed: its
+                // datagram was counted lost at the failover.
+                self.dropped_stale_done += 1;
+                return;
             }
             self.transmitting = false;
             if let Some(p) = self.queue.pop_front() {
@@ -341,7 +371,7 @@ impl Component for GatewayPair {
                 }
                 self.arm_probe(ctx);
             } else {
-                self.dropped_msgs += 1;
+                self.dropped_bad_unit += 1;
             }
         } else if m.is::<GatewayUp>() {
             let GatewayUp(unit) = *downcast::<GatewayUp>(m);
@@ -349,7 +379,7 @@ impl Component for GatewayPair {
                 self.up[unit] = true;
                 self.try_start(ctx);
             } else {
-                self.dropped_msgs += 1;
+                self.dropped_bad_unit += 1;
             }
         } else {
             self.dropped_msgs += 1;

@@ -41,6 +41,7 @@ pub mod host;
 pub mod ip;
 pub mod link;
 pub mod policing;
+pub mod replica;
 pub mod sdh;
 pub mod signaling;
 pub mod stats;
@@ -52,6 +53,10 @@ pub mod transfer;
 pub mod units;
 
 pub use cell::{AtmCell, CellHeader, ATM_CELL_BYTES, ATM_PAYLOAD_BYTES};
+pub use replica::{
+    control_fault_report, leader_of, schedule_replica_outages, CacState, CallPump, GroupConfig,
+    Replica, ReplicaGroup, ReplicatedAgent,
+};
 pub use stats::{RunReport, StatsRegistry};
 pub use stripe::{StripedReport, StripedTransfer, MAX_STRIPES};
 pub use topology::{LinkSpec, NodeId, NodeKind, Topology};

@@ -1,0 +1,2068 @@
+//! Quorum-replicated signalling control plane.
+//!
+//! PR 5 made the per-switch [`SignallingAgent`](crate::signaling::SignallingAgent)
+//! the arbiter of all admission state, which also made it the last
+//! single point of failure in the stack. This module replicates that
+//! state across a [`ReplicaGroup`] of `2f + 1` agents running a
+//! deterministic leader-based replication protocol (a Raft-style core
+//! scoped to the simulator): seeded virtual-time election timeouts,
+//! leader election on heartbeat loss, log replication of CAC commands
+//! with majority commit, bit-identical state-machine apply, and
+//! snapshot + catch-up for rejoining replicas.
+//!
+//! Determinism rules, in order of importance:
+//!
+//! 1. Every timeout is drawn from a named [`StreamRng`] stream, so two
+//!    runs with the same seed elect the same leaders at the same
+//!    virtual times.
+//! 2. The replicated [`CacState`] stores bandwidths as `f64::to_bits`
+//!    in a `BTreeMap`, so `committed_bps` sums in key order and the
+//!    encoded state is byte-identical across replicas — divergence is
+//!    detectable with `==` on [`CacState::encode`].
+//! 3. Timers re-arm only while `now < cfg.active_until`, so a run with
+//!    a replica group still terminates: heartbeats stop at the horizon
+//!    instead of chasing the event queue forever.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use gtw_desim::component::{downcast, msg};
+use gtw_desim::fault::{
+    FaultInjector, FaultPlan, ProcessFaultInjector, ProcessFaultKind, ProcessFaultPlan, Schedule,
+    Window,
+};
+use gtw_desim::{
+    Component, ComponentId, Ctx, Json, Msg, SimDuration, SimTime, Simulator, StreamRng,
+};
+
+use crate::gateway::GatewayEpochUpdate;
+use crate::signaling::{
+    CallId, CallOutcome, CallResult, Connect, Reject, RejectCause, Release, Setup,
+    TrafficDescriptor,
+};
+use crate::units::Bandwidth;
+
+// ---- replicated state machine -----------------------------------------
+
+/// A CAC command in the replicated log. Bandwidths travel as `to_bits`
+/// so the entry (and the state it produces) is bit-exact.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Command {
+    /// Leader barrier appended on election; commits the new term.
+    Noop,
+    /// Admit `call` against the shared budgets.
+    Reserve {
+        /// The call requesting admission.
+        call: CallId,
+        /// Peak cell rate, `f64::to_bits`.
+        pcr_bits: u64,
+        /// Sustainable cell rate, `f64::to_bits`.
+        scr_bits: u64,
+    },
+    /// Free the budget of a connected call.
+    Release {
+        /// The call being torn down.
+        call: CallId,
+    },
+    /// Undo a tentative admission (rejected downstream or abandoned).
+    Rollback {
+        /// The call being rolled back.
+        call: CallId,
+    },
+    /// Record a gateway fail-over epoch in the replicated state.
+    GatewayEpoch {
+        /// The epoch announced by [`GatewayEpochUpdate`].
+        epoch: u64,
+    },
+}
+
+/// One replicated log slot.
+#[derive(Clone, Debug)]
+struct LogEntry {
+    term: u64,
+    /// Client request id (0 for leader no-ops); the apply-time dedup
+    /// key that makes retried commands exactly-once.
+    req: u64,
+    cmd: Command,
+}
+
+/// What applying a command produced.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum CmdOutcome {
+    /// A `Reserve` passed admission and the budget is now held.
+    Admitted,
+    /// A `Reserve` failed admission with this cause.
+    Rejected(RejectCause),
+    /// A non-admission command (noop/release/rollback/epoch) applied.
+    Applied,
+}
+
+impl CmdOutcome {
+    fn code(self) -> u8 {
+        match self {
+            CmdOutcome::Admitted => 0,
+            CmdOutcome::Rejected(RejectCause::ScrExceeded) => 1,
+            CmdOutcome::Rejected(RejectCause::PcrExceeded) => 2,
+            CmdOutcome::Rejected(RejectCause::NoQuorum) => 3,
+            CmdOutcome::Applied => 4,
+        }
+    }
+
+    fn from_code(code: u8) -> CmdOutcome {
+        match code {
+            0 => CmdOutcome::Admitted,
+            1 => CmdOutcome::Rejected(RejectCause::ScrExceeded),
+            2 => CmdOutcome::Rejected(RejectCause::PcrExceeded),
+            3 => CmdOutcome::Rejected(RejectCause::NoQuorum),
+            _ => CmdOutcome::Applied,
+        }
+    }
+}
+
+/// The replicated CAC state machine: the same admission arithmetic as
+/// [`SignallingAgent`](crate::signaling::SignallingAgent), but with
+/// deterministic storage (`BTreeMap`, bit-pattern bandwidths) so every
+/// replica that applies the same command prefix holds byte-identical
+/// state.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CacState {
+    capacity_bits: u64,
+    peak_factor_bits: u64,
+    /// Admitted calls: `call -> (pcr_bits, scr_bits)`.
+    pub admitted: BTreeMap<CallId, (u64, u64)>,
+    /// Highest gateway fail-over epoch recorded in the log.
+    pub gateway_epoch: u64,
+    /// Total commands applied (including no-ops).
+    pub applied_count: u64,
+    /// Request-id dedup table: `req -> outcome code`. Replicated, so a
+    /// retried command returns its original outcome on every replica.
+    applied_reqs: BTreeMap<u64, u8>,
+}
+
+impl CacState {
+    /// Fresh state for a port of `capacity` with the given peak
+    /// overbooking factor.
+    pub fn new(capacity_bps: f64, peak_factor: f64) -> Self {
+        CacState {
+            capacity_bits: capacity_bps.to_bits(),
+            peak_factor_bits: peak_factor.to_bits(),
+            admitted: BTreeMap::new(),
+            gateway_epoch: 0,
+            applied_count: 0,
+            applied_reqs: BTreeMap::new(),
+        }
+    }
+
+    /// Sustained bandwidth currently committed, summed in call-id order.
+    pub fn committed_bps(&self) -> f64 {
+        self.admitted.values().map(|&(_, scr)| f64::from_bits(scr)).sum()
+    }
+
+    /// Peak bandwidth currently committed, summed in call-id order.
+    pub fn committed_pcr_bps(&self) -> f64 {
+        self.admitted.values().map(|&(pcr, _)| f64::from_bits(pcr)).sum()
+    }
+
+    /// Apply one command; `req != 0` requests are deduplicated so a
+    /// retransmitted command is exactly-once.
+    pub fn apply_cmd(&mut self, req: u64, cmd: &Command) -> CmdOutcome {
+        if req != 0 {
+            if let Some(&code) = self.applied_reqs.get(&req) {
+                return CmdOutcome::from_code(code);
+            }
+        }
+        let outcome = match *cmd {
+            Command::Noop => CmdOutcome::Applied,
+            Command::Reserve { call, pcr_bits, scr_bits } => {
+                let capacity = f64::from_bits(self.capacity_bits);
+                let peak = capacity * f64::from_bits(self.peak_factor_bits);
+                // Same order as SignallingAgent::admission_check: SCR
+                // budget first, then the peak budget.
+                if self.committed_bps() + f64::from_bits(scr_bits) > capacity {
+                    CmdOutcome::Rejected(RejectCause::ScrExceeded)
+                } else if self.committed_pcr_bps() + f64::from_bits(pcr_bits) > peak {
+                    CmdOutcome::Rejected(RejectCause::PcrExceeded)
+                } else {
+                    self.admitted.insert(call, (pcr_bits, scr_bits));
+                    CmdOutcome::Admitted
+                }
+            }
+            Command::Release { call } | Command::Rollback { call } => {
+                self.admitted.remove(&call);
+                CmdOutcome::Applied
+            }
+            Command::GatewayEpoch { epoch } => {
+                self.gateway_epoch = self.gateway_epoch.max(epoch);
+                CmdOutcome::Applied
+            }
+        };
+        if req != 0 {
+            self.applied_reqs.insert(req, outcome.code());
+        }
+        self.applied_count += 1;
+        outcome
+    }
+
+    /// Deterministic little-endian encoding — the snapshot wire format
+    /// and the byte-identity witness the tests compare.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + 24 * self.admitted.len());
+        out.extend_from_slice(b"GTWR");
+        out.extend_from_slice(&1u16.to_le_bytes());
+        out.extend_from_slice(&self.capacity_bits.to_le_bytes());
+        out.extend_from_slice(&self.peak_factor_bits.to_le_bytes());
+        out.extend_from_slice(&self.gateway_epoch.to_le_bytes());
+        out.extend_from_slice(&self.applied_count.to_le_bytes());
+        out.extend_from_slice(&(self.admitted.len() as u32).to_le_bytes());
+        for (&CallId(call), &(pcr, scr)) in &self.admitted {
+            out.extend_from_slice(&call.to_le_bytes());
+            out.extend_from_slice(&pcr.to_le_bytes());
+            out.extend_from_slice(&scr.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.applied_reqs.len() as u32).to_le_bytes());
+        for (&req, &code) in &self.applied_reqs {
+            out.extend_from_slice(&req.to_le_bytes());
+            out.push(code);
+        }
+        out
+    }
+
+    /// Decode a snapshot produced by [`encode`](Self::encode).
+    pub fn decode(bytes: &[u8]) -> Option<CacState> {
+        struct Rd<'a>(&'a [u8]);
+        impl Rd<'_> {
+            fn take(&mut self, n: usize) -> Option<&[u8]> {
+                if self.0.len() < n {
+                    return None;
+                }
+                let (head, tail) = self.0.split_at(n);
+                self.0 = tail;
+                Some(head)
+            }
+            fn u64(&mut self) -> Option<u64> {
+                Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+            }
+            fn u32(&mut self) -> Option<u32> {
+                Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+            }
+        }
+        let mut rd = Rd(bytes);
+        if rd.take(4)? != b"GTWR" {
+            return None;
+        }
+        if u16::from_le_bytes(rd.take(2)?.try_into().ok()?) != 1 {
+            return None;
+        }
+        let capacity_bits = rd.u64()?;
+        let peak_factor_bits = rd.u64()?;
+        let gateway_epoch = rd.u64()?;
+        let applied_count = rd.u64()?;
+        let n_admitted = rd.u32()? as usize;
+        let mut admitted = BTreeMap::new();
+        for _ in 0..n_admitted {
+            let call = CallId(rd.u64()?);
+            let pcr = rd.u64()?;
+            let scr = rd.u64()?;
+            admitted.insert(call, (pcr, scr));
+        }
+        let n_reqs = rd.u32()? as usize;
+        let mut applied_reqs = BTreeMap::new();
+        for _ in 0..n_reqs {
+            let req = rd.u64()?;
+            let code = *rd.take(1)?.first()?;
+            applied_reqs.insert(req, code);
+        }
+        if !rd.0.is_empty() {
+            return None;
+        }
+        Some(CacState {
+            capacity_bits,
+            peak_factor_bits,
+            admitted,
+            gateway_epoch,
+            applied_count,
+            applied_reqs,
+        })
+    }
+}
+
+// ---- configuration ----------------------------------------------------
+
+/// Timing and behaviour knobs of a replica group. All timeouts are
+/// virtual time; the defaults give sub-200 ms fail-over with hundreds
+/// of microseconds of control-plane RTT.
+#[derive(Clone, Debug)]
+pub struct GroupConfig {
+    /// Master seed for every timeout stream in the group.
+    pub seed: u64,
+    /// Leader heartbeat (empty AppendEntries) interval.
+    pub heartbeat: SimDuration,
+    /// Lower bound of the randomized election timeout.
+    pub election_min: SimDuration,
+    /// Upper bound of the randomized election timeout.
+    pub election_max: SimDuration,
+    /// One-way replica-to-replica / client-to-replica message delay.
+    pub net_delay: SimDuration,
+    /// Per-message processing time at the proxy agent (mirrors
+    /// `SignallingAgent::processing`).
+    pub processing: SimDuration,
+    /// Propagation to the next signalling hop (mirrors
+    /// `SignallingAgent::hop_latency`).
+    pub hop_latency: SimDuration,
+    /// How long a leader waits for majority commit before answering
+    /// `NoQuorum` to the client.
+    pub commit_timeout: SimDuration,
+    /// Client retry backoff before re-issuing to the next replica.
+    pub retry_backoff: SimDuration,
+    /// Client gives up on a request (refuses the call with
+    /// [`RejectCause::NoQuorum`]) after this long.
+    pub request_deadline: SimDuration,
+    /// Compact the log into a snapshot once it exceeds this many
+    /// entries.
+    pub snapshot_threshold: usize,
+    /// Peak overbooking factor of the replicated CAC.
+    pub peak_factor: f64,
+    /// Bias elections so this replica wins the first one (narrower
+    /// timeout range); keeps scenarios readable without breaking the
+    /// protocol when it is down.
+    pub preferred_leader: Option<usize>,
+    /// Horizon after which no timer re-arms, so `sim.run()` terminates.
+    pub active_until: SimTime,
+}
+
+impl GroupConfig {
+    /// Defaults for `seed`, running the protocol until `active_until`.
+    pub fn new(seed: u64, active_until: SimTime) -> Self {
+        GroupConfig {
+            seed,
+            heartbeat: SimDuration::from_millis(20),
+            election_min: SimDuration::from_millis(100),
+            election_max: SimDuration::from_millis(200),
+            net_delay: SimDuration::from_micros(200),
+            processing: SimDuration::from_micros(150),
+            hop_latency: SimDuration::from_micros(500),
+            commit_timeout: SimDuration::from_millis(100),
+            retry_backoff: SimDuration::from_millis(25),
+            request_deadline: SimDuration::from_secs(5),
+            snapshot_threshold: 64,
+            peak_factor: 1.0,
+            preferred_leader: Some(0),
+            active_until,
+        }
+    }
+}
+
+// ---- protocol messages ------------------------------------------------
+
+struct RequestVote {
+    term: u64,
+    from: usize,
+    last_index: u64,
+    last_term: u64,
+}
+
+struct VoteReply {
+    term: u64,
+    from: usize,
+    granted: bool,
+}
+
+struct Append {
+    term: u64,
+    from: usize,
+    prev_index: u64,
+    prev_term: u64,
+    entries: Vec<LogEntry>,
+    commit: u64,
+}
+
+struct AppendReply {
+    term: u64,
+    from: usize,
+    success: bool,
+    /// On success: the follower's new last replicated index. On
+    /// failure: the follower's last index, to skip the next_index
+    /// probe walk.
+    match_hint: u64,
+}
+
+struct SnapshotMsg {
+    term: u64,
+    from: usize,
+    last_index: u64,
+    last_term: u64,
+    bytes: Vec<u8>,
+}
+
+/// Boot a replica: start its election timer. Sent by
+/// [`ReplicaGroup::build`] at `t = 0`.
+pub struct BootReplica;
+
+/// Take a replica down (crash or partition-side power-off). With
+/// `wipe`, the replica loses its volatile *and* durable state and must
+/// be caught up by snapshot on rejoin.
+pub struct ReplicaDown {
+    /// Lose all state (full crash) rather than just going quiet.
+    pub wipe: bool,
+}
+
+/// Bring a downed replica back; it rejoins as a follower.
+pub struct ReplicaUp;
+
+struct ClientRequest {
+    req: u64,
+    cmd: Command,
+    reply_to: ComponentId,
+}
+
+enum ReplyResult {
+    Done(CmdOutcome),
+    NotLeader { hint: Option<usize> },
+    NoQuorum,
+}
+
+struct ClientReply {
+    req: u64,
+    from: usize,
+    result: ReplyResult,
+}
+
+/// Election timer; the nonce invalidates stale timers after a reset.
+struct ElectionTimeout {
+    nonce: u64,
+}
+
+/// Leader heartbeat timer, nonce-guarded like the election timer.
+struct HeartbeatTick {
+    nonce: u64,
+}
+
+/// Leader-side deadline for a pending client request.
+struct CommitCheck {
+    req: u64,
+}
+
+// ---- replica ----------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Role {
+    Follower,
+    Candidate,
+    Leader,
+}
+
+/// One member of a [`ReplicaGroup`]: holds a durable term/log, runs
+/// elections, replicates entries as leader, and applies committed
+/// commands to its [`CacState`].
+pub struct Replica {
+    label: String,
+    idx: usize,
+    peers: Vec<ComponentId>,
+    cfg: GroupConfig,
+    rng: StreamRng,
+
+    // Durable state (survives ReplicaDown without `wipe`).
+    term: u64,
+    voted_for: Option<usize>,
+    log: Vec<LogEntry>,
+    /// Index of the last entry folded into the snapshot; `log[0]` is
+    /// entry `snap_base + 1`.
+    snap_base: u64,
+    snap_term: u64,
+
+    // Volatile state.
+    role: Role,
+    commit_index: u64,
+    last_applied: u64,
+    last_applied_term: u64,
+    state: CacState,
+    leader_hint: Option<usize>,
+    votes: u32,
+    next_index: Vec<u64>,
+    match_index: Vec<u64>,
+    pending: BTreeMap<u64, ComponentId>,
+    election_nonce: u64,
+    hb_nonce: u64,
+    alive: bool,
+    crashed: bool,
+
+    // Fault hooks.
+    link_faults: Vec<Option<FaultInjector>>,
+    client_fault: Option<FaultInjector>,
+    proc_fault: Option<ProcessFaultInjector>,
+
+    /// Elections this replica started (became candidate).
+    pub elections_started: u64,
+    /// Terms in which this replica won leadership.
+    pub leader_terms: u64,
+    /// Log entries appended (leader and follower sides).
+    pub entries_appended: u64,
+    /// Snapshots shipped to lagging followers.
+    pub snapshots_sent: u64,
+    /// Snapshots installed from a leader.
+    pub snapshots_installed: u64,
+    /// Log compactions performed locally.
+    pub compactions: u64,
+    /// Client requests answered `NoQuorum` after the commit timeout.
+    pub no_quorum_replies: u64,
+    /// Messages suppressed by a partition fault injector.
+    pub msgs_dropped_partition: u64,
+    /// Messages dropped because the replica was down.
+    pub dropped_while_down: u64,
+    /// Times this replica rejoined the group.
+    pub rejoins: u64,
+    /// Stray messages of unknown type.
+    pub dropped_msgs: u64,
+}
+
+impl Replica {
+    fn new(label: String, idx: usize, capacity: Bandwidth, cfg: GroupConfig) -> Self {
+        let rng = StreamRng::new(cfg.seed, &format!("replica/{label}"));
+        let state = CacState::new(capacity.bps(), cfg.peak_factor);
+        Replica {
+            label,
+            idx,
+            peers: Vec::new(),
+            cfg,
+            rng,
+            term: 0,
+            voted_for: None,
+            log: Vec::new(),
+            snap_base: 0,
+            snap_term: 0,
+            role: Role::Follower,
+            commit_index: 0,
+            last_applied: 0,
+            last_applied_term: 0,
+            state,
+            leader_hint: None,
+            votes: 0,
+            next_index: Vec::new(),
+            match_index: Vec::new(),
+            pending: BTreeMap::new(),
+            election_nonce: 0,
+            hb_nonce: 0,
+            alive: true,
+            crashed: false,
+            link_faults: Vec::new(),
+            client_fault: None,
+            proc_fault: None,
+            elections_started: 0,
+            leader_terms: 0,
+            entries_appended: 0,
+            snapshots_sent: 0,
+            snapshots_installed: 0,
+            compactions: 0,
+            no_quorum_replies: 0,
+            msgs_dropped_partition: 0,
+            dropped_while_down: 0,
+            rejoins: 0,
+            dropped_msgs: 0,
+        }
+    }
+
+    /// True while the replica participates in the protocol.
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// True when this replica currently believes it is the leader.
+    pub fn is_leader(&self) -> bool {
+        self.role == Role::Leader
+    }
+
+    /// Current term.
+    pub fn term(&self) -> u64 {
+        self.term
+    }
+
+    /// Highest log index known committed.
+    pub fn commit_index(&self) -> u64 {
+        self.commit_index
+    }
+
+    /// The applied CAC state.
+    pub fn cac(&self) -> &CacState {
+        &self.state
+    }
+
+    /// Byte-exact digest of the applied state (snapshot encoding).
+    pub fn digest(&self) -> Vec<u8> {
+        self.state.encode()
+    }
+
+    /// Role as a short display string.
+    pub fn role_name(&self) -> &'static str {
+        match self.role {
+            Role::Follower => "follower",
+            Role::Candidate => "candidate",
+            Role::Leader => "leader",
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.peers.len()
+    }
+
+    fn majority(&self) -> u32 {
+        (self.n() / 2 + 1) as u32
+    }
+
+    fn last_index(&self) -> u64 {
+        self.snap_base + self.log.len() as u64
+    }
+
+    fn last_term(&self) -> u64 {
+        self.log.last().map(|e| e.term).unwrap_or(self.snap_term)
+    }
+
+    fn term_at(&self, index: u64) -> u64 {
+        if index == self.snap_base {
+            self.snap_term
+        } else if index == 0 || index < self.snap_base {
+            0
+        } else {
+            self.log[(index - self.snap_base - 1) as usize].term
+        }
+    }
+
+    fn out_delay(&self, now: SimTime) -> SimDuration {
+        let factor = self.proc_fault.as_ref().map(|p| p.slow_factor(now)).unwrap_or(1.0);
+        SimDuration::from_secs_f64(self.cfg.net_delay.as_secs_f64() * factor)
+    }
+
+    fn send_peer(&mut self, ctx: &mut Ctx<'_>, j: usize, m: Msg) {
+        let now = ctx.now();
+        if let Some(Some(inj)) = self.link_faults.get_mut(j) {
+            if inj.judge(now).is_some() {
+                self.msgs_dropped_partition += 1;
+                return;
+            }
+        }
+        let delay = self.out_delay(now);
+        let target = self.peers[j];
+        ctx.send_in(delay, target, m);
+    }
+
+    fn send_client(&mut self, ctx: &mut Ctx<'_>, to: ComponentId, m: Msg) {
+        let now = ctx.now();
+        if let Some(inj) = self.client_fault.as_mut() {
+            if inj.judge(now).is_some() {
+                self.msgs_dropped_partition += 1;
+                return;
+            }
+        }
+        let delay = self.out_delay(now);
+        ctx.send_in(delay, to, m);
+    }
+
+    fn reset_election_timer(&mut self, ctx: &mut Ctx<'_>) {
+        self.election_nonce += 1;
+        if ctx.now() >= self.cfg.active_until {
+            return;
+        }
+        let (lo, hi) = if self.cfg.preferred_leader == Some(self.idx) {
+            // Narrow, early band: the preferred replica fires first.
+            let min = self.cfg.election_min.as_secs_f64();
+            (min * 0.5, min * 0.75)
+        } else {
+            (self.cfg.election_min.as_secs_f64(), self.cfg.election_max.as_secs_f64())
+        };
+        let timeout = SimDuration::from_secs_f64(self.rng.uniform_in(lo, hi));
+        ctx.timer_in(timeout, msg(ElectionTimeout { nonce: self.election_nonce }));
+    }
+
+    fn arm_heartbeat(&mut self, ctx: &mut Ctx<'_>) {
+        self.hb_nonce += 1;
+        if ctx.now() >= self.cfg.active_until {
+            return;
+        }
+        ctx.timer_in(self.cfg.heartbeat, msg(HeartbeatTick { nonce: self.hb_nonce }));
+    }
+
+    /// Adopt `term` and fall back to follower after contact from a
+    /// legitimate leader (Append/Snapshot): the election timer restarts.
+    fn step_down(&mut self, ctx: &mut Ctx<'_>, term: u64) {
+        self.step_down_inner(ctx, term, true);
+    }
+
+    /// Adopt `term` without restarting the election timer. A replica
+    /// returning from a link blip carries an inflated term but a stale
+    /// log; its doomed candidacies must not keep resetting the timers
+    /// of the electable majority, or no election ever completes. Only
+    /// granting a vote or hearing a real leader earns a timer reset.
+    fn step_down_quiet(&mut self, ctx: &mut Ctx<'_>, term: u64) {
+        self.step_down_inner(ctx, term, false);
+    }
+
+    fn step_down_inner(&mut self, ctx: &mut Ctx<'_>, term: u64, reset_timer: bool) {
+        let was_leader = self.role == Role::Leader;
+        if term > self.term {
+            self.term = term;
+            self.voted_for = None;
+        }
+        if was_leader {
+            // Orphan pending clients: they will retry elsewhere.
+            let pending = std::mem::take(&mut self.pending);
+            for (req, client) in pending {
+                let reply = ClientReply {
+                    req,
+                    from: self.idx,
+                    result: ReplyResult::NotLeader { hint: None },
+                };
+                self.send_client(ctx, client, msg(reply));
+            }
+        }
+        self.role = Role::Follower;
+        self.hb_nonce += 1; // cancel any heartbeat timer
+                            // A deposed leader has no election timer running, so it always
+                            // re-arms; followers and candidates keep their pending timer
+                            // unless this step-down came from a legitimate leader.
+        if reset_timer || was_leader {
+            self.reset_election_timer(ctx);
+        }
+    }
+
+    fn start_election(&mut self, ctx: &mut Ctx<'_>) {
+        self.term += 1;
+        self.role = Role::Candidate;
+        self.voted_for = Some(self.idx);
+        self.votes = 1 << self.idx;
+        self.leader_hint = None;
+        self.elections_started += 1;
+        let rv = |this: &Self| RequestVote {
+            term: this.term,
+            from: this.idx,
+            last_index: this.last_index(),
+            last_term: this.last_term(),
+        };
+        for j in 0..self.n() {
+            if j != self.idx {
+                let m = msg(rv(self));
+                self.send_peer(ctx, j, m);
+            }
+        }
+        self.reset_election_timer(ctx);
+        if self.votes.count_ones() >= self.majority() {
+            // Single-replica group: win immediately.
+            self.become_leader(ctx);
+        }
+    }
+
+    fn become_leader(&mut self, ctx: &mut Ctx<'_>) {
+        self.role = Role::Leader;
+        self.leader_terms += 1;
+        self.leader_hint = Some(self.idx);
+        let last = self.last_index();
+        self.next_index = vec![last + 1; self.n()];
+        self.match_index = vec![0; self.n()];
+        self.match_index[self.idx] = last;
+        // Raft's no-op barrier: committing an entry of the new term is
+        // the only way earlier-term entries may commit, and it truncates
+        // stale uncommitted tails on healed minorities.
+        self.log.push(LogEntry { term: self.term, req: 0, cmd: Command::Noop });
+        self.entries_appended += 1;
+        self.match_index[self.idx] = self.last_index();
+        self.broadcast_append(ctx);
+        self.arm_heartbeat(ctx);
+        self.try_advance_commit(ctx);
+    }
+
+    fn broadcast_append(&mut self, ctx: &mut Ctx<'_>) {
+        for j in 0..self.n() {
+            if j != self.idx {
+                self.send_append_to(ctx, j);
+            }
+        }
+    }
+
+    fn send_append_to(&mut self, ctx: &mut Ctx<'_>, j: usize) {
+        let next = self.next_index[j];
+        if next <= self.snap_base {
+            // The follower needs entries already folded into the
+            // snapshot: ship the snapshot instead.
+            let snap = SnapshotMsg {
+                term: self.term,
+                from: self.idx,
+                last_index: self.snap_base.max(self.last_applied),
+                last_term: if self.last_applied > self.snap_base {
+                    self.last_applied_term
+                } else {
+                    self.snap_term
+                },
+                bytes: self.state.encode(),
+            };
+            self.snapshots_sent += 1;
+            self.send_peer(ctx, j, msg(snap));
+            return;
+        }
+        let prev_index = next - 1;
+        let prev_term = self.term_at(prev_index);
+        let from_pos = (next - self.snap_base - 1) as usize;
+        let entries: Vec<LogEntry> = self.log[from_pos..].to_vec();
+        let m = Append {
+            term: self.term,
+            from: self.idx,
+            prev_index,
+            prev_term,
+            entries,
+            commit: self.commit_index,
+        };
+        self.send_peer(ctx, j, msg(m));
+    }
+
+    fn try_advance_commit(&mut self, ctx: &mut Ctx<'_>) {
+        if self.role != Role::Leader {
+            return;
+        }
+        let mut matches = self.match_index.clone();
+        matches.sort_unstable();
+        // The index replicated on a majority is the majority-th from
+        // the top of the sorted match vector.
+        let candidate = matches[self.n() - self.majority() as usize];
+        // Only entries of the current term commit by counting
+        // (Raft §5.4.2); earlier terms ride along.
+        if candidate > self.commit_index && self.term_at(candidate) == self.term {
+            self.commit_index = candidate;
+            self.apply_committed(ctx);
+        }
+    }
+
+    fn apply_committed(&mut self, ctx: &mut Ctx<'_>) {
+        while self.last_applied < self.commit_index {
+            let index = self.last_applied + 1;
+            let pos = (index - self.snap_base - 1) as usize;
+            let (term, req, cmd) = {
+                let e = &self.log[pos];
+                (e.term, e.req, e.cmd)
+            };
+            let outcome = self.state.apply_cmd(req, &cmd);
+            self.last_applied = index;
+            self.last_applied_term = term;
+            if self.role == Role::Leader && req != 0 {
+                if let Some(client) = self.pending.remove(&req) {
+                    let reply =
+                        ClientReply { req, from: self.idx, result: ReplyResult::Done(outcome) };
+                    self.send_client(ctx, client, msg(reply));
+                }
+            }
+        }
+        self.maybe_compact();
+    }
+
+    fn maybe_compact(&mut self) {
+        if self.log.len() <= self.cfg.snapshot_threshold || self.last_applied <= self.snap_base {
+            return;
+        }
+        let keep_from = (self.last_applied - self.snap_base) as usize;
+        self.snap_term = self.term_at(self.last_applied);
+        self.log.drain(..keep_from);
+        self.snap_base = self.last_applied;
+        self.compactions += 1;
+    }
+}
+
+impl Component for Replica {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, m: Msg) {
+        // Lifecycle messages work regardless of liveness.
+        if m.is::<ReplicaDown>() {
+            let d = *downcast::<ReplicaDown>(m);
+            self.alive = false;
+            if d.wipe {
+                self.crashed = true;
+            }
+            return;
+        } else if m.is::<ReplicaUp>() {
+            let _ = downcast::<ReplicaUp>(m);
+            if self.alive {
+                return;
+            }
+            self.alive = true;
+            self.rejoins += 1;
+            if self.crashed {
+                // A full crash loses durable state; the replica comes
+                // back empty and is caught up by snapshot.
+                self.crashed = false;
+                self.term = 0;
+                self.voted_for = None;
+                self.log.clear();
+                self.snap_base = 0;
+                self.snap_term = 0;
+                self.commit_index = 0;
+                self.last_applied = 0;
+                self.last_applied_term = 0;
+                self.state = CacState::new(
+                    f64::from_bits(self.state.capacity_bits),
+                    f64::from_bits(self.state.peak_factor_bits),
+                );
+            }
+            self.role = Role::Follower;
+            self.pending.clear();
+            self.reset_election_timer(ctx);
+            return;
+        } else if m.is::<BootReplica>() {
+            let _ = downcast::<BootReplica>(m);
+            self.reset_election_timer(ctx);
+            return;
+        }
+        if !self.alive {
+            self.dropped_while_down += 1;
+            return;
+        }
+        // A scheduled process fault fires on the next delivered message.
+        if let Some(pf) = self.proc_fault.as_mut() {
+            if let Some(kind) = pf.poll(ctx.now()) {
+                match kind {
+                    ProcessFaultKind::Crash => {
+                        self.alive = false;
+                        self.crashed = true;
+                        return;
+                    }
+                    ProcessFaultKind::Hang => {
+                        self.alive = false;
+                        return;
+                    }
+                    ProcessFaultKind::Slow { .. } => {}
+                }
+            }
+        }
+
+        if m.is::<ElectionTimeout>() {
+            let t = *downcast::<ElectionTimeout>(m);
+            if t.nonce != self.election_nonce || self.role == Role::Leader {
+                return;
+            }
+            self.start_election(ctx);
+        } else if m.is::<HeartbeatTick>() {
+            let t = *downcast::<HeartbeatTick>(m);
+            if t.nonce != self.hb_nonce || self.role != Role::Leader {
+                return;
+            }
+            self.broadcast_append(ctx);
+            self.arm_heartbeat(ctx);
+        } else if m.is::<RequestVote>() {
+            let rv = *downcast::<RequestVote>(m);
+            if rv.term > self.term {
+                self.step_down_quiet(ctx, rv.term);
+            }
+            let up_to_date = (rv.last_term, rv.last_index) >= (self.last_term(), self.last_index());
+            let granted = rv.term == self.term
+                && up_to_date
+                && (self.voted_for.is_none() || self.voted_for == Some(rv.from));
+            if granted {
+                self.voted_for = Some(rv.from);
+                self.reset_election_timer(ctx);
+            }
+            let reply = VoteReply { term: self.term, from: self.idx, granted };
+            self.send_peer(ctx, rv.from, msg(reply));
+        } else if m.is::<VoteReply>() {
+            let vr = *downcast::<VoteReply>(m);
+            if vr.term > self.term {
+                self.step_down_quiet(ctx, vr.term);
+                return;
+            }
+            if self.role != Role::Candidate || vr.term != self.term || !vr.granted {
+                return;
+            }
+            self.votes |= 1 << vr.from;
+            if self.votes.count_ones() >= self.majority() {
+                self.become_leader(ctx);
+            }
+        } else if m.is::<Append>() {
+            let mut ap = *downcast::<Append>(m);
+            if ap.term < self.term {
+                let reply = AppendReply {
+                    term: self.term,
+                    from: self.idx,
+                    success: false,
+                    match_hint: self.last_index(),
+                };
+                self.send_peer(ctx, ap.from, msg(reply));
+                return;
+            }
+            if ap.term > self.term || self.role != Role::Follower {
+                self.step_down(ctx, ap.term);
+            } else {
+                self.reset_election_timer(ctx);
+            }
+            self.leader_hint = Some(ap.from);
+            // Entries at or below the snapshot base are already applied
+            // here; drop them and move the prev pointer up.
+            while ap.prev_index < self.snap_base && !ap.entries.is_empty() {
+                ap.entries.remove(0);
+                ap.prev_index += 1;
+                ap.prev_term = self.term_at(ap.prev_index.min(self.snap_base));
+            }
+            if ap.prev_index < self.snap_base {
+                ap.prev_index = self.snap_base;
+                ap.prev_term = self.snap_term;
+            }
+            if ap.prev_index > self.last_index() || self.term_at(ap.prev_index) != ap.prev_term {
+                let reply = AppendReply {
+                    term: self.term,
+                    from: self.idx,
+                    success: false,
+                    match_hint: self.last_index().min(ap.prev_index.saturating_sub(1)),
+                };
+                self.send_peer(ctx, ap.from, msg(reply));
+                return;
+            }
+            // Append, truncating on the first conflicting slot.
+            let mut index = ap.prev_index;
+            for entry in ap.entries {
+                index += 1;
+                let pos = (index - self.snap_base - 1) as usize;
+                if pos < self.log.len() {
+                    if self.log[pos].term != entry.term {
+                        self.log.truncate(pos);
+                        self.log.push(entry);
+                        self.entries_appended += 1;
+                    }
+                } else {
+                    self.log.push(entry);
+                    self.entries_appended += 1;
+                }
+            }
+            let new_match = index.max(self.snap_base);
+            if ap.commit > self.commit_index {
+                self.commit_index = ap.commit.min(new_match);
+                self.apply_committed(ctx);
+            }
+            let reply = AppendReply {
+                term: self.term,
+                from: self.idx,
+                success: true,
+                match_hint: new_match,
+            };
+            self.send_peer(ctx, ap.from, msg(reply));
+        } else if m.is::<AppendReply>() {
+            let ar = *downcast::<AppendReply>(m);
+            if ar.term > self.term {
+                self.step_down_quiet(ctx, ar.term);
+                return;
+            }
+            if self.role != Role::Leader || ar.term != self.term {
+                return;
+            }
+            if ar.success {
+                if ar.match_hint > self.match_index[ar.from] {
+                    self.match_index[ar.from] = ar.match_hint;
+                }
+                self.next_index[ar.from] = self.match_index[ar.from] + 1;
+                self.try_advance_commit(ctx);
+                if self.next_index[ar.from] <= self.last_index() {
+                    self.send_append_to(ctx, ar.from);
+                }
+            } else {
+                let next = self.next_index[ar.from];
+                self.next_index[ar.from] = next.saturating_sub(1).min(ar.match_hint + 1).max(1);
+                self.send_append_to(ctx, ar.from);
+            }
+        } else if m.is::<SnapshotMsg>() {
+            let snap = *downcast::<SnapshotMsg>(m);
+            if snap.term < self.term {
+                let reply = AppendReply {
+                    term: self.term,
+                    from: self.idx,
+                    success: false,
+                    match_hint: self.last_index(),
+                };
+                self.send_peer(ctx, snap.from, msg(reply));
+                return;
+            }
+            if snap.term > self.term || self.role != Role::Follower {
+                self.step_down(ctx, snap.term);
+            } else {
+                self.reset_election_timer(ctx);
+            }
+            self.leader_hint = Some(snap.from);
+            if snap.last_index <= self.last_applied {
+                // Already past this snapshot; report progress instead.
+                let reply = AppendReply {
+                    term: self.term,
+                    from: self.idx,
+                    success: true,
+                    match_hint: self.last_applied,
+                };
+                self.send_peer(ctx, snap.from, msg(reply));
+                return;
+            }
+            if let Some(state) = CacState::decode(&snap.bytes) {
+                self.state = state;
+                self.log.clear();
+                self.snap_base = snap.last_index;
+                self.snap_term = snap.last_term;
+                self.commit_index = snap.last_index;
+                self.last_applied = snap.last_index;
+                self.last_applied_term = snap.last_term;
+                self.snapshots_installed += 1;
+                let reply = AppendReply {
+                    term: self.term,
+                    from: self.idx,
+                    success: true,
+                    match_hint: snap.last_index,
+                };
+                self.send_peer(ctx, snap.from, msg(reply));
+            } else {
+                self.dropped_msgs += 1;
+            }
+        } else if m.is::<ClientRequest>() {
+            let cr = *downcast::<ClientRequest>(m);
+            if self.role != Role::Leader {
+                let hint = self.leader_hint.filter(|&h| h != self.idx);
+                let reply = ClientReply {
+                    req: cr.req,
+                    from: self.idx,
+                    result: ReplyResult::NotLeader { hint },
+                };
+                self.send_client(ctx, cr.reply_to, msg(reply));
+                return;
+            }
+            // Exactly-once: an already-applied request returns its
+            // recorded outcome; an in-flight one just re-registers the
+            // client for the commit notification.
+            if let Some(&code) = self.state.applied_reqs.get(&cr.req) {
+                let reply = ClientReply {
+                    req: cr.req,
+                    from: self.idx,
+                    result: ReplyResult::Done(CmdOutcome::from_code(code)),
+                };
+                self.send_client(ctx, cr.reply_to, msg(reply));
+                return;
+            }
+            let in_log = self.log.iter().any(|e| e.req == cr.req);
+            self.pending.insert(cr.req, cr.reply_to);
+            if !in_log {
+                self.log.push(LogEntry { term: self.term, req: cr.req, cmd: cr.cmd });
+                self.entries_appended += 1;
+                self.match_index[self.idx] = self.last_index();
+                self.broadcast_append(ctx);
+                self.try_advance_commit(ctx); // single-replica groups
+            }
+            if ctx.now() < self.cfg.active_until {
+                ctx.timer_in(self.cfg.commit_timeout, msg(CommitCheck { req: cr.req }));
+            }
+        } else if m.is::<CommitCheck>() {
+            let cc = *downcast::<CommitCheck>(m);
+            if self.role != Role::Leader {
+                return;
+            }
+            if let Some(client) = self.pending.remove(&cc.req) {
+                // Still uncommitted after the timeout: tell the client
+                // no quorum is reachable so it can refuse cleanly.
+                self.no_quorum_replies += 1;
+                let reply =
+                    ClientReply { req: cc.req, from: self.idx, result: ReplyResult::NoQuorum };
+                self.send_client(ctx, client, msg(reply));
+            }
+        } else {
+            self.dropped_msgs += 1;
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+// ---- replicated proxy agent -------------------------------------------
+
+/// Per-request retry timer; the nonce invalidates timers superseded by
+/// an immediate redirect re-issue.
+struct RetryReq {
+    req: u64,
+    nonce: u64,
+}
+
+/// What a pending client request is for.
+enum PendingKind {
+    /// A SETUP hop decision: continue the hop-by-hop protocol once the
+    /// replicated CAC answers.
+    Setup(Box<SetupCtx>),
+    /// Fire-and-forget bookkeeping (release/rollback/epoch).
+    Fire,
+}
+
+struct SetupCtx {
+    call: CallId,
+    td: TrafficDescriptor,
+    path: Vec<ComponentId>,
+    visited: Vec<ComponentId>,
+    origin: ComponentId,
+    sent_at: SimTime,
+}
+
+struct PendingReq {
+    cmd: Command,
+    kind: PendingKind,
+    deadline: SimTime,
+    target: usize,
+    nonce: u64,
+}
+
+/// Drop-in signalling hop backed by a [`ReplicaGroup`]: speaks the
+/// SETUP/CONNECT/REJECT/RELEASE protocol of
+/// [`SignallingAgent`](crate::signaling::SignallingAgent), but routes
+/// every admission decision through the replicated log — finding the
+/// leader, retrying through elections, and refusing with
+/// [`RejectCause::NoQuorum`] when the majority is unreachable.
+pub struct ReplicatedAgent {
+    label: String,
+    replicas: Vec<ComponentId>,
+    cfg: GroupConfig,
+    leader_hint: usize,
+    req_seq: u64,
+    nonce_seq: u64,
+    pending: BTreeMap<u64, PendingReq>,
+    /// Calls released while their Reserve was still in flight; the
+    /// release fires as soon as the admission answer lands.
+    pending_release: BTreeSet<CallId>,
+    link_faults: Vec<Option<FaultInjector>>,
+
+    /// Calls admitted by the replicated CAC.
+    pub calls_admitted: u64,
+    /// Calls refused (all causes).
+    pub calls_refused: u64,
+    /// Refusals on the sustained-rate budget.
+    pub refused_scr: u64,
+    /// Refusals on the peak-rate budget.
+    pub refused_pcr: u64,
+    /// Refusals because no quorum answered before the deadline.
+    pub refused_no_quorum: u64,
+    /// `NotLeader` redirects followed.
+    pub redirects: u64,
+    /// Timer-driven retries (backoff expiry, replica rotation).
+    pub retries: u64,
+    /// `NoQuorum` replies received from a leader.
+    pub no_quorum_replies: u64,
+    /// Times the observed leader changed between successful requests.
+    pub leader_switches: u64,
+    /// Replicated commands issued (including retransmissions).
+    pub commands_sent: u64,
+    /// Fire-and-forget commands abandoned at their deadline.
+    pub cleanup_abandoned: u64,
+    /// Messages suppressed by a partition fault injector.
+    pub msgs_dropped_partition: u64,
+    /// Replies for requests no longer pending (late duplicates).
+    pub stale_replies: u64,
+    /// Stray messages of unknown type.
+    pub dropped_msgs: u64,
+    last_ok_replica: Option<usize>,
+}
+
+impl ReplicatedAgent {
+    fn new(label: String, replicas: Vec<ComponentId>, cfg: GroupConfig) -> Self {
+        ReplicatedAgent {
+            label,
+            link_faults: (0..replicas.len()).map(|_| None).collect(),
+            replicas,
+            cfg,
+            leader_hint: 0,
+            req_seq: 0,
+            nonce_seq: 0,
+            pending: BTreeMap::new(),
+            pending_release: BTreeSet::new(),
+            calls_admitted: 0,
+            calls_refused: 0,
+            refused_scr: 0,
+            refused_pcr: 0,
+            refused_no_quorum: 0,
+            redirects: 0,
+            retries: 0,
+            no_quorum_replies: 0,
+            leader_switches: 0,
+            commands_sent: 0,
+            cleanup_abandoned: 0,
+            msgs_dropped_partition: 0,
+            stale_replies: 0,
+            dropped_msgs: 0,
+            last_ok_replica: None,
+        }
+    }
+
+    fn hop_delay(&self) -> SimDuration {
+        self.cfg.processing + self.cfg.hop_latency
+    }
+
+    fn start_request(&mut self, ctx: &mut Ctx<'_>, cmd: Command, kind: PendingKind) {
+        self.req_seq += 1;
+        let req = self.req_seq;
+        self.nonce_seq += 1;
+        let pr = PendingReq {
+            cmd,
+            kind,
+            deadline: ctx.now() + self.cfg.request_deadline,
+            target: self.leader_hint,
+            nonce: self.nonce_seq,
+        };
+        self.pending.insert(req, pr);
+        self.issue(ctx, req);
+    }
+
+    fn issue(&mut self, ctx: &mut Ctx<'_>, req: u64) {
+        let (target, cmd, nonce) = match self.pending.get(&req) {
+            Some(p) => (p.target, p.cmd, p.nonce),
+            None => return,
+        };
+        self.commands_sent += 1;
+        let now = ctx.now();
+        let reply_to = ctx.self_id();
+        let blocked = match self.link_faults.get_mut(target) {
+            Some(Some(inj)) => inj.judge(now).is_some(),
+            _ => false,
+        };
+        if blocked {
+            self.msgs_dropped_partition += 1;
+        } else {
+            let to = self.replicas[target];
+            ctx.send_in(self.cfg.net_delay, to, msg(ClientRequest { req, cmd, reply_to }));
+        }
+        ctx.timer_in(self.cfg.retry_backoff, msg(RetryReq { req, nonce }));
+    }
+
+    /// Continue the hop-by-hop SETUP exactly as a plain agent would
+    /// after admitting: push self onto `visited`, then either forward
+    /// the SETUP or walk the CONNECT back.
+    fn continue_setup(&mut self, ctx: &mut Ctx<'_>, mut s: SetupCtx) {
+        let delay = self.hop_delay();
+        s.visited.push(ctx.self_id());
+        if s.path.is_empty() {
+            let mut back = s.visited.clone();
+            back.pop();
+            let next = back.pop();
+            let c = Connect { call: s.call, back, origin: s.origin, sent_at: s.sent_at };
+            match next {
+                Some(n) => ctx.send_in(delay, n, msg(c)),
+                None => {
+                    let origin = s.origin;
+                    let setup_s = (ctx.now() + delay).saturating_since(c.sent_at).as_secs_f64();
+                    ctx.send_in(
+                        delay,
+                        origin,
+                        msg(CallResult(s.call, CallOutcome::Connected { setup_s })),
+                    );
+                }
+            }
+        } else {
+            let next = s.path.remove(0);
+            let fwd = Setup {
+                call: s.call,
+                td: s.td,
+                path: s.path,
+                visited: s.visited,
+                origin: s.origin,
+                sent_at: s.sent_at,
+            };
+            ctx.send_in(delay, next, msg(fwd));
+        }
+    }
+
+    fn reject_setup(&mut self, ctx: &mut Ctx<'_>, s: SetupCtx, cause: RejectCause) {
+        self.calls_refused += 1;
+        match cause {
+            RejectCause::ScrExceeded => self.refused_scr += 1,
+            RejectCause::PcrExceeded => self.refused_pcr += 1,
+            RejectCause::NoQuorum => self.refused_no_quorum += 1,
+        }
+        let delay = self.hop_delay();
+        let at_hop = s.visited.len();
+        let origin = s.origin;
+        ctx.send_in(
+            delay,
+            origin,
+            msg(Reject { call: s.call, at_hop, cause, visited: s.visited, origin }),
+        );
+    }
+
+    /// Queue a fire-and-forget command (release/rollback/epoch).
+    fn fire(&mut self, ctx: &mut Ctx<'_>, cmd: Command) {
+        self.start_request(ctx, cmd, PendingKind::Fire);
+    }
+}
+
+impl Component for ReplicatedAgent {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, m: Msg) {
+        if m.is::<Setup>() {
+            let s = *downcast::<Setup>(m);
+            let cmd = Command::Reserve {
+                call: s.call,
+                pcr_bits: s.td.pcr.bps().to_bits(),
+                scr_bits: s.td.scr.bps().to_bits(),
+            };
+            let sc = SetupCtx {
+                call: s.call,
+                td: s.td,
+                path: s.path,
+                visited: s.visited,
+                origin: s.origin,
+                sent_at: s.sent_at,
+            };
+            self.start_request(ctx, cmd, PendingKind::Setup(Box::new(sc)));
+        } else if m.is::<ClientReply>() {
+            let r = *downcast::<ClientReply>(m);
+            let Some(p) = self.pending.get_mut(&r.req) else {
+                self.stale_replies += 1;
+                return;
+            };
+            match r.result {
+                ReplyResult::Done(outcome) => {
+                    if self.last_ok_replica.is_some_and(|prev| prev != r.from) {
+                        self.leader_switches += 1;
+                    }
+                    self.last_ok_replica = Some(r.from);
+                    self.leader_hint = r.from;
+                    let p = self.pending.remove(&r.req).expect("checked above");
+                    match p.kind {
+                        PendingKind::Fire => {}
+                        PendingKind::Setup(sc) => match outcome {
+                            CmdOutcome::Admitted | CmdOutcome::Applied => {
+                                self.calls_admitted += 1;
+                                if self.pending_release.remove(&sc.call) {
+                                    // Released while the Reserve was in
+                                    // flight: free the budget again.
+                                    self.fire(ctx, Command::Release { call: sc.call });
+                                }
+                                self.continue_setup(ctx, *sc);
+                            }
+                            CmdOutcome::Rejected(cause) => self.reject_setup(ctx, *sc, cause),
+                        },
+                    }
+                }
+                ReplyResult::NotLeader { hint } => {
+                    self.redirects += 1;
+                    if let Some(h) = hint {
+                        if h != p.target {
+                            p.target = h;
+                            self.nonce_seq += 1;
+                            p.nonce = self.nonce_seq;
+                            self.issue(ctx, r.req);
+                        }
+                        // Same hint as the failing target: wait for the
+                        // retry timer instead of spinning.
+                    }
+                    // No hint (election in progress): the retry timer
+                    // rotates to the next replica.
+                }
+                ReplyResult::NoQuorum => {
+                    self.no_quorum_replies += 1;
+                    // Keep the request pending; the retry timer rotates
+                    // or the deadline refuses it.
+                }
+            }
+        } else if m.is::<RetryReq>() {
+            let t = *downcast::<RetryReq>(m);
+            let Some(p) = self.pending.get_mut(&t.req) else {
+                return;
+            };
+            if p.nonce != t.nonce {
+                return;
+            }
+            if ctx.now() >= p.deadline {
+                let p = self.pending.remove(&t.req).expect("checked above");
+                match p.kind {
+                    PendingKind::Setup(sc) => {
+                        // Refuse cleanly, and roll back in case the
+                        // Reserve committed without the ack reaching us.
+                        let call = sc.call;
+                        self.reject_setup(ctx, *sc, RejectCause::NoQuorum);
+                        self.fire(ctx, Command::Rollback { call });
+                    }
+                    PendingKind::Fire => self.cleanup_abandoned += 1,
+                }
+                return;
+            }
+            self.retries += 1;
+            p.target = (p.target + 1) % self.replicas.len();
+            self.nonce_seq += 1;
+            p.nonce = self.nonce_seq;
+            self.issue(ctx, t.req);
+        } else if m.is::<Connect>() {
+            let mut c = *downcast::<Connect>(m);
+            let delay = self.hop_delay();
+            match c.back.pop() {
+                Some(n) => ctx.send_in(delay, n, msg(c)),
+                None => {
+                    let origin = c.origin;
+                    let setup_s = (ctx.now() + delay).saturating_since(c.sent_at).as_secs_f64();
+                    ctx.send_in(
+                        delay,
+                        origin,
+                        msg(CallResult(c.call, CallOutcome::Connected { setup_s })),
+                    );
+                }
+            }
+        } else if m.is::<Reject>() {
+            // A downstream hop refused after we admitted: roll our
+            // reservation back in the replicated state, pass it on.
+            let r = *downcast::<Reject>(m);
+            self.fire(ctx, Command::Rollback { call: r.call });
+            let delay = self.hop_delay();
+            let origin = r.origin;
+            ctx.send_in(delay, origin, msg(r));
+        } else if m.is::<Release>() {
+            let mut r = *downcast::<Release>(m);
+            let in_flight = self
+                .pending
+                .values()
+                .any(|p| matches!(&p.kind, PendingKind::Setup(sc) if sc.call == r.call));
+            if in_flight {
+                self.pending_release.insert(r.call);
+            } else {
+                self.fire(ctx, Command::Release { call: r.call });
+            }
+            if !r.path.is_empty() {
+                let next = r.path.remove(0);
+                ctx.send_in(self.hop_delay(), next, msg(r));
+            }
+        } else if m.is::<GatewayEpochUpdate>() {
+            let GatewayEpochUpdate(epoch) = *downcast::<GatewayEpochUpdate>(m);
+            self.fire(ctx, Command::GatewayEpoch { epoch });
+        } else {
+            self.dropped_msgs += 1;
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+// ---- group wiring -----------------------------------------------------
+
+/// A built replica group: `2f + 1` [`Replica`]s plus the
+/// [`ReplicatedAgent`] proxy that fronts them as a signalling hop.
+pub struct ReplicaGroup {
+    /// Group label; replicas are `{label}/r{i}`, the proxy is
+    /// `{label}/client`.
+    pub label: String,
+    /// Component ids of the replicas, in index order.
+    pub replicas: Vec<ComponentId>,
+    /// The proxy agent to put on signalling paths.
+    pub proxy: ComponentId,
+    /// The configuration the group was built with.
+    pub cfg: GroupConfig,
+}
+
+impl ReplicaGroup {
+    /// Build a group of `n` (odd) replicas guarding a port of
+    /// `capacity`, plus the proxy, and boot every replica at `t = 0`.
+    pub fn build(
+        sim: &mut Simulator,
+        label: impl Into<String>,
+        n: usize,
+        capacity: Bandwidth,
+        cfg: GroupConfig,
+    ) -> Self {
+        assert!(n >= 1 && n % 2 == 1, "a quorum group needs an odd replica count");
+        let label = label.into();
+        let replicas: Vec<ComponentId> = (0..n)
+            .map(|i| {
+                sim.add_component(Replica::new(format!("{label}/r{i}"), i, capacity, cfg.clone()))
+            })
+            .collect();
+        for &id in &replicas {
+            sim.component_mut::<Replica>(id).peers = replicas.clone();
+            sim.component_mut::<Replica>(id).link_faults = (0..n).map(|_| None).collect();
+            sim.send_at(SimTime::ZERO, id, msg(BootReplica));
+        }
+        let proxy = sim.add_component(ReplicatedAgent::new(
+            format!("{label}/client"),
+            replicas.clone(),
+            cfg.clone(),
+        ));
+        ReplicaGroup { label, replicas, proxy, cfg }
+    }
+
+    /// Install the plan's outage windows on this group's control links.
+    /// Targets follow the directed naming `link/{from}/{to}` with node
+    /// labels `{group}/r{i}` and `{group}/client`, which is what
+    /// [`FaultPlan::partition`] emits.
+    pub fn apply_fault_plan(&self, sim: &mut Simulator, plan: &FaultPlan) {
+        let n = self.replicas.len();
+        for (i, &id) in self.replicas.iter().enumerate() {
+            let me = format!("{}/r{i}", self.label);
+            let faults: Vec<Option<FaultInjector>> =
+                (0..n).map(|j| plan.injector(&format!("link/{me}/{}/r{j}", self.label))).collect();
+            let client = plan.injector(&format!("link/{me}/{}/client", self.label));
+            let r = sim.component_mut::<Replica>(id);
+            r.link_faults = faults;
+            r.client_fault = client;
+        }
+        let me = format!("{}/client", self.label);
+        let faults: Vec<Option<FaultInjector>> =
+            (0..n).map(|j| plan.injector(&format!("link/{me}/{}/r{j}", self.label))).collect();
+        sim.component_mut::<ReplicatedAgent>(self.proxy).link_faults = faults;
+    }
+
+    /// Install process faults (crash/hang/slow) from the plan; rank `i`
+    /// targets replica `i`.
+    pub fn apply_process_faults(&self, sim: &mut Simulator, plan: &ProcessFaultPlan) {
+        for (i, &id) in self.replicas.iter().enumerate() {
+            if let Some(inj) = plan.injector(i) {
+                sim.component_mut::<Replica>(id).proc_fault = Some(inj);
+            }
+        }
+    }
+
+    /// The index of the current leader, if any.
+    pub fn leader(&self, sim: &Simulator) -> Option<usize> {
+        leader_of(sim, &self.replicas)
+    }
+
+    /// True when every *live* replica holds byte-identical applied CAC
+    /// state (compared via [`CacState::encode`]).
+    pub fn states_converged(&self, sim: &Simulator) -> bool {
+        let mut digest: Option<Vec<u8>> = None;
+        for &id in &self.replicas {
+            let r = sim.component::<Replica>(id);
+            if !r.is_alive() {
+                continue;
+            }
+            let d = r.digest();
+            match &digest {
+                None => digest = Some(d),
+                Some(first) => {
+                    if *first != d {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+/// The live replica claiming leadership in the highest term, if any —
+/// usable inside `sim.call_at` closures to crash "whoever leads now".
+pub fn leader_of(sim: &Simulator, replicas: &[ComponentId]) -> Option<usize> {
+    replicas
+        .iter()
+        .enumerate()
+        .filter(|&(_, &id)| {
+            let r = sim.component::<Replica>(id);
+            r.is_alive() && r.is_leader()
+        })
+        .max_by_key(|&(_, &id)| sim.component::<Replica>(id).term())
+        .map(|(i, _)| i)
+}
+
+/// Take replica `idx` down at the start of every window of `schedule`
+/// and bring it back at the end. With `wipe`, each outage is a full
+/// crash (state lost, snapshot catch-up on rejoin) rather than a hang.
+pub fn schedule_replica_outages(
+    sim: &mut Simulator,
+    group: &ReplicaGroup,
+    idx: usize,
+    schedule: &Schedule,
+    wipe: bool,
+) {
+    let id = group.replicas[idx];
+    for w in schedule.windows() {
+        sim.send_at(w.start, id, msg(ReplicaDown { wipe }));
+        sim.send_at(w.end, id, msg(ReplicaUp));
+    }
+}
+
+// ---- call pump --------------------------------------------------------
+
+/// Kick-off message for a [`CallPump`].
+pub struct PumpStart;
+
+struct PumpTick;
+
+/// Offers a steady stream of calls along a fixed path and records each
+/// outcome with its completion time — the offered-vs-placed load
+/// generator of the control-plane availability scenarios.
+pub struct CallPump {
+    /// First signalling hop (e.g. a group's proxy).
+    pub first_hop: ComponentId,
+    /// Remaining hops after the first.
+    pub rest: Vec<ComponentId>,
+    /// Traffic contract of every offered call.
+    pub td: TrafficDescriptor,
+    /// Inter-call interval.
+    pub interval: SimDuration,
+    /// Total calls to offer.
+    pub count: u64,
+    /// Calls offered so far.
+    pub offered: u64,
+    /// Completed calls with their completion instants.
+    pub results: Vec<(CallId, CallOutcome, SimTime)>,
+    /// Stray messages dropped.
+    pub dropped_msgs: u64,
+    base_call: u64,
+}
+
+impl CallPump {
+    /// Pump `count` calls of contract `td` every `interval` along
+    /// `first_hop` + `rest`, with call ids starting at `base_call`.
+    pub fn new(
+        first_hop: ComponentId,
+        rest: Vec<ComponentId>,
+        td: TrafficDescriptor,
+        interval: SimDuration,
+        count: u64,
+        base_call: u64,
+    ) -> Self {
+        CallPump {
+            first_hop,
+            rest,
+            td,
+            interval,
+            count,
+            offered: 0,
+            results: Vec::new(),
+            dropped_msgs: 0,
+            base_call,
+        }
+    }
+
+    /// Completed calls that connected.
+    pub fn placed(&self) -> u64 {
+        self.results.iter().filter(|(_, o, _)| matches!(o, CallOutcome::Connected { .. })).count()
+            as u64
+    }
+
+    fn offer(&mut self, ctx: &mut Ctx<'_>) {
+        if self.offered >= self.count {
+            return;
+        }
+        let call = CallId(self.base_call + self.offered);
+        self.offered += 1;
+        let setup = Setup {
+            call,
+            td: self.td,
+            path: self.rest.clone(),
+            visited: Vec::new(),
+            origin: ctx.self_id(),
+            sent_at: ctx.now(),
+        };
+        ctx.send_in(SimDuration::ZERO, self.first_hop, msg(setup));
+        if self.offered < self.count {
+            ctx.timer_in(self.interval, msg(PumpTick));
+        }
+    }
+}
+
+impl Component for CallPump {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, m: Msg) {
+        if m.is::<PumpStart>() {
+            let _ = downcast::<PumpStart>(m);
+            self.offer(ctx);
+        } else if m.is::<PumpTick>() {
+            let _ = downcast::<PumpTick>(m);
+            self.offer(ctx);
+        } else if m.is::<CallResult>() {
+            let CallResult(id, outcome) = *downcast::<CallResult>(m);
+            self.results.push((id, outcome, ctx.now()));
+        } else if m.is::<Reject>() {
+            let r = *downcast::<Reject>(m);
+            for &hop in &r.visited {
+                ctx.send_in(
+                    SimDuration::ZERO,
+                    hop,
+                    msg(Release { call: r.call, path: Vec::new() }),
+                );
+            }
+            self.results.push((
+                r.call,
+                CallOutcome::Rejected { at_hop: r.at_hop, cause: r.cause },
+                ctx.now(),
+            ));
+        } else {
+            self.dropped_msgs += 1;
+        }
+    }
+
+    fn name(&self) -> &str {
+        "call-pump"
+    }
+}
+
+// ---- canonical fault scenario -----------------------------------------
+
+/// The canonical partitioned-control-plane scenario shared by
+/// `run_report --control-faults`, the `control_plane` trajectory bench,
+/// and the availability tests: a 3-replica group fronting a 10 Gbit/s
+/// port, 200 CBR calls offered at 10 calls/s, with (a) a wiped leader
+/// crash at a seeded instant in `[2 s, 5 s)` rejoining 2 s later,
+/// (b) a minority partition isolating replica 2 over `[10 s, 12 s)`,
+/// and (c) a 10-blip storm on the `r1 <-> r2` control link. Fully
+/// deterministic in `seed`.
+pub fn control_fault_report(seed: u64) -> Json {
+    let horizon = SimTime::from_secs(30);
+    let mut sim = Simulator::new();
+    let cfg = GroupConfig::new(seed, horizon);
+    let group = ReplicaGroup::build(&mut sim, "cp", 3, Bandwidth::from_gbps(10.0), cfg);
+    let pump = sim.add_component(CallPump::new(
+        group.proxy,
+        Vec::new(),
+        TrafficDescriptor::cbr(Bandwidth::from_mbps(34.0)),
+        SimDuration::from_millis(100),
+        200,
+        1,
+    ));
+    sim.send_at(SimTime::ZERO, pump, msg(PumpStart));
+
+    // (a) Leader crash: whoever leads at the drawn instant goes down
+    // hard (state wiped) and rejoins two seconds later via snapshot.
+    let mut rng = StreamRng::new(seed, "control-faults/crash");
+    let crash_at = SimTime::from_secs_f64(rng.uniform_in(2.0, 5.0));
+    let rejoin_at = crash_at + SimDuration::from_secs(2);
+    let replicas = group.replicas.clone();
+    sim.call_at(crash_at, move |sim| {
+        let idx = leader_of(sim, &replicas).unwrap_or(0);
+        let id = replicas[idx];
+        let now = sim.now();
+        sim.send_at(now, id, msg(ReplicaDown { wipe: true }));
+        sim.send_at(rejoin_at, id, msg(ReplicaUp));
+    });
+
+    // (b) Minority partition: replica 2 cut off from the majority and
+    // the client between 10 s and 12 s. (c) Blip storm on the r1 <-> r2
+    // control link: 10 x 50 ms blips every 1.5 s.
+    let mut plan = FaultPlan::new(seed);
+    let partition_w = Window::new(SimTime::from_secs(10), SimTime::from_secs(12));
+    plan.partition(
+        &[vec!["cp/r0".into(), "cp/r1".into(), "cp/client".into()], vec!["cp/r2".into()]],
+        Schedule::new(vec![partition_w]),
+    );
+    plan.partition(
+        &[vec!["cp/r1".into()], vec!["cp/r2".into()]],
+        Schedule::blips(SimDuration::from_millis(1500), SimDuration::from_millis(50), 10),
+    );
+    group.apply_fault_plan(&mut sim, &plan);
+
+    sim.run();
+
+    let in_fault = |t: SimTime| {
+        (t >= crash_at && t < rejoin_at) || (t >= partition_w.start && t < partition_w.end)
+    };
+    let p = sim.component::<CallPump>(pump);
+    let offered = p.offered;
+    let placed = p.placed();
+    let refused = p.results.len() as u64 - placed;
+    let placed_during_faults = p
+        .results
+        .iter()
+        .filter(|(_, o, at)| matches!(o, CallOutcome::Connected { .. }) && in_fault(*at))
+        .count() as u64;
+    let max_place_latency_s = p
+        .results
+        .iter()
+        .filter_map(|(_, o, _)| match o {
+            CallOutcome::Connected { setup_s } => Some(*setup_s),
+            _ => None,
+        })
+        .fold(0.0f64, f64::max);
+    let availability = if offered == 0 { 1.0 } else { placed as f64 / offered as f64 };
+
+    let max_term = group.replicas.iter().map(|&id| sim.component::<Replica>(id).term()).max();
+    let elections: u64 =
+        group.replicas.iter().map(|&id| sim.component::<Replica>(id).elections_started).sum();
+    let snapshots_installed: u64 =
+        group.replicas.iter().map(|&id| sim.component::<Replica>(id).snapshots_installed).sum();
+    let leader = group.leader(&sim).map(|i| i as i64).unwrap_or(-1);
+    let committed_mbps = sim.component::<Replica>(group.replicas[0]).cac().committed_bps() / 1e6;
+    let proxy = sim.component::<ReplicatedAgent>(group.proxy);
+
+    Json::obj([
+        ("seed", Json::from(seed)),
+        ("offered", Json::from(offered)),
+        ("placed", Json::from(placed)),
+        ("refused", Json::from(refused)),
+        ("availability", Json::from(availability)),
+        ("placed_during_faults", Json::from(placed_during_faults)),
+        ("max_place_latency_s", Json::from(max_place_latency_s)),
+        ("crash_at_s", Json::from(crash_at.as_secs_f64())),
+        ("leader", Json::from(leader)),
+        ("max_term", Json::from(max_term.unwrap_or(0))),
+        ("elections", Json::from(elections)),
+        ("snapshots_installed", Json::from(snapshots_installed)),
+        ("redirects", Json::from(proxy.redirects)),
+        ("retries", Json::from(proxy.retries)),
+        ("states_converged", Json::from(group.states_converged(&sim))),
+        ("committed_mbps", Json::from(committed_mbps)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cac_state_encodes_round_trip_and_dedups_requests() {
+        let mut st = CacState::new(622e6, 1.5);
+        let td = |mbps: f64| (mbps * 1e6).to_bits();
+        assert_eq!(
+            st.apply_cmd(
+                1,
+                &Command::Reserve { call: CallId(7), pcr_bits: td(300.0), scr_bits: td(200.0) }
+            ),
+            CmdOutcome::Admitted
+        );
+        // Retransmission of the same request: same outcome, no double
+        // booking, no extra applied_count.
+        let count = st.applied_count;
+        assert_eq!(
+            st.apply_cmd(
+                1,
+                &Command::Reserve { call: CallId(7), pcr_bits: td(300.0), scr_bits: td(200.0) }
+            ),
+            CmdOutcome::Admitted
+        );
+        assert_eq!(st.applied_count, count);
+        assert!((st.committed_bps() - 200e6).abs() < 1.0);
+        // SCR binds first, as in SignallingAgent::admission_check.
+        assert_eq!(
+            st.apply_cmd(
+                2,
+                &Command::Reserve { call: CallId(8), pcr_bits: td(500.0), scr_bits: td(500.0) }
+            ),
+            CmdOutcome::Rejected(RejectCause::ScrExceeded)
+        );
+        assert_eq!(
+            st.apply_cmd(
+                3,
+                &Command::Reserve { call: CallId(8), pcr_bits: td(700.0), scr_bits: td(400.0) }
+            ),
+            CmdOutcome::Rejected(RejectCause::PcrExceeded)
+        );
+        assert_eq!(st.apply_cmd(4, &Command::GatewayEpoch { epoch: 3 }), CmdOutcome::Applied);
+        assert_eq!(st.apply_cmd(5, &Command::Release { call: CallId(7) }), CmdOutcome::Applied);
+        assert_eq!(st.committed_bps(), 0.0);
+        let bytes = st.encode();
+        assert_eq!(CacState::decode(&bytes).as_ref(), Some(&st));
+        assert_eq!(CacState::decode(&bytes[..bytes.len() - 1]), None);
+        assert_eq!(CacState::decode(b"nope"), None);
+    }
+
+    #[test]
+    fn group_elects_a_single_leader_and_converges() {
+        let mut sim = Simulator::new();
+        let cfg = GroupConfig::new(42, SimTime::from_secs(2));
+        let group = ReplicaGroup::build(&mut sim, "g", 3, Bandwidth::from_mbps(622.0), cfg);
+        sim.run();
+        assert_eq!(group.leader(&sim), Some(0), "preferred replica 0 wins the first election");
+        let leaders =
+            group.replicas.iter().filter(|&&id| sim.component::<Replica>(id).is_leader()).count();
+        assert_eq!(leaders, 1);
+        assert!(group.states_converged(&sim));
+        // The no-op barrier committed on every replica.
+        for &id in &group.replicas {
+            assert!(sim.component::<Replica>(id).commit_index() >= 1);
+        }
+    }
+
+    #[test]
+    fn calls_place_through_the_proxy_and_budgets_replicate() {
+        let mut sim = Simulator::new();
+        let cfg = GroupConfig::new(7, SimTime::from_secs(5));
+        let group = ReplicaGroup::build(&mut sim, "g", 3, Bandwidth::from_mbps(622.0), cfg);
+        let pump = sim.add_component(CallPump::new(
+            group.proxy,
+            Vec::new(),
+            TrafficDescriptor::cbr(Bandwidth::from_mbps(155.0)),
+            SimDuration::from_millis(200),
+            5,
+            1,
+        ));
+        sim.send_at(SimTime::ZERO, pump, msg(PumpStart));
+        sim.run();
+        let p = sim.component::<CallPump>(pump);
+        assert_eq!(p.offered, 5);
+        assert_eq!(p.results.len(), 5);
+        // 4 x 155 fit the 622 port; the 5th refuses on the SCR budget.
+        assert_eq!(p.placed(), 4);
+        assert!(matches!(
+            p.results.iter().find(|(_, o, _)| !matches!(o, CallOutcome::Connected { .. })),
+            Some((_, CallOutcome::Rejected { cause: RejectCause::ScrExceeded, .. }, _))
+        ));
+        assert!(group.states_converged(&sim));
+        for &id in &group.replicas {
+            let r = sim.component::<Replica>(id);
+            assert!((r.cac().committed_bps() - 4.0 * 155e6).abs() < 1.0, "{}", r.name());
+        }
+    }
+
+    #[test]
+    fn leader_crash_elects_a_new_leader_and_calls_continue() {
+        let mut sim = Simulator::new();
+        let cfg = GroupConfig::new(11, SimTime::from_secs(10));
+        let group = ReplicaGroup::build(&mut sim, "g", 3, Bandwidth::from_gbps(2.4), cfg);
+        let pump = sim.add_component(CallPump::new(
+            group.proxy,
+            Vec::new(),
+            TrafficDescriptor::cbr(Bandwidth::from_mbps(34.0)),
+            SimDuration::from_millis(100),
+            30,
+            1,
+        ));
+        sim.send_at(SimTime::ZERO, pump, msg(PumpStart));
+        // Crash whoever leads at 1 s; no rejoin.
+        let replicas = group.replicas.clone();
+        sim.call_at(SimTime::from_secs(1), move |sim| {
+            let idx = leader_of(sim, &replicas).expect("a leader exists by 1 s");
+            let id = replicas[idx];
+            let now = sim.now();
+            sim.send_at(now, id, msg(ReplicaDown { wipe: true }));
+        });
+        sim.run();
+        let p = sim.component::<CallPump>(pump);
+        assert_eq!(p.placed(), 30, "every offered call placed through the fail-over");
+        let new_leader = group.leader(&sim).expect("survivors elected a leader");
+        assert_ne!(new_leader, 0, "replica 0 led first and is down");
+        assert!(group.states_converged(&sim), "live replicas agree");
+        let max_term =
+            group.replicas.iter().map(|&id| sim.component::<Replica>(id).term()).max().unwrap();
+        assert!(max_term >= 2, "the fail-over advanced the term");
+    }
+
+    #[test]
+    fn wiped_replica_rejoins_via_snapshot_with_identical_state() {
+        let mut sim = Simulator::new();
+        let mut cfg = GroupConfig::new(13, SimTime::from_secs(12));
+        cfg.snapshot_threshold = 4; // force compaction early
+        let group = ReplicaGroup::build(&mut sim, "g", 3, Bandwidth::from_gbps(2.4), cfg);
+        let pump = sim.add_component(CallPump::new(
+            group.proxy,
+            Vec::new(),
+            TrafficDescriptor::cbr(Bandwidth::from_mbps(34.0)),
+            SimDuration::from_millis(100),
+            40,
+            1,
+        ));
+        sim.send_at(SimTime::ZERO, pump, msg(PumpStart));
+        // Replica 2 crashes hard at 500 ms and rejoins empty at 3 s —
+        // well past a compaction, so only a snapshot can catch it up.
+        schedule_replica_outages(
+            &mut sim,
+            &group,
+            2,
+            &Schedule::new(vec![Window::new(SimTime::from_millis(500), SimTime::from_secs(3))]),
+            true,
+        );
+        sim.run();
+        let p = sim.component::<CallPump>(pump);
+        assert_eq!(p.placed(), 40);
+        let rejoined = sim.component::<Replica>(group.replicas[2]);
+        assert!(rejoined.is_alive());
+        assert_eq!(rejoined.rejoins, 1);
+        assert!(rejoined.snapshots_installed >= 1, "caught up by snapshot");
+        assert!(group.states_converged(&sim));
+        let d0 = sim.component::<Replica>(group.replicas[0]).digest();
+        let d2 = sim.component::<Replica>(group.replicas[2]).digest();
+        assert_eq!(d0, d2, "rejoined CAC state is byte-identical");
+    }
+
+    #[test]
+    fn control_fault_report_is_deterministic_and_highly_available() {
+        let a = control_fault_report(1999);
+        let b = control_fault_report(1999);
+        assert_eq!(a.dump(), b.dump(), "same seed, byte-identical report");
+        let avail = a.get("availability").and_then(Json::as_f64).unwrap();
+        assert!(avail >= 0.99, "availability {avail} under faults");
+        let offered = a.get("offered").and_then(Json::as_i128).unwrap();
+        assert_eq!(offered, 200);
+        assert_eq!(a.get("states_converged"), Some(&Json::Bool(true)));
+    }
+}

@@ -18,8 +18,9 @@ use serde::{Deserialize, Serialize};
 
 use crate::units::Bandwidth;
 
-/// Identifier of a signalled call.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+/// Identifier of a signalled call. `Ord` so replicated CAC state can
+/// keep admitted calls in deterministic (BTreeMap) order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct CallId(pub u64);
 
 /// The ATM traffic contract a SETUP carries: peak cell rate and
@@ -53,6 +54,9 @@ pub enum RejectCause {
     ScrExceeded,
     /// The peak-rate budget (`peak_factor × capacity`) is exhausted.
     PcrExceeded,
+    /// The replicated control plane could not reach a majority before
+    /// the request deadline (partitioned minority, no live leader).
+    NoQuorum,
 }
 
 /// Outcome of a call attempt.
@@ -73,43 +77,46 @@ pub enum CallOutcome {
 }
 
 // ---- messages ---------------------------------------------------------
+//
+// `pub(crate)` rather than private: the replicated proxy agent in
+// `replica.rs` speaks the same hop-by-hop protocol.
 
-struct Setup {
-    call: CallId,
-    td: TrafficDescriptor,
+pub(crate) struct Setup {
+    pub(crate) call: CallId,
+    pub(crate) td: TrafficDescriptor,
     /// Remaining path after this node (component ids of signalling
     /// agents).
-    path: Vec<ComponentId>,
+    pub(crate) path: Vec<ComponentId>,
     /// Hops already traversed (for CONNECT backtracking).
-    visited: Vec<ComponentId>,
-    origin: ComponentId,
-    sent_at: SimTime,
+    pub(crate) visited: Vec<ComponentId>,
+    pub(crate) origin: ComponentId,
+    pub(crate) sent_at: SimTime,
 }
 
-struct Connect {
-    call: CallId,
+pub(crate) struct Connect {
+    pub(crate) call: CallId,
     /// Reverse path still to walk.
-    back: Vec<ComponentId>,
-    origin: ComponentId,
-    sent_at: SimTime,
+    pub(crate) back: Vec<ComponentId>,
+    pub(crate) origin: ComponentId,
+    pub(crate) sent_at: SimTime,
 }
 
-struct Reject {
-    call: CallId,
-    at_hop: usize,
-    cause: RejectCause,
+pub(crate) struct Reject {
+    pub(crate) call: CallId,
+    pub(crate) at_hop: usize,
+    pub(crate) cause: RejectCause,
     /// Hops that already admitted and must roll back.
-    visited: Vec<ComponentId>,
-    origin: ComponentId,
+    pub(crate) visited: Vec<ComponentId>,
+    pub(crate) origin: ComponentId,
 }
 
-struct Release {
-    call: CallId,
-    path: Vec<ComponentId>,
+pub(crate) struct Release {
+    pub(crate) call: CallId,
+    pub(crate) path: Vec<ComponentId>,
 }
 
 /// Delivered to the originator when the call completes.
-struct CallResult(CallId, CallOutcome);
+pub(crate) struct CallResult(pub(crate) CallId, pub(crate) CallOutcome);
 
 // ---- components -------------------------------------------------------
 
@@ -229,6 +236,9 @@ impl Component for SignallingAgent {
                 match cause {
                     RejectCause::ScrExceeded => self.refused_scr += 1,
                     RejectCause::PcrExceeded => self.refused_pcr += 1,
+                    // admission_check never yields NoQuorum; only the
+                    // replicated proxy does.
+                    RejectCause::NoQuorum => {}
                 }
                 let at_hop = s.visited.len();
                 let origin = s.origin;
@@ -425,6 +435,9 @@ pub struct ResilientRoute {
     pub gave_up: bool,
     /// Setup latency of every successful connect, in order.
     pub setup_latencies_s: Vec<f64>,
+    /// Stray messages (foreign call ids, unknown types) dropped instead
+    /// of crashing the route.
+    pub dropped_msgs: u64,
     on_backup: bool,
     rerouting: bool,
     cur_backoff: SimDuration,
@@ -455,6 +468,7 @@ impl ResilientRoute {
             retries: 0,
             gave_up: false,
             setup_latencies_s: Vec::new(),
+            dropped_msgs: 0,
             on_backup: false,
             rerouting: false,
             cur_backoff: retry_backoff,
@@ -497,7 +511,12 @@ impl Component for ResilientRoute {
             self.attempt(ctx);
         } else if m.is::<CallResult>() {
             let CallResult(id, outcome) = *downcast::<CallResult>(m);
-            debug_assert_eq!(id, self.call);
+            if id != self.call {
+                // A result for a call this route never placed — e.g. a
+                // completion that raced a teardown. Drop, don't crash.
+                self.dropped_msgs += 1;
+                return;
+            }
             if let CallOutcome::Connected { setup_s } = outcome {
                 self.active = Some(self.target_path().to_vec());
                 self.setup_latencies_s.push(setup_s);
@@ -532,7 +551,7 @@ impl Component for ResilientRoute {
             if !self.gave_up {
                 self.attempt(ctx);
             }
-        } else {
+        } else if m.is::<LinkFailure>() {
             let _ = downcast::<LinkFailure>(m);
             self.link_failures += 1;
             if let Some(path) = self.active.take() {
@@ -548,6 +567,10 @@ impl Component for ResilientRoute {
                 self.rerouting = true;
                 self.attempt(ctx);
             }
+        } else {
+            // Unknown message type: replication traffic or strays from a
+            // foreign protocol must not panic the route.
+            self.dropped_msgs += 1;
         }
     }
 

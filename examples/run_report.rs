@@ -38,7 +38,13 @@
 //! with graceful degradation enabled: the chain sheds image resolution
 //! to hold the paper's 5 s realtime deadline, and the `fire_congestion`
 //! key reports the [`DegradeStats`](gtw_fire::realtime::DegradeStats).
-//! All flags only *add* keys — clean output stays byte-identical.
+//!
+//! With `--control-faults <seed>` the report additionally runs the
+//! canonical partitioned-control-plane scenario (a 3-replica
+//! [`ReplicaGroup`](gtw_net::replica::ReplicaGroup) under a seeded
+//! leader crash, a minority partition and a blip storm) and includes
+//! the availability/fail-over numbers under the `signaling_replication`
+//! key. All flags only *add* keys — clean output stays byte-identical.
 
 use gtw_core::scenario::FmriScenario;
 use gtw_core::testbed::{GigabitTestbedWest, LinkEra};
@@ -67,6 +73,8 @@ fn main() {
         .map(|s| s.parse().expect("--process-faults takes a u64 seed"));
     let congestion_seed: Option<u64> =
         arg_value("--congestion").map(|s| s.parse().expect("--congestion takes a u64 seed"));
+    let control_fault_seed: Option<u64> = arg_value("--control-faults")
+        .map(|s| s.parse().expect("--control-faults takes a u64 seed"));
     // ── Part 1: testbed transfer via the high-level API ──────────────
     let tb = GigabitTestbedWest::build(LinkEra::Oc48Upgrade);
     let (path, mtu, _) = tb.topology.path(tb.t3e_600, tb.sp2).expect("path T3E -> SP2");
@@ -227,6 +235,12 @@ fn main() {
     }
     if let Some(congestion) = congestion_json {
         doc.push("fire_congestion", congestion);
+    }
+    // The replicated control plane under the canonical fault storm:
+    // leader crash, minority partition, link blips. Flag-gated like the
+    // other fault runs, so clean output is untouched.
+    if let Some(seed) = control_fault_seed {
+        doc.push("signaling_replication", gtw_net::replica::control_fault_report(seed));
     }
     if let Some(seed) = fault_seed {
         doc.push("fault_seed", Json::from(seed));

@@ -94,3 +94,16 @@ cargo run --release -q -p gtw-bench --bin fig1_network -- --json --stripes 4 > "
 cmp "$trace_tmp/striped_a.json" "$trace_tmp/striped_b.json"
 cargo run --release -q -p gtw-bench --bin fig1_network -- --json --stripes 4 --shards 2 > "$trace_tmp/striped_2shard.json"
 cmp "$trace_tmp/striped_a.json" "$trace_tmp/striped_2shard.json"
+
+# Control-plane gate: the replicated-signalling availability suite
+# (leader crash, minority partitions, blip storms, replica-divergence
+# proptest) under the pinned master seed and a hard timeout, then the
+# partitioned-control-plane determinism check: two control-faulted
+# run_report runs with one seed must emit byte-identical JSON, and a
+# clean run must not grow the signaling_replication key.
+GTW_CONTROL_SEED=1999 timeout 300 cargo test -q -p gtw-core --test control_plane
+cargo run --release -q -p gtw-core --example run_report -- --control-faults 1999 > "$trace_tmp/cfaulted_a.json"
+cargo run --release -q -p gtw-core --example run_report -- --control-faults 1999 > "$trace_tmp/cfaulted_b.json"
+cmp "$trace_tmp/cfaulted_a.json" "$trace_tmp/cfaulted_b.json"
+cargo run --release -q -p gtw-core --example run_report > "$trace_tmp/clean.json"
+! grep -q signaling_replication "$trace_tmp/clean.json"
