@@ -237,6 +237,35 @@ fn bench_control_plane() -> Json {
     ])
 }
 
+/// Multi-domain hand-off reduced: three per-domain replica groups
+/// admitting 200 cross-domain calls with the two-phase protocol, under
+/// the canonical fault mix (origin leader crash, middle-domain
+/// partition, destination blips, double log-committed gateway
+/// fail-over, live membership change). All fields but `wall_s` are
+/// virtual-time deterministic.
+fn bench_multi_domain() -> Json {
+    let started = Instant::now();
+    let report = gtw_net::replica::multi_domain_fault_report(1999);
+    let wall = started.elapsed().as_secs_f64();
+    let pick = |k: &str| report.get(k).cloned().unwrap_or_else(|| panic!("report key {k}"));
+    Json::obj([
+        ("scenario", Json::from("multi_domain")),
+        ("seed", pick("seed")),
+        ("offered", pick("offered")),
+        ("placed", pick("placed")),
+        ("availability", pick("availability")),
+        ("handoffs_confirmed", pick("handoffs_confirmed")),
+        ("handoffs_aborted", pick("handoffs_aborted")),
+        ("max_dedup_table", pick("max_dedup_table")),
+        ("gateway_failovers", pick("gateway_failovers")),
+        ("epoch_grants", pick("epoch_grants")),
+        ("budgets_conserved", pick("budgets_conserved")),
+        ("states_converged", pick("states_converged")),
+        ("committed_mbps", pick("committed_mbps")),
+        ("wall_s", Json::from(wall)),
+    ])
+}
+
 fn raw_hop(rate_mbps: f64, prop_us: u64) -> HopModel {
     HopModel {
         medium: Medium::Raw { rate: Bandwidth::from_mbps(rate_mbps) },
@@ -369,6 +398,7 @@ fn main() {
         bench_table1(),
         bench_collectives(),
         bench_control_plane(),
+        bench_multi_domain(),
     ];
     let sweep = bench_shard_sweep();
     let mut doc = Json::obj([

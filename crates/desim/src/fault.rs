@@ -389,6 +389,18 @@ impl FaultPlan {
         }
         self
     }
+
+    /// Cut one node off from a set of peers for the given windows — the
+    /// common "minority replica isolated from its group" plan, spelled
+    /// as a two-group [`partition`](Self::partition). `node` is removed
+    /// from `others` if listed there, so callers can pass a full roster.
+    pub fn isolate(&mut self, node: &str, others: &[String], windows: Schedule) -> &mut Self {
+        let rest: Vec<String> = others.iter().filter(|o| o.as_str() != node).cloned().collect();
+        if rest.is_empty() {
+            return self;
+        }
+        self.partition(&[vec![node.to_string()], rest], windows)
+    }
 }
 
 /// Per-target fault runtime: owns the spec, the RNG stream and the
@@ -759,6 +771,31 @@ mod tests {
         // An empty window set is a no-op.
         let before = plan.clone();
         plan.partition(&groups, Schedule::empty());
+        assert_eq!(plan, before);
+    }
+
+    #[test]
+    fn isolate_cuts_node_from_roster_excluding_itself() {
+        let mut plan = FaultPlan::new(3);
+        let roster =
+            vec!["g/r0".to_string(), "g/r1".to_string(), "g/r2".to_string(), "g/c".to_string()];
+        let windows = Schedule::new(vec![Window::new(t(10), t(20))]);
+        // Passing the full roster is fine: the node is dropped from the
+        // peer side instead of being partitioned from itself.
+        plan.isolate("g/r2", &roster, windows.clone());
+        for (a, b) in
+            [("g/r2", "g/r0"), ("g/r0", "g/r2"), ("g/r2", "g/r1"), ("g/r2", "g/c"), ("g/c", "g/r2")]
+        {
+            let spec = plan.specs.get(&format!("link/{a}/{b}")).expect("pair cut");
+            assert_eq!(spec.outages, windows);
+        }
+        assert!(plan.injector("link/g/r2/g/r2").is_none());
+        // The survivors keep talking to each other.
+        assert!(plan.injector("link/g/r0/g/r1").is_none());
+        assert!(plan.injector("link/g/r0/g/c").is_none());
+        // Isolating a node from only itself is a no-op.
+        let before = plan.clone();
+        plan.isolate("g/r0", &["g/r0".to_string()], windows);
         assert_eq!(plan, before);
     }
 

@@ -149,6 +149,26 @@ struct GwTxDone {
 /// completions are still valid after recovery.
 pub struct GatewayEpochUpdate(pub u64);
 
+/// Sent by a pair in replicated-epoch mode to its owning domain's
+/// proxy: "commit `epoch` for me". The domain answers with a
+/// [`GatewayEpochGrant`] carrying the committed verdict.
+pub struct GatewayEpochRequest {
+    /// The requesting pair (reply address).
+    pub pair: ComponentId,
+    /// The fail-over epoch it wants to own.
+    pub epoch: u64,
+}
+
+/// The owning domain's committed verdict on a
+/// [`GatewayEpochRequest`]: granted iff the `GatewayEpoch` command
+/// applied (was strictly above the recorded epoch).
+pub struct GatewayEpochGrant {
+    /// The epoch that was proposed.
+    pub epoch: u64,
+    /// True when this pair now owns the epoch.
+    pub granted: bool,
+}
+
 /// A primary/standby gateway pair with health-probe failure detection.
 ///
 /// Datagrams queue in the shared upstream buffer and are serviced by the
@@ -182,6 +202,15 @@ pub struct GatewayPair {
     epoch: u64,
     missed: u32,
     probing: bool,
+    /// Replicated-epoch mode: the owning domain's proxy that must
+    /// commit every epoch bump before the pair may fail over.
+    arbiter: Option<ComponentId>,
+    /// True between proposing an epoch and hearing its verdict; the
+    /// pair forwards nothing while arbitrating, so a partitioned pair
+    /// stalls instead of split-braining.
+    arbitrating: bool,
+    /// The epoch currently proposed to the arbiter.
+    proposed_epoch: u64,
     /// Datagrams delivered downstream.
     pub forwarded: u64,
     /// Datagrams lost mid-copy at failover (bounded by one per event).
@@ -196,6 +225,10 @@ pub struct GatewayPair {
     pub probe_misses: u64,
     /// Completions from an already-failed unit, invalidated by epoch.
     pub dropped_stale_done: u64,
+    /// Epoch proposals sent to the arbiter (including retries).
+    pub epoch_requests: u64,
+    /// Grants that no longer matched the proposal in flight.
+    pub stale_grants: u64,
     /// Up/down commands naming a unit index other than 0 or 1.
     pub dropped_bad_unit: u64,
     /// Messages of an unknown type dropped instead of crashing the
@@ -221,6 +254,9 @@ impl GatewayPair {
             epoch: 0,
             missed: 0,
             probing: false,
+            arbiter: None,
+            arbitrating: false,
+            proposed_epoch: 0,
             forwarded: 0,
             inflight_lost: 0,
             queue_drops: 0,
@@ -228,6 +264,8 @@ impl GatewayPair {
             probes_sent: 0,
             probe_misses: 0,
             dropped_stale_done: 0,
+            epoch_requests: 0,
+            stale_grants: 0,
             dropped_bad_unit: 0,
             dropped_msgs: 0,
         }
@@ -254,9 +292,27 @@ impl GatewayPair {
         self
     }
 
+    /// Builder: route every epoch bump through `arbiter` (the owning
+    /// domain's replicated proxy). The pair then forwards only under
+    /// epochs its group has committed — the §4f split-brain fix.
+    pub fn with_replicated_epochs(mut self, arbiter: ComponentId) -> Self {
+        self.arbiter = Some(arbiter);
+        self
+    }
+
     /// Index (0 or 1) of the unit currently forwarding.
     pub fn active_unit(&self) -> usize {
         self.active
+    }
+
+    /// The current forwarding epoch (committed in replicated mode).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// True while a proposed epoch awaits its committed verdict.
+    pub fn is_arbitrating(&self) -> bool {
+        self.arbitrating
     }
 
     /// Time the active unit needs per datagram: routing plus the
@@ -271,7 +327,7 @@ impl GatewayPair {
     }
 
     fn try_start(&mut self, ctx: &mut Ctx<'_>) {
-        if self.transmitting || !self.up[self.active] {
+        if self.transmitting || !self.up[self.active] || self.arbitrating {
             return;
         }
         let Some(head) = self.queue.front() else { return };
@@ -291,6 +347,20 @@ impl GatewayPair {
     }
 
     fn fail_over(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(arbiter) = self.arbiter {
+            // Replicated mode: nothing flips until the owning domain
+            // commits the new epoch. Retried on the probe cadence until
+            // a verdict arrives.
+            if !self.arbitrating {
+                self.arbitrating = true;
+                self.proposed_epoch = self.epoch + 1;
+            }
+            self.missed = 0;
+            self.epoch_requests += 1;
+            let req = GatewayEpochRequest { pair: ctx.self_id(), epoch: self.proposed_epoch };
+            ctx.send_in(SimDuration::ZERO, arbiter, msg(req));
+            return;
+        }
         self.epoch += 1; // invalidate the dead unit's pending TxDone
         self.missed = 0;
         if self.transmitting {
@@ -325,9 +395,10 @@ impl Component for GatewayPair {
             self.try_start(ctx);
         } else if m.is::<GwTxDone>() {
             let d = *downcast::<GwTxDone>(m);
-            if d.epoch != self.epoch {
+            if d.epoch != self.epoch || !self.transmitting {
                 // Completion from a unit that already failed: its
-                // datagram was counted lost at the failover.
+                // datagram was counted lost at the failover (or at the
+                // crash itself, when the epoch bump awaits the log).
                 self.dropped_stale_done += 1;
                 return;
             }
@@ -363,8 +434,12 @@ impl Component for GatewayPair {
                 if unit == self.active && self.transmitting {
                     // The datagram mid-copy lives in the dead unit's
                     // memory: it is lost at the crash, and its pending
-                    // completion must not fire.
-                    self.epoch += 1;
+                    // completion must not fire. In replicated mode the
+                    // epoch may only move through the log; the cleared
+                    // `transmitting` flag invalidates the completion.
+                    if self.arbiter.is_none() {
+                        self.epoch += 1;
+                    }
                     self.transmitting = false;
                     self.queue.pop_front();
                     self.inflight_lost += 1;
@@ -380,6 +455,40 @@ impl Component for GatewayPair {
                 self.try_start(ctx);
             } else {
                 self.dropped_bad_unit += 1;
+            }
+        } else if m.is::<GatewayEpochGrant>() {
+            let g = *downcast::<GatewayEpochGrant>(m);
+            if !self.arbitrating || g.epoch != self.proposed_epoch {
+                self.stale_grants += 1;
+                return;
+            }
+            self.arbitrating = false;
+            if g.granted {
+                // The domain committed our epoch: complete the
+                // failover under it.
+                self.epoch = g.epoch;
+                self.missed = 0;
+                if self.transmitting {
+                    self.transmitting = false;
+                    self.queue.pop_front();
+                    self.inflight_lost += 1;
+                }
+                self.active = 1 - self.active;
+                self.failovers += 1;
+                for &r in &self.routes {
+                    ctx.send_in(SimDuration::ZERO, r, msg(LinkFailure));
+                }
+                for &l in &self.listeners {
+                    ctx.send_in(SimDuration::ZERO, l, msg(GatewayEpochUpdate(self.epoch)));
+                }
+                self.try_start(ctx);
+                self.arm_probe(ctx);
+            } else {
+                // Another requester owns that epoch; propose the next
+                // one at the next detection round.
+                self.proposed_epoch += 1;
+                self.try_start(ctx);
+                self.arm_probe(ctx);
             }
         } else {
             self.dropped_msgs += 1;

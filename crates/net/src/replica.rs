@@ -34,7 +34,7 @@ use gtw_desim::{
     Component, ComponentId, Ctx, Json, Msg, SimDuration, SimTime, Simulator, StreamRng,
 };
 
-use crate::gateway::GatewayEpochUpdate;
+use crate::gateway::{GatewayEpochGrant, GatewayEpochRequest, GatewayEpochUpdate};
 use crate::signaling::{
     CallId, CallOutcome, CallResult, Connect, Reject, RejectCause, Release, Setup,
     TrafficDescriptor,
@@ -68,9 +68,60 @@ pub enum Command {
         /// The call being rolled back.
         call: CallId,
     },
-    /// Record a gateway fail-over epoch in the replicated state.
+    /// First phase of a cross-domain hand-off: hold budget tentatively.
+    /// The hold counts against both budgets but is not yet admitted; it
+    /// is promoted by `Confirm`, dropped by `Abort`/`Rollback`, or
+    /// reaped by the leader's hand-off deadline.
+    Prepare {
+        /// The call requesting a tentative hold.
+        call: CallId,
+        /// Peak cell rate, `f64::to_bits`.
+        pcr_bits: u64,
+        /// Sustainable cell rate, `f64::to_bits`.
+        scr_bits: u64,
+    },
+    /// Second phase: promote a `Prepare` hold to an admitted call.
+    /// Applying it to a call with no hold (expired, aborted) yields
+    /// [`CmdOutcome::Stale`] so the confirmer can compensate.
+    Confirm {
+        /// The call being promoted.
+        call: CallId,
+    },
+    /// Drop a `Prepare` hold without admitting. Appended by the leader
+    /// itself (req 0) when a hold outlives the hand-off deadline.
+    Abort {
+        /// The call whose hold is released.
+        call: CallId,
+    },
+    /// Client high-water mark: every request id at or below `up_to` is
+    /// fully acknowledged, so its dedup entry can be dropped. Bounds the
+    /// replicated `applied_reqs` table across long fault storms.
+    AckApplied {
+        /// Highest acknowledged request id.
+        up_to: u64,
+    },
+    /// Live reconfiguration: replica `idx` becomes a voting member once
+    /// this entry commits (it is caught up by snapshot/append before
+    /// that, so it never gates quorum while stale).
+    AddReplica {
+        /// Index of the joining replica.
+        idx: usize,
+    },
+    /// Live reconfiguration: replica `idx` stops being a voting member.
+    /// A removed leader steps down when it applies its own removal; the
+    /// retired replica keeps receiving the feed as a non-voting
+    /// observer.
+    RemoveReplica {
+        /// Index of the retiring replica.
+        idx: usize,
+    },
+    /// Record a gateway fail-over epoch in the replicated state. Applies
+    /// only when strictly above the recorded epoch
+    /// ([`CmdOutcome::Stale`] otherwise), so each committed epoch is
+    /// granted to exactly one requester — the §4f split-brain fix.
     GatewayEpoch {
-        /// The epoch announced by [`GatewayEpochUpdate`].
+        /// The epoch announced by [`GatewayEpochUpdate`] or proposed by
+        /// a [`GatewayEpochRequest`](crate::gateway::GatewayEpochRequest).
         epoch: u64,
     },
 }
@@ -94,6 +145,10 @@ pub enum CmdOutcome {
     Rejected(RejectCause),
     /// A non-admission command (noop/release/rollback/epoch) applied.
     Applied,
+    /// The command arrived too late to take effect: a `Confirm` for a
+    /// hold that expired, or a `GatewayEpoch` at or below the epoch
+    /// already committed.
+    Stale,
 }
 
 impl CmdOutcome {
@@ -104,6 +159,7 @@ impl CmdOutcome {
             CmdOutcome::Rejected(RejectCause::PcrExceeded) => 2,
             CmdOutcome::Rejected(RejectCause::NoQuorum) => 3,
             CmdOutcome::Applied => 4,
+            CmdOutcome::Stale => 5,
         }
     }
 
@@ -113,6 +169,7 @@ impl CmdOutcome {
             1 => CmdOutcome::Rejected(RejectCause::ScrExceeded),
             2 => CmdOutcome::Rejected(RejectCause::PcrExceeded),
             3 => CmdOutcome::Rejected(RejectCause::NoQuorum),
+            5 => CmdOutcome::Stale,
             _ => CmdOutcome::Applied,
         }
     }
@@ -129,13 +186,23 @@ pub struct CacState {
     peak_factor_bits: u64,
     /// Admitted calls: `call -> (pcr_bits, scr_bits)`.
     pub admitted: BTreeMap<CallId, (u64, u64)>,
+    /// Tentative `Prepare` holds awaiting `Confirm`: counted against
+    /// both budgets, but not yet admitted.
+    pub pending: BTreeMap<CallId, (u64, u64)>,
     /// Highest gateway fail-over epoch recorded in the log.
     pub gateway_epoch: u64,
     /// Total commands applied (including no-ops).
     pub applied_count: u64,
     /// Request-id dedup table: `req -> outcome code`. Replicated, so a
     /// retried command returns its original outcome on every replica.
+    /// Bounded by `AckApplied` compaction: entries at or below
+    /// `dedup_floor` are dropped (the client acknowledged them).
     applied_reqs: BTreeMap<u64, u8>,
+    /// High-water mark of client-acknowledged request ids.
+    dedup_floor: u64,
+    /// Voting members by replica index. Empty means the pre-
+    /// reconfiguration default: every built replica votes.
+    members: BTreeSet<u32>,
 }
 
 impl CacState {
@@ -146,9 +213,12 @@ impl CacState {
             capacity_bits: capacity_bps.to_bits(),
             peak_factor_bits: peak_factor.to_bits(),
             admitted: BTreeMap::new(),
+            pending: BTreeMap::new(),
             gateway_epoch: 0,
             applied_count: 0,
             applied_reqs: BTreeMap::new(),
+            dedup_floor: 0,
+            members: BTreeSet::new(),
         }
     }
 
@@ -162,10 +232,41 @@ impl CacState {
         self.admitted.values().map(|&(pcr, _)| f64::from_bits(pcr)).sum()
     }
 
+    /// Sustained bandwidth held by tentative `Prepare` reservations.
+    pub fn pending_bps(&self) -> f64 {
+        self.pending.values().map(|&(_, scr)| f64::from_bits(scr)).sum()
+    }
+
+    /// Peak bandwidth held by tentative `Prepare` reservations.
+    pub fn pending_pcr_bps(&self) -> f64 {
+        self.pending.values().map(|&(pcr, _)| f64::from_bits(pcr)).sum()
+    }
+
+    /// High-water mark of client-acknowledged (compacted) request ids.
+    pub fn dedup_floor(&self) -> u64 {
+        self.dedup_floor
+    }
+
+    /// Entries currently held in the request-dedup table — bounded by
+    /// the committed floor, the witness the compaction tests check.
+    pub fn dedup_entries(&self) -> usize {
+        self.applied_reqs.len()
+    }
+
+    /// Committed voting membership. Empty means "every built replica".
+    pub fn members(&self) -> &BTreeSet<u32> {
+        &self.members
+    }
+
     /// Apply one command; `req != 0` requests are deduplicated so a
     /// retransmitted command is exactly-once.
     pub fn apply_cmd(&mut self, req: u64, cmd: &Command) -> CmdOutcome {
         if req != 0 {
+            if req <= self.dedup_floor {
+                // Compacted away: the client already saw the outcome, so
+                // any answer works. `Applied` keeps retries harmless.
+                return CmdOutcome::Applied;
+            }
             if let Some(&code) = self.applied_reqs.get(&req) {
                 return CmdOutcome::from_code(code);
             }
@@ -186,13 +287,68 @@ impl CacState {
                     CmdOutcome::Admitted
                 }
             }
+            Command::Prepare { call, pcr_bits, scr_bits } => {
+                if self.admitted.contains_key(&call) || self.pending.contains_key(&call) {
+                    // Idempotent: the hold (or its promotion) already
+                    // exists, so a retried Prepare changes nothing.
+                    CmdOutcome::Admitted
+                } else {
+                    let capacity = f64::from_bits(self.capacity_bits);
+                    let peak = capacity * f64::from_bits(self.peak_factor_bits);
+                    let scr_used = self.committed_bps() + self.pending_bps();
+                    let pcr_used = self.committed_pcr_bps() + self.pending_pcr_bps();
+                    if scr_used + f64::from_bits(scr_bits) > capacity {
+                        CmdOutcome::Rejected(RejectCause::ScrExceeded)
+                    } else if pcr_used + f64::from_bits(pcr_bits) > peak {
+                        CmdOutcome::Rejected(RejectCause::PcrExceeded)
+                    } else {
+                        self.pending.insert(call, (pcr_bits, scr_bits));
+                        CmdOutcome::Admitted
+                    }
+                }
+            }
+            Command::Confirm { call } => {
+                if let Some(hold) = self.pending.remove(&call) {
+                    self.admitted.insert(call, hold);
+                    CmdOutcome::Applied
+                } else if self.admitted.contains_key(&call) {
+                    CmdOutcome::Applied
+                } else {
+                    // The hold expired (deadline Abort) before the
+                    // confirm wave reached this domain.
+                    CmdOutcome::Stale
+                }
+            }
+            Command::Abort { call } => {
+                self.pending.remove(&call);
+                CmdOutcome::Applied
+            }
             Command::Release { call } | Command::Rollback { call } => {
                 self.admitted.remove(&call);
+                self.pending.remove(&call);
+                CmdOutcome::Applied
+            }
+            Command::AckApplied { up_to } => {
+                self.dedup_floor = self.dedup_floor.max(up_to);
+                let floor = self.dedup_floor;
+                self.applied_reqs.retain(|&r, _| r > floor);
+                CmdOutcome::Applied
+            }
+            Command::AddReplica { idx } => {
+                self.members.insert(idx as u32);
+                CmdOutcome::Applied
+            }
+            Command::RemoveReplica { idx } => {
+                self.members.remove(&(idx as u32));
                 CmdOutcome::Applied
             }
             Command::GatewayEpoch { epoch } => {
-                self.gateway_epoch = self.gateway_epoch.max(epoch);
-                CmdOutcome::Applied
+                if epoch > self.gateway_epoch {
+                    self.gateway_epoch = epoch;
+                    CmdOutcome::Applied
+                } else {
+                    CmdOutcome::Stale
+                }
             }
         };
         if req != 0 {
@@ -203,17 +359,31 @@ impl CacState {
     }
 
     /// Deterministic little-endian encoding — the snapshot wire format
-    /// and the byte-identity witness the tests compare.
+    /// and the byte-identity witness the tests compare. Version 2 ends
+    /// with an FNV-1a-32 checksum of everything before it, so a
+    /// truncated or bit-flipped snapshot decodes to `None` rather than
+    /// to a different valid state.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(64 + 24 * self.admitted.len());
+        let mut out = Vec::with_capacity(96 + 24 * (self.admitted.len() + self.pending.len()));
         out.extend_from_slice(b"GTWR");
-        out.extend_from_slice(&1u16.to_le_bytes());
+        out.extend_from_slice(&2u16.to_le_bytes());
         out.extend_from_slice(&self.capacity_bits.to_le_bytes());
         out.extend_from_slice(&self.peak_factor_bits.to_le_bytes());
         out.extend_from_slice(&self.gateway_epoch.to_le_bytes());
         out.extend_from_slice(&self.applied_count.to_le_bytes());
+        out.extend_from_slice(&self.dedup_floor.to_le_bytes());
+        out.extend_from_slice(&(self.members.len() as u32).to_le_bytes());
+        for &m in &self.members {
+            out.extend_from_slice(&m.to_le_bytes());
+        }
         out.extend_from_slice(&(self.admitted.len() as u32).to_le_bytes());
         for (&CallId(call), &(pcr, scr)) in &self.admitted {
+            out.extend_from_slice(&call.to_le_bytes());
+            out.extend_from_slice(&pcr.to_le_bytes());
+            out.extend_from_slice(&scr.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.pending.len() as u32).to_le_bytes());
+        for (&CallId(call), &(pcr, scr)) in &self.pending {
             out.extend_from_slice(&call.to_le_bytes());
             out.extend_from_slice(&pcr.to_le_bytes());
             out.extend_from_slice(&scr.to_le_bytes());
@@ -223,10 +393,14 @@ impl CacState {
             out.extend_from_slice(&req.to_le_bytes());
             out.push(code);
         }
+        let sum = fnv1a32(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
         out
     }
 
-    /// Decode a snapshot produced by [`encode`](Self::encode).
+    /// Decode a snapshot produced by [`encode`](Self::encode). Accepts
+    /// both the current v2 layout (checksummed) and legacy v1 bytes
+    /// (no pending holds, no membership, no dedup floor).
     pub fn decode(bytes: &[u8]) -> Option<CacState> {
         struct Rd<'a>(&'a [u8]);
         impl Rd<'_> {
@@ -245,25 +419,56 @@ impl CacState {
                 Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
             }
         }
+        fn triples(rd: &mut Rd<'_>) -> Option<BTreeMap<CallId, (u64, u64)>> {
+            let n = rd.u32()? as usize;
+            let mut out = BTreeMap::new();
+            for _ in 0..n {
+                let call = CallId(rd.u64()?);
+                let pcr = rd.u64()?;
+                let scr = rd.u64()?;
+                out.insert(call, (pcr, scr));
+            }
+            Some(out)
+        }
+        let mut bytes = bytes;
+        let version_bytes = bytes.get(4..6)?;
+        let version = u16::from_le_bytes(version_bytes.try_into().ok()?);
+        if version == 2 {
+            // Checksum covers everything before the trailing 4 bytes.
+            if bytes.len() < 4 {
+                return None;
+            }
+            let (body, sum_bytes) = bytes.split_at(bytes.len() - 4);
+            let sum = u32::from_le_bytes(sum_bytes.try_into().ok()?);
+            if fnv1a32(body) != sum {
+                return None;
+            }
+            bytes = body;
+        }
         let mut rd = Rd(bytes);
         if rd.take(4)? != b"GTWR" {
             return None;
         }
-        if u16::from_le_bytes(rd.take(2)?.try_into().ok()?) != 1 {
+        if u16::from_le_bytes(rd.take(2)?.try_into().ok()?) != version
+            || !(1..=2).contains(&version)
+        {
             return None;
         }
         let capacity_bits = rd.u64()?;
         let peak_factor_bits = rd.u64()?;
         let gateway_epoch = rd.u64()?;
         let applied_count = rd.u64()?;
-        let n_admitted = rd.u32()? as usize;
-        let mut admitted = BTreeMap::new();
-        for _ in 0..n_admitted {
-            let call = CallId(rd.u64()?);
-            let pcr = rd.u64()?;
-            let scr = rd.u64()?;
-            admitted.insert(call, (pcr, scr));
+        let mut dedup_floor = 0;
+        let mut members = BTreeSet::new();
+        if version >= 2 {
+            dedup_floor = rd.u64()?;
+            let n_members = rd.u32()? as usize;
+            for _ in 0..n_members {
+                members.insert(rd.u32()?);
+            }
         }
+        let admitted = triples(&mut rd)?;
+        let pending = if version >= 2 { triples(&mut rd)? } else { BTreeMap::new() };
         let n_reqs = rd.u32()? as usize;
         let mut applied_reqs = BTreeMap::new();
         for _ in 0..n_reqs {
@@ -278,11 +483,24 @@ impl CacState {
             capacity_bits,
             peak_factor_bits,
             admitted,
+            pending,
             gateway_epoch,
             applied_count,
             applied_reqs,
+            dedup_floor,
+            members,
         })
     }
+}
+
+/// FNV-1a 32-bit hash, used as the snapshot codec's trailing checksum.
+fn fnv1a32(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 2166136261;
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(16777619);
+    }
+    h
 }
 
 // ---- configuration ----------------------------------------------------
@@ -316,6 +534,10 @@ pub struct GroupConfig {
     /// Client gives up on a request (refuses the call with
     /// [`RejectCause::NoQuorum`]) after this long.
     pub request_deadline: SimDuration,
+    /// Leader-side deadline for a `Prepare` hold: if no `Confirm`
+    /// commits within this window the leader commits an `Abort`,
+    /// releasing the tentative reservation.
+    pub handoff_deadline: SimDuration,
     /// Compact the log into a snapshot once it exceeds this many
     /// entries.
     pub snapshot_threshold: usize,
@@ -343,6 +565,7 @@ impl GroupConfig {
             commit_timeout: SimDuration::from_millis(100),
             retry_backoff: SimDuration::from_millis(25),
             request_deadline: SimDuration::from_secs(5),
+            handoff_deadline: SimDuration::from_secs(2),
             snapshot_threshold: 64,
             peak_factor: 1.0,
             preferred_leader: Some(0),
@@ -408,6 +631,16 @@ pub struct ReplicaDown {
 /// Bring a downed replica back; it rejoins as a follower.
 pub struct ReplicaUp;
 
+/// Ask a group (addressed to its proxy) to commit a membership change
+/// making replica `idx` a voter. The joiner has been fed appends and
+/// snapshots as an observer since boot, so it is caught up before its
+/// vote ever counts.
+pub struct AddMember(pub usize);
+
+/// Ask a group (addressed to its proxy) to retire replica `idx` from
+/// voting; it keeps replicating as an observer.
+pub struct RemoveMember(pub usize);
+
 struct ClientRequest {
     req: u64,
     cmd: Command,
@@ -439,6 +672,12 @@ struct HeartbeatTick {
 /// Leader-side deadline for a pending client request.
 struct CommitCheck {
     req: u64,
+}
+
+/// Leader-side hand-off deadline for a committed `Prepare` hold: if no
+/// `Confirm` committed by then, the leader commits an `Abort`.
+struct PendingExpiry {
+    call: CallId,
 }
 
 // ---- replica ----------------------------------------------------------
@@ -504,6 +743,8 @@ pub struct Replica {
     pub compactions: u64,
     /// Client requests answered `NoQuorum` after the commit timeout.
     pub no_quorum_replies: u64,
+    /// `Prepare` holds aborted by this replica at the hand-off deadline.
+    pub handoff_expiries: u64,
     /// Messages suppressed by a partition fault injector.
     pub msgs_dropped_partition: u64,
     /// Messages dropped because the replica was down.
@@ -553,6 +794,7 @@ impl Replica {
             snapshots_installed: 0,
             compactions: 0,
             no_quorum_replies: 0,
+            handoff_expiries: 0,
             msgs_dropped_partition: 0,
             dropped_while_down: 0,
             rejoins: 0,
@@ -603,8 +845,22 @@ impl Replica {
         self.peers.len()
     }
 
+    /// Bitmask of voting member indices. An empty committed membership
+    /// is the pre-reconfiguration sentinel: every built replica votes.
+    fn member_mask(&self) -> u32 {
+        if self.state.members().is_empty() {
+            ((1u64 << self.n()) - 1) as u32
+        } else {
+            self.state.members().iter().fold(0u32, |m, &i| m | (1 << i))
+        }
+    }
+
+    fn is_member(&self, j: usize) -> bool {
+        self.member_mask() & (1 << j) != 0
+    }
+
     fn majority(&self) -> u32 {
-        (self.n() / 2 + 1) as u32
+        self.member_mask().count_ones() / 2 + 1
     }
 
     fn last_index(&self) -> u64 {
@@ -657,7 +913,9 @@ impl Replica {
 
     fn reset_election_timer(&mut self, ctx: &mut Ctx<'_>) {
         self.election_nonce += 1;
-        if ctx.now() >= self.cfg.active_until {
+        // Non-members (spare observers, retired replicas) never stand
+        // for election; they still replicate as followers.
+        if ctx.now() >= self.cfg.active_until || !self.is_member(self.idx) {
             return;
         }
         let (lo, hi) = if self.cfg.preferred_leader == Some(self.idx) {
@@ -723,6 +981,9 @@ impl Replica {
     }
 
     fn start_election(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.is_member(self.idx) {
+            return;
+        }
         self.term += 1;
         self.role = Role::Candidate;
         self.voted_for = Some(self.idx);
@@ -742,8 +1003,8 @@ impl Replica {
             }
         }
         self.reset_election_timer(ctx);
-        if self.votes.count_ones() >= self.majority() {
-            // Single-replica group: win immediately.
+        if (self.votes & self.member_mask()).count_ones() >= self.majority() {
+            // Single-member group: win immediately.
             self.become_leader(ctx);
         }
     }
@@ -764,6 +1025,14 @@ impl Replica {
         self.match_index[self.idx] = self.last_index();
         self.broadcast_append(ctx);
         self.arm_heartbeat(ctx);
+        // A new leader inherits the previous leader's unexpired holds:
+        // re-arm their deadlines so an orphaned hand-off still aborts.
+        if ctx.now() < self.cfg.active_until {
+            let held: Vec<CallId> = self.state.pending.keys().copied().collect();
+            for call in held {
+                ctx.timer_in(self.cfg.handoff_deadline, msg(PendingExpiry { call }));
+            }
+        }
         self.try_advance_commit(ctx);
     }
 
@@ -814,11 +1083,19 @@ impl Replica {
         if self.role != Role::Leader {
             return;
         }
-        let mut matches = self.match_index.clone();
+        // Only voting members count toward commit; spare observers and
+        // retired replicas replicate but never advance the quorum.
+        let mask = self.member_mask();
+        let mut matches: Vec<u64> =
+            (0..self.n()).filter(|&j| mask & (1 << j) != 0).map(|j| self.match_index[j]).collect();
         matches.sort_unstable();
+        let maj = self.majority() as usize;
+        if matches.len() < maj {
+            return;
+        }
         // The index replicated on a majority is the majority-th from
         // the top of the sorted match vector.
-        let candidate = matches[self.n() - self.majority() as usize];
+        let candidate = matches[matches.len() - maj];
         // Only entries of the current term commit by counting
         // (Raft §5.4.2); earlier terms ride along.
         if candidate > self.commit_index && self.term_at(candidate) == self.term {
@@ -844,6 +1121,30 @@ impl Replica {
                         ClientReply { req, from: self.idx, result: ReplyResult::Done(outcome) };
                     self.send_client(ctx, client, msg(reply));
                 }
+            }
+            // Commit-time side effects (after the client reply, so a
+            // self-removing leader still answers the request).
+            match cmd {
+                Command::Prepare { call, .. }
+                    if self.role == Role::Leader
+                        && outcome == CmdOutcome::Admitted
+                        && ctx.now() < self.cfg.active_until =>
+                {
+                    ctx.timer_in(self.cfg.handoff_deadline, msg(PendingExpiry { call }));
+                }
+                Command::AddReplica { idx } if idx == self.idx => {
+                    // Promoted from observer to voter: start electing.
+                    self.reset_election_timer(ctx);
+                }
+                Command::RemoveReplica { idx } if idx == self.idx => {
+                    // Retired: cancel any election timer; a retired
+                    // leader abdicates so the remaining members elect.
+                    self.election_nonce += 1;
+                    if self.role == Role::Leader {
+                        self.step_down_quiet(ctx, self.term);
+                    }
+                }
+                _ => {}
             }
         }
         self.maybe_compact();
@@ -890,10 +1191,15 @@ impl Component for Replica {
                 self.commit_index = 0;
                 self.last_applied = 0;
                 self.last_applied_term = 0;
+                // Boot membership is provisioning config, not state: it
+                // survives the reinstall. Changes committed since then
+                // replay from the log or arrive with the snapshot.
+                let members = std::mem::take(&mut self.state.members);
                 self.state = CacState::new(
                     f64::from_bits(self.state.capacity_bits),
                     f64::from_bits(self.state.peak_factor_bits),
                 );
+                self.state.members = members;
             }
             self.role = Role::Follower;
             self.pending.clear();
@@ -964,7 +1270,7 @@ impl Component for Replica {
                 return;
             }
             self.votes |= 1 << vr.from;
-            if self.votes.count_ones() >= self.majority() {
+            if (self.votes & self.member_mask()).count_ones() >= self.majority() {
                 self.become_leader(ctx);
             }
         } else if m.is::<Append>() {
@@ -1120,6 +1426,17 @@ impl Component for Replica {
             // Exactly-once: an already-applied request returns its
             // recorded outcome; an in-flight one just re-registers the
             // client for the commit notification.
+            if cr.req <= self.state.dedup_floor() {
+                // Compacted: the client acknowledged everything at or
+                // below the floor, so this is a harmless late duplicate.
+                let reply = ClientReply {
+                    req: cr.req,
+                    from: self.idx,
+                    result: ReplyResult::Done(CmdOutcome::Applied),
+                };
+                self.send_client(ctx, cr.reply_to, msg(reply));
+                return;
+            }
             if let Some(&code) = self.state.applied_reqs.get(&cr.req) {
                 let reply = ClientReply {
                     req: cr.req,
@@ -1141,6 +1458,23 @@ impl Component for Replica {
             if ctx.now() < self.cfg.active_until {
                 ctx.timer_in(self.cfg.commit_timeout, msg(CommitCheck { req: cr.req }));
             }
+        } else if m.is::<PendingExpiry>() {
+            let pe = *downcast::<PendingExpiry>(m);
+            if self.role != Role::Leader || !self.state.pending.contains_key(&pe.call) {
+                return;
+            }
+            // The confirm wave never reached this domain: release the
+            // tentative hold through the log so every replica frees it.
+            self.handoff_expiries += 1;
+            self.log.push(LogEntry {
+                term: self.term,
+                req: 0,
+                cmd: Command::Abort { call: pe.call },
+            });
+            self.entries_appended += 1;
+            self.match_index[self.idx] = self.last_index();
+            self.broadcast_append(ctx);
+            self.try_advance_commit(ctx);
         } else if m.is::<CommitCheck>() {
             let cc = *downcast::<CommitCheck>(m);
             if self.role != Role::Leader {
@@ -1178,7 +1512,17 @@ enum PendingKind {
     /// A SETUP hop decision: continue the hop-by-hop protocol once the
     /// replicated CAC answers.
     Setup(Box<SetupCtx>),
-    /// Fire-and-forget bookkeeping (release/rollback/epoch).
+    /// A hand-off `Confirm`: forward the CONNECT walk-back once the
+    /// promotion commits, or unwind every hop on failure.
+    Confirm(Box<Connect>),
+    /// A gateway epoch proposal awaiting its committed verdict.
+    Epoch {
+        /// The requesting gateway pair.
+        pair: ComponentId,
+        /// The epoch it proposed.
+        epoch: u64,
+    },
+    /// Fire-and-forget bookkeeping (release/rollback/epoch/ack).
     Fire,
 }
 
@@ -1217,6 +1561,17 @@ pub struct ReplicatedAgent {
     /// release fires as soon as the admission answer lands.
     pending_release: BTreeSet<CallId>,
     link_faults: Vec<Option<FaultInjector>>,
+    /// Two-phase mode: SETUPs take a `Prepare` hold and the CONNECT
+    /// walk-back promotes each hop with `Confirm` — the cross-domain
+    /// hand-off protocol. Off by default (single-domain `Reserve`).
+    two_phase: bool,
+    /// Calls this hop holds a committed `Prepare` for, awaiting the
+    /// confirm wave.
+    prepared: BTreeSet<CallId>,
+    /// Requests fully completed (reply consumed) since boot.
+    completed_reqs: u64,
+    /// Highest dedup floor already acknowledged through the log.
+    acked_floor: u64,
 
     /// Calls admitted by the replicated CAC.
     pub calls_admitted: u64,
@@ -1240,6 +1595,16 @@ pub struct ReplicatedAgent {
     pub commands_sent: u64,
     /// Fire-and-forget commands abandoned at their deadline.
     pub cleanup_abandoned: u64,
+    /// Hand-off holds promoted to admissions at this hop.
+    pub handoffs_confirmed: u64,
+    /// Hand-off confirms that failed (hold expired or no quorum).
+    pub handoffs_aborted: u64,
+    /// Gateway epoch proposals this domain granted.
+    pub epoch_grants: u64,
+    /// Gateway epoch proposals refused as stale.
+    pub epoch_refusals: u64,
+    /// Dedup-compaction acknowledgements committed through the log.
+    pub dedup_acks_sent: u64,
     /// Messages suppressed by a partition fault injector.
     pub msgs_dropped_partition: u64,
     /// Replies for requests no longer pending (late duplicates).
@@ -1261,6 +1626,10 @@ impl ReplicatedAgent {
             nonce_seq: 0,
             pending: BTreeMap::new(),
             pending_release: BTreeSet::new(),
+            two_phase: false,
+            prepared: BTreeSet::new(),
+            completed_reqs: 0,
+            acked_floor: 0,
             calls_admitted: 0,
             calls_refused: 0,
             refused_scr: 0,
@@ -1272,6 +1641,11 @@ impl ReplicatedAgent {
             leader_switches: 0,
             commands_sent: 0,
             cleanup_abandoned: 0,
+            handoffs_confirmed: 0,
+            handoffs_aborted: 0,
+            epoch_grants: 0,
+            epoch_refusals: 0,
+            dedup_acks_sent: 0,
             msgs_dropped_partition: 0,
             stale_replies: 0,
             dropped_msgs: 0,
@@ -1328,8 +1702,32 @@ impl ReplicatedAgent {
         if s.path.is_empty() {
             let mut back = s.visited.clone();
             back.pop();
+            if self.two_phase {
+                // Last hop: start the confirm wave. Our own hold is
+                // promoted first; the CONNECT then promotes each
+                // upstream hop on its way back to the origin.
+                let c = Connect {
+                    call: s.call,
+                    back,
+                    origin: s.origin,
+                    sent_at: s.sent_at,
+                    confirmed: Vec::new(),
+                };
+                self.start_request(
+                    ctx,
+                    Command::Confirm { call: s.call },
+                    PendingKind::Confirm(Box::new(c)),
+                );
+                return;
+            }
             let next = back.pop();
-            let c = Connect { call: s.call, back, origin: s.origin, sent_at: s.sent_at };
+            let c = Connect {
+                call: s.call,
+                back,
+                origin: s.origin,
+                sent_at: s.sent_at,
+                confirmed: Vec::new(),
+            };
             match next {
                 Some(n) => ctx.send_in(delay, n, msg(c)),
                 None => {
@@ -1377,16 +1775,75 @@ impl ReplicatedAgent {
     fn fire(&mut self, ctx: &mut Ctx<'_>, cmd: Command) {
         self.start_request(ctx, cmd, PendingKind::Fire);
     }
+
+    /// Walk a CONNECT one hop back, or finish at the origin — the
+    /// shared tail of the plain and two-phase paths.
+    fn forward_connect(&mut self, ctx: &mut Ctx<'_>, mut c: Connect) {
+        let delay = self.hop_delay();
+        match c.back.pop() {
+            Some(n) => ctx.send_in(delay, n, msg(c)),
+            None => {
+                let origin = c.origin;
+                let setup_s = (ctx.now() + delay).saturating_since(c.sent_at).as_secs_f64();
+                ctx.send_in(
+                    delay,
+                    origin,
+                    msg(CallResult(c.call, CallOutcome::Connected { setup_s })),
+                );
+            }
+        }
+    }
+
+    /// Unwind a failed confirm wave: release the downstream hops that
+    /// already promoted their holds, roll our own back, and refuse the
+    /// call at the origin. Upstream hops (still in `back`) hold only
+    /// tentative reservations; the origin's teardown releases them, and
+    /// the hand-off deadline reaps any the teardown cannot reach.
+    fn fail_handoff(&mut self, ctx: &mut Ctx<'_>, c: Connect) {
+        self.calls_refused += 1;
+        self.refused_no_quorum += 1;
+        let delay = self.hop_delay();
+        for &hop in &c.confirmed {
+            ctx.send_in(delay, hop, msg(Release { call: c.call, path: vec![] }));
+        }
+        self.fire(ctx, Command::Rollback { call: c.call });
+        let origin = c.origin;
+        let at_hop = c.back.len() + 1;
+        let reject =
+            Reject { call: c.call, at_hop, cause: RejectCause::NoQuorum, visited: c.back, origin };
+        ctx.send_in(delay, origin, msg(reject));
+    }
+
+    /// Per-client dedup compaction: once every 32 completed requests,
+    /// commit the high-water mark below which every request has been
+    /// fully acknowledged, so the replicated dedup table stays bounded.
+    fn maybe_ack(&mut self, ctx: &mut Ctx<'_>) {
+        self.completed_reqs += 1;
+        if self.completed_reqs % 32 != 0 {
+            return;
+        }
+        let floor = match self.pending.keys().next() {
+            Some(&min) => min - 1,
+            None => self.req_seq,
+        };
+        if floor > self.acked_floor {
+            self.acked_floor = floor;
+            self.dedup_acks_sent += 1;
+            self.fire(ctx, Command::AckApplied { up_to: floor });
+        }
+    }
 }
 
 impl Component for ReplicatedAgent {
     fn handle(&mut self, ctx: &mut Ctx<'_>, m: Msg) {
         if m.is::<Setup>() {
             let s = *downcast::<Setup>(m);
-            let cmd = Command::Reserve {
-                call: s.call,
-                pcr_bits: s.td.pcr.bps().to_bits(),
-                scr_bits: s.td.scr.bps().to_bits(),
+            let pcr_bits = s.td.pcr.bps().to_bits();
+            let scr_bits = s.td.scr.bps().to_bits();
+            let cmd = if self.two_phase {
+                Command::Prepare { call: s.call, pcr_bits, scr_bits }
+            } else {
+                Command::Reserve { call: s.call, pcr_bits, scr_bits }
             };
             let sc = SetupCtx {
                 call: s.call,
@@ -1416,6 +1873,9 @@ impl Component for ReplicatedAgent {
                         PendingKind::Setup(sc) => match outcome {
                             CmdOutcome::Admitted | CmdOutcome::Applied => {
                                 self.calls_admitted += 1;
+                                if self.two_phase {
+                                    self.prepared.insert(sc.call);
+                                }
                                 if self.pending_release.remove(&sc.call) {
                                     // Released while the Reserve was in
                                     // flight: free the budget again.
@@ -1424,8 +1884,37 @@ impl Component for ReplicatedAgent {
                                 self.continue_setup(ctx, *sc);
                             }
                             CmdOutcome::Rejected(cause) => self.reject_setup(ctx, *sc, cause),
+                            CmdOutcome::Stale => self.reject_setup(ctx, *sc, RejectCause::NoQuorum),
                         },
+                        PendingKind::Confirm(c) => match outcome {
+                            CmdOutcome::Applied | CmdOutcome::Admitted => {
+                                self.prepared.remove(&c.call);
+                                self.handoffs_confirmed += 1;
+                                let mut c = *c;
+                                c.confirmed.push(ctx.self_id());
+                                self.forward_connect(ctx, c);
+                            }
+                            CmdOutcome::Stale | CmdOutcome::Rejected(_) => {
+                                // The hold expired before the confirm
+                                // committed: unwind the whole hand-off.
+                                self.prepared.remove(&c.call);
+                                self.handoffs_aborted += 1;
+                                self.fail_handoff(ctx, *c);
+                            }
+                        },
+                        PendingKind::Epoch { pair, epoch } => {
+                            let granted =
+                                matches!(outcome, CmdOutcome::Applied | CmdOutcome::Admitted);
+                            if granted {
+                                self.epoch_grants += 1;
+                            } else {
+                                self.epoch_refusals += 1;
+                            }
+                            let grant = GatewayEpochGrant { epoch, granted };
+                            ctx.send_in(self.cfg.net_delay, pair, msg(grant));
+                        }
                     }
+                    self.maybe_ack(ctx);
                 }
                 ReplyResult::NotLeader { hint } => {
                     self.redirects += 1;
@@ -1466,6 +1955,15 @@ impl Component for ReplicatedAgent {
                         self.reject_setup(ctx, *sc, RejectCause::NoQuorum);
                         self.fire(ctx, Command::Rollback { call });
                     }
+                    PendingKind::Confirm(c) => {
+                        // Our own domain lost quorum mid-confirm: the
+                        // leader's hand-off deadline will reap the hold
+                        // if the Confirm never committed; unwind now.
+                        self.prepared.remove(&c.call);
+                        self.handoffs_aborted += 1;
+                        self.fail_handoff(ctx, *c);
+                    }
+                    PendingKind::Epoch { .. } => self.cleanup_abandoned += 1,
                     PendingKind::Fire => self.cleanup_abandoned += 1,
                 }
                 return;
@@ -1476,24 +1974,23 @@ impl Component for ReplicatedAgent {
             p.nonce = self.nonce_seq;
             self.issue(ctx, t.req);
         } else if m.is::<Connect>() {
-            let mut c = *downcast::<Connect>(m);
-            let delay = self.hop_delay();
-            match c.back.pop() {
-                Some(n) => ctx.send_in(delay, n, msg(c)),
-                None => {
-                    let origin = c.origin;
-                    let setup_s = (ctx.now() + delay).saturating_since(c.sent_at).as_secs_f64();
-                    ctx.send_in(
-                        delay,
-                        origin,
-                        msg(CallResult(c.call, CallOutcome::Connected { setup_s })),
-                    );
-                }
+            let c = *downcast::<Connect>(m);
+            if self.two_phase && self.prepared.contains(&c.call) {
+                // Promote our tentative hold through the log before
+                // walking the CONNECT any further upstream.
+                self.start_request(
+                    ctx,
+                    Command::Confirm { call: c.call },
+                    PendingKind::Confirm(Box::new(c)),
+                );
+            } else {
+                self.forward_connect(ctx, c);
             }
         } else if m.is::<Reject>() {
             // A downstream hop refused after we admitted: roll our
             // reservation back in the replicated state, pass it on.
             let r = *downcast::<Reject>(m);
+            self.prepared.remove(&r.call);
             self.fire(ctx, Command::Rollback { call: r.call });
             let delay = self.hop_delay();
             let origin = r.origin;
@@ -1504,6 +2001,7 @@ impl Component for ReplicatedAgent {
                 .pending
                 .values()
                 .any(|p| matches!(&p.kind, PendingKind::Setup(sc) if sc.call == r.call));
+            self.prepared.remove(&r.call);
             if in_flight {
                 self.pending_release.insert(r.call);
             } else {
@@ -1516,6 +2014,26 @@ impl Component for ReplicatedAgent {
         } else if m.is::<GatewayEpochUpdate>() {
             let GatewayEpochUpdate(epoch) = *downcast::<GatewayEpochUpdate>(m);
             self.fire(ctx, Command::GatewayEpoch { epoch });
+        } else if m.is::<GatewayEpochRequest>() {
+            // A gateway pair asking this domain to commit a fail-over
+            // epoch; the committed outcome decides the grant.
+            let r = *downcast::<GatewayEpochRequest>(m);
+            let dup = self.pending.values().any(
+                |p| matches!(p.kind, PendingKind::Epoch { pair, epoch } if pair == r.pair && epoch == r.epoch),
+            );
+            if !dup {
+                self.start_request(
+                    ctx,
+                    Command::GatewayEpoch { epoch: r.epoch },
+                    PendingKind::Epoch { pair: r.pair, epoch: r.epoch },
+                );
+            }
+        } else if m.is::<AddMember>() {
+            let AddMember(idx) = *downcast::<AddMember>(m);
+            self.fire(ctx, Command::AddReplica { idx });
+        } else if m.is::<RemoveMember>() {
+            let RemoveMember(idx) = *downcast::<RemoveMember>(m);
+            self.fire(ctx, Command::RemoveReplica { idx });
         } else {
             self.dropped_msgs += 1;
         }
@@ -1543,8 +2061,10 @@ pub struct ReplicaGroup {
 }
 
 impl ReplicaGroup {
-    /// Build a group of `n` (odd) replicas guarding a port of
+    /// Build a group of `n` (odd, `>= 3`) replicas guarding a port of
     /// `capacity`, plus the proxy, and boot every replica at `t = 0`.
+    /// Panics on a degenerate size; use [`try_build`](Self::try_build)
+    /// to handle the error.
     pub fn build(
         sim: &mut Simulator,
         label: impl Into<String>,
@@ -1552,16 +2072,61 @@ impl ReplicaGroup {
         capacity: Bandwidth,
         cfg: GroupConfig,
     ) -> Self {
-        assert!(n >= 1 && n % 2 == 1, "a quorum group needs an odd replica count");
+        match Self::try_build(sim, label, n, capacity, cfg) {
+            Ok(group) => group,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`build`](Self::build): rejects group sizes whose
+    /// majority math is degenerate instead of constructing them.
+    pub fn try_build(
+        sim: &mut Simulator,
+        label: impl Into<String>,
+        n: usize,
+        capacity: Bandwidth,
+        cfg: GroupConfig,
+    ) -> Result<Self, String> {
+        Self::try_build_with_spares(sim, label, n, 0, capacity, cfg)
+    }
+
+    /// Build `n` voting replicas plus `spares` non-voting observers
+    /// (`r{n}..`). Spares receive every append and snapshot but never
+    /// vote or count toward quorum until an
+    /// [`AddMember`] change commits through the log.
+    pub fn try_build_with_spares(
+        sim: &mut Simulator,
+        label: impl Into<String>,
+        n: usize,
+        spares: usize,
+        capacity: Bandwidth,
+        cfg: GroupConfig,
+    ) -> Result<Self, String> {
         let label = label.into();
-        let replicas: Vec<ComponentId> = (0..n)
+        if n % 2 == 0 {
+            return Err(format!(
+                "replica group '{label}': even size {n} has degenerate majority math; \
+                 use 2f+1 (odd) replicas"
+            ));
+        }
+        if n < 3 {
+            return Err(format!(
+                "replica group '{label}': size {n} tolerates no failures (f = 0); \
+                 a replicated control plane needs at least 3 replicas"
+            ));
+        }
+        let total = n + spares;
+        let replicas: Vec<ComponentId> = (0..total)
             .map(|i| {
                 sim.add_component(Replica::new(format!("{label}/r{i}"), i, capacity, cfg.clone()))
             })
             .collect();
+        let members: BTreeSet<u32> = (0..n as u32).collect();
         for &id in &replicas {
-            sim.component_mut::<Replica>(id).peers = replicas.clone();
-            sim.component_mut::<Replica>(id).link_faults = (0..n).map(|_| None).collect();
+            let r = sim.component_mut::<Replica>(id);
+            r.peers = replicas.clone();
+            r.link_faults = (0..total).map(|_| None).collect();
+            r.state.members = members.clone();
             sim.send_at(SimTime::ZERO, id, msg(BootReplica));
         }
         let proxy = sim.add_component(ReplicatedAgent::new(
@@ -1569,7 +2134,13 @@ impl ReplicaGroup {
             replicas.clone(),
             cfg.clone(),
         ));
-        ReplicaGroup { label, replicas, proxy, cfg }
+        Ok(ReplicaGroup { label, replicas, proxy, cfg })
+    }
+
+    /// Switch the proxy between single-domain `Reserve` admissions and
+    /// the two-phase cross-domain hand-off (`Prepare`/`Confirm`).
+    pub fn set_two_phase(&self, sim: &mut Simulator, on: bool) {
+        sim.component_mut::<ReplicatedAgent>(self.proxy).two_phase = on;
     }
 
     /// Install the plan's outage windows on this group's control links.
@@ -1881,6 +2452,251 @@ pub fn control_fault_report(seed: u64) -> Json {
         ("redirects", Json::from(proxy.redirects)),
         ("retries", Json::from(proxy.retries)),
         ("states_converged", Json::from(group.states_converged(&sim))),
+        ("committed_mbps", Json::from(committed_mbps)),
+    ])
+}
+
+/// The three domains, pump, gateway pair, and fault plan of the
+/// multi-domain hand-off scenario — shared by
+/// [`multi_domain_fault_report`] and the `tests/multi_domain.rs` suite.
+///
+/// Topology: calls originate in `fzj` (3 voters + 1 spare observer),
+/// hand off to `gmd` (3) and then `uni` (3), each admission committed
+/// through that domain's own log with the two-phase `Prepare`/`Confirm`
+/// protocol. A warm-standby gateway pair owned by `gmd` forwards a
+/// datagram stream, with every fail-over epoch committed through
+/// `gmd`'s log.
+pub struct MultiDomain {
+    /// Origin domain (with one spare), then the two hand-off domains.
+    pub groups: Vec<ReplicaGroup>,
+    /// The call generator.
+    pub pump: ComponentId,
+    /// The replicated-epoch gateway pair.
+    pub pair: ComponentId,
+    /// Its delivery sink.
+    pub sink: ComponentId,
+}
+
+impl MultiDomain {
+    /// Build the scenario on `sim` with `horizon` as the active window.
+    /// Fault plans are left to the caller.
+    pub fn build(sim: &mut Simulator, seed: u64, horizon: SimTime) -> Self {
+        let mk = |k: u64| GroupConfig::new(seed ^ (k * 0x9e37_79b9), horizon);
+        let fzj = ReplicaGroup::try_build_with_spares(
+            sim,
+            "fzj",
+            3,
+            1,
+            Bandwidth::from_gbps(10.0),
+            mk(1),
+        )
+        .expect("odd size");
+        let gmd = ReplicaGroup::build(sim, "gmd", 3, Bandwidth::from_gbps(10.0), mk(2));
+        let uni = ReplicaGroup::build(sim, "uni", 3, Bandwidth::from_gbps(10.0), mk(3));
+        for g in [&fzj, &gmd, &uni] {
+            g.set_two_phase(sim, true);
+        }
+        let pump = sim.add_component(CallPump::new(
+            fzj.proxy,
+            vec![gmd.proxy, uni.proxy],
+            TrafficDescriptor::cbr(Bandwidth::from_mbps(34.0)),
+            SimDuration::from_millis(100),
+            200,
+            1,
+        ));
+        sim.send_at(SimTime::ZERO, pump, msg(PumpStart));
+        let sink = sim.add_component(crate::gateway::GatewaySink::default());
+        let pair = sim.add_component(
+            crate::gateway::GatewayPair::new(
+                crate::gateway::Gateway::sgi_o200_to_atm(),
+                crate::gateway::Gateway::sun_ultra30_to_atm(),
+                sink,
+            )
+            .with_probes(SimDuration::from_millis(1), 3)
+            .with_replicated_epochs(gmd.proxy),
+        );
+        sim.send_at(SimTime::ZERO, pair, msg(crate::gateway::StartProbes));
+        for seq in 0..300u64 {
+            sim.send_at(
+                SimTime::from_millis(50 * seq),
+                pair,
+                msg(crate::gateway::GwPacket { seq, bytes: 8192 }),
+            );
+        }
+        MultiDomain { groups: vec![fzj, gmd, uni], pump, pair, sink }
+    }
+
+    /// Sum a per-replica counter over every replica of every group.
+    pub fn replica_sum(&self, sim: &Simulator, f: impl Fn(&Replica) -> u64) -> u64 {
+        self.groups
+            .iter()
+            .flat_map(|g| g.replicas.iter())
+            .map(|&id| f(sim.component::<Replica>(id)))
+            .sum()
+    }
+
+    /// True when every group's live replicas agree byte-for-byte.
+    pub fn all_converged(&self, sim: &Simulator) -> bool {
+        self.groups.iter().all(|g| g.states_converged(sim))
+    }
+
+    /// True when no domain still holds a tentative `Prepare` and every
+    /// live replica of every domain has the same committed budget —
+    /// the cross-domain conservation witness: a call is either admitted
+    /// in *all* domains or in none.
+    pub fn budgets_conserved(&self, sim: &Simulator) -> bool {
+        let mut committed: Option<u64> = None;
+        for g in &self.groups {
+            for &id in &g.replicas {
+                let r = sim.component::<Replica>(id);
+                if !r.is_alive() {
+                    continue;
+                }
+                if !r.cac().pending.is_empty() {
+                    return false;
+                }
+                let bits = r.cac().committed_bps().to_bits();
+                match committed {
+                    None => committed = Some(bits),
+                    Some(first) if first != bits => return false,
+                    _ => {}
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Deterministic seeded multi-domain fault scenario: leader crash in
+/// the origin domain, minority partition in the middle domain, link
+/// blips in the destination domain, a double gateway fail-over with
+/// log-committed epochs, and a live membership change (spare in,
+/// founder out) — all while the pump keeps placing cross-domain calls.
+pub fn multi_domain_fault_report(seed: u64) -> Json {
+    let horizon = SimTime::from_secs(30);
+    let mut sim = Simulator::new();
+    let md = MultiDomain::build(&mut sim, seed, horizon);
+    let (fzj, gmd, uni) = (&md.groups[0], &md.groups[1], &md.groups[2]);
+
+    // (a) Origin-domain leader crash (wiped) at a seeded instant,
+    // snapshot rejoin two seconds later.
+    let mut rng = StreamRng::new(seed, "multi-domain/crash");
+    let crash_at = SimTime::from_secs_f64(rng.uniform_in(2.0, 5.0));
+    let rejoin_at = crash_at + SimDuration::from_secs(2);
+    let replicas = fzj.replicas.clone();
+    sim.call_at(crash_at, move |sim| {
+        let idx = leader_of(sim, &replicas).unwrap_or(0);
+        let id = replicas[idx];
+        let now = sim.now();
+        sim.send_at(now, id, msg(ReplicaDown { wipe: true }));
+        sim.send_at(rejoin_at, id, msg(ReplicaUp));
+    });
+
+    // (b) Middle-domain minority partition 10 s - 12 s; (c) blip storm
+    // on the destination domain's r1 <-> r2 control link.
+    let mut plan = FaultPlan::new(seed);
+    plan.isolate(
+        "gmd/r2",
+        &["gmd/r0".into(), "gmd/r1".into(), "gmd/r2".into(), "gmd/client".into()],
+        Schedule::new(vec![Window::new(SimTime::from_secs(10), SimTime::from_secs(12))]),
+    );
+    plan.partition(
+        &[vec!["uni/r1".into()], vec!["uni/r2".into()]],
+        Schedule::blips(SimDuration::from_millis(1500), SimDuration::from_millis(50), 10),
+    );
+    gmd.apply_fault_plan(&mut sim, &plan);
+    uni.apply_fault_plan(&mut sim, &plan);
+
+    // (d) Double gateway fail-over: the primary dies at 6 s and
+    // recovers at 8.5 s; the standby dies at 9 s, forcing a second
+    // committed epoch bump back to the primary.
+    crate::gateway::schedule_gateway_outages(
+        &mut sim,
+        md.pair,
+        0,
+        &Schedule::new(vec![Window::new(SimTime::from_secs(6), SimTime::from_secs_f64(8.5))]),
+    );
+    crate::gateway::schedule_gateway_outages(
+        &mut sim,
+        md.pair,
+        1,
+        &Schedule::new(vec![Window::new(SimTime::from_secs(9), SimTime::from_secs(11))]),
+    );
+
+    // (e) Live reconfiguration in the origin domain: the spare is
+    // wiped at 1 s and rejoins at 14 s — by then the leader has
+    // compacted past its empty log, so catch-up must go through the
+    // snapshot path — then joins the voter set at 15 s; founder r0
+    // retires at 18 s.
+    sim.send_at(SimTime::from_secs(1), fzj.replicas[3], msg(ReplicaDown { wipe: true }));
+    sim.send_at(SimTime::from_secs(14), fzj.replicas[3], msg(ReplicaUp));
+    sim.send_at(SimTime::from_secs(15), fzj.proxy, msg(AddMember(3)));
+    sim.send_at(SimTime::from_secs(18), fzj.proxy, msg(RemoveMember(0)));
+
+    sim.run();
+
+    let p = sim.component::<CallPump>(md.pump);
+    let offered = p.offered;
+    let placed = p.placed();
+    let refused = p.results.len() as u64 - placed;
+    let availability = if offered == 0 { 1.0 } else { placed as f64 / offered as f64 };
+
+    let handoffs_confirmed: u64 = md
+        .groups
+        .iter()
+        .map(|g| sim.component::<ReplicatedAgent>(g.proxy).handoffs_confirmed)
+        .sum();
+    let handoffs_aborted: u64 =
+        md.groups.iter().map(|g| sim.component::<ReplicatedAgent>(g.proxy).handoffs_aborted).sum();
+    let dedup_acks: u64 =
+        md.groups.iter().map(|g| sim.component::<ReplicatedAgent>(g.proxy).dedup_acks_sent).sum();
+    let handoff_expiries = md.replica_sum(&sim, |r| r.handoff_expiries);
+    let spare_snapshots = sim.component::<Replica>(fzj.replicas[3]).snapshots_installed;
+    let max_dedup_table = md
+        .groups
+        .iter()
+        .flat_map(|g| g.replicas.iter())
+        .map(|&id| sim.component::<Replica>(id).cac().applied_reqs.len())
+        .max()
+        .unwrap_or(0);
+    let members_fzj: Vec<Json> = sim
+        .component::<Replica>(fzj.replicas[1])
+        .cac()
+        .members()
+        .iter()
+        .map(|&i| Json::from(u64::from(i)))
+        .collect();
+    let gp = sim.component::<crate::gateway::GatewayPair>(md.pair);
+    let sink = sim.component::<crate::gateway::GatewaySink>(md.sink);
+    let gmd_proxy = sim.component::<ReplicatedAgent>(gmd.proxy);
+    let committed_epoch = sim.component::<Replica>(gmd.replicas[0]).cac().gateway_epoch;
+    let committed_mbps = sim.component::<Replica>(uni.replicas[0]).cac().committed_bps() / 1e6;
+
+    Json::obj([
+        ("seed", Json::from(seed)),
+        ("offered", Json::from(offered)),
+        ("placed", Json::from(placed)),
+        ("refused", Json::from(refused)),
+        ("availability", Json::from(availability)),
+        ("crash_at_s", Json::from(crash_at.as_secs_f64())),
+        ("handoffs_confirmed", Json::from(handoffs_confirmed)),
+        ("handoffs_aborted", Json::from(handoffs_aborted)),
+        ("handoff_expiries", Json::from(handoff_expiries)),
+        ("dedup_acks", Json::from(dedup_acks)),
+        ("max_dedup_table", Json::from(max_dedup_table)),
+        ("spare_snapshots", Json::from(spare_snapshots)),
+        ("members_fzj", Json::Arr(members_fzj)),
+        ("gateway_epoch", Json::from(gp.epoch())),
+        ("gateway_committed_epoch", Json::from(committed_epoch)),
+        ("gateway_failovers", Json::from(gp.failovers)),
+        ("epoch_requests", Json::from(gp.epoch_requests)),
+        ("epoch_grants", Json::from(gmd_proxy.epoch_grants)),
+        ("epoch_refusals", Json::from(gmd_proxy.epoch_refusals)),
+        ("forwarded", Json::from(gp.forwarded)),
+        ("inflight_lost", Json::from(gp.inflight_lost)),
+        ("delivered", Json::from(sink.delivered.len())),
+        ("budgets_conserved", Json::from(md.budgets_conserved(&sim))),
+        ("states_converged", Json::from(md.all_converged(&sim))),
         ("committed_mbps", Json::from(committed_mbps)),
     ])
 }

@@ -99,6 +99,10 @@ pub(crate) struct Connect {
     pub(crate) back: Vec<ComponentId>,
     pub(crate) origin: ComponentId,
     pub(crate) sent_at: SimTime,
+    /// Hops whose two-phase hand-off hold is already promoted; a hop
+    /// that fails to confirm releases exactly these downstream holds.
+    /// Empty outside the cross-domain hand-off protocol.
+    pub(crate) confirmed: Vec<ComponentId>,
 }
 
 pub(crate) struct Reject {
@@ -257,7 +261,13 @@ impl Component for SignallingAgent {
                 let mut back = s.visited.clone();
                 back.pop(); // skip self
                 let next = back.pop();
-                let c = Connect { call: s.call, back, origin: s.origin, sent_at: s.sent_at };
+                let c = Connect {
+                    call: s.call,
+                    back,
+                    origin: s.origin,
+                    sent_at: s.sent_at,
+                    confirmed: Vec::new(),
+                };
                 match next {
                     Some(n) => ctx.send_in(delay, n, msg(c)),
                     None => {

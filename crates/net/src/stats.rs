@@ -351,6 +351,18 @@ impl StatsRegistry {
                 .first()
                 .map(|&id| sim.component::<crate::replica::Replica>(id).cac().committed_bps() / 1e6)
                 .unwrap_or(0.0);
+            let pending_calls = replicas
+                .iter()
+                .filter_map(|&id| {
+                    let r = sim.component::<crate::replica::Replica>(id);
+                    r.is_alive().then(|| r.cac().pending.len())
+                })
+                .max()
+                .unwrap_or(0);
+            let handoff_expiries = replicas
+                .iter()
+                .map(|&id| sim.component::<crate::replica::Replica>(id).handoff_expiries)
+                .sum();
             let p = sim.component::<crate::replica::ReplicatedAgent>(*proxy);
             report.replication.push(ReplicationReport {
                 label: label.clone(),
@@ -364,6 +376,13 @@ impl StatsRegistry {
                 redirects: p.redirects,
                 retries: p.retries,
                 leader_switches: p.leader_switches,
+                pending_calls,
+                handoffs_confirmed: p.handoffs_confirmed,
+                handoffs_aborted: p.handoffs_aborted,
+                handoff_expiries,
+                epoch_grants: p.epoch_grants,
+                epoch_refusals: p.epoch_refusals,
+                dedup_acks: p.dedup_acks_sent,
             });
         }
         report
@@ -419,6 +438,20 @@ pub struct ReplicationReport {
     pub retries: u64,
     /// Observed leader changes between successful commands.
     pub leader_switches: u64,
+    /// Tentative two-phase holds still pending at collection.
+    pub pending_calls: usize,
+    /// Cross-domain hand-offs promoted (`Confirm` committed).
+    pub handoffs_confirmed: u64,
+    /// Hand-offs rolled back (stale confirm or deadline abort).
+    pub handoffs_aborted: u64,
+    /// Leader-side hand-off deadline expirations.
+    pub handoff_expiries: u64,
+    /// Gateway epoch bumps this domain's log granted.
+    pub epoch_grants: u64,
+    /// Gateway epoch bumps refused as stale.
+    pub epoch_refusals: u64,
+    /// Dedup-floor acknowledgements the proxy committed.
+    pub dedup_acks: u64,
 }
 
 /// Per-hop snapshot: the stage's counters plus its configured costs and
@@ -800,8 +833,12 @@ impl RunReport {
         if !self.replication.is_empty() {
             // The replication key appears only when a replica group was
             // registered: runs without a replicated control plane render
-            // byte-identically to pre-replication builds.
-            let groups: Vec<Json> = self
+            // byte-identically to pre-replication builds. Groups render
+            // as an object keyed by domain label (insertion-ordered) so
+            // multi-domain runs read per-domain, and hand-off / epoch /
+            // dedup counters are suppressed at zero: a single-domain
+            // run renders exactly as it did before domains existed.
+            let groups: Vec<(String, Json)> = self
                 .replication
                 .iter()
                 .map(|g| {
@@ -832,7 +869,6 @@ impl RunReport {
                         })
                         .collect();
                     let mut o = Json::obj([
-                        ("label", Json::from(g.label.as_str())),
                         ("leader", g.leader.map_or(Json::from(-1i64), |l| Json::from(l as u64))),
                         ("states_converged", Json::from(g.states_converged)),
                         ("committed_mbps", Json::from(g.committed_mbps)),
@@ -845,15 +881,22 @@ impl RunReport {
                         ("redirects", g.redirects),
                         ("retries", g.retries),
                         ("leader_switches", g.leader_switches),
+                        ("pending_calls", g.pending_calls as u64),
+                        ("handoffs_confirmed", g.handoffs_confirmed),
+                        ("handoffs_aborted", g.handoffs_aborted),
+                        ("handoff_expiries", g.handoff_expiries),
+                        ("epoch_grants", g.epoch_grants),
+                        ("epoch_refusals", g.epoch_refusals),
+                        ("dedup_acks", g.dedup_acks),
                     ] {
                         if count > 0 {
                             o.push(key, Json::from(count));
                         }
                     }
-                    o
+                    (g.label.clone(), o)
                 })
                 .collect();
-            doc.push("signaling_replication", Json::Arr(groups));
+            doc.push("signaling_replication", Json::obj(groups));
         }
         doc
     }
@@ -1092,14 +1135,24 @@ mod tests {
             redirects: 4,
             retries: 0,
             leader_switches: 0,
+            pending_calls: 0,
+            handoffs_confirmed: 0,
+            handoffs_aborted: 0,
+            handoff_expiries: 0,
+            epoch_grants: 0,
+            epoch_refusals: 0,
+            dedup_acks: 0,
         });
         let j = report.to_json().dump();
-        assert!(j.contains("\"signaling_replication\":[{\"label\":\"cp\",\"leader\":1"), "{j}");
+        // Groups key by domain label so multi-domain runs read per-domain.
+        assert!(j.contains("\"signaling_replication\":{\"cp\":{\"leader\":1"), "{j}");
         assert!(j.contains("\"states_converged\":true"), "{j}");
         assert!(j.contains("\"role\":\"follower\",\"term\":3,\"commit_index\":12"), "{j}");
         assert!(j.contains("\"elections_started\":2"), "{j}");
         assert!(j.contains("\"redirects\":4"), "{j}");
-        // Zero-valued counters and the alive flag stay out of the JSON.
+        // Zero-valued counters and the alive flag stay out of the JSON:
+        // a single-domain run with no hand-offs renders exactly as it
+        // did before the multi-domain protocol existed.
         for absent in [
             "\"down\"",
             "\"snapshots_installed\"",
@@ -1107,9 +1160,20 @@ mod tests {
             "\"retries\"",
             "\"refused_no_quorum\"",
             "\"leader_switches\"",
+            "\"pending_calls\"",
+            "\"handoffs_confirmed\"",
+            "\"handoffs_aborted\"",
+            "\"handoff_expiries\"",
+            "\"epoch_grants\"",
+            "\"epoch_refusals\"",
+            "\"dedup_acks\"",
         ] {
             assert!(!j.contains(absent), "{absent} leaked into {j}");
         }
+        // Hand-off traffic surfaces once it exists.
+        report.replication[0].handoffs_confirmed = 7;
+        assert!(report.to_json().dump().contains("\"handoffs_confirmed\":7"));
+        report.replication[0].handoffs_confirmed = 0;
         // A downed replica surfaces the flag.
         report.replication[0].replicas[0].alive = false;
         assert!(report.to_json().dump().contains("\"down\":true"));

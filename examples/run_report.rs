@@ -237,10 +237,14 @@ fn main() {
         doc.push("fire_congestion", congestion);
     }
     // The replicated control plane under the canonical fault storm:
-    // leader crash, minority partition, link blips. Flag-gated like the
-    // other fault runs, so clean output is untouched.
+    // leader crash, minority partition, link blips — plus the
+    // multi-domain hand-off scenario (three replicated domains, a
+    // live membership change, and log-committed gateway epochs).
+    // Flag-gated like the other fault runs, so clean output is
+    // untouched.
     if let Some(seed) = control_fault_seed {
         doc.push("signaling_replication", gtw_net::replica::control_fault_report(seed));
+        doc.push("multi_domain", gtw_net::replica::multi_domain_fault_report(seed));
     }
     if let Some(seed) = fault_seed {
         doc.push("fault_seed", Json::from(seed));

@@ -107,3 +107,12 @@ cargo run --release -q -p gtw-core --example run_report -- --control-faults 1999
 cmp "$trace_tmp/cfaulted_a.json" "$trace_tmp/cfaulted_b.json"
 cargo run --release -q -p gtw-core --example run_report > "$trace_tmp/clean.json"
 ! grep -q signaling_replication "$trace_tmp/clean.json"
+
+# Multi-domain gate: the cross-domain hand-off suite (two-phase
+# reserve/confirm under leader crash and quorum loss, live membership
+# change, log-committed gateway epochs, snapshot-codec corruption
+# proptest) under the pinned master seed and a hard timeout. The
+# determinism cmp above already covers the multi_domain report block
+# (it rides --control-faults); the clean run must not grow it either.
+GTW_CONTROL_SEED=1999 timeout 300 cargo test -q -p gtw-core --test multi_domain
+! grep -q multi_domain "$trace_tmp/clean.json"
